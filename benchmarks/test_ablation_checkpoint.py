@@ -1,0 +1,61 @@
+"""Ablation — checkpoint/restore cost vs window size.
+
+The recovery extension (DESIGN.md) snapshots an operator's full state as
+plain data.  This bench measures snapshot and restore wall time across
+window sizes and asserts the O(window) scaling stays sane — a checkpoint
+should cost no more than a few merge operations.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import ResultTable, run_once
+from repro.core import SPOJoin, WindowSpec
+from repro.core.checkpoint import checkpoint, restore
+from repro.workloads import as_stream_tuples, q3, q3_stream
+
+WINDOW_LENS = [2_000, 8_000, 32_000]
+
+
+def _experiment():
+    query = q3()
+    table = ResultTable(
+        "Ablation: checkpoint/restore cost (ms)",
+        ["WL", "checkpoint", "restore", "state tuples"],
+    )
+    rows = []
+    for window_len in WINDOW_LENS:
+        join = SPOJoin(query, WindowSpec.count(window_len, window_len // 10))
+        for t in as_stream_tuples(q3_stream(window_len, seed=33)):
+            join.process(t)
+
+        best_ckpt = min(
+            _timed(lambda: checkpoint(join)) for __ in range(3)
+        )
+        state = checkpoint(join)
+        best_restore = min(
+            _timed(lambda: restore(query, state)) for __ in range(3)
+        )
+        retained = join.mutable_size() + join.immutable_size()
+        rows.append((window_len, best_ckpt, best_restore, retained))
+        table.add_row(window_len, best_ckpt * 1e3, best_restore * 1e3, retained)
+    table.show()
+    return rows
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_ablation_checkpoint(benchmark):
+    rows = run_once(benchmark, _experiment)
+    # Roughly linear in the window: 16x the window should cost well under
+    # 100x the time.
+    small, __, large = rows
+    assert large[1] < small[1] * 100
+    assert large[2] < small[2] * 100
+    # And restoring a 32K window stays well under a second.
+    assert large[2] < 1.0

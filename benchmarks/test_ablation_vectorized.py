@@ -1,0 +1,48 @@
+"""Ablation — scalar vs numpy-vectorized PO-Join probe.
+
+DESIGN.md's extension list includes a vectorized fast path for the
+immutable probe (searchsorted + boolean-mask permutation scatter).  This
+bench quantifies its speedup over the scalar probe on the Q3 workload
+and asserts both paths return identical results.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, build_immutable_list, run_once, time_probes
+from repro.workloads import as_stream_tuples, q3, q3_stream
+
+WINDOW_LEN = 10_000
+NUM_BATCHES = 9
+NUM_PROBES = 250
+
+
+def _experiment():
+    query = q3()
+    data = as_stream_tuples(q3_stream(WINDOW_LEN + NUM_PROBES, seed=30))
+    stored, probes = data[:WINDOW_LEN], data[WINDOW_LEN:]
+
+    scalar = build_immutable_list(query, stored, NUM_BATCHES, "po")
+    vector = build_immutable_list(query, stored, NUM_BATCHES, "po_vec")
+
+    for t in probes[:40]:
+        assert sorted(scalar.probe_all(t, True).matches) == sorted(
+            vector.probe_all(t, True).matches
+        )
+
+    tp_scalar, __ = time_probes(lambda t: scalar.probe_all(t, True), probes)
+    tp_vector, __ = time_probes(lambda t: vector.probe_all(t, True), probes)
+
+    table = ResultTable(
+        "Ablation: scalar vs vectorized PO-Join probe",
+        ["variant", "tuples/sec", "speedup"],
+    )
+    table.add_row("scalar (paper-faithful)", tp_scalar, 1.0)
+    table.add_row("numpy-vectorized", tp_vector, tp_vector / tp_scalar)
+    table.show()
+    return tp_scalar, tp_vector
+
+
+def test_ablation_vectorized(benchmark):
+    tp_scalar, tp_vector = run_once(benchmark, _experiment)
+    # The vectorized path should be a clear win at this window size.
+    assert tp_vector > 2 * tp_scalar

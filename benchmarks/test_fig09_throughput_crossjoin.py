@@ -1,0 +1,125 @@
+"""Figure 9 — throughput for two-way cross join Q1 (BLOND).
+
+Paper setup: slide intervals 100K-500K, windows 1M-5M, 10 immutable PEs;
+PO-Join beats the CSS immutable structure by 2-19x and the bit-based
+mutable part beats the hash-based one by 2-5.2x.  For the largest slides
+the paper divides the slide interval over the PO-Join PEs
+(``delta = Ws / |PEs|``) to curb merging cost — reproduced here as the
+``delta2`` column, measured as the wall time of one merge operation
+(permutation + offset computation + structure build).
+
+Scaled 100x down: slides 1K-5K, windows 10K-50K capped to laptop scale.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import (
+    ResultTable,
+    build_immutable_list,
+    build_mutable_window,
+    run_once,
+    time_probes,
+)
+from repro.core.merge import build_merge_batch_from_runs
+from repro.core.pojoin import POJoinBatch
+from repro.indexes import SortedRun
+from repro.workloads import as_stream_tuples, datacenter_streams, q1
+
+from repro.bench import chunk
+
+CONFIGS = [(1_000, 10_000), (2_000, 20_000), (3_000, 30_000)]
+NUM_PROBES = 150
+
+
+def _merge_cost(query, tuples, sub_intervals, repeats=3):
+    """Wall time to merge one slide interval at the given subdivision.
+
+    Best of ``repeats`` runs — the minimum is the robust estimator for a
+    deterministic computation's cost under scheduler noise.
+    """
+    best = float("inf")
+    for __ in range(repeats):
+        total = 0.0
+        for piece in chunk(tuples, sub_intervals):
+            left = [t for t in piece if t.stream == "R"]
+            right = [t for t in piece if t.stream == "S"]
+            start = time.perf_counter()
+            left_runs = [
+                SortedRun.from_unsorted_entries(
+                    (t.values[p.left_field], t.tid) for t in left
+                )
+                for p in query.predicates
+            ]
+            right_runs = [
+                SortedRun.from_unsorted_entries(
+                    (t.values[p.right_field], t.tid) for t in right
+                )
+                for p in query.predicates
+            ]
+            batch = build_merge_batch_from_runs(0, query, left_runs, right_runs)
+            POJoinBatch(query, batch)
+            # With sub-intervals the per-merge pause is the max piece cost.
+            total = max(total, time.perf_counter() - start)
+        best = min(best, total)
+    return best
+
+
+def _experiment():
+    query = q1()
+    table = ResultTable(
+        "Figure 9: Q1 cross-join throughput (tuples/sec) and merge pause (s)",
+        ["Ws", "WL", "mut_bit", "mut_hash", "imm_po", "imm_css_bit",
+         "merge_d1", "merge_d2(4)"],
+    )
+    shapes_ok = []
+    for slide, window_len in CONFIGS:
+        data = as_stream_tuples(
+            datacenter_streams((window_len + NUM_PROBES) // 2 + 1, seed=9)
+        )[: window_len + NUM_PROBES]
+        stored, probes = data[:window_len], data[window_len:]
+
+        mut_bit = build_mutable_window(query, [t for t in stored[:slide] if t.stream == "S"],
+                                       evaluator="bit", side="right")
+        mut_hash = build_mutable_window(query, [t for t in stored[:slide] if t.stream == "S"],
+                                        evaluator="hash", side="right")
+        r_probes = [t for t in probes if t.stream == "R"] or probes
+        tp_bit, __ = time_probes(lambda t: mut_bit.evaluate(t, True), r_probes)
+        tp_hash, __ = time_probes(lambda t: mut_hash.evaluate(t, True), r_probes)
+
+        num_batches = max(1, window_len // slide - 1)
+        po = build_immutable_list(query, stored, num_batches, "po")
+        css = build_immutable_list(query, stored, num_batches, "css_bit")
+        tp_po, __ = time_probes(lambda t: po.probe_all(t, t.stream == "R"), probes)
+        tp_css, __ = time_probes(lambda t: css.probe_all(t, t.stream == "R"), probes)
+
+        # Merge-threshold ablation: full slide (delta1) vs slide divided
+        # over 4 PO-Join PEs (delta2).
+        merge_d1 = _merge_cost(query, stored[:slide], 1)
+        merge_d2 = _merge_cost(query, stored[:slide], 4)
+
+        table.add_row(
+            slide, window_len, tp_bit, tp_hash, tp_po, tp_css, merge_d1, merge_d2
+        )
+        shapes_ok.append(
+            {
+                "po_wins": tp_po > tp_css,
+                "merge_divided_wins": merge_d2 < merge_d1,
+                "bit": tp_bit,
+                "hash": tp_hash,
+            }
+        )
+    table.show()
+    return shapes_ok
+
+
+def test_fig09_crossjoin_throughput(benchmark):
+    rows = run_once(benchmark, _experiment)
+    # Paper shape: PO > CSS and dividing the slide interval shrinks the
+    # per-merge pause, at every configuration.
+    assert all(row["po_wins"] for row in rows)
+    assert all(row["merge_divided_wins"] for row in rows)
+    # bit > hash holds in aggregate (its ~1.2x margin can wobble at a
+    # single configuration under machine load).
+    assert sum(row["bit"] for row in rows) > sum(row["hash"] for row in rows)

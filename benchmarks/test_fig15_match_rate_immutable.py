@@ -1,0 +1,87 @@
+"""Figure 15 — immutable-part max processing latency vs match rate.
+
+Paper setup: the PO-Join component's maximum processing latency grows
+with the match rate (51ms at 15M up to 190ms at 249M for scale-out) and
+is lower when evaluated with more threads (scale-up: 130-176ms at the
+high match rates) because Algorithm 4 spreads the linked batches over
+the thread pool.
+
+Here the linked list is probed under 1 thread vs 4 threads (scale-up)
+and with the batches spread over 1 vs 4 PE lists (scale-out); the
+asserted shape: latency rises with match rate, and both scaling axes
+reduce the makespan.
+"""
+
+import gc
+
+import pytest
+
+from repro.bench import ResultTable, build_immutable_list, run_once
+from repro.workloads import as_stream_tuples, q3, self_stream
+
+WINDOW_LEN = 8_000
+NUM_BATCHES = 8
+NUM_PROBES = 60
+CORRELATIONS = [0.8, 0.0, -0.8]
+
+
+def _experiment():
+    query = q3()
+    table = ResultTable(
+        "Figure 15: immutable max processing latency (ms) vs match rate",
+        ["correlation", "1 thread", "4 threads (scale-up)", "4 PEs (scale-out)"],
+    )
+    rows = []
+    for corr in CORRELATIONS:
+        data = as_stream_tuples(
+            self_stream(WINDOW_LEN + NUM_PROBES, correlation=corr, seed=17)
+        )
+        stored, probes = data[:WINDOW_LEN], data[WINDOW_LEN:]
+        full_list = build_immutable_list(query, stored, NUM_BATCHES, "po")
+        # Scale-out: the window's batches divided over 4 PEs, evaluated in
+        # parallel; the slowest PE's serial makespan is the latency.
+        pe_lists = [
+            build_immutable_list(query, stored[i::4], NUM_BATCHES // 4, "po")
+            for i in range(4)
+        ]
+
+        def max_latency(probe_once):
+            # Warm up (cold structures inflate the first probe), then
+            # measure with the collector paused so a GC pause does not
+            # masquerade as probe latency.  The "max" is a p90 — the
+            # paper's maximum, robust to single wall-clock outliers.
+            for t in probes[:5]:
+                probe_once(t)
+            gc.disable()
+            try:
+                samples = sorted(probe_once(t) for t in probes)
+            finally:
+                gc.enable()
+            return samples[int(len(samples) * 0.9)] * 1e3
+
+        lat_1t = max_latency(
+            lambda t: full_list.probe_all(t, True, num_threads=1).makespan
+        )
+        lat_4t = max_latency(
+            lambda t: full_list.probe_all(t, True, num_threads=4).makespan
+        )
+        lat_4pe = max_latency(
+            lambda t: max(
+                lst.probe_all(t, True, num_threads=1).makespan for lst in pe_lists
+            )
+        )
+        rows.append((corr, lat_1t, lat_4t, lat_4pe))
+        table.add_row(corr, lat_1t, lat_4t, lat_4pe)
+    table.show()
+    return rows
+
+
+def test_fig15_match_rate_immutable(benchmark):
+    rows = run_once(benchmark, _experiment)
+    serial = [r[1] for r in rows]
+    # Latency grows with the match rate.
+    assert serial[-1] > serial[0]
+    for __, lat_1t, lat_4t, lat_4pe in rows:
+        # Both scale-up (threads) and scale-out (PEs) cut the makespan.
+        assert lat_4t < lat_1t
+        assert lat_4pe < lat_1t

@@ -1,0 +1,60 @@
+"""Figure 17 — scale-up: throughput vs number of PO-Join PEs (Q3).
+
+Paper result: mean throughput grows from 419 tuples/sec at 1 PE to 6167
+tuples/sec at 20 PEs (max 668 -> 14519): with few PEs each one holds
+more slide intervals and every new tuple searches them all, while more
+PEs both shrink each PE's share and drain the queue in parallel.
+
+Scaled here to 1-8 PEs; asserted shape: throughput of the immutable
+component increases monotonically (within 10% noise) with the PE count.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, component_throughput, run_once
+from repro.core import WindowSpec
+from repro.joins import SPOConfig, run_spo
+from repro.workloads import q3, q3_stream
+
+N_TUPLES = 3_000
+WINDOW = WindowSpec.count(1_200, 150)
+PES = [1, 2, 4, 8]
+RATE = 100_000.0  # saturating feed: completions measure capacity
+
+
+def _source():
+    for i, raw in enumerate(q3_stream(N_TUPLES, seed=19, rate=RATE)):
+        yield raw.event_time, raw
+
+
+def _experiment():
+    table = ResultTable(
+        "Figure 17: immutable throughput (tuples/sec) vs PO-Join PEs",
+        ["PEs", "mean tuples/sec", "max tuples/sec"],
+    )
+    rows = []
+    for pes in PES:
+        config = SPOConfig(
+            q3(), WINDOW, num_pojoin_pes=pes, sub_intervals=min(pes, 4)
+        )
+        result = run_spo(_source(), config, num_nodes=4)
+        # Capacity = completions / simulated makespan of the PO-Join PEs.
+        records = result.records_named("immutable_result")
+        last = max(r.completion_time for r in records)
+        first = min(r.completion_time for r in records)
+        span = max(last - first, 1e-9)
+        mean_tp = len(records) / span
+        per_second = component_throughput(result, "immutable_result", 0.1)
+        rows.append((pes, mean_tp, per_second.max * 10))
+        table.add_row(pes, mean_tp, per_second.max * 10)
+    table.show()
+    return rows
+
+
+def test_fig17_scalability_pes(benchmark):
+    rows = run_once(benchmark, _experiment)
+    means = [r[1] for r in rows]
+    # Throughput scales up with PEs (monotone within 10% noise).
+    for prev, nxt in zip(means, means[1:]):
+        assert nxt > prev * 0.9
+    assert means[-1] > 1.5 * means[0]

@@ -1,0 +1,60 @@
+"""At-least-once ingestion under message loss (Section 5.3's guarantee).
+
+The paper runs its topologies with at-least-once processing "to ensure
+complete reliability against message loss".  This example injects 15%
+source-delivery loss (plus late acknowledgements that trigger redundant
+redeliveries) into the simulated engine and shows that the distributed
+SPO-Join still processes every tuple exactly once — redeliveries recover
+the lost copies and consumer-side offset tracking drops the duplicates —
+at the price of inflated tail latency for the redelivered tuples.
+
+Run with:  python examples/fault_tolerance.py
+"""
+
+from collections import Counter
+
+from repro.core import WindowSpec
+from repro.dspe import Engine
+from repro.joins import SPOConfig, build_spo_topology
+from repro.workloads import q3, q3_stream
+
+
+def run(loss_rate: float):
+    raws = q3_stream(2_000, seed=11, rate=2_000.0)
+    config = SPOConfig(q3(), WindowSpec.count(500, 100), num_pojoin_pes=2)
+    topo = build_spo_topology(((r.event_time, r) for r in raws), config)
+    engine = Engine(
+        topo,
+        num_nodes=2,
+        spout_loss_rate=loss_rate,
+        redelivery_timeout=0.02,
+        loss_seed=13,
+    )
+    return engine, engine.run(), len(raws)
+
+
+def main() -> None:
+    for loss in (0.0, 0.15):
+        engine, result, n = run(loss)
+        processed = Counter(
+            r.payload["tid"] for r in result.records_named("mutable_result")
+        )
+        latencies = sorted(
+            r.completion_time - r.payload["event_time"]
+            for r in result.records_named("immutable_result")
+        )
+        p50 = latencies[len(latencies) // 2] * 1e3
+        worst = latencies[-1] * 1e3
+
+        print(f"--- source loss rate {loss:.0%} ---")
+        print(f"tuples sent            : {n:,}")
+        print(f"tuples processed       : {len(processed):,}")
+        print(f"processed exactly once : {all(c == 1 for c in processed.values())}")
+        print(f"redeliveries           : {engine.redeliveries}")
+        print(f"duplicates dropped     : {engine.duplicates_dropped}")
+        print(f"latency p50 / worst    : {p50:.2f} ms / {worst:.2f} ms")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: a stream inequality self join in a dozen lines.
+
+Joins a stream of taxi trips against its own sliding window, asking for
+pairs where the newer trip went *further* but cost *less* (query Q3 of
+the paper):
+
+    SELECT ... WHERE dist1 > dist2 AND fare1 < fare2
+    WINDOW AS (SLIDE INTERVAL 1000 ON 10000)
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import SPOJoin, WindowSpec
+from repro.workloads import as_stream_tuples, q3, q3_stream
+
+
+def main() -> None:
+    query = q3()  # dist1 > dist2 AND fare1 < fare2
+    window = WindowSpec.count(length=10_000, slide=1_000)
+    join = SPOJoin(query, window)
+
+    trips = as_stream_tuples(q3_stream(20_000, seed=42))
+
+    total_matches = 0
+    example_shown = False
+    for trip in trips:
+        matches = join.process(trip)
+        total_matches += len(matches)
+        if matches and not example_shown:
+            probe_tid, match_tid = matches[0]
+            dist, fare = trip.values
+            print(
+                f"first match: trip #{probe_tid} ({dist:.1f} mi, "
+                f"${fare:.2f}) joins stored trip #{match_tid}"
+            )
+            example_shown = True
+
+    stats = join.stats
+    print(f"processed        : {stats.tuples_processed:,} trips")
+    print(f"join results     : {stats.matches_emitted:,} pairs")
+    print(f"  from mutable   : {stats.mutable_matches:,}")
+    print(f"  from immutable : {stats.immutable_matches:,}")
+    print(f"merges performed : {stats.merges}")
+    print(f"batches expired  : {stats.expired_batches}")
+    print(
+        f"window occupancy : {join.mutable_size():,} mutable + "
+        f"{join.immutable_size():,} immutable tuples"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Real-time taxi demand hot spots (Example 2 / query Q2).
+
+A transportation analyst wants trips whose pickup locations fall within
+0.03 degrees of each other inside a sliding time window — clusters of
+nearby pickups reveal demand hot spots and congestion:
+
+    SELECT tripId, time FROM taxi_trips
+    WHERE ABS(lon1 - lon2) < 0.03 AND ABS(lat1 - lat2) < 0.03
+    WINDOW AS (SLIDE INTERVAL 2s ON 10s)
+
+The band join runs on a time-based sliding window; pickup coordinates
+come from the synthetic Manhattan hot-spot mixture.  The example counts,
+per trip, how many in-window trips started nearby, and reports the
+hottest moments.
+
+Run with:  python examples/taxi_hotspots.py
+"""
+
+from collections import Counter
+
+from repro import SPOJoin, WindowSpec
+from repro.workloads import as_stream_tuples, q2, q2_stream
+
+
+def main() -> None:
+    query = q2()  # |lon1-lon2| < 0.03 AND |lat1-lat2| < 0.03
+    window = WindowSpec.time(length=10.0, slide=2.0)
+    join = SPOJoin(query, window)
+
+    trips = as_stream_tuples(q2_stream(8_000, seed=99, rate=500.0))
+
+    density = Counter()
+    hottest = []
+    for trip in trips:
+        neighbours = len(join.process(trip))
+        density[neighbours] += 1
+        if neighbours:
+            hottest.append((neighbours, trip))
+    hottest.sort(key=lambda pair: -pair[0])
+
+    with_neighbours = sum(c for n, c in density.items() if n > 0)
+    print(f"trips analysed            : {len(trips):,}")
+    print(f"trips with nearby pickups : {with_neighbours:,}")
+    print(f"merges performed          : {join.stats.merges}")
+
+    print("\nhottest pickups (most in-window neighbours):")
+    for neighbours, trip in hottest[:5]:
+        lon, lat = trip.values
+        print(
+            f"  trip #{trip.tid} at ({lon:.3f}, {lat:.3f}), "
+            f"t={trip.event_time:6.2f}s: {neighbours} nearby pickups"
+        )
+
+    # A crude hot-spot histogram: neighbour-count distribution.
+    print("\nneighbour-count distribution:")
+    for bucket in (0, 1, 5, 10, 25, 50):
+        count = sum(
+            c
+            for n, c in density.items()
+            if n >= bucket and (bucket == 50 or n < next_b(bucket))
+        )
+        label = f">={bucket}" if bucket == 50 else f"{bucket}-{next_b(bucket) - 1}"
+        print(f"  {label:>7} neighbours: {count:5d} trips")
+
+
+def next_b(bucket: int) -> int:
+    order = [0, 1, 5, 10, 25, 50]
+    return order[order.index(bucket) + 1]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, all per-figure benchmarks, and examples.
+# Outputs land in ./reproduction_output/.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+mkdir -p reproduction_output
+
+echo "== 1/3 test suite =="
+python -m pytest tests/ 2>&1 | tee reproduction_output/tests.txt | tail -1
+
+echo "== 2/3 benchmark suite (one driver per paper table/figure) =="
+python -m pytest benchmarks/ --benchmark-only -q -s 2>&1 \
+    | tee reproduction_output/benchmarks.txt | grep -E "^(Figure|Figures|Table|Section|Ablation)" || true
+
+echo "== 3/3 examples =="
+for example in examples/*.py; do
+    name=$(basename "$example" .py)
+    echo "-- $name --"
+    python "$example" > "reproduction_output/example_$name.txt" 2>&1 \
+        && echo "   ok (reproduction_output/example_$name.txt)" \
+        || echo "   FAILED"
+done
+
+echo
+echo "done: see reproduction_output/ and EXPERIMENTS.md"

@@ -1,0 +1,79 @@
+"""SPO-Join: efficient stream inequality join (EDBT 2025) — reproduction.
+
+The package is organized as:
+
+* :mod:`repro.core` — the paper's contribution: predicates and query
+  specs, the batch IE-Join, the mutable B+-tree component, merge
+  (permutation/offset computation), the immutable PO-Join, and the
+  combined :class:`~repro.core.spojoin.SPOJoin` operator.
+* :mod:`repro.indexes` — indexing substrates built from scratch
+  (B+-tree, CSS-tree, chain index, PIM-tree, sorted runs).
+* :mod:`repro.dspe` — a simulated distributed stream processing engine
+  (topologies, PEs, partitioning, distributed cache, metrics).
+* :mod:`repro.joins` — the distributed SPO-Join topology and every
+  baseline (chain index, split join, BCHJ, hash join, PIM, flat B+-tree).
+* :mod:`repro.workloads` — taxi/BLOND/synthetic generators and the
+  paper's queries Q1/Q2/Q3.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+
+Quickstart::
+
+    from repro import SPOJoin, WindowSpec, StreamTuple
+    from repro.workloads import q3
+
+    join = SPOJoin(q3(), WindowSpec.count(10_000, 1_000))
+    for i, (dist, fare) in enumerate(trips):
+        for probe_tid, match_tid in join.process(
+            StreamTuple(i, "NYC", (dist, fare))
+        ):
+            ...
+"""
+
+from .core import (
+    BandPredicate,
+    BitSet,
+    JoinType,
+    MergePolicy,
+    Op,
+    POJoinBatch,
+    POJoinList,
+    Predicate,
+    QuerySpec,
+    SPOJoin,
+    SQLParseError,
+    StreamTuple,
+    WindowKind,
+    WindowSpec,
+    ie_join,
+    ie_self_join,
+    make_tuple,
+    nested_loop_join,
+    nested_loop_self_join,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BandPredicate",
+    "BitSet",
+    "JoinType",
+    "MergePolicy",
+    "Op",
+    "POJoinBatch",
+    "POJoinList",
+    "Predicate",
+    "QuerySpec",
+    "SPOJoin",
+    "StreamTuple",
+    "WindowKind",
+    "WindowSpec",
+    "ie_join",
+    "ie_self_join",
+    "make_tuple",
+    "nested_loop_join",
+    "nested_loop_self_join",
+    "parse_query",
+    "SQLParseError",
+]

@@ -1,0 +1,30 @@
+"""Experiment harness for the per-figure benchmark drivers."""
+
+from .components import build_immutable_list, build_mutable_window, chunk
+from .report import ComponentReport, PEReport, RunReport, summarize_run
+from .harness import (
+    ResultTable,
+    run_once,
+    time_probes,
+    StreamRunStats,
+    component_latency,
+    component_throughput,
+    drive_local,
+)
+
+__all__ = [
+    "ResultTable",
+    "StreamRunStats",
+    "component_latency",
+    "component_throughput",
+    "drive_local",
+    "run_once",
+    "time_probes",
+    "build_immutable_list",
+    "build_mutable_window",
+    "chunk",
+    "ComponentReport",
+    "PEReport",
+    "RunReport",
+    "summarize_run",
+]

@@ -1,0 +1,159 @@
+"""Command-line experiment runner: ``python -m repro.bench``.
+
+Runs quick versions of the headline experiments without pytest, printing
+the same tables the benchmark drivers emit.  Useful for a fast sanity
+pass after installation::
+
+    python -m repro.bench                 # everything, small sizes
+    python -m repro.bench throughput      # one experiment group
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from ..core import WindowSpec
+from ..joins import (
+    ChainIndexJoin,
+    HashEquiJoin,
+    NestedLoopJoin,
+    make_spo_join,
+)
+from ..workloads import (
+    as_stream_tuples,
+    datacenter_streams,
+    equi_q,
+    equi_stream,
+    interleave,
+    q1,
+    q3,
+    q3_stream,
+)
+from .components import build_immutable_list, build_mutable_window
+from .harness import ResultTable, drive_local, time_probes
+
+__all__ = ["main"]
+
+
+def _throughput() -> None:
+    """Component throughput: bit vs hash mutable, PO vs CSS immutable."""
+    query = q3()
+    data = as_stream_tuples(q3_stream(4_200, seed=1))
+    stored, probes = data[:4_000], data[4_000:]
+    table = ResultTable(
+        "Component throughput, Q3 (tuples/sec)", ["component", "tuples/sec"]
+    )
+    mut_bit = build_mutable_window(query, stored[:400], evaluator="bit")
+    mut_hash = build_mutable_window(query, stored[:400], evaluator="hash")
+    table.add_row(
+        "mutable bit", time_probes(lambda t: mut_bit.evaluate(t, True), probes)[0]
+    )
+    table.add_row(
+        "mutable hash", time_probes(lambda t: mut_hash.evaluate(t, True), probes)[0]
+    )
+    po = build_immutable_list(query, stored, 8, "po")
+    css = build_immutable_list(query, stored, 8, "css_bit")
+    table.add_row(
+        "immutable PO-Join", time_probes(lambda t: po.probe_all(t, True), probes)[0]
+    )
+    table.add_row(
+        "immutable CSS", time_probes(lambda t: css.probe_all(t, True), probes)[0]
+    )
+    table.show()
+
+
+def _designs() -> None:
+    """Full designs side by side on the Q3 stream."""
+    query = q3()
+    window = WindowSpec.count(1_000, 200)
+    tuples = as_stream_tuples(q3_stream(2_500, seed=2))
+    table = ResultTable(
+        "Design comparison, Q3 self join", ["design", "tuples/sec", "matches"]
+    )
+    for name, algo in [
+        ("SPO-Join", make_spo_join(query, window)),
+        ("chain index", ChainIndexJoin(query, window)),
+        ("nested loop", NestedLoopJoin(query, window)),
+    ]:
+        stats = drive_local(algo, tuples)
+        table.add_row(name, stats.throughput, stats.matches)
+    table.show()
+
+
+def _crossjoin() -> None:
+    """Q1 cross join on the data-center streams."""
+    query = q1()
+    window = WindowSpec.count(1_000, 200)
+    tuples = as_stream_tuples(datacenter_streams(1_500, seed=3))
+    stats = drive_local(make_spo_join(query, window), tuples)
+    table = ResultTable("Q1 cross join (BLOND twin)", ["metric", "value"])
+    table.add_row("tuples/sec", stats.throughput)
+    table.add_row("join results", stats.matches)
+    table.add_row("p95 latency (ms)", stats.latency_percentile(95) * 1e3)
+    table.show()
+
+
+def _equijoin() -> None:
+    """The negative result: hash join vs SPO on equality predicates."""
+    query = equi_q()
+    window = WindowSpec.count(1_000, 200)
+    tuples = as_stream_tuples(
+        interleave(
+            equi_stream(2_000, "R", seed=4), equi_stream(2_000, "S", seed=5)
+        )
+    )
+    spo = drive_local(make_spo_join(query, window), tuples)
+    hashj = drive_local(HashEquiJoin(query, window), tuples)
+    table = ResultTable(
+        "Equi join: SPO vs native hash join", ["design", "tuples/sec"]
+    )
+    table.add_row("SPO-Join", spo.throughput)
+    table.add_row("hash join", hashj.throughput)
+    table.show()
+
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "throughput": _throughput,
+    "designs": _designs,
+    "crossjoin": _crossjoin,
+    "equijoin": _equijoin,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Quick SPO-Join experiment runner (see benchmarks/ for "
+        "the full per-figure suite).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS),
+        help="run one experiment group (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment groups and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in sorted(EXPERIMENTS.items()):
+            print(f"{name:12s} {fn.__doc__.strip().splitlines()[0]}")
+        return 0
+
+    chosen = [args.experiment] if args.experiment else sorted(EXPERIMENTS)
+    start = time.perf_counter()
+    for name in chosen:
+        EXPERIMENTS[name]()
+    print(f"\ncompleted {len(chosen)} experiment(s) "
+          f"in {time.perf_counter() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

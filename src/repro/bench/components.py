@@ -1,0 +1,100 @@
+"""Builders that freeze window contents into join components.
+
+The component-level experiments (Figures 7-9, 15, 21) measure the mutable
+and immutable parts of each two-tier design in isolation: these helpers
+build a mutable window or a linked list of immutable batches (PO-Join or
+CSS flavours) directly from a list of stream tuples, exactly as a merge
+at the given slide boundaries would have.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.merge import build_merge_batch
+from ..core.mutable import MutableComponent
+from ..core.pojoin import POJoinBatch, POJoinList
+from ..core.query import QuerySpec
+from ..core.tuples import StreamTuple
+from ..indexes.bptree import BPlusTree
+from ..joins.immutable_variants import CSSImmutableBatch
+
+__all__ = ["build_mutable_window", "build_immutable_list", "chunk"]
+
+
+def chunk(tuples: Sequence[StreamTuple], num_chunks: int) -> List[List[StreamTuple]]:
+    """Split a tuple sequence into ``num_chunks`` merge intervals."""
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    size = max(1, len(tuples) // num_chunks)
+    return [list(tuples[i : i + size]) for i in range(0, len(tuples), size)]
+
+
+def build_mutable_window(
+    query: QuerySpec,
+    tuples: Sequence[StreamTuple],
+    evaluator: str = "bit",
+    side: str = "left",
+) -> MutableComponent:
+    """A mutable component pre-filled with ``tuples``."""
+    component = MutableComponent(query, side=side, evaluator=evaluator)
+    for t in tuples:
+        component.insert(t)
+    return component
+
+
+def _trees_for(query: QuerySpec, tuples: Sequence[StreamTuple], side: str):
+    trees = []
+    for pred in query.predicates:
+        if query.is_self_join:
+            field = pred.right_field  # stored tuples play the right role
+        else:
+            field = pred.left_field if side == "left" else pred.right_field
+        trees.append(
+            BPlusTree.bulk_load(sorted((t.values[field], t.tid) for t in tuples))
+        )
+    return trees
+
+
+def build_immutable_list(
+    query: QuerySpec,
+    tuples: Sequence[StreamTuple],
+    num_batches: int,
+    kind: str = "po",
+    left_stream: str = "R",
+) -> POJoinList:
+    """Freeze ``tuples`` into ``num_batches`` immutable batches.
+
+    ``kind`` selects the structure: ``"po"`` (PO-Join), ``"css_bit"`` or
+    ``"css_hash"`` (the CSS-tree baselines).  Cross-join queries split
+    each chunk by stream into a two-sided batch.
+    """
+    from ..core.pojoin_numpy import VectorPOJoinBatch
+
+    factories = {
+        "po": lambda q, mb: POJoinBatch(q, mb),
+        "po_vec": lambda q, mb: VectorPOJoinBatch(q, mb),
+        "css_bit": lambda q, mb: CSSImmutableBatch(q, mb, intersect="bit"),
+        "css_hash": lambda q, mb: CSSImmutableBatch(q, mb, intersect="hash"),
+    }
+    if kind not in factories:
+        raise ValueError(f"unknown immutable kind {kind!r}")
+    factory = factories[kind]
+    two_sided = not query.is_self_join
+    lst = POJoinList(query, max_batches=None)
+    for batch_id, piece in enumerate(chunk(tuples, num_batches)):
+        if two_sided:
+            left = [t for t in piece if t.stream == left_stream]
+            right = [t for t in piece if t.stream != left_stream]
+            merge = build_merge_batch(
+                batch_id,
+                query,
+                _trees_for(query, left, "left"),
+                _trees_for(query, right, "right"),
+            )
+        else:
+            merge = build_merge_batch(
+                batch_id, query, _trees_for(query, piece, "left")
+            )
+        lst.append(factory(query, merge))
+    return lst

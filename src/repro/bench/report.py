@@ -1,0 +1,150 @@
+"""Run reports: condense a simulated run into the paper's metrics.
+
+:func:`summarize_run` turns a :class:`~repro.dspe.engine.RunResult` into a
+:class:`RunReport` holding, per result-record component, the throughput
+summary and latency percentiles of Section 5.1 plus per-PE utilization and
+queueing statistics — the numbers an operator of this system would put on
+a dashboard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..dspe.engine import RunResult
+from ..dspe.metrics import LatencyCollector, Summary, ThroughputCollector
+from .harness import ResultTable
+
+__all__ = ["ComponentReport", "PEReport", "RunReport", "summarize_run"]
+
+
+class ComponentReport:
+    """Throughput and latency of one result-record stream."""
+
+    __slots__ = ("name", "records", "throughput", "latency_p50", "latency_p95",
+                 "latency_max")
+
+    def __init__(
+        self,
+        name: str,
+        records: int,
+        throughput: Summary,
+        latency_p50: float,
+        latency_p95: float,
+        latency_max: float,
+    ) -> None:
+        self.name = name
+        self.records = records
+        self.throughput = throughput
+        self.latency_p50 = latency_p50
+        self.latency_p95 = latency_p95
+        self.latency_max = latency_max
+
+
+class PEReport:
+    """Utilization and queueing of one processing element."""
+
+    __slots__ = ("name", "node", "processed", "utilization", "mean_wait",
+                 "max_wait")
+
+    def __init__(self, pe, horizon: float) -> None:
+        self.name = pe.name
+        self.node = pe.node
+        self.processed = pe.processed
+        self.utilization = pe.utilization(horizon)
+        self.mean_wait = pe.mean_wait()
+        self.max_wait = pe.wait_max
+
+
+class RunReport:
+    """Everything :func:`summarize_run` extracts from one run."""
+
+    def __init__(
+        self,
+        components: Dict[str, ComponentReport],
+        pes: List[PEReport],
+        sim_end: float,
+        events: int,
+    ) -> None:
+        self.components = components
+        self.pes = pes
+        self.sim_end = sim_end
+        self.events = events
+
+    # ------------------------------------------------------------------
+    def hottest_pe(self) -> Optional[PEReport]:
+        """The PE with the highest utilization (load-balance check)."""
+        if not self.pes:
+            return None
+        return max(self.pes, key=lambda pe: pe.utilization)
+
+    def to_markdown(self) -> str:
+        """Render the report as GitHub-flavoured markdown tables."""
+        lines = [f"## Run report — {self.sim_end:.3f}s simulated, "
+                 f"{self.events} events", ""]
+        lines.append("| component | records | mean tuples/s | p50 (ms) | "
+                     "p95 (ms) | max (ms) |")
+        lines.append("|---|---|---|---|---|---|")
+        for comp in self.components.values():
+            lines.append(
+                f"| {comp.name} | {comp.records} | "
+                f"{comp.throughput.mean:.1f} | {comp.latency_p50 * 1e3:.3f} | "
+                f"{comp.latency_p95 * 1e3:.3f} | {comp.latency_max * 1e3:.3f} |"
+            )
+        lines.append("")
+        lines.append("| PE | node | processed | utilization | mean wait (ms) |")
+        lines.append("|---|---|---|---|---|")
+        for pe in self.pes:
+            lines.append(
+                f"| {pe.name} | {pe.node} | {pe.processed} | "
+                f"{pe.utilization:.1%} | {pe.mean_wait * 1e3:.3f} |"
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        table = ResultTable(
+            "Run report",
+            ["component", "records", "mean tuples/s", "p50 ms", "p95 ms"],
+        )
+        for comp in self.components.values():
+            table.add_row(
+                comp.name,
+                comp.records,
+                comp.throughput.mean,
+                comp.latency_p50 * 1e3,
+                comp.latency_p95 * 1e3,
+            )
+        table.show()
+
+
+def summarize_run(
+    result: RunResult,
+    record_names: Optional[List[str]] = None,
+    bucket_seconds: float = 0.5,
+) -> RunReport:
+    """Build a :class:`RunReport` from a finished simulated run.
+
+    ``record_names`` defaults to every record name present in the result.
+    """
+    if record_names is None:
+        record_names = sorted({r.name for r in result.records})
+    components: Dict[str, ComponentReport] = {}
+    for name in record_names:
+        records = result.records_named(name)
+        throughput = ThroughputCollector(bucket_seconds)
+        latency = LatencyCollector()
+        for record in records:
+            throughput.record(record.completion_time)
+            payload = record.payload if isinstance(record.payload, dict) else {}
+            event_time = payload.get("event_time", record.origin_time)
+            latency.record(record.completion_time - event_time)
+        components[name] = ComponentReport(
+            name,
+            len(records),
+            throughput.summary(),
+            latency.percentile(50),
+            latency.percentile(95),
+            latency.max(),
+        )
+    pes = [PEReport(pe, result.sim_end) for pe in result.pes]
+    return RunReport(components, pes, result.sim_end, result.events_processed)

@@ -1,0 +1,195 @@
+"""Checkpointing SPO-Join operator state (recovery support).
+
+Stream processors pair at-least-once delivery with periodic operator
+snapshots so a failed worker can resume from its last checkpoint instead
+of an empty window.  :func:`checkpoint` captures everything a
+:class:`~repro.core.spojoin.SPOJoin` needs to continue — the mutable
+windows' tuples, every immutable batch's runs/permutation/offsets, and
+the merge/expiry counters — as plain JSON-serializable data (no pickle),
+and :func:`restore` rebuilds an operator that produces bit-for-bit the
+same results for all future tuples.
+
+The snapshot cost is O(window): the mutable side re-serializes its
+tuples, the immutable side its (already flat) arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..indexes.sorted_run import SortedRun
+from .merge import MergeBatch, MergeSide
+from .query import QuerySpec
+from .spojoin import SPOJoin
+from .tuples import StreamTuple
+from .window import WindowKind, WindowSpec
+
+__all__ = ["checkpoint", "restore"]
+
+_FORMAT_VERSION = 1
+
+
+def _side_state(side: MergeSide) -> Dict[str, Any]:
+    return {
+        "runs": [
+            {"values": list(run.values), "tids": list(run.tids)}
+            for run in side.runs
+        ],
+        "permutation": (
+            list(side.permutation) if side.permutation is not None else None
+        ),
+        "tids": list(side.tids),
+    }
+
+
+def _side_from_state(state: Dict[str, Any]) -> MergeSide:
+    runs = [SortedRun(r["values"], r["tids"]) for r in state["runs"]]
+    return MergeSide(runs, state["permutation"], state["tids"])
+
+
+def _batch_state(batch: MergeBatch) -> Dict[str, Any]:
+    return {
+        "batch_id": batch.batch_id,
+        "left": _side_state(batch.left),
+        "right": _side_state(batch.right) if batch.right is not None else None,
+        "offsets": [
+            {"pred": pred_idx, "direction": direction, "array": list(array)}
+            for (pred_idx, direction), array in batch.offsets.items()
+        ],
+    }
+
+
+def _batch_from_state(state: Dict[str, Any]) -> MergeBatch:
+    offsets = {
+        (entry["pred"], entry["direction"]): entry["array"]
+        for entry in state["offsets"]
+    }
+    right = _side_from_state(state["right"]) if state["right"] else None
+    return MergeBatch(
+        state["batch_id"], _side_from_state(state["left"]), right, offsets
+    )
+
+
+def checkpoint(join: SPOJoin) -> Dict[str, Any]:
+    """Snapshot an operator's complete state as plain data."""
+    state: Dict[str, Any] = {
+        "version": _FORMAT_VERSION,
+        "window": {
+            "kind": join.window.kind.value,
+            "length": join.window.length,
+            "slide": join.window.slide,
+        },
+        "sub_intervals": join.policy.sub_intervals,
+        "evaluator": join.evaluator,
+        "use_offsets": join.use_offsets,
+        "left_stream": join.left_stream,
+        "right_stream": join.right_stream,
+        "num_threads": join.num_threads,
+        "merge_counter": join._merge_counter,
+        "next_batch_id": join._next_batch_id,
+        "next_merge_time": join._next_merge_time,
+        "expired_batches": join.immutable.expired_batches,
+        "mutable": {
+            "left": _component_tuples(join.mutable_left),
+            "right": (
+                _component_tuples(join.mutable_right)
+                if join.mutable_right is not None
+                else None
+            ),
+        },
+        "immutable": [
+            _batch_state(batch.batch) for batch in join.immutable.batches
+        ],
+        "stats": {
+            "tuples_processed": join.stats.tuples_processed,
+            "matches_emitted": join.stats.matches_emitted,
+            "merges": join.stats.merges,
+            "expired_batches": join.stats.expired_batches,
+            "mutable_matches": join.stats.mutable_matches,
+            "immutable_matches": join.stats.immutable_matches,
+        },
+    }
+    return state
+
+
+def _component_tuples(component) -> List[Dict[str, Any]]:
+    """Serialize a mutable component's tuples in arrival order.
+
+    The tuples are reconstructed from the component's field trees: the
+    first tree maps every tid to its first-field value; per-field value
+    maps recover the remaining fields.  Fields not referenced by any
+    predicate are not needed for future processing and are dropped.
+    """
+    query = component.query
+    num_fields = max(
+        [p.left_field for p in query.predicates]
+        + [p.right_field for p in query.predicates],
+        default=-1,
+    ) + 1
+    # tid -> field values, recovered per field tree.
+    values_by_tid: Dict[int, List[Optional[float]]] = {
+        tid: [None] * num_fields for tid in component.tids()
+    }
+    arrival = component.tids()
+    for pred, tree in zip(query.predicates, component.trees):
+        field = component._own_field(pred)
+        for value, payload in tree.items():
+            tid = arrival[payload] if component.evaluator == "bit" else payload
+            values_by_tid[tid][field] = value
+    out = []
+    for tid in arrival:
+        fields = [v if v is not None else 0.0 for v in values_by_tid[tid]]
+        out.append({"tid": tid, "values": fields})
+    return out
+
+
+def restore(query: QuerySpec, state: Dict[str, Any]) -> SPOJoin:
+    """Rebuild an operator from a :func:`checkpoint` snapshot."""
+    if state.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {state.get('version')!r}"
+        )
+    window_state = state["window"]
+    kind = WindowKind(window_state["kind"])
+    window = WindowSpec(kind, window_state["length"], window_state["slide"])
+    join = SPOJoin(
+        query,
+        window,
+        sub_intervals=state["sub_intervals"],
+        evaluator=state["evaluator"],
+        use_offsets=state["use_offsets"],
+        left_stream=state["left_stream"],
+        right_stream=state["right_stream"],
+        num_threads=state["num_threads"],
+    )
+
+    # Mutable windows: re-insert tuples in arrival order.
+    for entry in state["mutable"]["left"]:
+        join.mutable_left.insert(
+            StreamTuple(entry["tid"], state["left_stream"], entry["values"])
+        )
+    if state["mutable"]["right"] is not None:
+        assert join.mutable_right is not None
+        for entry in state["mutable"]["right"]:
+            join.mutable_right.insert(
+                StreamTuple(entry["tid"], state["right_stream"], entry["values"])
+            )
+
+    # Immutable batches, in linked-list order.
+    for batch_state in state["immutable"]:
+        merge_batch = _batch_from_state(batch_state)
+        join.immutable.append(join.batch_factory(query, merge_batch))
+    join.immutable.expired_batches = state["expired_batches"]
+
+    # Counters.
+    join._merge_counter = state["merge_counter"]
+    join._next_batch_id = state["next_batch_id"]
+    join._next_merge_time = state["next_merge_time"]
+    stats = state["stats"]
+    join.stats.tuples_processed = stats["tuples_processed"]
+    join.stats.matches_emitted = stats["matches_emitted"]
+    join.stats.merges = stats["merges"]
+    join.stats.expired_batches = stats["expired_batches"]
+    join.stats.mutable_matches = stats["mutable_matches"]
+    join.stats.immutable_matches = stats["immutable_matches"]
+    return join

@@ -1,0 +1,450 @@
+"""Batch IE-Join [Khayyat et al., VLDB Journal 2017].
+
+IE-Join answers a two-predicate inequality join over *fixed* data using
+sorted arrays, a **permutation array** (position of each tuple's second
+field in the first field's sorted order), **offset arrays** (relative
+position of one relation's sorted values inside the other's), and a **bit
+array**.  The paper adopts it as the immutable half of SPO-Join because it
+beats tree indexes on batch data (Section 1 reports 5.3x over B+-tree,
+4.65x over CSS-tree and 21.25x over nested loops on a 250M-match workload —
+reproduced by ``benchmarks/test_intro_iejoin_batch.py``).
+
+The incremental variant implemented here sets each permutation bit exactly
+once while sweeping the outer relation in sorted order of its second join
+field, then scans the bit-array region delimited by the offset array — the
+same O(n log n) sort + O(n + m) offset scans + word-parallel bit scans as
+the original.  Operators that break the sweep's monotonicity (``=``, ``!=``
+and band predicates) fall back to a per-probe variant with identical
+semantics.
+
+Both variants are validated against :func:`nested_loop_join` in the test
+suite, including hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..indexes.sorted_run import SortedRun
+from .bitset import BitSet
+from .predicates import Op, Predicate
+from .query import QuerySpec
+from .tuples import StreamTuple
+
+__all__ = [
+    "nested_loop_join",
+    "nested_loop_self_join",
+    "ie_join",
+    "ie_self_join",
+    "compute_permutation",
+    "compute_offsets",
+    "compute_offset_array",
+]
+
+Pair = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Reference implementations
+# ----------------------------------------------------------------------
+def nested_loop_join(
+    left: Iterable[StreamTuple],
+    right: Sequence[StreamTuple],
+    query: QuerySpec,
+) -> List[Pair]:
+    """Brute-force reference: every pair, checked directly."""
+    return [
+        (x.tid, y.tid)
+        for x in left
+        for y in right
+        if query.matches(x, y)
+    ]
+
+
+def nested_loop_self_join(
+    tuples: Sequence[StreamTuple], query: QuerySpec
+) -> List[Pair]:
+    """Ordered-pair self join; identical pairs are excluded by the query."""
+    return nested_loop_join(tuples, tuples, query)
+
+
+# ----------------------------------------------------------------------
+# Permutation and offset arrays (Algorithms 2 and 3 of the paper)
+# ----------------------------------------------------------------------
+def compute_permutation(run_a: SortedRun, run_b: SortedRun) -> List[int]:
+    """Algorithm 2: position in ``run_a`` of each tuple in ``run_b`` order.
+
+    ``run_a`` and ``run_b`` sort the *same* tuples by two different fields;
+    the tuple identifier assigned by the router links the two orders.  The
+    paper fills a temporary array indexed by tuple id with an incremental
+    counter; ids here are unbounded so a dict plays the temporary array's
+    role with the same O(n + n) cost.
+    """
+    if len(run_a) != len(run_b):
+        raise ValueError("permutation requires runs over the same tuples")
+    position_in_a = run_a.positions_of_tids()
+    return [position_in_a[tid] for tid in run_b.tids]
+
+
+def compute_offset_array(
+    keys_r: Sequence[float], keys_s: Sequence[float]
+) -> List[int]:
+    """Algorithm 3 verbatim: one offset per key of ``keys_r``.
+
+    ``offset[i]`` is the first position ``p`` with ``keys_s[p] >= keys_r[i]``
+    (``len(keys_s)`` when none), found by a single merge scan that resumes
+    from the previous key's offset — lines 8-12 of the paper's Algorithm 3.
+    This is the array shipped to the PO-Join PEs and accounted in
+    Equation 2.
+    """
+    n_s = len(keys_s)
+    offsets: List[int] = []
+    pos = 0
+    for key in keys_r:
+        while pos < n_s and keys_s[pos] < key:
+            pos += 1
+        offsets.append(pos)
+    return offsets
+
+
+def compute_offsets(
+    keys_r: Sequence[float], keys_s: Sequence[float]
+) -> Tuple[List[int], List[int]]:
+    """Algorithm 3: relative positions of ``keys_r`` inside ``keys_s``.
+
+    Both inputs are ascending (B+-tree leaf scans at merge time).  Returns
+    two arrays per key of ``keys_r``:
+
+    * ``lower[i]`` — first position ``p`` with ``keys_s[p] >= keys_r[i]``
+      (the offset the paper's Algorithm 3 computes), and
+    * ``upper[i]`` — first position with ``keys_s[p] > keys_r[i]``,
+
+    which together serve strict and non-strict operators.  A single merge
+    scan keeps the cost at O(n + m): the offset index found for one key is
+    the starting point for the next, exactly as in lines 8-12 of
+    Algorithm 3.
+    """
+    n_s = len(keys_s)
+    lower: List[int] = []
+    upper: List[int] = []
+    lo = 0
+    hi = 0
+    for key in keys_r:
+        while lo < n_s and keys_s[lo] < key:
+            lo += 1
+        while hi < n_s and keys_s[hi] <= key:
+            hi += 1
+        lower.append(lo)
+        upper.append(hi)
+    return lower, upper
+
+
+# ----------------------------------------------------------------------
+# IE-Join proper
+# ----------------------------------------------------------------------
+def _sorted_run(tuples: Sequence[StreamTuple], field: int) -> SortedRun:
+    entries = sorted((t.values[field], t.tid) for t in tuples)
+    return SortedRun.from_sorted_entries(entries)
+
+
+def _interval_from_offsets(
+    op: Op, lower: int, upper: int, n: int
+) -> List[Tuple[int, int]]:
+    """Bit-array region satisfying ``probe op stored`` from offset bounds."""
+    if op is Op.LT:
+        return [(upper, n)]
+    if op is Op.LE:
+        return [(lower, n)]
+    if op is Op.GT:
+        return [(0, lower)]
+    if op is Op.GE:
+        return [(0, upper)]
+    if op is Op.EQ:
+        return [(lower, upper)]
+    return [(0, lower), (upper, n)]
+
+
+def _supports_incremental(op: Op) -> bool:
+    return op in (Op.LT, Op.LE, Op.GT, Op.GE)
+
+
+class IEJoinResult:
+    """Join output: either materialized pairs or a match count."""
+
+    __slots__ = ("pairs", "count")
+
+    def __init__(self, pairs: Optional[List[Pair]], count: int) -> None:
+        self.pairs = pairs
+        self.count = count
+
+
+def ie_join(
+    left: Sequence[StreamTuple],
+    right: Sequence[StreamTuple],
+    query: QuerySpec,
+) -> List[Pair]:
+    """Two-relation batch IE-Join for a one- or two-predicate query.
+
+    Returns ordered pairs ``(left.tid, right.tid)``.  For the match-rate
+    benches that only need a cardinality, :func:`ie_join_count` avoids
+    materializing the pairs.
+    """
+    return _ie_join(left, right, query, exclude_self=False, count_only=False).pairs
+
+
+def ie_join_count(
+    left: Sequence[StreamTuple],
+    right: Sequence[StreamTuple],
+    query: QuerySpec,
+) -> int:
+    """Match count without materializing pairs (word-parallel popcounts)."""
+    return _ie_join(left, right, query, exclude_self=False, count_only=True).count
+
+
+def ie_self_join(
+    tuples: Sequence[StreamTuple], query: QuerySpec
+) -> List[Pair]:
+    """Self join over ordered pairs, excluding each tuple with itself."""
+    result = _ie_join(tuples, tuples, query, exclude_self=True, count_only=False)
+    return result.pairs
+
+
+def ie_self_join_count(tuples: Sequence[StreamTuple], query: QuerySpec) -> int:
+    result = _ie_join(tuples, tuples, query, exclude_self=True, count_only=True)
+    return result.count
+
+
+def _ie_join(
+    left: Sequence[StreamTuple],
+    right: Sequence[StreamTuple],
+    query: QuerySpec,
+    exclude_self: bool,
+    count_only: bool,
+) -> IEJoinResult:
+    if query.num_predicates == 1:
+        return _single_predicate_join(left, right, query, exclude_self, count_only)
+    if query.num_predicates > 2:
+        # IE-Join proper handles two predicates; additional conjuncts are
+        # applied as residual filters over the (already selective) output.
+        return _residual_filtered_join(left, right, query, exclude_self, count_only)
+    p1, p2 = query.predicates
+
+    # Right-relation structures: sorted run per predicate field plus the
+    # permutation array linking the second field's order to the first's.
+    ya = _sorted_run(right, p1.right_field)
+    yb = _sorted_run(right, p2.right_field)
+    permutation = compute_permutation(ya, yb)
+
+    incremental = (
+        isinstance(p2, Predicate)
+        and type(p2) is Predicate
+        and _supports_incremental(p2.op)
+    )
+    if incremental:
+        return _ie_join_incremental(
+            left, ya, yb, permutation, p1, p2, exclude_self, count_only
+        )
+    return _ie_join_per_probe(
+        left, ya, yb, permutation, p1, p2, exclude_self, count_only
+    )
+
+
+def _collect(
+    bits: BitSet,
+    intervals: List[Tuple[int, int]],
+    ya: SortedRun,
+    x: StreamTuple,
+    exclude_self: bool,
+    count_only: bool,
+    pairs: Optional[List[Pair]],
+) -> int:
+    """Scan bit-array regions; return match count, extend pairs if asked."""
+    count = 0
+    for lo, hi in intervals:
+        if count_only and not exclude_self:
+            count += bits.count_range(lo, hi)
+            continue
+        for pos in bits.iter_set(lo, hi):
+            tid = ya.tids[pos]
+            if exclude_self and tid == x.tid:
+                continue
+            count += 1
+            if pairs is not None:
+                pairs.append((x.tid, tid))
+    return count
+
+
+def _ie_join_incremental(
+    left: Sequence[StreamTuple],
+    ya: SortedRun,
+    yb: SortedRun,
+    permutation: List[int],
+    p1: Predicate,
+    p2: Predicate,
+    exclude_self: bool,
+    count_only: bool,
+) -> IEJoinResult:
+    """The offset-driven sweep: each permutation bit is set exactly once."""
+    n = len(ya)
+    # Outer relation sorted by each predicate's probe field.
+    xa_vals = sorted((t.values[p1.left_field], t.tid) for t in left)
+    xb = sorted(left, key=lambda t: (t.values[p2.left_field], t.tid))
+    # Offset arrays: X's sorted fields located inside Y's (Algorithm 3).
+    o1_lower, o1_upper = compute_offsets([v for v, __ in xa_vals], ya.values)
+    o2_lower, o2_upper = compute_offsets(
+        [t.values[p2.left_field] for t in xb], yb.values
+    )
+    # Position of each left tuple in the xa order, to look offsets up by id.
+    xa_pos = {tid: i for i, (__, tid) in enumerate(xa_vals)}
+
+    bits = BitSet(n)
+    pairs: Optional[List[Pair]] = None if count_only else []
+    count = 0
+
+    if p2.op in (Op.GT, Op.GE):
+        # Satisfying Y tuples form a growing *prefix* of yb as x.b rises.
+        added = 0
+        order = range(len(xb))
+        def target(i: int) -> int:
+            return o2_lower[i] if p2.op is Op.GT else o2_upper[i]
+        for i in order:
+            t = target(i)
+            while added < t:
+                bits.set(permutation[added])
+                added += 1
+            count += _emit_for(
+                xb[i], xa_pos, o1_lower, o1_upper, p1, n, bits, ya,
+                exclude_self, count_only, pairs,
+            )
+    else:
+        # LT / LE: satisfying Y tuples form a growing *suffix* of yb as x.b
+        # falls, so sweep the outer relation in descending order.
+        added_from = n
+        for i in range(len(xb) - 1, -1, -1):
+            t = o2_upper[i] if p2.op is Op.LT else o2_lower[i]
+            while added_from > t:
+                added_from -= 1
+                bits.set(permutation[added_from])
+            count += _emit_for(
+                xb[i], xa_pos, o1_lower, o1_upper, p1, n, bits, ya,
+                exclude_self, count_only, pairs,
+            )
+    return IEJoinResult(pairs, count)
+
+
+def _emit_for(
+    x: StreamTuple,
+    xa_pos: dict,
+    o1_lower: List[int],
+    o1_upper: List[int],
+    p1: Predicate,
+    n: int,
+    bits: BitSet,
+    ya: SortedRun,
+    exclude_self: bool,
+    count_only: bool,
+    pairs: Optional[List[Pair]],
+) -> int:
+    i = xa_pos[x.tid]
+    if type(p1) is Predicate:
+        intervals = _interval_from_offsets(p1.op, o1_lower[i], o1_upper[i], n)
+    else:  # band predicate on p1: position interval via bisect
+        intervals = p1.probe_intervals(
+            x.values[p1.left_field], ya.values, probe_is_left=True
+        )
+    matched = _collect(bits, intervals, ya, x, exclude_self, count_only, pairs)
+    if count_only and exclude_self:
+        # count_range cannot skip the self pair, so _collect iterated; the
+        # branch above already handled exclusion.
+        pass
+    return matched
+
+
+def _ie_join_per_probe(
+    left: Sequence[StreamTuple],
+    ya: SortedRun,
+    yb: SortedRun,
+    permutation: List[int],
+    p1: Predicate,
+    p2: Predicate,
+    exclude_self: bool,
+    count_only: bool,
+) -> IEJoinResult:
+    """Fallback for =, != and band predicates: fresh bit array per probe.
+
+    This is exactly the probe the streaming PO-Join performs for every new
+    tuple (Figure 5), so it doubles as its reference implementation.
+    """
+    n = len(ya)
+    pairs: Optional[List[Pair]] = None if count_only else []
+    count = 0
+    for x in left:
+        bits = BitSet(n)
+        for lo, hi in p2.probe_intervals(
+            x.values[p2.left_field], yb.values, probe_is_left=True
+        ):
+            for j in range(lo, hi):
+                bits.set(permutation[j])
+        intervals = p1.probe_intervals(
+            x.values[p1.left_field], ya.values, probe_is_left=True
+        )
+        count += _collect(bits, intervals, ya, x, exclude_self, count_only, pairs)
+    return IEJoinResult(pairs, count)
+
+
+def _residual_filtered_join(
+    left: Sequence[StreamTuple],
+    right: Sequence[StreamTuple],
+    query: QuerySpec,
+    exclude_self: bool,
+    count_only: bool,
+) -> IEJoinResult:
+    """Three or more conjuncts: IE-Join on the first two, filter the rest."""
+    head = QuerySpec(
+        query.name, query.join_type, query.predicates[:2], query.field_names
+    )
+    candidate = _ie_join(left, right, head, exclude_self, count_only=False)
+    left_by_tid = {t.tid: t for t in left}
+    right_by_tid = {t.tid: t for t in right}
+    residuals = query.predicates[2:]
+    pairs = [
+        (ltid, rtid)
+        for ltid, rtid in candidate.pairs or []
+        if all(
+            pred.holds(
+                left_by_tid[ltid].values[pred.left_field],
+                right_by_tid[rtid].values[pred.right_field],
+            )
+            for pred in residuals
+        )
+    ]
+    if count_only:
+        return IEJoinResult(None, len(pairs))
+    return IEJoinResult(pairs, len(pairs))
+
+
+def _single_predicate_join(
+    left: Sequence[StreamTuple],
+    right: Sequence[StreamTuple],
+    query: QuerySpec,
+    exclude_self: bool,
+    count_only: bool,
+) -> IEJoinResult:
+    """Degenerate case: one predicate needs only one sorted run."""
+    pred = query.predicates[0]
+    run = _sorted_run(right, pred.right_field)
+    pairs: Optional[List[Pair]] = None if count_only else []
+    count = 0
+    for x in left:
+        intervals = pred.probe_intervals(
+            x.values[pred.left_field], run.values, probe_is_left=True
+        )
+        for lo, hi in intervals:
+            for pos in range(lo, hi):
+                tid = run.tids[pos]
+                if exclude_self and tid == x.tid:
+                    continue
+                count += 1
+                if pairs is not None:
+                    pairs.append((x.tid, tid))
+    return IEJoinResult(pairs, count)

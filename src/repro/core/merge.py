@@ -1,0 +1,202 @@
+"""Merging the mutable component into an immutable PO-Join batch.
+
+At the merging threshold ``delta`` the tuples indexed by the mutable
+B+-trees are turned into the sorted runs, permutation arrays, and offset
+arrays of a PO-Join structure (Section 3.3 of the paper).  Because the
+B+-tree leaves are linked and already sorted, extracting each run is a
+sequential leaf scan, the permutation array costs O(n + n) (Algorithm 2)
+and each offset array costs one O(n + m) merge scan (Algorithm 3) — no
+re-sorting happens at merge time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..indexes.bptree import BPlusTree
+from ..indexes.sorted_run import SortedRun
+from .iejoin import compute_offset_array, compute_permutation
+from .query import QuerySpec
+
+__all__ = [
+    "sorted_run_from_tree",
+    "MergeSide",
+    "MergeBatch",
+    "build_merge_batch",
+    "build_merge_batch_from_runs",
+]
+
+
+def sorted_run_from_tree(tree: BPlusTree) -> SortedRun:
+    """Extract a sorted run by scanning the linked leaves (O(n))."""
+    return SortedRun.from_sorted_entries(tree.items())
+
+
+class MergeSide:
+    """One stream's share of a merge batch.
+
+    ``runs[i]`` is the sorted run of the stream's field referenced by the
+    query's i-th predicate; ``permutation`` maps positions of ``runs[1]``
+    into ``runs[0]`` (absent for single-predicate queries).  Queries with
+    more than two conjunctive predicates keep one run per extra predicate
+    and evaluate them as residual filters over the PO-Join matches, using
+    ``values_of`` to look a stored tuple's field value up by id.
+    """
+
+    __slots__ = ("runs", "permutation", "tids", "_value_maps")
+
+    def __init__(
+        self,
+        runs: List[SortedRun],
+        permutation: Optional[List[int]],
+        tids: List[int],
+    ) -> None:
+        self.runs = runs
+        self.permutation = permutation
+        self.tids = tids
+        self._value_maps: Optional[List[dict]] = None
+
+    def values_of(self, pred_idx: int) -> dict:
+        """Map tuple id -> field value for predicate ``pred_idx``.
+
+        Built lazily from the run (only residual predicates of 3+-predicate
+        queries need it).
+        """
+        if self._value_maps is None:
+            self._value_maps = [None] * len(self.runs)  # type: ignore[list-item]
+        if self._value_maps[pred_idx] is None:
+            run = self.runs[pred_idx]
+            self._value_maps[pred_idx] = dict(zip(run.tids, run.values))
+        return self._value_maps[pred_idx]
+
+    def __len__(self) -> int:
+        return len(self.runs[0]) if self.runs else 0
+
+    def memory_bits(self) -> int:
+        bits = sum(run.memory_bits() for run in self.runs)
+        if self.permutation is not None:
+            bits += 64 * len(self.permutation)
+        return bits
+
+    def index_overhead_bits(self) -> int:
+        """Index structures beyond the raw window payload (Equation 2).
+
+        The sorted runs are the window's data itself; only the permutation
+        array is bookkeeping the design adds on top.
+        """
+        if self.permutation is None:
+            return 0
+        return 64 * len(self.permutation)
+
+
+class MergeBatch:
+    """All material produced by one merge operation.
+
+    For cross joins both streams merge at the same threshold (Algorithm 1),
+    so the batch carries a left and a right side plus the inter-stream
+    offset arrays; self joins carry a single side.  ``batch_id`` implements
+    the data-provenance identifier of Section 4.3 (immutable part).
+    """
+
+    __slots__ = ("batch_id", "left", "right", "offsets")
+
+    def __init__(
+        self,
+        batch_id: int,
+        left: MergeSide,
+        right: Optional[MergeSide],
+        offsets: Dict[Tuple[int, str], List[int]],
+    ) -> None:
+        self.batch_id = batch_id
+        self.left = left
+        self.right = right
+        # offsets[(pred_idx, "lr")]: Algorithm 3 offsets of the left run's
+        # keys inside the right run; offsets[(pred_idx, "rl")] the reverse.
+        self.offsets = offsets
+
+    @property
+    def is_two_sided(self) -> bool:
+        return self.right is not None
+
+    def side(self, probe_is_left: bool) -> MergeSide:
+        """The *stored* side a probe evaluates against."""
+        if self.right is None:
+            return self.left
+        return self.right if probe_is_left else self.left
+
+    def __len__(self) -> int:
+        total = len(self.left)
+        if self.right is not None:
+            total += len(self.right)
+        return total
+
+    def memory_bits(self) -> int:
+        bits = self.left.memory_bits()
+        if self.right is not None:
+            bits += self.right.memory_bits()
+        for offsets in self.offsets.values():
+            bits += 64 * len(offsets)
+        return bits
+
+    def index_overhead_bits(self) -> int:
+        """Permutation plus offset arrays only — Equation 2's P_i + O_i."""
+        bits = self.left.index_overhead_bits()
+        if self.right is not None:
+            bits += self.right.index_overhead_bits()
+        for offsets in self.offsets.values():
+            bits += 64 * len(offsets)
+        return bits
+
+
+def _side_from_runs(runs: List[SortedRun]) -> MergeSide:
+    permutation = None
+    if len(runs) >= 2:
+        permutation = compute_permutation(runs[0], runs[1])
+    tids = sorted(runs[0].tids) if runs else []
+    return MergeSide(runs, permutation, tids)
+
+
+def build_merge_batch_from_runs(
+    batch_id: int,
+    query: QuerySpec,
+    left_runs: List[SortedRun],
+    right_runs: Optional[List[SortedRun]] = None,
+) -> MergeBatch:
+    """Assemble a merge batch from pre-extracted sorted runs.
+
+    ``left_runs[i]`` sorts the left stream by the field of predicate ``i``
+    (likewise for the right stream).  For self joins pass only
+    ``left_runs``.
+    """
+    left = _side_from_runs(left_runs)
+    right = None
+    offsets: Dict[Tuple[int, str], List[int]] = {}
+    if right_runs is not None:
+        right = _side_from_runs(right_runs)
+        for idx in range(len(query.predicates)):
+            offsets[(idx, "lr")] = compute_offset_array(
+                left.runs[idx].values, right.runs[idx].values
+            )
+            offsets[(idx, "rl")] = compute_offset_array(
+                right.runs[idx].values, left.runs[idx].values
+            )
+    return MergeBatch(batch_id, left, right, offsets)
+
+
+def build_merge_batch(
+    batch_id: int,
+    query: QuerySpec,
+    left_trees: List[BPlusTree],
+    right_trees: Optional[List[BPlusTree]] = None,
+) -> MergeBatch:
+    """Assemble a merge batch by scanning the mutable B+-trees' leaves.
+
+    ``left_trees[i]`` indexes the left stream's field of predicate ``i``
+    (likewise for the right stream).  For self joins pass only
+    ``left_trees``.
+    """
+    left_runs = [sorted_run_from_tree(tree) for tree in left_trees]
+    right_runs = None
+    if right_trees is not None:
+        right_runs = [sorted_run_from_tree(tree) for tree in right_trees]
+    return build_merge_batch_from_runs(batch_id, query, left_runs, right_runs)

@@ -1,0 +1,176 @@
+"""Vectorized PO-Join batch (engineering extension, not in the paper).
+
+The Figure-5 probe is three array operations — locate an interval in the
+second-field run, scatter bits through the permutation array, scan a
+region of the first-field order — all of which vectorize.  This module
+provides :class:`VectorPOJoinBatch`, a drop-in replacement for
+:class:`~repro.core.pojoin.POJoinBatch` whose probe uses numpy:
+
+* ``np.searchsorted`` for the interval bounds,
+* boolean-mask fancy indexing for the permutation scatter,
+* ``np.nonzero`` over the offset-delimited region for the final scan.
+
+Results are bit-for-bit identical to the scalar batch (asserted by the
+test suite); throughput is typically several times higher in CPython,
+which is what a production deployment of this design would ship.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .merge import MergeBatch, MergeSide
+from .predicates import BandPredicate, Op
+from .query import QuerySpec
+from .tuples import StreamTuple
+
+__all__ = ["VectorPOJoinBatch"]
+
+
+class _VectorSide:
+    """One stream's runs and permutation as numpy arrays."""
+
+    __slots__ = ("values", "tids", "permutation", "size", "merge_side")
+
+    def __init__(self, side: MergeSide) -> None:
+        self.merge_side = side
+        self.values = [np.asarray(run.values, dtype=np.float64) for run in side.runs]
+        self.tids = [np.asarray(run.tids, dtype=np.int64) for run in side.runs]
+        self.permutation = (
+            np.asarray(side.permutation, dtype=np.int64)
+            if side.permutation is not None
+            else None
+        )
+        self.size = len(side)
+
+
+class VectorPOJoinBatch:
+    """Numpy-backed immutable batch with the scalar batch's semantics."""
+
+    __slots__ = ("query", "batch", "_left", "_right")
+
+    def __init__(self, query: QuerySpec, batch: MergeBatch) -> None:
+        self.query = query
+        self.batch = batch
+        self._left = _VectorSide(batch.left)
+        self._right = _VectorSide(batch.right) if batch.right is not None else None
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_id(self) -> int:
+        return self.batch.batch_id
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    def memory_bits(self) -> int:
+        return self.batch.memory_bits()
+
+    def index_overhead_bits(self) -> int:
+        return self.batch.index_overhead_bits()
+
+    # ------------------------------------------------------------------
+    def _stored(self, probe_is_left: bool) -> _VectorSide:
+        if self._right is None:
+            return self._left
+        return self._right if probe_is_left else self._left
+
+    @staticmethod
+    def _interval(
+        pred, value: float, values: np.ndarray, probe_is_left: bool
+    ) -> List[Tuple[int, int]]:
+        """Satisfying half-open position intervals (numpy searchsorted)."""
+        n = len(values)
+        if isinstance(pred, BandPredicate):
+            lo_val = value - pred.width
+            hi_val = value + pred.width
+            if pred.inclusive:
+                lo = int(np.searchsorted(values, lo_val, side="left"))
+                hi = int(np.searchsorted(values, hi_val, side="right"))
+            else:
+                lo = int(np.searchsorted(values, lo_val, side="right"))
+                hi = int(np.searchsorted(values, hi_val, side="left"))
+            return [(lo, hi)]
+        op = pred.op if probe_is_left else pred.op.flipped
+        left = int(np.searchsorted(values, value, side="left"))
+        right = int(np.searchsorted(values, value, side="right"))
+        if op is Op.LT:
+            return [(right, n)]
+        if op is Op.LE:
+            return [(left, n)]
+        if op is Op.GT:
+            return [(0, left)]
+        if op is Op.GE:
+            return [(0, right)]
+        if op is Op.EQ:
+            return [(left, right)]
+        return [(0, left), (right, n)]
+
+    # ------------------------------------------------------------------
+    def probe(self, probe: StreamTuple, probe_is_left: bool) -> List[int]:
+        """Tuple ids stored in this batch that join with ``probe``."""
+        stored = self._stored(probe_is_left)
+        if stored.size == 0:
+            return []
+        preds = self.query.predicates
+        if len(preds) == 1:
+            return self._probe_single(probe, probe_is_left, stored)
+        matches = self._probe_two(probe, probe_is_left, stored)
+        if len(preds) > 2:
+            matches = self._apply_residuals(probe, probe_is_left, stored, matches)
+        return matches
+
+    def _probe_single(
+        self, probe: StreamTuple, probe_is_left: bool, stored: _VectorSide
+    ) -> List[int]:
+        pred = self.query.predicates[0]
+        value = probe.values[pred.probing_field(probe_is_left)]
+        out: List[int] = []
+        for lo, hi in self._interval(pred, value, stored.values[0], probe_is_left):
+            out.extend(stored.tids[0][lo:hi].tolist())
+        return out
+
+    def _probe_two(
+        self, probe: StreamTuple, probe_is_left: bool, stored: _VectorSide
+    ) -> List[int]:
+        p1, p2 = self.query.predicates[:2]
+        assert stored.permutation is not None
+        mask = np.zeros(stored.size, dtype=bool)
+        v2 = probe.values[p2.probing_field(probe_is_left)]
+        for lo, hi in self._interval(p2, v2, stored.values[1], probe_is_left):
+            if lo < hi:
+                # Permutation scatter: one vectorized fancy-index store.
+                mask[stored.permutation[lo:hi]] = True
+        v1 = probe.values[p1.probing_field(probe_is_left)]
+        out: List[int] = []
+        for lo, hi in self._interval(p1, v1, stored.values[0], probe_is_left):
+            if lo < hi:
+                hits = np.nonzero(mask[lo:hi])[0]
+                if hits.size:
+                    out.extend(stored.tids[0][lo + hits].tolist())
+        return out
+
+    def _apply_residuals(
+        self,
+        probe: StreamTuple,
+        probe_is_left: bool,
+        stored: _VectorSide,
+        matches: List[int],
+    ) -> List[int]:
+        for pred_idx in range(2, len(self.query.predicates)):
+            if not matches:
+                return matches
+            pred = self.query.predicates[pred_idx]
+            probe_value = probe.values[pred.probing_field(probe_is_left)]
+            values = stored.merge_side.values_of(pred_idx)
+            if probe_is_left:
+                matches = [
+                    tid for tid in matches if pred.holds(probe_value, values[tid])
+                ]
+            else:
+                matches = [
+                    tid for tid in matches if pred.holds(values[tid], probe_value)
+                ]
+        return matches

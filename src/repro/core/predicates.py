@@ -1,0 +1,248 @@
+"""Inequality predicates and their translation to sorted-array intervals.
+
+A stream inequality join matches tuples under a predicate ``theta`` drawn
+from ``{<, >, <=, >=, !=}`` (Section 2.1 of the paper); the equi-join
+experiment of Figures 22/23 additionally needs ``=``.  Band predicates
+(query Q2) constrain the absolute difference of two fields and decompose
+into a pair of inequalities, which this module represents natively as a
+single interval predicate.
+
+Every join algorithm in this repository — the mutable B+-tree probe, the
+immutable PO-Join probe, the batch IE-Join, and the CSS/chain/PIM baselines
+— reduces predicate evaluation to the same primitive: *given a probe value
+and a sorted array of stored values, which contiguous position intervals
+satisfy the predicate?*  That primitive is implemented here once
+(:meth:`Predicate.probe_intervals`) so that each algorithm shares identical
+semantics and the correctness test suite can exercise them uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Op", "Predicate", "BandPredicate", "Interval"]
+
+Interval = Tuple[int, int]  # half-open [lo, hi) over sorted positions
+
+
+class Op(enum.Enum):
+    """Join predicate operators: ``left_field  op  right_field``."""
+
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    NE = "!="
+    EQ = "="
+
+    @property
+    def flipped(self) -> "Op":
+        """The operator with its operands swapped (``a < b`` == ``b > a``)."""
+        return _FLIP[self]
+
+    @property
+    def is_strict(self) -> bool:
+        return self in (Op.LT, Op.GT, Op.NE)
+
+    def holds(self, left: float, right: float) -> bool:
+        """Evaluate ``left op right`` directly (nested-loop reference)."""
+        if self is Op.LT:
+            return left < right
+        if self is Op.GT:
+            return left > right
+        if self is Op.LE:
+            return left <= right
+        if self is Op.GE:
+            return left >= right
+        if self is Op.NE:
+            return left != right
+        return left == right
+
+
+_FLIP = {
+    Op.LT: Op.GT,
+    Op.GT: Op.LT,
+    Op.LE: Op.GE,
+    Op.GE: Op.LE,
+    Op.NE: Op.NE,
+    Op.EQ: Op.EQ,
+}
+
+
+def _intervals_for_op(
+    op: Op, probe: float, stored: Sequence[float]
+) -> List[Interval]:
+    """Positions ``p`` in ``stored`` (ascending) where ``probe op stored[p]``.
+
+    ``stored`` is the sorted array being probed; the probe value sits on the
+    *left* of the operator.  Callers that hold the probe on the right flip
+    the operator first.
+    """
+    n = len(stored)
+    if op is Op.LT:  # stored > probe
+        return [(bisect_right(stored, probe), n)]
+    if op is Op.LE:  # stored >= probe
+        return [(bisect_left(stored, probe), n)]
+    if op is Op.GT:  # stored < probe
+        return [(0, bisect_left(stored, probe))]
+    if op is Op.GE:  # stored <= probe
+        return [(0, bisect_right(stored, probe))]
+    if op is Op.EQ:
+        return [(bisect_left(stored, probe), bisect_right(stored, probe))]
+    # NE: complement of the equal range, as two intervals.
+    return [
+        (0, bisect_left(stored, probe)),
+        (bisect_right(stored, probe), n),
+    ]
+
+
+class Predicate:
+    """A single inequality predicate ``left.field  op  right.field``.
+
+    Parameters
+    ----------
+    left_field:
+        Field index on the left relation (stream ``R`` for cross joins, or
+        the probing tuple in a self join).
+    op:
+        The comparison operator.
+    right_field:
+        Field index on the right relation (stream ``S``, or the stored
+        window tuple in a self join).
+    """
+
+    __slots__ = ("left_field", "op", "right_field")
+
+    def __init__(self, left_field: int, op: Op, right_field: int) -> None:
+        self.left_field = left_field
+        self.op = op
+        self.right_field = right_field
+
+    # ------------------------------------------------------------------
+    # Direct evaluation (reference semantics)
+    # ------------------------------------------------------------------
+    def holds(self, left_value: float, right_value: float) -> bool:
+        """``left_value op right_value`` — the nested-loop reference."""
+        return self.op.holds(left_value, right_value)
+
+    # ------------------------------------------------------------------
+    # Sorted-array probing
+    # ------------------------------------------------------------------
+    def probe_intervals(
+        self,
+        probe_value: float,
+        stored_sorted: Sequence[float],
+        probe_is_left: bool,
+    ) -> List[Interval]:
+        """Sorted positions whose stored values satisfy the predicate.
+
+        ``probe_is_left`` is True when the probing tuple plays the *left*
+        role of the predicate (e.g. a new ``R`` tuple probing the window of
+        ``S``) and False for the symmetric case (a new ``S`` tuple probing
+        the window of ``R``).
+        """
+        op = self.op if probe_is_left else self.op.flipped
+        return _intervals_for_op(op, probe_value, stored_sorted)
+
+    def probe_bounds(
+        self, probe_value: float, probe_is_left: bool
+    ) -> List[Tuple[Optional[float], Optional[float], bool, bool]]:
+        """Value-space ranges of stored values satisfying the predicate.
+
+        Returns ``(lo, hi, lo_inclusive, hi_inclusive)`` ranges with
+        ``None`` for open ends — the form consumed by B+-tree / CSS-tree
+        range searches in the mutable probe (Figure 4).
+        """
+        op = self.op if probe_is_left else self.op.flipped
+        v = probe_value
+        if op is Op.LT:
+            return [(v, None, False, False)]
+        if op is Op.LE:
+            return [(v, None, True, False)]
+        if op is Op.GT:
+            return [(None, v, False, False)]
+        if op is Op.GE:
+            return [(None, v, False, True)]
+        if op is Op.EQ:
+            return [(v, v, True, True)]
+        return [(None, v, False, False), (v, None, False, False)]
+
+    def stored_field(self, probe_is_left: bool) -> int:
+        """Field index of the stored (probed) side."""
+        return self.right_field if probe_is_left else self.left_field
+
+    def probing_field(self, probe_is_left: bool) -> int:
+        """Field index of the probing side."""
+        return self.left_field if probe_is_left else self.right_field
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Predicate(f{self.left_field} {self.op.value} f{self.right_field})"
+
+
+class BandPredicate(Predicate):
+    """A band predicate ``ABS(left.field - right.field) < width`` (query Q2).
+
+    A band condition decomposes into ``right.field > left.field - width``
+    AND ``right.field < left.field + width`` [17]; on a sorted array this is
+    a single contiguous interval, so the band predicate plugs into exactly
+    the same probing machinery as a plain inequality.
+    """
+
+    __slots__ = ("width", "inclusive")
+
+    def __init__(
+        self,
+        left_field: int,
+        right_field: int,
+        width: float,
+        inclusive: bool = False,
+    ) -> None:
+        if width < 0:
+            raise ValueError("band width must be non-negative")
+        super().__init__(left_field, Op.NE, right_field)  # op unused
+        self.width = width
+        self.inclusive = inclusive
+
+    def holds(self, left_value: float, right_value: float) -> bool:
+        # Evaluated as bound comparisons rather than ABS(l - r) so direct
+        # evaluation agrees bit-for-bit with the sorted-array probes (the
+        # subtraction can round to exactly `width` when the two formulations
+        # would disagree).
+        lo = left_value - self.width
+        hi = left_value + self.width
+        if self.inclusive:
+            return lo <= right_value <= hi
+        return lo < right_value < hi
+
+    def probe_intervals(
+        self,
+        probe_value: float,
+        stored_sorted: Sequence[float],
+        probe_is_left: bool,
+    ) -> List[Interval]:
+        # Symmetric in its operands, so probe_is_left is irrelevant.
+        lo_val = probe_value - self.width
+        hi_val = probe_value + self.width
+        if self.inclusive:
+            lo = bisect_left(stored_sorted, lo_val)
+            hi = bisect_right(stored_sorted, hi_val)
+        else:
+            lo = bisect_right(stored_sorted, lo_val)
+            hi = bisect_left(stored_sorted, hi_val)
+        return [(lo, hi)]
+
+    def probe_bounds(
+        self, probe_value: float, probe_is_left: bool
+    ) -> List[Tuple[Optional[float], Optional[float], bool, bool]]:
+        lo = probe_value - self.width
+        hi = probe_value + self.width
+        return [(lo, hi, self.inclusive, self.inclusive)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cmp = "<=" if self.inclusive else "<"
+        return (
+            f"BandPredicate(|f{self.left_field} - f{self.right_field}| "
+            f"{cmp} {self.width})"
+        )

@@ -1,0 +1,162 @@
+"""Query specifications for stream inequality joins.
+
+The paper evaluates three query shapes (Table 1):
+
+* **Q1** — two-way *cross join* between opposite streams ``R`` and ``S``
+  with two inequality predicates (data-center power monitoring).
+* **Q2** — *band join* on a single stream (taxi pickup proximity).
+* **Q3** — *self join* on a single stream with two inequality predicates
+  (trip distance vs fare).
+
+A :class:`QuerySpec` bundles the join type, the field schema, and the
+predicate list; every join operator in this repository is driven by one.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+from .predicates import BandPredicate, Op, Predicate
+from .tuples import StreamTuple
+
+__all__ = ["JoinType", "QuerySpec"]
+
+
+class JoinType(enum.Enum):
+    """Shape of the join (Table 1 of the paper)."""
+
+    SELF = "self"  # one stream joined against its own window (Q3)
+    BAND = "band"  # self join with band predicates (Q2)
+    CROSS = "cross"  # two-way join between opposite streams (Q1)
+    EQUI = "equi"  # equality join (Figures 22/23)
+
+
+class QuerySpec:
+    """A stream join query.
+
+    Parameters
+    ----------
+    name:
+        Identifier (e.g. ``"Q1"``).
+    join_type:
+        One of :class:`JoinType`.
+    predicates:
+        Conjunctive predicate list.  For cross joins the *left* role is
+        stream ``R`` and the *right* role is stream ``S``; for self joins
+        the left role is the probing (newer) tuple.
+    field_names:
+        Human-readable schema, positional.  Both streams of a cross join
+        share the schema (as in Q1 where both report POWER and COOL).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        join_type: JoinType,
+        predicates: Sequence[Predicate],
+        field_names: Sequence[str] = (),
+        description: str = "",
+    ) -> None:
+        if not predicates:
+            raise ValueError("a query needs at least one predicate")
+        self.name = name
+        self.join_type = join_type
+        self.predicates: List[Predicate] = list(predicates)
+        self.field_names: Tuple[str, ...] = tuple(field_names)
+        self.description = description
+
+    # ------------------------------------------------------------------
+    @property
+    def is_self_join(self) -> bool:
+        return self.join_type in (JoinType.SELF, JoinType.BAND)
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    def fields_used(self) -> List[int]:
+        """Distinct field indexes referenced by any predicate, sorted."""
+        used = set()
+        for pred in self.predicates:
+            used.add(pred.left_field)
+            used.add(pred.right_field)
+        return sorted(used)
+
+    # ------------------------------------------------------------------
+    def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
+        """Nested-loop reference semantics for a candidate pair.
+
+        ``left`` plays the probing role and ``right`` the stored role.  For
+        self joins a tuple never matches itself.
+        """
+        if self.is_self_join and left.tid == right.tid:
+            return False
+        return all(
+            pred.holds(left.values[pred.left_field], right.values[pred.right_field])
+            for pred in self.predicates
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preds = " AND ".join(repr(p) for p in self.predicates)
+        return f"QuerySpec({self.name}: {self.join_type.value}, {preds})"
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the paper's query shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def two_inequalities(
+        cls,
+        name: str,
+        join_type: JoinType,
+        op1: Op,
+        op2: Op,
+        field_names: Sequence[str] = ("a", "b"),
+        description: str = "",
+    ) -> "QuerySpec":
+        """A two-predicate query over fields 0 and 1 (the Q1/Q3 shape)."""
+        return cls(
+            name,
+            join_type,
+            [Predicate(0, op1, 0), Predicate(1, op2, 1)],
+            field_names=field_names,
+            description=description,
+        )
+
+    @classmethod
+    def band(
+        cls,
+        name: str,
+        width: float,
+        field_names: Sequence[str] = ("lon", "lat"),
+        description: str = "",
+        inclusive: bool = False,
+    ) -> "QuerySpec":
+        """A two-field band join (the Q2 shape)."""
+        return cls(
+            name,
+            JoinType.BAND,
+            [
+                BandPredicate(0, 0, width, inclusive=inclusive),
+                BandPredicate(1, 1, width, inclusive=inclusive),
+            ],
+            field_names=field_names,
+            description=description,
+        )
+
+    @classmethod
+    def equi(
+        cls,
+        name: str,
+        field: int = 0,
+        field_names: Sequence[str] = ("k",),
+        description: str = "",
+    ) -> "QuerySpec":
+        """A single-field equality join (Figures 22/23)."""
+        return cls(
+            name,
+            JoinType.EQUI,
+            [Predicate(field, Op.EQ, field)],
+            field_names=field_names,
+            description=description,
+        )

@@ -1,0 +1,254 @@
+"""SPO-Join: the two-tier stream inequality join operator (Algorithm 1).
+
+``SPOJoin`` is the single-process embodiment of the paper's design: every
+incoming tuple
+
+1. probes the *mutable* component (opposite stream's B+-trees, bit-array
+   intersection) and the *immutable* component (the linked list of PO-Join
+   batches);
+2. is inserted into its own stream's mutable B+-trees;
+3. advances the merge-interval counter, and at the merging threshold
+   ``delta`` the mutable window is merged — sorted runs off the B+-tree
+   leaves, permutation arrays (Algorithm 2), offset arrays (Algorithm 3) —
+   into a new immutable batch, with coarse-grained expiry of the oldest
+   batch once the sliding window has passed it.
+
+The distributed variant (``repro.joins.spo``) splits these responsibilities
+across router, predicate, logical, permutation, and PO-Join processing
+elements of the simulated stream processing engine; this class keeps the
+same data structures and algorithms in one object, which is what the
+microbenches (insertion cost, match rate, window split) measure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .merge import build_merge_batch_from_runs
+from .mutable import MutableComponent
+from .pojoin import POJoinBatch, POJoinList
+from .query import QuerySpec
+from .tuples import StreamTuple
+from .window import MergePolicy, WindowKind, WindowSpec
+
+__all__ = ["SPOJoin", "JoinStats"]
+
+Pair = Tuple[int, int]
+
+
+class JoinStats:
+    """Counters exposed by :class:`SPOJoin` for the benches."""
+
+    __slots__ = (
+        "tuples_processed",
+        "matches_emitted",
+        "merges",
+        "expired_batches",
+        "mutable_matches",
+        "immutable_matches",
+    )
+
+    def __init__(self) -> None:
+        self.tuples_processed = 0
+        self.matches_emitted = 0
+        self.merges = 0
+        self.expired_batches = 0
+        self.mutable_matches = 0
+        self.immutable_matches = 0
+
+
+class SPOJoin:
+    """Stream permutation- and offset-based inequality join.
+
+    Parameters
+    ----------
+    query:
+        The join query (Q1/Q2/Q3 shapes, or an equi-join).
+    window:
+        Sliding window ``W_L`` / slide ``W_s``.
+    sub_intervals:
+        1 uses ``delta = W_s``; ``k > 1`` divides the slide into ``k``
+        merge sub-intervals (the paper's large-slide strategy,
+        ``delta = W_s / |PEs_PO-Join|``).
+    evaluator:
+        ``"bit"`` (paper) or ``"hash"`` (baseline) for the mutable part.
+    use_offsets:
+        Seed immutable probes with the stored offset arrays (cross joins).
+    left_stream / right_stream:
+        Stream names routed to each side of a cross join.
+    """
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        sub_intervals: int = 1,
+        evaluator: str = "bit",
+        use_offsets: bool = True,
+        bptree_order: int = 64,
+        left_stream: str = "R",
+        right_stream: str = "S",
+        num_threads: int = 1,
+        batch_factory=None,
+    ) -> None:
+        self.query = query
+        self.window = window
+        self.policy = MergePolicy(window, sub_intervals)
+        self.evaluator = evaluator
+        self.use_offsets = use_offsets
+        self.bptree_order = bptree_order
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self.num_threads = num_threads
+
+        self.mutable_left = MutableComponent(
+            query, side="left", evaluator=evaluator, order=bptree_order
+        )
+        # Self and band joins probe their own window; cross and equi joins
+        # keep a second mutable component for the opposite stream.
+        self.mutable_right: Optional[MutableComponent] = None
+        if not query.is_self_join:
+            self.mutable_right = MutableComponent(
+                query, side="right", evaluator=evaluator, order=bptree_order
+            )
+        # batch_factory lets baselines (e.g. the CSS-tree immutable join)
+        # reuse this two-tier skeleton with a different frozen structure.
+        if batch_factory is None:
+            def batch_factory(q, mb):
+                return POJoinBatch(q, mb, use_offsets=use_offsets)
+        self.batch_factory = batch_factory
+        self.immutable = POJoinList(query, max_batches=self.policy.max_batches)
+
+        self.stats = JoinStats()
+        self._merge_counter = 0.0
+        self._next_batch_id = 0
+        self._next_merge_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_two_stream(self) -> bool:
+        return self.mutable_right is not None
+
+    def _probe_is_left(self, t: StreamTuple) -> bool:
+        """Role the probing tuple plays in the predicates."""
+        if not self.is_two_stream:
+            return True  # self join: new tuple is the left operand
+        return t.stream == self.left_stream
+
+    # ------------------------------------------------------------------
+    def process(self, t: StreamTuple) -> List[Pair]:
+        """Run one tuple through Algorithm 1; returns (probe, match) pairs."""
+        probe_is_left = self._probe_is_left(t)
+        matches: List[int] = []
+
+        # (2) inequality join against the opposite mutable window ...
+        if self.is_two_stream:
+            opposite = (
+                self.mutable_right if probe_is_left else self.mutable_left
+            )
+        else:
+            opposite = self.mutable_left
+        assert opposite is not None
+        mutable_matches = opposite.evaluate(t, probe_is_left)
+        matches.extend(mutable_matches)
+        self.stats.mutable_matches += len(mutable_matches)
+
+        # ... and against every immutable PO-Join batch.
+        outcome = self.immutable.probe_all(t, probe_is_left, self.num_threads)
+        matches.extend(outcome.matches)
+        self.stats.immutable_matches += len(outcome.matches)
+
+        # (3) insert into its own stream's mutable index structures.
+        own = self.mutable_left
+        if self.is_two_stream and not probe_is_left:
+            own = self.mutable_right
+        assert own is not None
+        own.insert(t)
+
+        # (4-12) merge-interval bookkeeping.
+        self._advance_merge_clock(t)
+
+        self.stats.tuples_processed += 1
+        self.stats.matches_emitted += len(matches)
+        return [(t.tid, m) for m in matches]
+
+    # ------------------------------------------------------------------
+    def _advance_merge_clock(self, t: StreamTuple) -> None:
+        if self.window.kind is WindowKind.COUNT:
+            self._merge_counter += 1
+            if self._merge_counter >= self.policy.delta:
+                self.merge()
+                self._merge_counter = 0
+        else:
+            if self._next_merge_time is None:
+                self._next_merge_time = t.event_time + self.policy.delta
+            elif t.event_time >= self._next_merge_time:
+                self.merge()
+                self._next_merge_time += self.policy.delta
+
+    def merge(self) -> Optional[POJoinBatch]:
+        """Merge the mutable window(s) into a new immutable batch."""
+        if len(self.mutable_left) == 0 and (
+            self.mutable_right is None or len(self.mutable_right) == 0
+        ):
+            return None
+        left_runs = self.mutable_left.drain_runs()
+        right_runs = (
+            self.mutable_right.drain_runs()
+            if self.mutable_right is not None
+            else None
+        )
+        merge_batch = build_merge_batch_from_runs(
+            self._next_batch_id, self.query, left_runs, right_runs
+        )
+        self._next_batch_id += 1
+        batch = self.batch_factory(self.query, merge_batch)
+        before = self.immutable.expired_batches
+        self.immutable.append(batch)
+        self.stats.expired_batches += self.immutable.expired_batches - before
+        self.stats.merges += 1
+        return batch
+
+    def run(self, tuples) -> "Iterator[Tuple[StreamTuple, List[int]]]":
+        """Stream an iterable through the join, yielding per-tuple results.
+
+        Yields ``(tuple, matched_tids)`` pairs; tuples with no matches are
+        included (empty list), so the output aligns 1:1 with the input.
+        """
+        for t in tuples:
+            yield t, [m for __, m in self.process(t)]
+
+    # ------------------------------------------------------------------
+    # Introspection for the benches
+    # ------------------------------------------------------------------
+    def mutable_size(self) -> int:
+        size = len(self.mutable_left)
+        if self.mutable_right is not None:
+            size += len(self.mutable_right)
+        return size
+
+    def immutable_size(self) -> int:
+        return self.immutable.total_tuples()
+
+    def memory_bits(self) -> int:
+        """Mutable indexes (Eq. 1) plus immutable arrays (Eq. 2)."""
+        bits = self.mutable_left.memory_bits()
+        if self.mutable_right is not None:
+            bits += self.mutable_right.memory_bits()
+        bits += self.immutable.memory_bits()
+        return bits
+
+    def index_overhead_bits(self) -> int:
+        """Index structures beyond the raw window payload.
+
+        Mutable B+-trees count in full (they duplicate the stream into
+        index form, Eq. 1); the immutable tier contributes only its
+        permutation and offset arrays (Eq. 2) — the sorted runs *are* the
+        window data.  This is the accounting behind Figure 13, where
+        PIM-tree keeps full tree indexes on both tiers.
+        """
+        bits = self.mutable_left.memory_bits()
+        if self.mutable_right is not None:
+            bits += self.mutable_right.memory_bits()
+        bits += self.immutable.index_overhead_bits()
+        return bits

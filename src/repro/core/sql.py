@@ -1,0 +1,291 @@
+"""SQL front-end for the paper's query dialect.
+
+The paper presents its workloads as SQL (queries Q1-Q3)::
+
+    SELECT R.POW_ID, S.POW_ID FROM R, S
+    WHERE R.POWER < S.POWER AND R.COOL > S.COOL
+    WINDOW AS (SLIDE INTERVAL '10' ON '60')
+
+    SELECT tripId, time FROM taxi_trips
+    WHERE ABS(start_LON1 - start_LON2) < 0.03
+      AND ABS(start_LAT1 - start_LAT2) < 0.03
+    WINDOW AS (SLIDE INTERVAL 'D' ON 'W')
+
+:func:`parse_query` turns that dialect into a
+(:class:`~repro.core.query.QuerySpec`, :class:`~repro.core.window.WindowSpec`)
+pair ready for :class:`~repro.core.spojoin.SPOJoin`:
+
+* **two relations** in FROM make a cross join; qualified columns
+  (``R.POWER``) resolve their side by relation name;
+* **one relation** makes a self join; the paper's ``1``/``2`` suffix
+  convention (``trip_dist1 > trip_dist2``) distinguishes the probing
+  (newer) tuple from the stored one;
+* ``ABS(a - b) < w`` (or ``<=``) becomes a band predicate;
+* the WINDOW clause takes counts (``'1000'``, with ``K``/``M``
+  multipliers) or durations (``'10s'``, ``'5min'``, ``'2h'``).
+
+The field schema — column name to tuple position — is supplied by the
+caller, since stream tuples are positional.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .predicates import BandPredicate, Op, Predicate
+from .query import JoinType, QuerySpec
+from .window import WindowSpec
+
+__all__ = ["parse_query", "SQLParseError"]
+
+
+class SQLParseError(ValueError):
+    """Raised when the query text does not fit the supported dialect."""
+
+
+_QUERY_RE = re.compile(
+    r"""
+    ^\s*SELECT\s+(?P<select>.+?)
+    \s+FROM\s+(?P<relations>[^;]+?)
+    \s+WHERE\s+(?P<where>.+?)
+    (?:\s+WINDOW\s+AS\s*\(\s*SLIDE\s+INTERVAL\s*
+        '(?P<slide>[^']+)'\s+ON\s+'(?P<length>[^']+)'\s*\))?
+    \s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_BAND_RE = re.compile(
+    r"^ABS\s*\(\s*(?P<a>[\w.]+)\s*-\s*(?P<b>[\w.]+)\s*\)\s*"
+    r"(?P<op><=|<)\s*(?P<width>[0-9.eE+-]+)$",
+    re.IGNORECASE,
+)
+
+_CMP_RE = re.compile(
+    r"^(?P<left>[\w.]+)\s*(?P<op><=|>=|<>|!=|<|>|=)\s*(?P<right>[\w.]+)$"
+)
+
+_OPS = {
+    "<": Op.LT,
+    ">": Op.GT,
+    "<=": Op.LE,
+    ">=": Op.GE,
+    "!=": Op.NE,
+    "<>": Op.NE,
+    "=": Op.EQ,
+}
+
+_DURATION_UNITS = {
+    "ms": 1e-3,
+    "s": 1.0,
+    "sec": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "min": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+}
+
+_COUNT_SUFFIXES = {"": 1, "k": 1_000, "m": 1_000_000}
+
+
+class _Column:
+    """A parsed column reference with its resolved side and field index."""
+
+    __slots__ = ("side", "field")
+
+    def __init__(self, side: Optional[str], field: int) -> None:
+        self.side = side  # "left", "right", or None (unqualified)
+        self.field = field
+
+
+def _split_conjuncts(where: str) -> List[str]:
+    """Split the WHERE clause on top-level ANDs (no nesting in dialect)."""
+    parts = re.split(r"\s+AND\s+", where.strip(), flags=re.IGNORECASE)
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _parse_window(slide_text: Optional[str], length_text: Optional[str]):
+    if slide_text is None or length_text is None:
+        return None
+    slide, slide_is_time = _parse_extent(slide_text)
+    length, length_is_time = _parse_extent(length_text)
+    if slide_is_time != length_is_time:
+        raise SQLParseError(
+            "window slide and length must both be counts or both durations"
+        )
+    try:
+        if slide_is_time:
+            return WindowSpec.time(length, slide)
+        return WindowSpec.count(int(length), int(slide))
+    except ValueError as exc:
+        raise SQLParseError(f"invalid window: {exc}") from exc
+
+
+def _parse_extent(text: str) -> Tuple[float, bool]:
+    """Parse a window extent: count (K/M suffixes) or duration (unit)."""
+    token = text.strip().lower()
+    match = re.fullmatch(r"(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[a-z]*)", token)
+    if not match:
+        raise SQLParseError(f"cannot parse window extent {text!r}")
+    number = float(match.group("num"))
+    unit = match.group("unit")
+    if unit in _COUNT_SUFFIXES:
+        return number * _COUNT_SUFFIXES[unit], False
+    if unit in _DURATION_UNITS:
+        return number * _DURATION_UNITS[unit], True
+    raise SQLParseError(f"unknown window unit {unit!r} in {text!r}")
+
+
+class _Resolver:
+    """Resolves column references against the FROM clause and schema."""
+
+    def __init__(self, relations: List[str], schema: Dict[str, int]) -> None:
+        self.relations = relations
+        self.schema = {name.lower(): idx for name, idx in schema.items()}
+        self.self_join = len(relations) == 1
+
+    def resolve(self, token: str) -> _Column:
+        token = token.strip()
+        if "." in token:
+            qualifier, column = token.split(".", 1)
+            side = self._side_of_relation(qualifier)
+        else:
+            qualifier, column = None, token
+            side = None
+        if self.self_join:
+            side, column = self._apply_suffix_convention(column, side)
+        index = self.schema.get(column.lower())
+        if index is None:
+            raise SQLParseError(
+                f"unknown column {column!r} (schema: {sorted(self.schema)})"
+            )
+        return _Column(side, index)
+
+    def _side_of_relation(self, qualifier: str) -> Optional[str]:
+        names = [rel.lower() for rel in self.relations]
+        try:
+            position = names.index(qualifier.lower())
+        except ValueError:
+            raise SQLParseError(
+                f"unknown relation {qualifier!r} (FROM: {self.relations})"
+            ) from None
+        if self.self_join:
+            return None  # suffixes decide sides in a self join
+        return "left" if position == 0 else "right"
+
+    @staticmethod
+    def _apply_suffix_convention(
+        column: str, side: Optional[str]
+    ) -> Tuple[Optional[str], str]:
+        # The paper's self-join convention: trailing 1 = the probing
+        # (newer) tuple, trailing 2 = the stored one.
+        if column.endswith("1"):
+            return "left", column[:-1]
+        if column.endswith("2"):
+            return "right", column[:-1]
+        return side, column
+
+
+def _orient(left: _Column, right: _Column, op: Op, conjunct: str) -> Predicate:
+    """Build a predicate with the left stream on the left of the operator."""
+    if left.side is None or right.side is None:
+        raise SQLParseError(
+            f"cannot tell which stream each side of {conjunct!r} refers to "
+            "(qualify columns with the relation, or use the 1/2 suffix "
+            "convention in self joins)"
+        )
+    if left.side == right.side:
+        raise SQLParseError(
+            f"{conjunct!r} compares two columns of the same stream — "
+            "join predicates must span both sides"
+        )
+    if left.side == "right":
+        return Predicate(right.field, op.flipped, left.field)
+    return Predicate(left.field, op, right.field)
+
+
+def parse_query(
+    sql: str,
+    schema: Dict[str, int],
+    default_window: Optional[WindowSpec] = None,
+    name: str = "query",
+) -> Tuple[QuerySpec, Optional[WindowSpec]]:
+    """Parse a query in the paper's SQL dialect.
+
+    Parameters
+    ----------
+    sql:
+        The query text (SELECT ... FROM ... WHERE ... [WINDOW AS ...]).
+    schema:
+        Column name -> tuple field index (case-insensitive); for self
+        joins, names are given *without* the 1/2 suffixes.
+    default_window:
+        Returned when the query has no WINDOW clause.
+
+    Returns the :class:`QuerySpec` and the :class:`WindowSpec` (or the
+    default).
+    """
+    match = _QUERY_RE.match(sql)
+    if not match:
+        raise SQLParseError("query does not match SELECT/FROM/WHERE[/WINDOW]")
+    relations = [rel.strip() for rel in match.group("relations").split(",")]
+    if not 1 <= len(relations) <= 2 or not all(relations):
+        raise SQLParseError("FROM must list one or two relations")
+    resolver = _Resolver(relations, schema)
+
+    predicates: List[Predicate] = []
+    has_band = False
+    all_equality = True
+    for conjunct in _split_conjuncts(match.group("where")):
+        band = _BAND_RE.match(conjunct)
+        if band:
+            a = resolver.resolve(band.group("a"))
+            b = resolver.resolve(band.group("b"))
+            try:
+                width = float(band.group("width"))
+            except ValueError as exc:
+                raise SQLParseError(f"bad band width in {conjunct!r}") from exc
+            inclusive = band.group("op") == "<="
+            if a.side == "right":
+                a, b = b, a
+            predicates.append(
+                BandPredicate(a.field, b.field, width, inclusive=inclusive)
+            )
+            has_band = True
+            all_equality = False
+            continue
+        cmp = _CMP_RE.match(conjunct)
+        if not cmp:
+            raise SQLParseError(f"cannot parse predicate {conjunct!r}")
+        op = _OPS[cmp.group("op")]
+        left = resolver.resolve(cmp.group("left"))
+        right = resolver.resolve(cmp.group("right"))
+        predicates.append(_orient(left, right, op, conjunct))
+        if op is not Op.EQ:
+            all_equality = False
+    if not predicates:
+        raise SQLParseError("WHERE produced no predicates")
+
+    if resolver.self_join:
+        join_type = JoinType.BAND if has_band else JoinType.SELF
+    elif all_equality:
+        join_type = JoinType.EQUI
+    else:
+        join_type = JoinType.CROSS
+
+    query = QuerySpec(
+        name,
+        join_type,
+        predicates,
+        field_names=tuple(
+            name for name, __ in sorted(schema.items(), key=lambda kv: kv[1])
+        ),
+        description=" ".join(sql.split()),
+    )
+    window = _parse_window(match.group("slide"), match.group("length"))
+    return query, window if window is not None else default_window

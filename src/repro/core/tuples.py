@@ -1,0 +1,79 @@
+"""Stream tuple model.
+
+The paper models a stream tuple as ``t_i = <k_i, v_i>`` — an identifier plus
+a payload of one or more real-valued fields (Section 2.1).  In SPO-Join the
+*router* component assigns each tuple a monotonically increasing identifier
+on arrival, which doubles as a logical time unit for count-based windows and
+disambiguates tuples with identical event timestamps (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["StreamTuple", "make_tuple"]
+
+
+class StreamTuple:
+    """A single stream tuple.
+
+    Attributes
+    ----------
+    tid:
+        Monotone identifier assigned by the router; unique across a run.
+    stream:
+        Name of the originating stream (``"R"``, ``"S"``, or a dataset
+        name for self joins).
+    values:
+        Tuple of numeric field values, positionally matching the schema
+        declared by the :class:`~repro.core.query.QuerySpec`.
+    event_time:
+        Event timestamp in seconds (used by time-based windows and for
+        event-time latency measurements).
+    """
+
+    __slots__ = ("tid", "stream", "values", "event_time")
+
+    def __init__(
+        self,
+        tid: int,
+        stream: str,
+        values: Sequence[float],
+        event_time: float = 0.0,
+    ) -> None:
+        self.tid = tid
+        self.stream = stream
+        self.values: Tuple[float, ...] = tuple(values)
+        self.event_time = event_time
+
+    def value(self, field_index: int) -> float:
+        """Return the value of the field at ``field_index``."""
+        return self.values[field_index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamTuple(tid={self.tid}, stream={self.stream!r}, "
+            f"values={self.values}, event_time={self.event_time})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamTuple):
+            return NotImplemented
+        return (
+            self.tid == other.tid
+            and self.stream == other.stream
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self.stream))
+
+
+def make_tuple(
+    tid: int,
+    stream: str,
+    *values: float,
+    event_time: float = 0.0,
+) -> StreamTuple:
+    """Convenience constructor used throughout tests and examples."""
+    return StreamTuple(tid, stream, values, event_time)

@@ -1,0 +1,99 @@
+"""Sliding windows, slide intervals, and merge thresholds.
+
+The paper's windows come in two flavours (Section 2.1): *count-based*
+(``W_c`` — a window of the last ``L`` tuples, advancing every ``W_s``
+tuples) and *time-based* (``W_t`` — the last ``L`` seconds, advancing every
+``W_s`` seconds).  SPO-Join additionally derives its **merging threshold**
+``delta`` from the slide interval: either the full slide interval
+(``delta = W_s``) or, for large slides, the slide divided by the number of
+downstream PO-Join processing elements (``delta = W_s / |PEs|``,
+Section 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+__all__ = ["WindowKind", "WindowSpec", "MergePolicy"]
+
+
+class WindowKind(enum.Enum):
+    COUNT = "count"
+    TIME = "time"
+
+
+class WindowSpec:
+    """A sliding window ``W_L`` with slide interval ``W_s``.
+
+    For count-based windows both quantities are tuple counts; for
+    time-based windows they are seconds.
+    """
+
+    __slots__ = ("kind", "length", "slide")
+
+    def __init__(self, kind: WindowKind, length: float, slide: float) -> None:
+        if length <= 0:
+            raise ValueError("window length must be positive")
+        if slide <= 0:
+            raise ValueError("slide interval must be positive")
+        if slide > length:
+            raise ValueError("slide interval cannot exceed window length")
+        self.kind = kind
+        self.length = length
+        self.slide = slide
+
+    @classmethod
+    def count(cls, length: int, slide: int) -> "WindowSpec":
+        return cls(WindowKind.COUNT, length, slide)
+
+    @classmethod
+    def time(cls, length: float, slide: float) -> "WindowSpec":
+        return cls(WindowKind.TIME, length, slide)
+
+    @property
+    def num_slides(self) -> int:
+        """Number of slide intervals that make up one full window."""
+        return max(1, round(self.length / self.slide))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WindowSpec({self.kind.value}, L={self.length}, s={self.slide})"
+
+
+class MergePolicy:
+    """Derives the merging threshold ``delta`` from the window spec.
+
+    ``sub_intervals=1`` reproduces the small-slide strategy
+    ``delta = W_s``; setting it to the number of downstream PO-Join PEs
+    reproduces the large-slide strategy ``delta = W_s / |PEs_PO-Join|``
+    (Section 3.3).  The immutable component then retains
+    ``num_slides * sub_intervals`` linked PO-Join batches before expiry.
+    """
+
+    __slots__ = ("window", "sub_intervals")
+
+    def __init__(self, window: WindowSpec, sub_intervals: int = 1) -> None:
+        if sub_intervals < 1:
+            raise ValueError("sub_intervals must be >= 1")
+        self.window = window
+        self.sub_intervals = sub_intervals
+
+    @property
+    def delta(self) -> float:
+        """The merge threshold, in tuples (count windows) or seconds."""
+        return self.window.slide / self.sub_intervals
+
+    @property
+    def max_batches(self) -> int:
+        """Immutable batches retained before coarse-grained expiry.
+
+        One window holds ``W_L / delta`` merge intervals; the newest slide's
+        worth of data still lives in the mutable part, so the immutable
+        linked list keeps the remainder.
+        """
+        total = max(1, round(self.window.length / self.delta))
+        return max(1, total - self.sub_intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MergePolicy(delta={self.delta}, sub_intervals={self.sub_intervals}, "
+            f"max_batches={self.max_batches})"
+        )

@@ -1,0 +1,50 @@
+"""Simulated distributed stream processing engine (the Storm substitute).
+
+Topologies of spouts and bolts run under a discrete-event simulator whose
+PE service times are the measured costs of the real operator code, so the
+relative performance of join designs carries over from the paper's
+cluster experiments.
+"""
+
+from .cache import CacheClient, DistributedCache
+from .engine import Context, Engine, Message, Record, RunResult
+from .metrics import (
+    LatencyCollector,
+    Summary,
+    ThroughputCollector,
+    cdf_points,
+    percentile,
+    summarize,
+)
+from .partitioning import Grouping
+from .pe import ProcessingElement
+from .router import RawTuple, RouterOperator
+from .state import CachedStateManager, RoundRobinStateManager, StateManager
+from .topology import Bolt, Operator, Spout, Topology
+
+__all__ = [
+    "Context",
+    "Engine",
+    "Message",
+    "Record",
+    "RunResult",
+    "Grouping",
+    "ProcessingElement",
+    "Operator",
+    "Bolt",
+    "Spout",
+    "Topology",
+    "RouterOperator",
+    "RawTuple",
+    "DistributedCache",
+    "CacheClient",
+    "StateManager",
+    "RoundRobinStateManager",
+    "CachedStateManager",
+    "LatencyCollector",
+    "ThroughputCollector",
+    "Summary",
+    "summarize",
+    "percentile",
+    "cdf_points",
+]

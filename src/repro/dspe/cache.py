@@ -1,0 +1,93 @@
+"""Distributed in-memory cache (the paper's Redis substitute).
+
+SPO-Join's cache-based state management (Section 4.2, strategy B /
+Figure 6-right) has the first PO-Join PE continuously push its window
+state to a distributed cache, while the other PEs refresh their local copy
+at a fixed interval.  What matters to the false-positive experiment
+(Figure 19) is the *staleness semantics*: a reader sees the newest value
+written at or before its own last synchronization point.  This module
+models exactly that.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["DistributedCache", "CacheClient"]
+
+
+class DistributedCache:
+    """A versioned key-value store indexed by simulated write time."""
+
+    def __init__(self, history_limit: int = 4096) -> None:
+        self._history: Dict[str, Tuple[List[float], List[object]]] = {}
+        self.history_limit = history_limit
+        self.writes = 0
+        self.reads = 0
+
+    def put(self, key: str, value: object, at_time: float) -> None:
+        """Write ``value`` at simulated time ``at_time`` (monotone per key)."""
+        times, values = self._history.setdefault(key, ([], []))
+        if times and at_time < times[-1]:
+            raise ValueError("cache writes must be time-ordered per key")
+        times.append(at_time)
+        values.append(value)
+        self.writes += 1
+        if len(times) > self.history_limit:
+            del times[: -self.history_limit // 2]
+            del values[: -self.history_limit // 2]
+
+    def get_as_of(self, key: str, at_time: float) -> Optional[object]:
+        """Newest value written at or before ``at_time``."""
+        self.reads += 1
+        entry = self._history.get(key)
+        if entry is None:
+            return None
+        times, values = entry
+        idx = bisect_right(times, at_time) - 1
+        return values[idx] if idx >= 0 else None
+
+    def latest(self, key: str) -> Optional[object]:
+        entry = self._history.get(key)
+        if entry is None or not entry[0]:
+            return None
+        return entry[1][-1]
+
+
+class CacheClient:
+    """A PE-local view of the cache synchronized every ``sync_interval``.
+
+    Synchronization is phase-locked: the client refreshes *as of* the most
+    recent interval boundary, so between boundaries it serves the value
+    the cache held at the last sync — the bounded staleness that still
+    lets a few expired-window results through for tuples landing just
+    before a refresh (Section 4.2, false positives).
+    """
+
+    def __init__(self, cache: DistributedCache, sync_interval: float) -> None:
+        if sync_interval < 0:
+            raise ValueError("sync_interval must be non-negative")
+        self.cache = cache
+        self.sync_interval = sync_interval
+        self._local: Dict[str, object] = {}
+        self._last_sync = float("-inf")
+        self.syncs = 0
+
+    def read(self, key: str, now: float) -> Optional[object]:
+        """Read through the local copy, syncing at interval boundaries."""
+        if self.sync_interval > 0:
+            boundary = (now // self.sync_interval) * self.sync_interval
+        else:
+            boundary = now
+        if boundary > self._last_sync:
+            self._refresh(boundary)
+        return self._local.get(key)
+
+    def _refresh(self, as_of: float) -> None:
+        self._last_sync = as_of
+        self.syncs += 1
+        for key in list(self.cache._history):
+            value = self.cache.get_as_of(key, as_of)
+            if value is not None:
+                self._local[key] = value

@@ -1,0 +1,426 @@
+"""Discrete-event simulation engine for distributed stream topologies.
+
+This module stands in for the paper's Apache Storm cluster (10 machines,
+Nimbus/Supervisor/Zookeeper; Section 5.3).  The simulation preserves what
+the experiments actually measure:
+
+* every processing element is a FIFO single-server queue whose **service
+  time is the measured wall-clock cost of the real operator code**, so the
+  relative expense of probing a PO-Join batch vs a CSS-tree vs a chain
+  index drives throughput and latency exactly as on a real cluster;
+* messages between PEs pay a configurable network delay (lower within a
+  node than across nodes);
+* tuples carry their router-entry time, so event-time latency includes
+  queueing and network cost end to end.
+
+Delivery is reliable and per-link FIFO, which satisfies the paper's
+at-least-once processing guarantee without modelling replays.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import time
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .pe import ProcessingElement
+from .topology import Topology
+
+__all__ = ["Message", "Context", "Engine", "RunResult", "Record"]
+
+
+class Message:
+    """Envelope delivered to a PE."""
+
+    __slots__ = ("payload", "stream", "origin_time", "marks")
+
+    def __init__(
+        self,
+        payload,
+        stream: str = "default",
+        origin_time: float = 0.0,
+        marks: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.payload = payload
+        self.stream = stream
+        self.origin_time = origin_time
+        self.marks = marks if marks is not None else {}
+
+
+class Record:
+    """A metric record emitted by an operator via ``ctx.record``."""
+
+    __slots__ = ("name", "payload", "completion_time", "origin_time", "marks")
+
+    def __init__(
+        self,
+        name: str,
+        payload,
+        completion_time: float,
+        origin_time: float,
+        marks: Dict[str, float],
+    ) -> None:
+        self.name = name
+        self.payload = payload
+        self.completion_time = completion_time
+        self.origin_time = origin_time
+        self.marks = marks
+
+    @property
+    def event_latency(self) -> float:
+        """Completion minus router-entry time (event-time latency)."""
+        return self.completion_time - self.origin_time
+
+    def processing_latency(self, mark: str = "joiner") -> float:
+        """Completion minus the time the tuple entered the joiner."""
+        entered = self.marks.get(mark, self.origin_time)
+        return self.completion_time - entered
+
+
+class Context:
+    """Facilities an operator may use while processing one message."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+        self.pe: Optional[ProcessingElement] = None
+        self.now = 0.0
+        self._message: Optional[Message] = None
+        self._emissions: List[Tuple[str, object]] = []
+        self._records: List[Tuple[str, object]] = []
+        self._charged: Optional[float] = None
+
+    # -- emission -------------------------------------------------------
+    def emit(self, payload, stream: str = "default") -> None:
+        """Send ``payload`` downstream on ``stream`` (after completion)."""
+        self._emissions.append((stream, payload))
+
+    # -- metrics --------------------------------------------------------
+    def record(self, name: str, payload=None) -> None:
+        """Log a metric record stamped with this message's completion time."""
+        self._records.append((name, payload))
+
+    def mark(self, name: str) -> None:
+        """Stamp the in-flight message (e.g. joiner entry time)."""
+        assert self._message is not None
+        self._message.marks.setdefault(name, self.now)
+
+    # -- cost model -----------------------------------------------------
+    def charge(self, seconds: float) -> None:
+        """Override the measured service time for this message.
+
+        Used where the Python wall clock is the wrong model — e.g. the
+        PO-Join PE charges the *makespan* of Algorithm 4's thread pool
+        rather than the single-threaded sum.
+        """
+        if seconds < 0:
+            raise ValueError("charge must be non-negative")
+        self._charged = seconds
+
+    @property
+    def num_pes(self) -> int:
+        assert self.pe is not None
+        return self._engine.parallelism_of(self.pe.component)
+
+    @property
+    def pe_index(self) -> int:
+        assert self.pe is not None
+        return self.pe.index
+
+    @property
+    def origin_time(self) -> float:
+        assert self._message is not None
+        return self._message.origin_time
+
+
+class RunResult:
+    """Everything a benchmark needs from one simulated run."""
+
+    def __init__(
+        self,
+        records: List[Record],
+        pes: List[ProcessingElement],
+        sim_end: float,
+        wall_seconds: float,
+        events_processed: int,
+    ) -> None:
+        self.records = records
+        self.pes = pes
+        self.sim_end = sim_end
+        self.wall_seconds = wall_seconds
+        self.events_processed = events_processed
+
+    def records_named(self, name: str) -> List[Record]:
+        return [r for r in self.records if r.name == name]
+
+    def pes_of(self, component: str) -> List[ProcessingElement]:
+        return [pe for pe in self.pes if pe.component == component]
+
+
+_SPOUT = 0
+_DELIVERY = 1
+
+
+class Engine:
+    """Runs a :class:`~repro.dspe.topology.Topology` to completion.
+
+    Parameters
+    ----------
+    topology:
+        The DAG to execute.
+    num_nodes:
+        Simulated machines; PEs are assigned round-robin (scale-out knob
+        for the Figure 16 experiment).
+    net_delay_remote / net_delay_local:
+        Per-message delay between PEs on different / the same node.
+    time_scale:
+        Multiplier applied to measured operator wall time before it is
+        charged as simulated service time.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_nodes: int = 1,
+        net_delay_remote: float = 5e-4,
+        net_delay_local: float = 5e-5,
+        time_scale: float = 1.0,
+        max_events: int = 50_000_000,
+        cores_per_node: Optional[int] = None,
+        spout_loss_rate: float = 0.0,
+        redelivery_timeout: float = 0.01,
+        loss_seed: int = 0,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if cores_per_node is not None and cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        if not 0.0 <= spout_loss_rate < 0.5:
+            raise ValueError("spout_loss_rate must be in [0, 0.5)")
+        topology.validate()
+        self.topology = topology
+        self.num_nodes = num_nodes
+        self.net_delay_remote = net_delay_remote
+        self.net_delay_local = net_delay_local
+        self.time_scale = time_scale
+        self.max_events = max_events
+        # CPU contention model (the scale-out experiments): when set, PEs
+        # packed on a node compete for its cores, so a message's service
+        # also waits for the node's earliest-free core.  None = unlimited.
+        self.cores_per_node = cores_per_node
+        self._node_cores: List[List[float]] = [
+            [0.0] * (cores_per_node or 0) for __ in range(num_nodes)
+        ]
+
+        # At-least-once ingestion (Section 5.3's processing guarantee):
+        # source->router deliveries may be lost (redelivered after a
+        # timeout) or duplicated (redelivered although the first copy
+        # arrived); offset tracking at the consumer deduplicates, so every
+        # source tuple is processed exactly once, possibly late.
+        self.spout_loss_rate = spout_loss_rate
+        self.redelivery_timeout = redelivery_timeout
+        self._loss_rng = random.Random(loss_seed)
+        self.redeliveries = 0
+        self.duplicates_dropped = 0
+
+        self._pes: Dict[str, List[ProcessingElement]] = {}
+        self._build_pes()
+        self._records: List[Record] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def _build_pes(self) -> None:
+        node_cycle = itertools.cycle(range(self.num_nodes))
+        for bolt in self.topology.bolts.values():
+            instances = []
+            for index in range(bolt.parallelism):
+                operator = bolt.factory()
+                instances.append(
+                    ProcessingElement(bolt.name, index, next(node_cycle), operator)
+                )
+            self._pes[bolt.name] = instances
+
+    def parallelism_of(self, component: str) -> int:
+        return len(self._pes.get(component, []))
+
+    def pes_of(self, component: str) -> List[ProcessingElement]:
+        return list(self._pes.get(component, []))
+
+    def _delay(self, src_node: Optional[int], dst_node: int) -> float:
+        if src_node is None or src_node == dst_node:
+            return self.net_delay_local
+        return self.net_delay_remote
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        wall_start = time.perf_counter()
+        heap: List[Tuple[float, int, int, object]] = []
+        ctx = Context(self)
+
+        # Prime the PEs.
+        for instances in self._pes.values():
+            for pe in instances:
+                ctx.pe = pe
+                pe.operator.setup(ctx)
+
+        # Prime spouts: one pending event each; refilled as consumed so a
+        # long source never materializes in memory at once.
+        spout_iters: Dict[str, Iterator] = {
+            name: iter(spout.source) for name, spout in self.topology.spouts.items()
+        }
+        spout_offsets: Dict[str, Iterator[int]] = {
+            name: itertools.count() for name in spout_iters
+        }
+        delivered: Dict[str, Set[int]] = {name: set() for name in spout_iters}
+        for name, it in spout_iters.items():
+            self._push_spout_event(heap, name, it, spout_offsets[name])
+
+        sim_end = 0.0
+        events = 0
+        while heap:
+            events += 1
+            if events > self.max_events:
+                raise RuntimeError("event budget exceeded (runaway topology?)")
+            when, __, kind, data = heapq.heappop(heap)
+            if kind == _SPOUT:
+                name, offset, payload, origin = data
+                is_retry = origin is not None
+                if not is_retry:
+                    origin = when
+                    # Keep the stream flowing regardless of this event's fate.
+                    self._push_spout_event(
+                        heap, name, spout_iters[name], spout_offsets[name]
+                    )
+                sim_end = max(sim_end, when)
+                if offset in delivered[name]:
+                    # Offset tracking at the consumer: a redelivered copy
+                    # of an already-processed tuple is dropped.
+                    self.duplicates_dropped += 1
+                    continue
+                if self.spout_loss_rate:
+                    roll = self._loss_rng.random()
+                    retry = (
+                        when + self.redelivery_timeout,
+                        next(self._seq),
+                        _SPOUT,
+                        (name, offset, payload, origin),
+                    )
+                    if roll < self.spout_loss_rate:
+                        # Lost in flight: redeliver after the ack timeout.
+                        self.redeliveries += 1
+                        heapq.heappush(heap, retry)
+                        continue
+                    if roll < 1.5 * self.spout_loss_rate:
+                        # Ack lost: the copy arrives AND a redelivery fires.
+                        self.redeliveries += 1
+                        heapq.heappush(heap, retry)
+                delivered[name].add(offset)
+                # Latency accounting starts at the original emission, so a
+                # redelivered tuple carries its redelivery delay.
+                message = Message(payload, origin_time=origin)
+                self._dispatch(heap, name, None, message, when)
+                continue
+            pe, message = data
+            completion = self._serve(heap, ctx, pe, message, when)
+            sim_end = max(sim_end, completion)
+
+        for instances in self._pes.values():
+            for pe in instances:
+                ctx.pe = pe
+                pe.operator.teardown(ctx)
+
+        wall = time.perf_counter() - wall_start
+        all_pes = [pe for group in self._pes.values() for pe in group]
+        return RunResult(self._records, all_pes, sim_end, wall, events)
+
+    # ------------------------------------------------------------------
+    def _push_spout_event(
+        self, heap, name: str, it: Iterator, offsets: Iterator[int]
+    ) -> None:
+        try:
+            event_time, payload = next(it)
+        except StopIteration:
+            return
+        # The trailing None marks a first delivery; retries carry the
+        # original emission time there instead.
+        heapq.heappush(
+            heap,
+            (
+                event_time,
+                next(self._seq),
+                _SPOUT,
+                (name, next(offsets), payload, None),
+            ),
+        )
+
+    def _dispatch(
+        self,
+        heap,
+        source: str,
+        src_node: Optional[int],
+        message: Message,
+        at: float,
+    ) -> None:
+        """Route one emission to every subscribed bolt."""
+        for bolt, grouping in self.topology.consumers_of(source, message.stream):
+            instances = self._pes[bolt.name]
+            for target in grouping.targets(message.payload, len(instances)):
+                pe = instances[target]
+                arrival = at + self._delay(src_node, pe.node)
+                delivered = Message(
+                    message.payload,
+                    "default",
+                    message.origin_time,
+                    dict(message.marks),
+                )
+                heapq.heappush(
+                    heap,
+                    (arrival, next(self._seq), _DELIVERY, (pe, delivered)),
+                )
+
+    def _serve(
+        self, heap, ctx: Context, pe: ProcessingElement, message: Message, arrival: float
+    ) -> float:
+        start = max(arrival, pe.busy_until)
+        core_index = None
+        if self.cores_per_node is not None:
+            cores = self._node_cores[pe.node]
+            core_index = min(range(len(cores)), key=cores.__getitem__)
+            start = max(start, cores[core_index])
+        ctx.pe = pe
+        ctx.now = start
+        ctx._message = message
+        ctx._emissions = []
+        ctx._records = []
+        ctx._charged = None
+
+        t0 = time.perf_counter()
+        pe.operator.process(message.payload, ctx)
+        measured = (time.perf_counter() - t0) * self.time_scale
+        service = ctx._charged if ctx._charged is not None else measured
+
+        completion = start + service
+        pe.busy_until = completion
+        pe.busy_time += service
+        pe.processed += 1
+        wait = start - arrival
+        pe.wait_time += wait
+        pe.wait_max = max(pe.wait_max, wait)
+        if core_index is not None:
+            self._node_cores[pe.node][core_index] = completion
+
+        for name, payload in ctx._records:
+            self._records.append(
+                Record(
+                    name,
+                    payload,
+                    completion,
+                    message.origin_time,
+                    dict(message.marks),
+                )
+            )
+        for stream, payload in ctx._emissions:
+            out = Message(payload, stream, message.origin_time, dict(message.marks))
+            self._dispatch(heap, pe.component, pe.node, out, completion)
+        return completion

@@ -1,0 +1,150 @@
+"""Measurement machinery for the simulated stream processing engine.
+
+Implements the paper's evaluation metrics (Section 5.1):
+
+* **throughput** — tuples processed per second, reported as mean, standard
+  deviation, and maximum over one-second buckets of simulated time;
+* **event-time latency** — from a tuple's entry into the router until its
+  join results are complete, including simulated network cost;
+* **processing latency** — from entry into the joiner component until
+  completion;
+
+plus percentile/CDF helpers for the Figure 10/11 plots and a memory
+accountant for Figure 13.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "summarize",
+    "percentile",
+    "cdf_points",
+    "ThroughputCollector",
+    "LatencyCollector",
+    "Summary",
+]
+
+
+class Summary:
+    """Mean / standard deviation / min / max / count of a sample."""
+
+    __slots__ = ("count", "mean", "std", "min", "max")
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self.count = len(values)
+        if not values:
+            self.mean = self.std = self.min = self.max = 0.0
+            return
+        self.mean = sum(values) / len(values)
+        self.std = math.sqrt(
+            sum((v - self.mean) ** 2 for v in values) / len(values)
+        )
+        self.min = min(values)
+        self.max = max(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Summary(n={self.count}, mean={self.mean:.4g}, std={self.std:.4g}, "
+            f"max={self.max:.4g})"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    return Summary(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100), linear interpolation."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def cdf_points(
+    values: Sequence[float], num_points: int = 100
+) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for CDF plots (Figures 10/11)."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    step = max(1, n // num_points)
+    for i in range(0, n, step):
+        points.append((ordered[i], (i + 1) / n))
+    if points[-1][1] < 1.0:
+        points.append((ordered[-1], 1.0))
+    return points
+
+
+class ThroughputCollector:
+    """Counts completions into one-second buckets of simulated time."""
+
+    def __init__(self, bucket_seconds: float = 1.0) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = bucket_seconds
+        self._buckets: Dict[int, int] = {}
+        self.total = 0
+        self._last_time = 0.0
+
+    def record(self, sim_time: float, count: int = 1) -> None:
+        bucket = int(sim_time / self.bucket_seconds)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+        self.total += count
+        self._last_time = max(self._last_time, sim_time)
+
+    def per_second(self) -> List[float]:
+        """Tuples/sec per bucket, including empty interior buckets."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        return [
+            self._buckets.get(i, 0) / self.bucket_seconds for i in range(last + 1)
+        ]
+
+    def summary(self) -> Summary:
+        return Summary(self.per_second())
+
+    def overall_rate(self) -> float:
+        """Total completions divided by total elapsed simulated time."""
+        if self._last_time <= 0:
+            return 0.0
+        return self.total / self._last_time
+
+
+class LatencyCollector:
+    """Accumulates latencies and reports summaries/percentiles/CDFs."""
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.values.append(latency)
+
+    def summary(self) -> Summary:
+        return Summary(self.values)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def percentiles(self, qs: Iterable[float] = (50, 75, 95)) -> Dict[float, float]:
+        return {q: percentile(self.values, q) for q in qs}
+
+    def cdf(self, num_points: int = 100) -> List[Tuple[float, float]]:
+        return cdf_points(self.values, num_points)
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0

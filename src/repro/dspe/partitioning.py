@@ -1,0 +1,87 @@
+"""Stream partitioning strategies (Section 2.2 of the paper).
+
+A grouping decides which downstream processing element(s) receive a data
+unit: **hash** partitioning (same key, same PE — what routes partial
+results to the logical operator), **broadcast** (every PE — what fans a
+new tuple out to all PO-Join PEs), **round-robin** (load balancing — what
+distributes merged batches over PO-Join PEs), and **direct** (explicit
+target — what feeds the dedicated permutation PEs).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, List, Optional
+
+__all__ = ["Grouping"]
+
+
+def _stable_hash(key) -> int:
+    """Deterministic across runs (Python's str hash is salted)."""
+    if isinstance(key, int):
+        return key * 2654435761 % (1 << 32)
+    return zlib.crc32(repr(key).encode())
+
+
+class Grouping:
+    """Maps an emitted payload to downstream PE indices."""
+
+    HASH = "hash"
+    BROADCAST = "broadcast"
+    ROUND_ROBIN = "round_robin"
+    DIRECT = "direct"
+    SHUFFLE = "shuffle"
+
+    def __init__(
+        self,
+        kind: str,
+        key_fn: Optional[Callable] = None,
+    ) -> None:
+        self.kind = kind
+        self.key_fn = key_fn
+        self._rr_counter = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def hash_by(cls, key_fn: Callable) -> "Grouping":
+        """Hash partitioning on ``key_fn(payload)``."""
+        return cls(cls.HASH, key_fn)
+
+    @classmethod
+    def broadcast(cls) -> "Grouping":
+        """Send a copy to every downstream PE."""
+        return cls(cls.BROADCAST)
+
+    @classmethod
+    def round_robin(cls) -> "Grouping":
+        """Cycle through downstream PEs (the paper's load balancing)."""
+        return cls(cls.ROUND_ROBIN)
+
+    @classmethod
+    def direct(cls, target_fn: Callable) -> "Grouping":
+        """Explicit target: ``target_fn(payload) -> PE index``."""
+        return cls(cls.DIRECT, target_fn)
+
+    @classmethod
+    def shuffle(cls) -> "Grouping":
+        """Alias of round-robin (deterministic shuffle)."""
+        return cls(cls.ROUND_ROBIN)
+
+    # ------------------------------------------------------------------
+    def targets(self, payload, num_pes: int) -> List[int]:
+        """Downstream PE indices that must receive ``payload``."""
+        if num_pes <= 0:
+            return []
+        if self.kind == self.BROADCAST:
+            return list(range(num_pes))
+        if self.kind == self.ROUND_ROBIN:
+            target = self._rr_counter % num_pes
+            self._rr_counter += 1
+            return [target]
+        if self.kind == self.HASH:
+            assert self.key_fn is not None
+            return [_stable_hash(self.key_fn(payload)) % num_pes]
+        if self.kind == self.DIRECT:
+            assert self.key_fn is not None
+            return [int(self.key_fn(payload)) % num_pes]
+        raise ValueError(f"unknown grouping kind {self.kind!r}")

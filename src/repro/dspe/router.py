@@ -1,0 +1,48 @@
+"""The router component of the stream join model.
+
+Every new tuple first passes through the router (Figure 1), which assigns
+a monotonically increasing identifier based on arrival order — the time
+unit that disambiguates tuples with equal event timestamps (Section 3.2)
+— and forwards the tuple downstream.  Field splitting for the predicate
+PEs happens at the consumers, which each read their own field of the
+shared tuple; this mirrors the paper's router partitioning
+``{id, R.POWER} -> PE_1`` and ``{id, R.COOL} -> PE_2`` without copying
+payloads.
+"""
+
+from __future__ import annotations
+
+from ..core.tuples import StreamTuple
+from .topology import Operator
+
+__all__ = ["RouterOperator", "RawTuple"]
+
+
+class RawTuple:
+    """Source payload before the router stamps an identifier."""
+
+    __slots__ = ("stream", "values", "event_time")
+
+    def __init__(self, stream: str, values, event_time: float = 0.0) -> None:
+        self.stream = stream
+        self.values = values
+        self.event_time = event_time
+
+
+class RouterOperator(Operator):
+    """Stamps router ids and emits :class:`StreamTuple` objects.
+
+    Parallelism must be 1 so identifiers stay globally monotone (as in the
+    paper, where a single router vertex orders arrivals).
+    """
+
+    def __init__(self, start_tid: int = 0) -> None:
+        self._next_tid = start_tid
+
+    def process(self, payload, ctx) -> None:
+        raw: RawTuple = payload
+        tuple_ = StreamTuple(
+            self._next_tid, raw.stream, raw.values, raw.event_time
+        )
+        self._next_tid += 1
+        ctx.emit(tuple_)

@@ -1,0 +1,118 @@
+"""Sliding-window state management across PO-Join PEs (Section 4.2).
+
+When a large slide interval is divided into sub-intervals spread over all
+PO-Join PEs, every PE must know how far the global window has advanced in
+order to expire its oldest linked batch at the right moment.  The paper
+proposes two strategies and measures their divergence (Figure 19):
+
+* **Strategy A — round-robin count propagation** (Figure 6-left): when a
+  merge batch lands on one PE, that batch's tuple count is sent to all
+  other PEs, whose local window state therefore only advances once per
+  merge interval.
+* **Strategy B — distributed cache** (Figure 6-right): the first PE
+  updates the cache for *every* evaluated tuple; the other PEs sync their
+  local state from the cache at a fixed interval, so their staleness is
+  bounded by the sync interval rather than the merge interval.
+
+A stale local state lets a new tuple join against sub-intervals that the
+true window has already expired — a *false positive*.  The managers below
+track, per PE, the locally believed window frontier (total tuples known to
+have entered the window), from which the Figure 19 bench derives the tuple
+difference between the first PE and the others and the resulting
+false-positive counts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cache import CacheClient, DistributedCache
+
+__all__ = ["StateManager", "RoundRobinStateManager", "CachedStateManager"]
+
+_STATE_KEY = "window_state"
+
+
+class StateManager:
+    """Base: tracks each PE's belief of the global tuple count."""
+
+    def __init__(self, num_pes: int) -> None:
+        if num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+        self.num_pes = num_pes
+        self.true_count = 0
+
+    # -- events ---------------------------------------------------------
+    def on_tuple(self, sim_time: float) -> None:
+        """A new tuple was evaluated (the leader PE observes it)."""
+        self.true_count += 1
+
+    def on_merge_batch(self, pe_index: int, batch_size: int, sim_time: float) -> None:
+        """A merged batch of ``batch_size`` tuples landed on ``pe_index``."""
+
+    # -- queries --------------------------------------------------------
+    def local_count(self, pe_index: int, sim_time: float) -> int:
+        """The window frontier PE ``pe_index`` currently believes in."""
+        raise NotImplementedError
+
+    def divergence(self, sim_time: float) -> List[int]:
+        """Per-PE lag behind the first PE's state (Figure 19's metric)."""
+        leader = self.local_count(0, sim_time)
+        return [
+            leader - self.local_count(i, sim_time) for i in range(1, self.num_pes)
+        ]
+
+    def max_divergence(self, sim_time: float) -> int:
+        lags = self.divergence(sim_time)
+        return max(lags) if lags else 0
+
+
+class RoundRobinStateManager(StateManager):
+    """Strategy A: counts propagate only when merge batches are assigned."""
+
+    def __init__(self, num_pes: int) -> None:
+        super().__init__(num_pes)
+        self._local = [0] * num_pes
+
+    def on_tuple(self, sim_time: float) -> None:
+        super().on_tuple(sim_time)
+        # The PE currently receiving tuples tracks them directly.
+        self._local[0] = self.true_count
+
+    def on_merge_batch(self, pe_index: int, batch_size: int, sim_time: float) -> None:
+        # The batch count is broadcast; every other PE advances its local
+        # window state by the merged size only now.
+        for i in range(self.num_pes):
+            if i != 0:
+                self._local[i] += batch_size
+
+    def local_count(self, pe_index: int, sim_time: float) -> int:
+        return self._local[pe_index]
+
+
+class CachedStateManager(StateManager):
+    """Strategy B: leader writes per tuple, followers sync at an interval."""
+
+    def __init__(
+        self,
+        num_pes: int,
+        sync_interval: float,
+        cache: DistributedCache = None,
+    ) -> None:
+        super().__init__(num_pes)
+        self.cache = cache if cache is not None else DistributedCache()
+        # Follower PEs each hold an independently phased cache client.
+        self._clients = [
+            CacheClient(self.cache, sync_interval) for __ in range(num_pes - 1)
+        ]
+
+    def on_tuple(self, sim_time: float) -> None:
+        super().on_tuple(sim_time)
+        # w_state = merged count + local tuple counter, pushed per tuple.
+        self.cache.put(_STATE_KEY, self.true_count, sim_time)
+
+    def local_count(self, pe_index: int, sim_time: float) -> int:
+        if pe_index == 0:
+            return self.true_count
+        value = self._clients[pe_index - 1].read(_STATE_KEY, sim_time)
+        return int(value) if value is not None else 0

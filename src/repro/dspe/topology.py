@@ -1,0 +1,132 @@
+"""Topology model: spouts, bolts, processing elements, and wiring.
+
+A streaming application is a DAG (Section 2.2): *spouts* emit source
+tuples, *bolts* host operators replicated over ``parallelism`` processing
+elements, and edges carry a :class:`~repro.dspe.partitioning.Grouping`.
+The naming follows Apache Storm, which the paper uses as its benchmark
+engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .partitioning import Grouping
+
+__all__ = ["Operator", "Spout", "Bolt", "Topology"]
+
+
+class Operator:
+    """Base class for the per-PE logic hosted by a bolt.
+
+    Subclasses implement :meth:`process`; the engine calls it once per
+    delivered message, measures its wall-clock cost, and charges that as
+    the PE's service time (unless the operator overrides the charge via
+    ``ctx.charge``).
+    """
+
+    def setup(self, ctx) -> None:
+        """Called once before the first message (PE index available)."""
+
+    def process(self, payload, ctx) -> None:
+        """Handle one message; emit downstream via ``ctx.emit``."""
+        raise NotImplementedError
+
+    def teardown(self, ctx) -> None:
+        """Called once when the run drains."""
+
+
+class Spout:
+    """A source that yields ``(event_time, payload)`` pairs in time order."""
+
+    def __init__(self, name: str, source: Iterable[Tuple[float, object]]) -> None:
+        self.name = name
+        self.source = source
+
+
+class _Edge:
+    __slots__ = ("source", "grouping", "stream")
+
+    def __init__(self, source: str, grouping: Grouping, stream: str) -> None:
+        self.source = source
+        self.grouping = grouping
+        self.stream = stream
+
+
+class Bolt:
+    """A processing vertex with ``parallelism`` PEs."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], Operator],
+        parallelism: int,
+        inputs: List[_Edge],
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.name = name
+        self.factory = factory
+        self.parallelism = parallelism
+        self.inputs = inputs
+
+
+class Topology:
+    """Builder for the streaming DAG submitted to the engine."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.spouts: Dict[str, Spout] = {}
+        self.bolts: Dict[str, Bolt] = {}
+
+    def add_spout(
+        self, name: str, source: Iterable[Tuple[float, object]]
+    ) -> "Topology":
+        if name in self.spouts or name in self.bolts:
+            raise ValueError(f"duplicate component name {name!r}")
+        self.spouts[name] = Spout(name, source)
+        return self
+
+    def add_bolt(
+        self,
+        name: str,
+        factory: Callable[[], Operator],
+        parallelism: int = 1,
+        inputs: Optional[List[Tuple[str, Grouping]]] = None,
+        input_streams: Optional[List[Tuple[str, Grouping, str]]] = None,
+    ) -> "Topology":
+        """Add a bolt.
+
+        ``inputs`` wires the default stream of each upstream component;
+        ``input_streams`` additionally names a non-default stream (used
+        e.g. to route merge batches separately from data tuples).
+        """
+        if name in self.spouts or name in self.bolts:
+            raise ValueError(f"duplicate component name {name!r}")
+        edges: List[_Edge] = []
+        for source, grouping in inputs or []:
+            edges.append(_Edge(source, grouping, "default"))
+        for source, grouping, stream in input_streams or []:
+            edges.append(_Edge(source, grouping, stream))
+        self.bolts[name] = Bolt(name, factory, parallelism, edges)
+        return self
+
+    # ------------------------------------------------------------------
+    def consumers_of(self, source: str, stream: str) -> Iterator[Tuple[Bolt, Grouping]]:
+        """Bolts subscribed to ``(source, stream)`` with their groupings."""
+        for bolt in self.bolts.values():
+            for edge in bolt.inputs:
+                if edge.source == source and edge.stream == stream:
+                    yield bolt, edge.grouping
+
+    def validate(self) -> None:
+        names = set(self.spouts) | set(self.bolts)
+        for bolt in self.bolts.values():
+            for edge in bolt.inputs:
+                if edge.source not in names:
+                    raise ValueError(
+                        f"bolt {bolt.name!r} consumes unknown component "
+                        f"{edge.source!r}"
+                    )
+        if not self.spouts:
+            raise ValueError("topology needs at least one spout")

@@ -1,0 +1,16 @@
+"""Indexing substrates used by SPO-Join and its baselines.
+
+* :class:`BPlusTree` — mutable, insert-efficient, linked leaves.
+* :class:`CSSTree` — cache-sensitive search tree, immutable baseline.
+* :class:`ChainIndex` — BiStream-style linked sub-indexes.
+* :class:`PIMTree` — two-tier CSS + linked B+-trees (prior art).
+* :class:`SortedRun` — contiguous sorted arrays backing PO-Join.
+"""
+
+from .bptree import BPlusTree
+from .chain_index import ChainIndex
+from .csstree import CSSTree
+from .pimtree import PIMTree
+from .sorted_run import SortedRun
+
+__all__ = ["BPlusTree", "CSSTree", "ChainIndex", "PIMTree", "SortedRun"]

@@ -1,0 +1,409 @@
+"""B+-tree with doubly linked leaves.
+
+The mutable component of SPO-Join indexes each predicate field in a
+B+-tree: a self-balancing tree whose data lives in the leaf nodes while the
+internal nodes act purely as a search index (Section 2.1 of the paper).
+Two properties matter to SPO-Join beyond plain search:
+
+* **Linked leaves** — leaf nodes carry explicit predecessor/successor
+  pointers, so the merge step can scan the window's tuples in sorted order
+  at sequential cost when computing the permutation and offset arrays
+  (Section 3.3).
+* **Duplicate keys** — stream fields repeat, so entries are the composite
+  ``(value, tid)``, which keeps the ordering total and deletions exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+Entry = Tuple[float, int]  # (field value, tuple id)
+
+_MIN_SENTINEL = -1
+_MAX_SENTINEL = 1 << 62
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries", "children", "next", "prev")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        # Leaves store data entries; internal nodes store separator entries.
+        self.entries: List[Entry] = []
+        self.children: List["_Node"] = []
+        self.next: Optional["_Node"] = None
+        self.prev: Optional["_Node"] = None
+
+
+def _first_entry(node: "_Node") -> Entry:
+    """Smallest entry under ``node`` (separator for bulk-built parents)."""
+    while not node.is_leaf:
+        node = node.children[0]
+    return node.entries[0]
+
+
+def _balanced_chunks(items: List, cap: int, min_fill: int) -> List[List]:
+    """Split ``items`` into chunks of ``cap``, rebalancing the tail.
+
+    When the last chunk would fall below ``min_fill``, the final two
+    chunks are split evenly; with ``cap >= 2 * min_fill`` both halves then
+    satisfy the minimum.
+    """
+    groups = [items[i : i + cap] for i in range(0, len(items), cap)]
+    if len(groups) > 1 and len(groups[-1]) < min_fill:
+        tail = groups[-2] + groups[-1]
+        half = len(tail) // 2
+        groups[-2], groups[-1] = tail[:half], tail[half:]
+    return groups
+
+
+class BPlusTree:
+    """A B+-tree over ``(value, tid)`` entries.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of entries in a leaf and of children in an internal
+        node.  Nodes split when they exceed it and merge/borrow when they
+        fall below ``order // 2`` (the root excepted).
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._first_leaf = self._root
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone leaf root)."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, sorted_entries, order: int = 64) -> "BPlusTree":
+        """Build a tree from entries already in ``(value, tid)`` order.
+
+        O(n): leaves are packed left to right and internal levels are
+        built bottom-up, with the last two nodes of every level balanced
+        so no node falls below the minimum fill.  Used when window
+        contents are materialized from an existing sorted run rather
+        than arriving one tuple at a time.
+        """
+        tree = cls(order)
+        entries = list(sorted_entries)
+        if not entries:
+            return tree
+        if entries != sorted(entries):
+            raise ValueError("bulk_load requires sorted entries")
+
+        leaves: List[_Node] = []
+        for group in _balanced_chunks(entries, order, order // 2):
+            leaf = _Node(is_leaf=True)
+            leaf.entries = group
+            if leaves:
+                leaves[-1].next = leaf
+                leaf.prev = leaves[-1]
+            leaves.append(leaf)
+
+        level: List[_Node] = leaves
+        while len(level) > 1:
+            parents: List[_Node] = []
+            for group in _balanced_chunks(level, order, order // 2):
+                parent = _Node(is_leaf=False)
+                parent.children = group
+                parent.entries = [_first_entry(child) for child in group[1:]]
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        tree._first_leaf = leaves[0]
+        tree._size = len(entries)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, value: float, tid: int) -> None:
+        """Insert ``(value, tid)``; cost O(log n)."""
+        entry = (value, tid)
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.entries, entry)
+            path.append((node, idx))
+            node = node.children[idx]
+        insort(node.entries, entry)
+        self._size += 1
+        if len(node.entries) > self.order:
+            self._split(node, path)
+
+    def _split(self, node: _Node, path: List[Tuple[_Node, int]]) -> None:
+        mid = len(node.entries) // 2
+        right = _Node(node.is_leaf)
+        if node.is_leaf:
+            right.entries = node.entries[mid:]
+            node.entries = node.entries[:mid]
+            separator = right.entries[0]
+            right.next = node.next
+            right.prev = node
+            if node.next is not None:
+                node.next.prev = right
+            node.next = right
+        else:
+            # Promote the middle separator; it does not stay in either half.
+            separator = node.entries[mid]
+            right.entries = node.entries[mid + 1:]
+            right.children = node.children[mid + 1:]
+            node.entries = node.entries[:mid]
+            node.children = node.children[: mid + 1]
+
+        if path:
+            parent, idx = path.pop()
+            parent.entries.insert(idx, separator)
+            parent.children.insert(idx + 1, right)
+            if len(parent.children) > self.order:
+                self._split(parent, path)
+        else:
+            new_root = _Node(is_leaf=False)
+            new_root.entries = [separator]
+            new_root.children = [node, right]
+            self._root = new_root
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, value: float, tid: int) -> bool:
+        """Remove ``(value, tid)``; returns False when absent."""
+        entry = (value, tid)
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.entries, entry)
+            path.append((node, idx))
+            node = node.children[idx]
+        idx = bisect_left(node.entries, entry)
+        if idx >= len(node.entries) or node.entries[idx] != entry:
+            return False
+        node.entries.pop(idx)
+        self._size -= 1
+        self._rebalance(node, path)
+        return True
+
+    def _min_entries(self, node: _Node) -> int:
+        if node is self._root:
+            return 1 if not node.is_leaf else 0
+        return self.order // 2
+
+    def _rebalance(self, node: _Node, path: List[Tuple[_Node, int]]) -> None:
+        while True:
+            fill = len(node.children) if not node.is_leaf else len(node.entries)
+            if node is self._root:
+                if not node.is_leaf and len(node.children) == 1:
+                    self._root = node.children[0]
+                return
+            min_fill = self.order // 2
+            if fill >= min_fill:
+                return
+            parent, idx = path.pop()
+            left_sib = parent.children[idx - 1] if idx > 0 else None
+            right_sib = (
+                parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+            )
+            if left_sib is not None and self._can_lend(left_sib):
+                self._borrow_from_left(parent, idx, node, left_sib)
+                return
+            if right_sib is not None and self._can_lend(right_sib):
+                self._borrow_from_right(parent, idx, node, right_sib)
+                return
+            if left_sib is not None:
+                self._merge_nodes(parent, idx - 1, left_sib, node)
+            else:
+                assert right_sib is not None
+                self._merge_nodes(parent, idx, node, right_sib)
+            node = parent
+
+    def _can_lend(self, node: _Node) -> bool:
+        fill = len(node.children) if not node.is_leaf else len(node.entries)
+        return fill > self.order // 2
+
+    def _borrow_from_left(
+        self, parent: _Node, idx: int, node: _Node, left: _Node
+    ) -> None:
+        if node.is_leaf:
+            moved = left.entries.pop()
+            node.entries.insert(0, moved)
+            parent.entries[idx - 1] = node.entries[0]
+        else:
+            # Rotate through the parent separator.
+            node.entries.insert(0, parent.entries[idx - 1])
+            parent.entries[idx - 1] = left.entries.pop()
+            node.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Node, idx: int, node: _Node, right: _Node
+    ) -> None:
+        if node.is_leaf:
+            moved = right.entries.pop(0)
+            node.entries.append(moved)
+            parent.entries[idx] = right.entries[0]
+        else:
+            node.entries.append(parent.entries[idx])
+            parent.entries[idx] = right.entries.pop(0)
+            node.children.append(right.children.pop(0))
+
+    def _merge_nodes(
+        self, parent: _Node, sep_idx: int, left: _Node, right: _Node
+    ) -> None:
+        """Fold ``right`` into ``left``; ``sep_idx`` separates them."""
+        if left.is_leaf:
+            left.entries.extend(right.entries)
+            left.next = right.next
+            if right.next is not None:
+                right.next.prev = left
+        else:
+            left.entries.append(parent.entries[sep_idx])
+            left.entries.extend(right.entries)
+            left.children.extend(right.children)
+        parent.entries.pop(sep_idx)
+        parent.children.pop(sep_idx + 1)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _find_leaf(self, entry: Entry) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.entries, entry)
+            node = node.children[idx]
+        return node
+
+    def search(self, value: float) -> List[int]:
+        """Tuple ids whose field equals ``value`` exactly."""
+        return [tid for __, tid in self.range_search(value, value, True, True)]
+
+    def range_search(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> Iterator[Entry]:
+        """Yield ``(value, tid)`` entries with values in the given range.
+
+        ``None`` bounds are open-ended.  Cost is O(log n + m) — a descent to
+        the boundary leaf followed by a linked-leaf scan, which is the range
+        search the mutable probe performs (Section 3.2).
+        """
+        if lo is None:
+            node: Optional[_Node] = self._leftmost_leaf()
+            idx = 0
+        else:
+            probe = (lo, _MIN_SENTINEL if lo_inclusive else _MAX_SENTINEL)
+            node = self._find_leaf(probe)
+            idx = bisect_left(node.entries, probe)
+        while node is not None:
+            entries = node.entries
+            while idx < len(entries):
+                value, tid = entries[idx]
+                if hi is not None:
+                    if value > hi or (value == hi and not hi_inclusive):
+                        return
+                yield value, tid
+                idx += 1
+            node = node.next
+            idx = 0
+
+    def items(self) -> Iterator[Entry]:
+        """All entries in ascending ``(value, tid)`` order via leaf links."""
+        node: Optional[_Node] = self._leftmost_leaf()
+        while node is not None:
+            yield from node.entries
+            node = node.next
+
+    def items_reversed(self) -> Iterator[Entry]:
+        """All entries in descending order via predecessor links."""
+        node: Optional[_Node] = self._rightmost_leaf()
+        while node is not None:
+            yield from reversed(node.entries)
+            node = node.prev
+
+    def min(self) -> Optional[Entry]:
+        leaf = self._leftmost_leaf()
+        return leaf.entries[0] if leaf.entries else None
+
+    def max(self) -> Optional[Entry]:
+        leaf = self._rightmost_leaf()
+        return leaf.entries[-1] if leaf.entries else None
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def _rightmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Approximate footprint: entries plus child pointers, 64-bit words.
+
+        Used by the Figure 13 memory benches; a coarse model (two words per
+        entry, one per child pointer) that matches the paper's accounting of
+        index structures rather than exact CPython overhead.
+        """
+        bits = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            bits += 2 * 64 * len(node.entries)
+            bits += 64 * len(node.children)
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return bits
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; used by the property tests."""
+        entries = list(self.items())
+        assert entries == sorted(entries), "leaf chain out of order"
+        assert len(entries) == self._size, "size counter out of sync"
+        self._check_node(self._root, depth=0, depths=[])
+
+    def _check_node(self, node: _Node, depth: int, depths: List[int]) -> None:
+        if node.is_leaf:
+            depths.append(depth)
+            if depths:
+                assert depths[0] == depth, "leaves at different depths"
+            if node is not self._root:
+                assert len(node.entries) >= self.order // 2, "leaf underflow"
+            assert len(node.entries) <= self.order, "leaf overflow"
+            return
+        assert len(node.children) == len(node.entries) + 1
+        if node is not self._root:
+            assert len(node.children) >= self.order // 2, "internal underflow"
+        assert len(node.children) <= self.order + 1, "internal overflow"
+        for child in node.children:
+            self._check_node(child, depth + 1, depths)

@@ -1,0 +1,116 @@
+"""Chain index [BiStream, Lin et al. SIGMOD 2015].
+
+The chain index holds a sliding window as several linked B+-tree
+sub-indexes.  Only the *active* sub-index accepts insertions; once it has
+absorbed one slide interval's worth of tuples it is archived and a fresh
+active sub-index is opened.  Probing must search every sub-index in the
+chain, which is what drives its latency up against SPO-Join in
+Figures 11a/11c.  Expiry is coarse grained: the oldest archived sub-index
+is dropped whole.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .bptree import BPlusTree
+
+__all__ = ["ChainIndex"]
+
+Entry = Tuple[float, int]
+
+
+class ChainIndex:
+    """Linked B+-tree sub-indexes with an active head.
+
+    Parameters
+    ----------
+    sub_index_capacity:
+        Tuples per sub-index; in BiStream this is the slide interval.
+    max_sub_indexes:
+        Sub-indexes retained (window length / slide interval); the oldest
+        archive is expired when the chain grows past it.
+    order:
+        B+-tree order for each sub-index.
+    """
+
+    def __init__(
+        self,
+        sub_index_capacity: int,
+        max_sub_indexes: Optional[int] = None,
+        order: int = 64,
+    ) -> None:
+        if sub_index_capacity < 1:
+            raise ValueError("sub_index_capacity must be >= 1")
+        if max_sub_indexes is not None and max_sub_indexes < 1:
+            raise ValueError("max_sub_indexes must be >= 1")
+        self.sub_index_capacity = sub_index_capacity
+        self.max_sub_indexes = max_sub_indexes
+        self.order = order
+        self._chain: List[BPlusTree] = [BPlusTree(order)]
+        self.expired_sub_indexes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> BPlusTree:
+        """The sub-index currently accepting insertions."""
+        return self._chain[-1]
+
+    @property
+    def num_sub_indexes(self) -> int:
+        return len(self._chain)
+
+    def __len__(self) -> int:
+        return sum(len(sub) for sub in self._chain)
+
+    # ------------------------------------------------------------------
+    def insert(self, value: float, tid: int) -> None:
+        """Insert into the active sub-index, rolling/expiring as needed."""
+        if len(self.active) >= self.sub_index_capacity:
+            self.roll_active()
+        self.active.insert(value, tid)
+
+    def roll_active(self) -> None:
+        """Archive the active sub-index and open a fresh one.
+
+        Called implicitly when the active sub-index fills; callers that
+        expire eagerly at slide boundaries may also call it directly.
+        """
+        self._chain.append(BPlusTree(self.order))
+        if (
+            self.max_sub_indexes is not None
+            and len(self._chain) > self.max_sub_indexes
+        ):
+            self.expire_oldest()
+
+    def expire_oldest(self) -> int:
+        """Drop the oldest archived sub-index; returns tuples removed."""
+        if len(self._chain) <= 1:
+            return 0
+        removed = self._chain.pop(0)
+        self.expired_sub_indexes += 1
+        return len(removed)
+
+    # ------------------------------------------------------------------
+    def range_search(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> Iterator[Entry]:
+        """Search *every* sub-index in the chain (the chain-index tax)."""
+        for sub in self._chain:
+            yield from sub.range_search(lo, hi, lo_inclusive, hi_inclusive)
+
+    def search(self, value: float) -> List[int]:
+        return [tid for __, tid in self.range_search(value, value, True, True)]
+
+    def items(self) -> Iterator[Entry]:
+        """All entries, per sub-index in sorted order (not globally sorted)."""
+        for sub in self._chain:
+            yield from sub.items()
+
+    # ------------------------------------------------------------------
+    def memory_bits(self) -> int:
+        return sum(sub.memory_bits() for sub in self._chain)

@@ -1,0 +1,205 @@
+"""Cache-sensitive search tree (CSS-tree) [Rao & Ross, SIGMOD 2000].
+
+A CSS-tree stores a directory of separator keys in contiguous arrays with
+*implicit* child addressing (child index is computed arithmetically rather
+than followed through a pointer), over data packed into fixed-size leaf
+blocks that are linked together.  Searches are cheap; insertions force
+directory reconstruction because the implicit addresses shift — the
+drawback the paper calls out in Section 1 and the reason the CSS-based
+immutable baseline loses to PO-Join (block-hopping scans vs contiguous
+arrays, Section 5.4).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["CSSTree"]
+
+Entry = Tuple[float, int]
+
+
+class CSSTree:
+    """A CSS-tree over sorted ``(value, tid)`` entries.
+
+    Parameters
+    ----------
+    entries:
+        Entries in ascending ``(value, tid)`` order.
+    block_size:
+        Data entries per leaf block.
+    fanout:
+        Keys grouped per directory node at each level.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[Entry] = (),
+        block_size: int = 32,
+        fanout: int = 16,
+    ) -> None:
+        if block_size < 2:
+            raise ValueError("block_size must be >= 2")
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.block_size = block_size
+        self.fanout = fanout
+        self.blocks: List[List[Entry]] = []
+        # Directory levels, bottom-up: _levels[0][i] is the smallest entry
+        # of block i; _levels[k+1] samples every `fanout`-th key of
+        # _levels[k].  Child addressing within a level is arithmetic:
+        # key j at level k+1 covers keys j*fanout .. (j+1)*fanout-1 below.
+        self._levels: List[List[Entry]] = []
+        self._size = 0
+        self.rebuild_count = 0
+        self._load(list(entries))
+
+    # ------------------------------------------------------------------
+    # Construction / reconstruction
+    # ------------------------------------------------------------------
+    def _load(self, entries: List[Entry]) -> None:
+        self.blocks = [
+            entries[i : i + self.block_size]
+            for i in range(0, len(entries), self.block_size)
+        ]
+        self._size = len(entries)
+        self._rebuild_directory()
+
+    def _rebuild_directory(self) -> None:
+        """Recompute every directory level (the reconstruction cost)."""
+        self.rebuild_count += 1
+        self._levels = []
+        if not self.blocks:
+            return
+        level = [block[0] for block in self.blocks]
+        self._levels.append(level)
+        while len(level) > self.fanout:
+            level = [level[i] for i in range(0, len(level), self.fanout)]
+            self._levels.append(level)
+
+    @classmethod
+    def from_sorted_entries(
+        cls, entries: Iterable[Entry], block_size: int = 32, fanout: int = 16
+    ) -> "CSSTree":
+        return cls(entries, block_size=block_size, fanout=fanout)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def height(self) -> int:
+        return len(self._levels)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _locate_block(self, probe: Entry) -> int:
+        """Descend the implicit directory to the block that may hold probe."""
+        if not self.blocks:
+            return 0
+        # Top level is a single node (<= fanout keys); at each level the
+        # chosen key index selects the node segment one level down.
+        index = 0
+        for level in reversed(self._levels):
+            lo = index * self.fanout
+            hi = min(lo + self.fanout, len(level))
+            segment = level[lo:hi]
+            # Last separator <= probe within this node, relative addressing.
+            pos = bisect_right(segment, probe) - 1
+            if pos < 0:
+                pos = 0
+            index = lo + pos
+        return index
+
+    def search(self, value: float) -> List[int]:
+        """Tuple ids whose value equals ``value`` exactly."""
+        return [tid for __, tid in self.range_search(value, value, True, True)]
+
+    def range_search(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> Iterator[Entry]:
+        """Yield entries in range by hopping linked blocks.
+
+        Each block boundary crossing models the pointer hop the paper
+        charges CSS-trees for relative to PO-Join's contiguous arrays.
+        """
+        if not self.blocks:
+            return
+        if lo is None:
+            block_idx, idx = 0, 0
+        else:
+            probe = (lo, -1) if lo_inclusive else (lo, 1 << 62)
+            block_idx = self._locate_block(probe)
+            idx = bisect_left(self.blocks[block_idx], probe)
+        while block_idx < len(self.blocks):
+            block = self.blocks[block_idx]
+            while idx < len(block):
+                value, tid = block[idx]
+                if hi is not None:
+                    if value > hi or (value == hi and not hi_inclusive):
+                        return
+                yield value, tid
+                idx += 1
+            block_idx += 1
+            idx = 0
+
+    def items(self) -> Iterator[Entry]:
+        """All entries in ascending order."""
+        for block in self.blocks:
+            yield from block
+
+    # ------------------------------------------------------------------
+    # Insertion (forces reconstruction)
+    # ------------------------------------------------------------------
+    def insert(self, value: float, tid: int) -> None:
+        """Insert an entry, rebuilding the directory.
+
+        Kept for the Section 1 cost comparison: because child addresses are
+        implicit, a block split shifts every subsequent block index and the
+        whole directory must be recomputed.
+        """
+        entry = (value, tid)
+        if not self.blocks:
+            self.blocks = [[entry]]
+            self._size = 1
+            self._rebuild_directory()
+            return
+        block_idx = self._locate_block(entry)
+        block = self.blocks[block_idx]
+        insort(block, entry)
+        self._size += 1
+        if len(block) > self.block_size:
+            mid = len(block) // 2
+            self.blocks[block_idx : block_idx + 1] = [block[:mid], block[mid:]]
+        self._rebuild_directory()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Entries at two words each plus one word per directory key."""
+        directory = sum(len(level) for level in self._levels)
+        return 2 * 64 * self._size + 64 * directory
+
+    def check_invariants(self) -> None:
+        """Validate ordering and block fill; used by property tests."""
+        entries = list(self.items())
+        assert entries == sorted(entries), "blocks out of order"
+        assert len(entries) == self._size, "size counter out of sync"
+        for block in self.blocks:
+            assert block, "empty block"
+            assert len(block) <= self.block_size, "block overflow"
+        if self._levels:
+            assert self._levels[0] == [b[0] for b in self.blocks]

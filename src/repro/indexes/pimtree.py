@@ -1,0 +1,159 @@
+"""PIM-tree [Shahvarani & Jacobsen, SIGMOD 2020].
+
+The PIM-tree splits a sliding window into a search-efficient *immutable*
+CSS-tree and a set of *mutable* B+-trees hanging off the CSS-tree's nodes
+at a fixed depth ``d``.  A new tuple first descends the CSS-tree to depth
+``d`` and is then inserted into the linked B+-tree reached there; probing
+must consult both designs.  Periodic merges fold the mutable trees back
+into a rebuilt CSS-tree.
+
+It is the closest prior two-tier design to SPO-Join and the comparator in
+the insertion-cost (Figure 12) and memory (Figure 13) experiments.  Its
+weakness relative to SPO-Join is that *every* insertion pays a partial
+immutable-structure descent, and the immutable side keeps tree-shaped
+indexes rather than plain sorted arrays.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from .bptree import BPlusTree
+from .csstree import CSSTree
+
+__all__ = ["PIMTree"]
+
+Entry = Tuple[float, int]
+
+
+class PIMTree:
+    """Two-tier CSS + linked B+-tree index.
+
+    Parameters
+    ----------
+    depth:
+        CSS descent depth ``d``: the immutable key space is partitioned
+        into ``fanout ** d`` regions, each owning one mutable B+-tree.
+    fanout / block_size:
+        CSS-tree shape parameters.
+    order:
+        Order of the mutable B+-trees.
+    """
+
+    def __init__(
+        self,
+        depth: int = 2,
+        fanout: int = 8,
+        block_size: int = 32,
+        order: int = 64,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self.fanout = fanout
+        self.block_size = block_size
+        self.order = order
+        self.immutable = CSSTree(block_size=block_size, fanout=fanout)
+        # Region boundaries (values) partitioning the key space at depth d,
+        # and the mutable B+-tree linked under each region.
+        self._boundaries: List[float] = []
+        self._mutable: List[BPlusTree] = [BPlusTree(order)]
+        self.merge_count = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.immutable) + self.mutable_size
+
+    @property
+    def mutable_size(self) -> int:
+        return sum(len(tree) for tree in self._mutable)
+
+    @property
+    def num_regions(self) -> int:
+        return len(self._mutable)
+
+    # ------------------------------------------------------------------
+    def _region_of(self, value: float) -> int:
+        """Descend to depth ``d``: pick the mutable tree for ``value``.
+
+        The boundary array is the flattened frontier of CSS nodes at depth
+        ``d``; the arithmetic lookup models the partial CSS descent every
+        insertion pays.
+        """
+        return bisect_right(self._boundaries, value)
+
+    def insert(self, value: float, tid: int) -> None:
+        """Descend the CSS-tree to depth d, insert into the linked B+-tree."""
+        self._mutable[self._region_of(value)].insert(value, tid)
+
+    # ------------------------------------------------------------------
+    def merge(self) -> None:
+        """Fold every mutable tree into a rebuilt immutable CSS-tree."""
+        merged: List[Entry] = list(self.immutable.items())
+        for tree in self._mutable:
+            merged.extend(tree.items())
+        merged.sort()
+        self.immutable = CSSTree(
+            merged, block_size=self.block_size, fanout=self.fanout
+        )
+        self._rebuild_regions()
+        self.merge_count += 1
+
+    def _rebuild_regions(self) -> None:
+        """Recompute the depth-d frontier and reset the mutable trees."""
+        num_regions = min(
+            max(1, self.fanout**self.depth), max(1, self.immutable.num_blocks)
+        )
+        n = len(self.immutable)
+        if n == 0 or num_regions == 1:
+            self._boundaries = []
+            self._mutable = [BPlusTree(self.order)]
+            return
+        entries = list(self.immutable.items())
+        step = max(1, n // num_regions)
+        self._boundaries = [
+            entries[i][0] for i in range(step, n, step)
+        ][: num_regions - 1]
+        self._mutable = [BPlusTree(self.order) for __ in range(len(self._boundaries) + 1)]
+
+    # ------------------------------------------------------------------
+    def range_search(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> Iterator[Entry]:
+        """Probe both the immutable CSS-tree and the mutable trees."""
+        yield from self.immutable.range_search(lo, hi, lo_inclusive, hi_inclusive)
+        for tree in self._relevant_trees(lo, hi):
+            yield from tree.range_search(lo, hi, lo_inclusive, hi_inclusive)
+
+    def _relevant_trees(
+        self, lo: Optional[float], hi: Optional[float]
+    ) -> List[BPlusTree]:
+        first = 0 if lo is None else self._region_of(lo)
+        last = len(self._mutable) - 1 if hi is None else self._region_of(hi)
+        return self._mutable[first : last + 1]
+
+    def search(self, value: float) -> List[int]:
+        return [tid for __, tid in self.range_search(value, value, True, True)]
+
+    def items(self) -> Iterator[Entry]:
+        """All entries (immutable first, then per-region mutable)."""
+        yield from self.immutable.items()
+        for tree in self._mutable:
+            yield from tree.items()
+
+    # ------------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """CSS directory + blocks + every linked B+-tree + boundary array.
+
+        PIM keeps index structures on *both* tiers, which is why Figure 13
+        shows it heavier than SPO-Join.
+        """
+        bits = self.immutable.memory_bits()
+        bits += 64 * len(self._boundaries)
+        bits += sum(tree.memory_bits() for tree in self._mutable)
+        return bits

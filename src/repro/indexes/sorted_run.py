@@ -1,0 +1,95 @@
+"""Immutable sorted runs of ``(value, tid)`` entries.
+
+A sorted run is the contiguous-memory representation that makes the
+immutable side of SPO-Join fast: probing is two binary searches plus a scan
+of consecutive memory locations, with none of the pointer chasing a linked
+tree structure incurs (Section 5.4's discussion of PO-Join vs CSS-tree).
+
+Runs are produced by scanning the linked leaves of the mutable B+-trees at
+merge time, so construction is O(n) — the data is already sorted.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["SortedRun"]
+
+Entry = Tuple[float, int]
+
+
+class SortedRun:
+    """Parallel arrays of sorted values and their tuple ids.
+
+    The two arrays are position-aligned: ``tids[i]`` is the tuple whose
+    field value is ``values[i]``.  Entries are ordered by ``(value, tid)``
+    so duplicates have a deterministic order matching the B+-tree's.
+    """
+
+    __slots__ = ("values", "tids")
+
+    def __init__(self, values: Sequence[float], tids: Sequence[int]) -> None:
+        if len(values) != len(tids):
+            raise ValueError("values and tids must be the same length")
+        self.values: List[float] = list(values)
+        self.tids: List[int] = list(tids)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted_entries(cls, entries: Iterable[Entry]) -> "SortedRun":
+        """Build from entries already in ``(value, tid)`` order.
+
+        This is the merge-time path: the entries come straight off a
+        B+-tree leaf scan, so no sort is needed.
+        """
+        values: List[float] = []
+        tids: List[int] = []
+        for value, tid in entries:
+            values.append(value)
+            tids.append(tid)
+        return cls(values, tids)
+
+    @classmethod
+    def from_unsorted_entries(cls, entries: Iterable[Entry]) -> "SortedRun":
+        """Build by sorting arbitrary entries (batch IE-Join / tests)."""
+        return cls.from_sorted_entries(sorted(entries))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return zip(self.values, self.tids)
+
+    def position_left(self, value: float) -> int:
+        """First position with ``values[pos] >= value``."""
+        return bisect_left(self.values, value)
+
+    def position_right(self, value: float) -> int:
+        """First position with ``values[pos] > value``."""
+        return bisect_right(self.values, value)
+
+    def tid_at(self, position: int) -> int:
+        return self.tids[position]
+
+    def value_at(self, position: int) -> float:
+        return self.values[position]
+
+    def positions_of_tids(self) -> dict:
+        """Map tuple id -> position; used by permutation computation."""
+        return {tid: pos for pos, tid in enumerate(self.tids)}
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Two 64-bit words per entry (value + tid)."""
+        return 2 * 64 * len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SortedRun(n={len(self)})"

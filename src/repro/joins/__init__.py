@@ -1,0 +1,55 @@
+"""Distributed and local join operators: SPO-Join plus every baseline."""
+
+from .immutable_variants import CSSImmutableBatch
+from .local import (
+    BPlusTreeJoin,
+    ChainIndexJoin,
+    HashEquiJoin,
+    NestedLoopJoin,
+    PIMTreeJoin,
+    StreamJoinAlgorithm,
+    make_spo_join,
+)
+from .operators import (
+    LogicalOperator,
+    PermutationOperator,
+    POJoinOperator,
+    PredicateOperator,
+    SPOConfig,
+)
+from .spo import SPORouterOperator, build_spo_topology, run_spo
+from .topologies import (
+    ChainJoinerOperator,
+    HashJoinerOperator,
+    NLJJoinerOperator,
+    build_chain_topology,
+    build_hash_join_topology,
+    build_nlj_topology,
+    run_topology,
+)
+
+__all__ = [
+    "CSSImmutableBatch",
+    "StreamJoinAlgorithm",
+    "make_spo_join",
+    "ChainIndexJoin",
+    "PIMTreeJoin",
+    "BPlusTreeJoin",
+    "NestedLoopJoin",
+    "HashEquiJoin",
+    "SPOConfig",
+    "PredicateOperator",
+    "PermutationOperator",
+    "LogicalOperator",
+    "POJoinOperator",
+    "SPORouterOperator",
+    "build_spo_topology",
+    "run_spo",
+    "ChainJoinerOperator",
+    "NLJJoinerOperator",
+    "HashJoinerOperator",
+    "build_chain_topology",
+    "build_nlj_topology",
+    "build_hash_join_topology",
+    "run_topology",
+]

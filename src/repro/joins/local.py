@@ -1,0 +1,482 @@
+"""Single-process stream join algorithms behind one common interface.
+
+These wrap SPO-Join and every baseline the paper evaluates so the
+microbenches (insertion cost, memory, match rate, window split, equi-join)
+can swap algorithms freely:
+
+* :func:`make_spo_join` — SPO-Join and its two-tier ablations (hash-based
+  mutable, CSS-tree immutable in bit/hash flavours);
+* :class:`ChainIndexJoin` — BiStream's chained sub-indexes [18];
+* :class:`PIMTreeJoin` — the PIM-tree two-tier design [25];
+* :class:`BPlusTreeJoin` — one flat B+-tree per field over the whole
+  window with real per-tuple deletions (the classic indexed baseline);
+* :class:`NestedLoopJoin` — split join / broadcast hash join evaluate
+  tuples this way on each PE [19];
+* :class:`HashEquiJoin` — the native hash join of Figures 22/23.
+
+Every algorithm consumes router-stamped :class:`StreamTuple` objects and
+returns ``(probe_tid, matched_tid)`` pairs, with window semantics aligned
+to SPO-Join's coarse-grained slide-interval expiry so results are
+comparable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.query import QuerySpec
+from ..core.spojoin import SPOJoin
+from ..core.tuples import StreamTuple
+from ..core.window import WindowSpec
+from ..indexes.bptree import BPlusTree
+from ..indexes.chain_index import ChainIndex
+from ..indexes.pimtree import PIMTree
+from .immutable_variants import CSSImmutableBatch
+
+__all__ = [
+    "StreamJoinAlgorithm",
+    "make_spo_join",
+    "ChainIndexJoin",
+    "PIMTreeJoin",
+    "BPlusTreeJoin",
+    "NestedLoopJoin",
+    "HashEquiJoin",
+]
+
+Pair = Tuple[int, int]
+
+
+class StreamJoinAlgorithm:
+    """Interface shared by all local join algorithms."""
+
+    name = "abstract"
+
+    def process(self, t: StreamTuple) -> List[Pair]:
+        """Probe, emit result pairs, insert, and maintain the window."""
+        raise NotImplementedError
+
+    def memory_bits(self) -> int:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# SPO-Join and its two-tier ablations
+# ----------------------------------------------------------------------
+def make_spo_join(
+    query: QuerySpec,
+    window: WindowSpec,
+    mutable: str = "bit",
+    immutable: str = "po",
+    sub_intervals: int = 1,
+    use_offsets: bool = True,
+    num_threads: int = 1,
+) -> SPOJoin:
+    """Build SPO-Join or one of its component ablations.
+
+    ``mutable`` selects the partial-result representation (``"bit"`` /
+    ``"hash"``); ``immutable`` selects the frozen structure (``"po"``,
+    ``"po_vec"`` — the numpy-vectorized fast path, ``"css_bit"``,
+    ``"css_hash"``).
+    """
+    from ..core.pojoin_numpy import VectorPOJoinBatch
+
+    factories: Dict[str, Optional[Callable]] = {
+        "po": None,  # SPOJoin's default POJoinBatch
+        "po_vec": lambda q, mb: VectorPOJoinBatch(q, mb),
+        "css_bit": lambda q, mb: CSSImmutableBatch(q, mb, intersect="bit"),
+        "css_hash": lambda q, mb: CSSImmutableBatch(q, mb, intersect="hash"),
+    }
+    if immutable not in factories:
+        raise ValueError(f"unknown immutable variant {immutable!r}")
+    join = SPOJoin(
+        query,
+        window,
+        sub_intervals=sub_intervals,
+        evaluator=mutable,
+        use_offsets=use_offsets,
+        num_threads=num_threads,
+        batch_factory=factories[immutable],
+    )
+    return join
+
+
+# ----------------------------------------------------------------------
+# Shared two-sided window helpers
+# ----------------------------------------------------------------------
+class _TwoSided:
+    """Routing helper for algorithms that keep one store per stream."""
+
+    def __init__(self, query: QuerySpec, left_stream: str = "R") -> None:
+        self.query = query
+        self.left_stream = left_stream
+        self.two_stream = not query.is_self_join
+
+    def probe_is_left(self, t: StreamTuple) -> bool:
+        if not self.two_stream:
+            return True
+        return t.stream == self.left_stream
+
+    def own_key(self, t: StreamTuple) -> str:
+        if not self.two_stream:
+            return "left"
+        return "left" if t.stream == self.left_stream else "right"
+
+    def opposite_key(self, t: StreamTuple) -> str:
+        if not self.two_stream:
+            return "left"
+        return "right" if t.stream == self.left_stream else "left"
+
+    def own_field(self, side: str, pred) -> int:
+        # Stored tuples of a self join play the predicate's right role.
+        if self.query.is_self_join:
+            return pred.right_field
+        return pred.left_field if side == "left" else pred.right_field
+
+
+class ChainIndexJoin(StreamJoinAlgorithm, _TwoSided):
+    """Chain-index stream join: one chain of B+-trees per field per side.
+
+    Every probe searches *all* sub-indexes of the opposite side's chains —
+    the cost the paper charges the chain index in Figures 11a/11c.
+    """
+
+    name = "chain_index"
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        order: int = 64,
+        left_stream: str = "R",
+    ) -> None:
+        _TwoSided.__init__(self, query, left_stream)
+        self.window = window
+        capacity = max(1, int(window.slide))
+        max_subs = max(1, round(window.length / window.slide))
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        self.chains: Dict[str, List[ChainIndex]] = {
+            side: [
+                ChainIndex(capacity, max_subs, order) for __ in query.predicates
+            ]
+            for side in sides
+        }
+        self._since_slide = 0
+
+    def process(self, t: StreamTuple) -> List[Pair]:
+        probe_is_left = self.probe_is_left(t)
+        opposite = self.chains[self.opposite_key(t)]
+        combined: Optional[set] = None
+        for pred, chain in zip(self.query.predicates, opposite):
+            value = t.values[pred.probing_field(probe_is_left)]
+            matched = set()
+            for lo, hi, lo_inc, hi_inc in pred.probe_bounds(value, probe_is_left):
+                for __, tid in chain.range_search(lo, hi, lo_inc, hi_inc):
+                    matched.add(tid)
+            combined = matched if combined is None else combined & matched
+            if not combined:
+                combined = set()
+                break
+        matches = sorted(combined or ())
+        if self.query.is_self_join:
+            matches = [m for m in matches if m != t.tid]
+        own_side = self.own_key(t)
+        for pred, chain in zip(self.query.predicates, self.chains[own_side]):
+            chain.insert(t.values[self.own_field(own_side, pred)], t.tid)
+        # Expire eagerly at the slide boundary (as SPO-Join's merge does)
+        # so window contents stay comparable across algorithms.
+        self._since_slide += 1
+        if self._since_slide >= self.window.slide:
+            self._since_slide = 0
+            for chains in self.chains.values():
+                for chain in chains:
+                    if len(chain.active) > 0:
+                        chain.roll_active()
+        return [(t.tid, m) for m in matches]
+
+    def memory_bits(self) -> int:
+        return sum(
+            chain.memory_bits()
+            for chains in self.chains.values()
+            for chain in chains
+        )
+
+
+class PIMTreeJoin(StreamJoinAlgorithm, _TwoSided):
+    """PIM-tree stream join: per-field two-tier CSS + linked B+-trees.
+
+    Merges fold the mutable trees into the immutable CSS-tree every slide
+    interval; expiry rebuilds the CSS-tree without the expired slide
+    (coarse grained, as in the original).
+    """
+
+    name = "pim_tree"
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        depth: int = 2,
+        fanout: int = 8,
+        left_stream: str = "R",
+    ) -> None:
+        _TwoSided.__init__(self, query, left_stream)
+        self.window = window
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        self.trees: Dict[str, List[PIMTree]] = {
+            side: [PIMTree(depth=depth, fanout=fanout) for __ in query.predicates]
+            for side in sides
+        }
+        # Slide-interval bookkeeping for merge triggers and coarse expiry.
+        self._slides: Dict[str, Deque[List[StreamTuple]]] = {
+            side: deque([[]]) for side in sides
+        }
+        self._since_merge = 0
+
+    def process(self, t: StreamTuple) -> List[Pair]:
+        probe_is_left = self.probe_is_left(t)
+        opposite = self.trees[self.opposite_key(t)]
+        combined: Optional[set] = None
+        for pred, tree in zip(self.query.predicates, opposite):
+            value = t.values[pred.probing_field(probe_is_left)]
+            matched = set()
+            for lo, hi, lo_inc, hi_inc in pred.probe_bounds(value, probe_is_left):
+                for __, tid in tree.range_search(lo, hi, lo_inc, hi_inc):
+                    matched.add(tid)
+            combined = matched if combined is None else combined & matched
+            if not combined:
+                combined = set()
+                break
+        matches = sorted(combined or ())
+        if self.query.is_self_join:
+            matches = [m for m in matches if m != t.tid]
+
+        own_side = self.own_key(t)
+        for pred, tree in zip(self.query.predicates, self.trees[own_side]):
+            tree.insert(t.values[self.own_field(own_side, pred)], t.tid)
+        self._slides[own_side][-1].append(t)
+
+        self._since_merge += 1
+        if self._since_merge >= self.window.slide:
+            self._since_merge = 0
+            self._roll_slides()
+        return [(t.tid, m) for m in matches]
+
+    def _roll_slides(self) -> None:
+        max_slides = max(1, round(self.window.length / self.window.slide))
+        for side, slides in self._slides.items():
+            expired = False
+            slides.append([])
+            while len(slides) > max_slides:
+                slides.popleft()
+                expired = True
+            if expired:
+                self._rebuild_side(side)
+            else:
+                for tree in self.trees[side]:
+                    tree.merge()
+
+    def _rebuild_side(self, side: str) -> None:
+        retained = [t for slide in self._slides[side] for t in slide]
+        for pred_idx, pred in enumerate(self.query.predicates):
+            tree = PIMTree(
+                depth=self.trees[side][pred_idx].depth,
+                fanout=self.trees[side][pred_idx].fanout,
+            )
+            field = self.own_field(side, pred)
+            for t in retained:
+                tree.insert(t.values[field], t.tid)
+            tree.merge()
+            self.trees[side][pred_idx] = tree
+
+    def memory_bits(self) -> int:
+        return sum(
+            tree.memory_bits()
+            for trees in self.trees.values()
+            for tree in trees
+        )
+
+
+class BPlusTreeJoin(StreamJoinAlgorithm, _TwoSided):
+    """Flat B+-trees over the whole window with real per-entry deletion.
+
+    The classic indexed baseline: no tiers, so large windows pay full
+    index-update and removal cost (the Figure 12 insertion comparison).
+    """
+
+    name = "bptree"
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        order: int = 64,
+        left_stream: str = "R",
+    ) -> None:
+        _TwoSided.__init__(self, query, left_stream)
+        self.window = window
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        self.trees: Dict[str, List[BPlusTree]] = {
+            side: [BPlusTree(order) for __ in query.predicates] for side in sides
+        }
+        self._slides: Dict[str, Deque[List[StreamTuple]]] = {
+            side: deque([[]]) for side in sides
+        }
+        self._since_slide = 0
+
+    def process(self, t: StreamTuple) -> List[Pair]:
+        probe_is_left = self.probe_is_left(t)
+        opposite = self.trees[self.opposite_key(t)]
+        combined: Optional[set] = None
+        for pred, tree in zip(self.query.predicates, opposite):
+            value = t.values[pred.probing_field(probe_is_left)]
+            matched = set()
+            for lo, hi, lo_inc, hi_inc in pred.probe_bounds(value, probe_is_left):
+                for __, tid in tree.range_search(lo, hi, lo_inc, hi_inc):
+                    matched.add(tid)
+            combined = matched if combined is None else combined & matched
+            if not combined:
+                combined = set()
+                break
+        matches = sorted(combined or ())
+        if self.query.is_self_join:
+            matches = [m for m in matches if m != t.tid]
+
+        own_side = self.own_key(t)
+        for pred, tree in zip(self.query.predicates, self.trees[own_side]):
+            tree.insert(t.values[self.own_field(own_side, pred)], t.tid)
+        self._slides[own_side][-1].append(t)
+
+        self._since_slide += 1
+        if self._since_slide >= self.window.slide:
+            self._since_slide = 0
+            self._expire()
+        return [(t.tid, m) for m in matches]
+
+    def _expire(self) -> None:
+        max_slides = max(1, round(self.window.length / self.window.slide))
+        for side, slides in self._slides.items():
+            slides.append([])
+            while len(slides) > max_slides:
+                expired = slides.popleft()
+                # The flat design must delete every expired entry from
+                # every field tree — the removal overhead SPO-Join avoids.
+                for pred_idx, pred in enumerate(self.query.predicates):
+                    field = self.own_field(side, pred)
+                    tree = self.trees[side][pred_idx]
+                    for t in expired:
+                        tree.delete(t.values[field], t.tid)
+
+    def memory_bits(self) -> int:
+        return sum(
+            tree.memory_bits()
+            for trees in self.trees.values()
+            for tree in trees
+        )
+
+
+class NestedLoopJoin(StreamJoinAlgorithm, _TwoSided):
+    """Nested-loop window join (split join / BCHJ evaluate this per PE)."""
+
+    name = "nested_loop"
+
+    def __init__(
+        self, query: QuerySpec, window: WindowSpec, left_stream: str = "R"
+    ) -> None:
+        _TwoSided.__init__(self, query, left_stream)
+        self.window = window
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        self._slides: Dict[str, Deque[List[StreamTuple]]] = {
+            side: deque([[]]) for side in sides
+        }
+        self._since_slide = 0
+
+    def process(self, t: StreamTuple) -> List[Pair]:
+        probe_is_left = self.probe_is_left(t)
+        matches: List[int] = []
+        for slide in self._slides[self.opposite_key(t)]:
+            for stored in slide:
+                if probe_is_left:
+                    ok = self.query.matches(t, stored)
+                else:
+                    ok = self.query.matches(stored, t)
+                if ok:
+                    matches.append(stored.tid)
+        self._slides[self.own_key(t)][-1].append(t)
+        self._since_slide += 1
+        if self._since_slide >= self.window.slide:
+            self._since_slide = 0
+            max_slides = max(1, round(self.window.length / self.window.slide))
+            for slides in self._slides.values():
+                slides.append([])
+                while len(slides) > max_slides:
+                    slides.popleft()
+        return [(t.tid, m) for m in matches]
+
+    def memory_bits(self) -> int:
+        total = sum(
+            len(slide) for slides in self._slides.values() for slide in slides
+        )
+        return 3 * 64 * total
+
+
+class HashEquiJoin(StreamJoinAlgorithm, _TwoSided):
+    """Native hash join for equality predicates (Figures 22/23).
+
+    One hash table per slide interval per side: probing is O(slides)
+    dictionary lookups and expiry drops a whole table — the negligible
+    maintenance the paper contrasts with SPO-Join on equi workloads.
+    """
+
+    name = "hash_join"
+
+    def __init__(
+        self, query: QuerySpec, window: WindowSpec, left_stream: str = "R"
+    ) -> None:
+        _TwoSided.__init__(self, query, left_stream)
+        if any(pred.op.value != "=" for pred in query.predicates):
+            raise ValueError("HashEquiJoin requires equality predicates")
+        self.window = window
+        self.query = query
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        self._slides: Dict[str, Deque[Dict[float, List[int]]]] = {
+            side: deque([{}]) for side in sides
+        }
+        self._since_slide = 0
+        self._pred = query.predicates[0]
+
+    def process(self, t: StreamTuple) -> List[Pair]:
+        probe_is_left = self.probe_is_left(t)
+        key = t.values[self._pred.probing_field(probe_is_left)]
+        matches: List[int] = []
+        for table in self._slides[self.opposite_key(t)]:
+            matches.extend(table.get(key, ()))
+        if self.query.is_self_join:
+            matches = [m for m in matches if m != t.tid]
+        # Store under the field a *future* probe from the opposite side
+        # will look this tuple up by.
+        own_key = (
+            t.values[self._pred.stored_field(not probe_is_left)]
+            if self.two_stream
+            else key
+        )
+        own = self._slides[self.own_key(t)][-1]
+        own.setdefault(own_key, []).append(t.tid)
+        self._since_slide += 1
+        if self._since_slide >= self.window.slide:
+            self._since_slide = 0
+            max_slides = max(1, round(self.window.length / self.window.slide))
+            for slides in self._slides.values():
+                slides.append({})
+                while len(slides) > max_slides:
+                    slides.popleft()
+        return [(t.tid, m) for m in matches]
+
+    def memory_bits(self) -> int:
+        total = sum(
+            len(v)
+            for slides in self._slides.values()
+            for table in slides
+            for v in table.values()
+        )
+        return 2 * 64 * total

@@ -1,0 +1,673 @@
+"""Operators of the distributed SPO-Join topology (Figure 3 of the paper).
+
+The pipeline decomposes Algorithm 1 across the simulated engine:
+
+* **router** (:class:`~repro.dspe.router.RouterOperator`, parallelism 1) —
+  stamps monotone tuple ids and broadcasts each tuple to the predicate PEs
+  of the mutable component and to every PO-Join PE of the immutable one;
+* **predicate PEs** (:class:`PredicateOperator`, one bolt per predicate) —
+  each holds the B+-tree indexes ``I_r`` / ``I_s`` for *its* field, probes
+  the opposite stream's tree into a bit array (or hash set), inserts the
+  tuple, and hash-partitions the partial result by probe id to the logical
+  operator; at the merging threshold it drains its trees, computes the
+  offset arrays (Algorithm 3) for its predicate, ships them to the owning
+  PO-Join PE, and ships the sorted runs to the dedicated permutation PE;
+* **permutation PE** (:class:`PermutationOperator`) — pairs the two
+  fields' runs per stream and merge interval, computes the permutation
+  array (Algorithm 2), and forwards runs + permutation to the owning
+  PO-Join PE;
+* **logical PEs** (:class:`LogicalOperator`) — AND the per-predicate
+  partials behind the Section 4.3 provenance hash table and emit the
+  mutable component's join results;
+* **PO-Join PEs** (:class:`POJoinOperator`) — assemble merge parts into
+  immutable batches through the Section 4.3 (immutable) hash table,
+  buffer data tuples while a merge is in flight (the flag-tuple protocol),
+  probe the linked batches for every tuple, and manage window expiry under
+  one of the two state strategies of Section 4.2.
+
+Merge parts are routed to PO-Join PEs by ``merge_id % |PEs|`` — the
+deterministic equivalent of the paper's round-robin distribution, which
+guarantees all parts of one merge meet on the same PE.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.bitset import BitSet
+from ..core.iejoin import compute_offset_array, compute_permutation
+from ..core.merge import MergeBatch, MergeSide
+from ..core.pojoin import POJoinBatch, POJoinList
+from ..core.query import QuerySpec
+from ..core.tuples import StreamTuple
+from ..core.window import MergePolicy, WindowKind, WindowSpec
+from ..dspe.cache import CacheClient, DistributedCache
+from ..dspe.topology import Operator
+from ..indexes.bptree import BPlusTree
+from ..indexes.sorted_run import SortedRun
+
+__all__ = [
+    "SPOConfig",
+    "PredicateOperator",
+    "PermutationOperator",
+    "LogicalOperator",
+    "POJoinOperator",
+    "PartialMsg",
+    "OffsetMsg",
+    "RunsMsg",
+    "PermMsg",
+]
+
+_STATE_KEY = "spo_tuple_count"
+
+
+class SPOConfig:
+    """Shared configuration for all operators of one SPO topology."""
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        sub_intervals: int = 1,
+        evaluator: str = "bit",
+        num_pojoin_pes: int = 1,
+        use_offsets: bool = True,
+        batch_factory=None,
+        state_strategy: str = "rr",
+        cache_sync_interval: float = 0.05,
+        left_stream: str = "R",
+        num_threads: int = 1,
+        use_provenance: bool = True,
+        bptree_order: int = 64,
+    ) -> None:
+        if state_strategy not in ("rr", "dc"):
+            raise ValueError("state_strategy must be 'rr' or 'dc'")
+        self.query = query
+        self.window = window
+        self.policy = MergePolicy(window, sub_intervals)
+        self.evaluator = evaluator
+        self.num_pojoin_pes = num_pojoin_pes
+        self.use_offsets = use_offsets
+        if batch_factory is None:
+            def batch_factory(q, mb):
+                return POJoinBatch(q, mb, use_offsets=use_offsets)
+        self.batch_factory = batch_factory
+        self.state_strategy = state_strategy
+        self.cache = DistributedCache()
+        self.cache_sync_interval = cache_sync_interval
+        self.left_stream = left_stream
+        self.num_threads = num_threads
+        self.use_provenance = use_provenance
+        self.bptree_order = bptree_order
+
+    @property
+    def two_stream(self) -> bool:
+        return not self.query.is_self_join
+
+    def probe_is_left(self, t: StreamTuple) -> bool:
+        if not self.two_stream:
+            return True
+        return t.stream == self.left_stream
+
+    @property
+    def global_max_batches(self) -> int:
+        """Batches retained across *all* PO-Join PEs before expiry."""
+        return self.policy.max_batches
+
+
+class _MergeClock:
+    """Deterministic merge-boundary detection shared by all operators.
+
+    Every operator that consumes the router broadcast advances an
+    identical copy of this clock, so epoch numbers (merge ids) agree
+    everywhere without extra coordination messages.
+    """
+
+    __slots__ = ("policy", "kind", "_count", "_next_time", "epoch")
+
+    def __init__(self, policy: MergePolicy) -> None:
+        self.policy = policy
+        self.kind = policy.window.kind
+        self._count = 0.0
+        self._next_time: Optional[float] = None
+        self.epoch = 0
+
+    def advance(self, t: StreamTuple) -> bool:
+        """Returns True when this tuple closes a merge interval."""
+        if self.kind is WindowKind.COUNT:
+            self._count += 1
+            if self._count >= self.policy.delta:
+                self._count = 0
+                self.epoch += 1
+                return True
+            return False
+        if self._next_time is None:
+            self._next_time = t.event_time + self.policy.delta
+            return False
+        if t.event_time >= self._next_time:
+            self._next_time += self.policy.delta
+            self.epoch += 1
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Message payloads between operators
+# ----------------------------------------------------------------------
+class PartialMsg:
+    """Per-predicate partial result shipped to the logical operator."""
+
+    __slots__ = ("probe_tid", "pred_idx", "epoch", "side", "partial", "event_time")
+
+    def __init__(
+        self, probe_tid, pred_idx, epoch, side, partial, event_time=0.0
+    ) -> None:
+        self.probe_tid = probe_tid
+        self.pred_idx = pred_idx
+        self.epoch = epoch
+        #: Which stream's window the partial refers to ("left"/"right").
+        self.side = side
+        self.partial = partial
+        self.event_time = event_time
+
+
+class OffsetMsg:
+    """Algorithm 3 output for one predicate of one merge interval."""
+
+    __slots__ = ("merge_id", "pred_idx", "lr", "rl")
+
+    def __init__(self, merge_id, pred_idx, lr, rl) -> None:
+        self.merge_id = merge_id
+        self.pred_idx = pred_idx
+        self.lr = lr  # offsets of the left run's keys inside the right run
+        self.rl = rl  # and the reverse direction
+
+
+class RunsMsg:
+    """Sorted runs of one (merge, side, predicate), bound for the perm PE."""
+
+    __slots__ = ("merge_id", "side", "pred_idx", "run")
+
+    def __init__(self, merge_id, side, pred_idx, run: SortedRun) -> None:
+        self.merge_id = merge_id
+        self.side = side
+        self.pred_idx = pred_idx
+        self.run = run
+
+
+class PermMsg:
+    """Algorithm 2 output plus the runs, bound for a PO-Join PE."""
+
+    __slots__ = ("merge_id", "side", "runs", "permutation")
+
+    def __init__(self, merge_id, side, runs, permutation) -> None:
+        self.merge_id = merge_id
+        self.side = side
+        self.runs = runs
+        self.permutation = permutation
+
+
+# ----------------------------------------------------------------------
+# Predicate operator (mutable component, Figure 4)
+# ----------------------------------------------------------------------
+class _FieldWindow:
+    """One stream's B+-tree for one field, with slot bookkeeping.
+
+    Under the bit evaluator the tree payload is the tuple's *slot* so
+    probes flip bit positions directly; under the hash baseline it is the
+    tuple id the result hash table is keyed by.
+    """
+
+    __slots__ = ("tree", "arrival", "order", "use_slots")
+
+    def __init__(self, order: int, use_slots: bool) -> None:
+        self.order = order
+        self.use_slots = use_slots
+        self.tree = BPlusTree(order)
+        self.arrival: List[int] = []
+
+    def insert(self, value: float, tid: int) -> None:
+        payload = len(self.arrival) if self.use_slots else tid
+        self.arrival.append(tid)
+        self.tree.insert(value, payload)
+
+    def drain_run(self) -> SortedRun:
+        """Extract the sorted run (slot payloads mapped back to ids)."""
+        arrival = self.arrival
+        if self.use_slots:
+            entries = ((value, arrival[slot]) for value, slot in self.tree.items())
+        else:
+            entries = self.tree.items()
+        run = SortedRun.from_sorted_entries(entries)
+        self.tree = BPlusTree(self.order)
+        self.arrival = []
+        return run
+
+
+class PredicateOperator(Operator):
+    """Mutable-part PE for one predicate (``PE_1`` / ``PE_2`` in Fig. 3)."""
+
+    def __init__(self, config: SPOConfig, pred_idx: int) -> None:
+        self.config = config
+        self.pred_idx = pred_idx
+        self.pred = config.query.predicates[pred_idx]
+        self.clock = _MergeClock(config.policy)
+        use_slots = config.evaluator == "bit"
+        self.windows: Dict[str, _FieldWindow] = {
+            "left": _FieldWindow(config.bptree_order, use_slots)
+        }
+        if config.two_stream:
+            self.windows["right"] = _FieldWindow(config.bptree_order, use_slots)
+        self._merge_id = 0
+
+    # -- helpers --------------------------------------------------------
+    def _own_side(self, t: StreamTuple) -> str:
+        if not self.config.two_stream:
+            return "left"
+        return "left" if t.stream == self.config.left_stream else "right"
+
+    def _opposite_side(self, t: StreamTuple) -> str:
+        if not self.config.two_stream:
+            return "left"
+        return "right" if t.stream == self.config.left_stream else "left"
+
+    def _own_field(self, side: str) -> int:
+        # Stored tuples of a self join play the predicate's right role.
+        if self.config.query.is_self_join:
+            return self.pred.right_field
+        return (
+            self.pred.left_field if side == "left" else self.pred.right_field
+        )
+
+    # -- processing -----------------------------------------------------
+    def process(self, payload, ctx) -> None:
+        t: StreamTuple = payload
+        ctx.mark("joiner")
+        probe_is_left = self.config.probe_is_left(t)
+        opposite = self.windows[self._opposite_side(t)]
+
+        value = t.values[self.pred.probing_field(probe_is_left)]
+        if self.config.evaluator == "bit":
+            partial = BitSet(len(opposite.arrival))
+            buf = partial._bytes  # inlined O(1) flip per match
+            for lo, hi, lo_inc, hi_inc in self.pred.probe_bounds(
+                value, probe_is_left
+            ):
+                for __, slot in opposite.tree.range_search(lo, hi, lo_inc, hi_inc):
+                    buf[slot >> 3] |= 1 << (slot & 7)
+        else:
+            # Naive baseline: a hash table of matched tuples (Section 2.4).
+            partial = {}
+            for lo, hi, lo_inc, hi_inc in self.pred.probe_bounds(
+                value, probe_is_left
+            ):
+                for stored_value, tid in opposite.tree.range_search(
+                    lo, hi, lo_inc, hi_inc
+                ):
+                    partial[tid] = stored_value
+        ctx.emit(
+            PartialMsg(
+                t.tid,
+                self.pred_idx,
+                self.clock.epoch,
+                self._opposite_side(t),
+                partial,
+                t.event_time,
+            ),
+            stream="partial",
+        )
+
+        own_side = self._own_side(t)
+        own = self.windows[own_side]
+        own.insert(t.values[self._own_field(own_side)], t.tid)
+
+        if self.clock.advance(t):
+            self._merge(ctx)
+
+    def _merge(self, ctx) -> None:
+        merge_id = self._merge_id
+        self._merge_id += 1
+        left_run = self.windows["left"].drain_run()
+        ctx.emit(RunsMsg(merge_id, "left", self.pred_idx, left_run), stream="runs")
+        if self.config.two_stream:
+            right_run = self.windows["right"].drain_run()
+            ctx.emit(
+                RunsMsg(merge_id, "right", self.pred_idx, right_run),
+                stream="runs",
+            )
+            # Algorithm 3, both directions, computed where the trees live.
+            lr = compute_offset_array(left_run.values, right_run.values)
+            rl = compute_offset_array(right_run.values, left_run.values)
+            ctx.emit(OffsetMsg(merge_id, self.pred_idx, lr, rl), stream="merge")
+
+
+# ----------------------------------------------------------------------
+# Permutation operator (dedicated intermediate PEs)
+# ----------------------------------------------------------------------
+class PermutationOperator(Operator):
+    """Pairs the two field runs of a stream and computes Algorithm 2."""
+
+    def __init__(self, config: SPOConfig) -> None:
+        self.config = config
+        self._pending: Dict[Tuple[int, str], Dict[int, SortedRun]] = {}
+
+    def process(self, payload, ctx) -> None:
+        msg: RunsMsg = payload
+        num_preds = len(self.config.query.predicates)
+        if num_preds == 1:
+            ctx.emit(
+                PermMsg(msg.merge_id, msg.side, [msg.run], None), stream="merge"
+            )
+            return
+        key = (msg.merge_id, msg.side)
+        pending = self._pending.setdefault(key, {})
+        pending[msg.pred_idx] = msg.run
+        if len(pending) < num_preds:
+            return
+        del self._pending[key]
+        runs = [pending[i] for i in range(num_preds)]
+        permutation = compute_permutation(runs[0], runs[1])
+        ctx.emit(
+            PermMsg(msg.merge_id, msg.side, runs, permutation), stream="merge"
+        )
+
+
+# ----------------------------------------------------------------------
+# Logical operator (Section 4.3, mutable part)
+# ----------------------------------------------------------------------
+class LogicalOperator(Operator):
+    """ANDs per-predicate partials; provenance-protected by default.
+
+    The operator reconstructs slot-to-id mappings from the router
+    broadcast (both predicate PEs see tuples in the same order, so bit
+    positions are reproducible), keeping the previous epoch around for
+    partials that straddle a merge boundary.
+    """
+
+    KEEP_EPOCHS = 3
+
+    def __init__(self, config: SPOConfig) -> None:
+        self.config = config
+        self.clock = _MergeClock(config.policy)
+        # (side, epoch) -> arrival-ordered tids.
+        self._arrivals: Dict[Tuple[str, int], List[int]] = {}
+        # Provenance table: probe tid -> {pred_idx: PartialMsg}.
+        self._table: Dict[int, Dict[int, PartialMsg]] = {}
+        # Overwrite mode (Figure 18): pred_idx -> PartialMsg.
+        self._slots: Dict[int, PartialMsg] = {}
+        # Partials whose bit arrays reference slots of broadcast tuples
+        # this PE has not observed yet (a fast predicate PE can outrun the
+        # router link); they wait here until the arrival list catches up.
+        self._deferred: List[Tuple[int, List[PartialMsg], bool]] = []
+        self.emitted = 0
+        self.incorrect = 0
+
+    def _side_of(self, t: StreamTuple) -> str:
+        if not self.config.two_stream:
+            return "left"
+        return "left" if t.stream == self.config.left_stream else "right"
+
+    def process(self, payload, ctx) -> None:
+        if isinstance(payload, StreamTuple):
+            self._observe(payload)
+            self._flush_deferred(ctx)
+            return
+        msg: PartialMsg = payload
+        if self.config.use_provenance:
+            pending = self._table.setdefault(msg.probe_tid, {})
+            pending[msg.pred_idx] = msg
+            if len(pending) < len(self.config.query.predicates):
+                return
+            del self._table[msg.probe_tid]
+            self._emit(ctx, msg.probe_tid, list(pending.values()), correct=True)
+        else:
+            self._slots[msg.pred_idx] = msg
+            if len(self._slots) < len(self.config.query.predicates):
+                return
+            parts = list(self._slots.values())
+            self._slots = {}
+            tids = {p.probe_tid for p in parts}
+            self._emit(ctx, msg.probe_tid, parts, correct=len(tids) == 1)
+
+    def _observe(self, t: StreamTuple) -> None:
+        key = (self._side_of(t), self.clock.epoch)
+        self._arrivals.setdefault(key, []).append(t.tid)
+        if self.clock.advance(t):
+            floor = self.clock.epoch - self.KEEP_EPOCHS
+            for old in [k for k in self._arrivals if k[1] < floor]:
+                del self._arrivals[old]
+
+    def _ready(self, parts: List[PartialMsg]) -> bool:
+        """True when every referenced slot's tuple has been observed."""
+        for part in parts:
+            if isinstance(part.partial, BitSet):
+                arrivals = self._arrivals.get((part.side, part.epoch), ())
+                if part.partial.size > len(arrivals):
+                    return False
+        return True
+
+    def _emit(self, ctx, probe_tid: int, parts: List[PartialMsg], correct: bool) -> None:
+        if not self._ready(parts):
+            self._deferred.append((probe_tid, parts, correct))
+            return
+        self._emit_now(ctx, probe_tid, parts, correct)
+        self._flush_deferred(ctx)
+
+    def _flush_deferred(self, ctx) -> None:
+        """Emit deferred results whose slots have since been observed."""
+        while self._deferred and self._ready(self._deferred[0][1]):
+            tid, pending, ok = self._deferred.pop(0)
+            self._emit_now(ctx, tid, pending, ok)
+
+    def _emit_now(
+        self, ctx, probe_tid: int, parts: List[PartialMsg], correct: bool
+    ) -> None:
+        matches = self._intersect(parts)
+        if self.config.query.is_self_join:
+            matches = [m for m in matches if m != probe_tid]
+        self.emitted += 1
+        if not correct:
+            self.incorrect += 1
+        ctx.record(
+            "mutable_result",
+            {
+                "tid": probe_tid,
+                "matches": matches,
+                "correct": correct,
+                "event_time": parts[0].event_time,
+            },
+        )
+
+    def _intersect(self, parts: List[PartialMsg]) -> List[int]:
+        first = parts[0].partial
+        if isinstance(first, BitSet):
+            combined = first
+            for part in parts[1:]:
+                combined = combined.intersect(part.partial)
+            arrivals = self._arrivals.get((parts[0].side, parts[0].epoch), [])
+            return [
+                arrivals[slot]
+                for slot in combined.iter_set()
+                if slot < len(arrivals)
+            ]
+        # Hash-table partials: walk the smallest result set and test
+        # membership in the others.
+        tables = sorted((p.partial for p in parts), key=len)
+        smallest, rest = tables[0], tables[1:]
+        return sorted(
+            tid for tid in smallest if all(tid in table for table in rest)
+        )
+
+
+# ----------------------------------------------------------------------
+# PO-Join operator (immutable component)
+# ----------------------------------------------------------------------
+class POJoinOperator(Operator):
+    """A PO-Join PE: linked immutable batches + merge assembly + expiry."""
+
+    def __init__(self, config: SPOConfig) -> None:
+        self.config = config
+        self.list = POJoinList(config.query, max_batches=None)
+        # Section 4.3 (immutable): merge parts buffered by merge id.
+        self._assembly: Dict[int, Dict[str, object]] = {}
+        # Flag-tuple protocol (Section 3.4): this PE detects every merge
+        # boundary in the broadcast stream itself; when a boundary's batch
+        # is owned here, tuples queue until that batch is assembled, then
+        # drain against the newly merged structure.
+        self._clock = _MergeClock(config.policy)
+        self._awaited: set = set()
+        # Batches fully assembled before this PE's clock saw their merge
+        # boundary (merge parts can outrun the broadcast): linked only
+        # once the boundary passes, so in-flight tuples never probe a
+        # batch that logically follows them.
+        self._early: Dict[int, MergeBatch] = {}
+        self._queue: Deque[StreamTuple] = deque()
+        self._tuples_seen = 0
+        self._cache_client = CacheClient(config.cache, config.cache_sync_interval)
+        self._pe_index = 0
+        self._num_pes = 1
+
+    def setup(self, ctx) -> None:
+        self._pe_index = ctx.pe_index
+        self._num_pes = ctx.num_pes
+
+    # -- merge part bookkeeping -----------------------------------------
+    def _parts_needed(self) -> int:
+        if not self.config.two_stream:
+            return 1  # one PermMsg
+        return 2 + len(self.config.query.predicates)  # 2 perms + offsets
+
+    def process(self, payload, ctx) -> None:
+        if isinstance(payload, StreamTuple):
+            self._tuples_seen += 1
+            if self.config.state_strategy == "dc":
+                self._expire_from_cache(ctx)
+            if self._awaited:
+                # Queued tuples remember how many merge intervals had
+                # closed when they arrived, so the drain cannot probe a
+                # batch merged after them.
+                self._queue.append((payload, self._clock.epoch))
+                self._advance_clock(payload)
+                return
+            ctx.mark("joiner")
+            makespan = self._probe(payload, ctx)
+            # Algorithm 4: |cores| threads share the linked list, so the
+            # PE is occupied for the schedule's makespan, not the serial
+            # sum of per-batch costs.
+            ctx.charge(makespan)
+            self._advance_clock(payload)
+            return
+        self._accept_merge_part(payload, ctx)
+
+    def _advance_clock(self, t: StreamTuple) -> None:
+        """Detect merge boundaries; start queueing when we own the batch."""
+        if self._clock.advance(t):
+            merge_id = self._clock.epoch - 1
+            if merge_id % self._num_pes == self._pe_index:
+                if merge_id in self._early:
+                    # The batch already assembled; it becomes visible now.
+                    self._link_batch(self._early.pop(merge_id))
+                else:
+                    self._awaited.add(merge_id)
+
+    def _probe(
+        self, t: StreamTuple, ctx, batch_id_lt: Optional[int] = None
+    ) -> float:
+        probe_is_left = self.config.probe_is_left(t)
+        outcome = self.list.probe_all(
+            t, probe_is_left, self.config.num_threads, batch_id_lt
+        )
+        ctx.record(
+            "immutable_result",
+            {
+                "tid": t.tid,
+                "matches": outcome.matches,
+                "event_time": t.event_time,
+                "pe": self._pe_index,
+            },
+        )
+        return outcome.makespan
+
+    def _accept_merge_part(self, payload, ctx) -> None:
+        if isinstance(payload, PermMsg):
+            merge_id = payload.merge_id
+            slot_key = f"perm_{payload.side}"
+        elif isinstance(payload, OffsetMsg):
+            merge_id = payload.merge_id
+            slot_key = f"offset_{payload.pred_idx}"
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected merge part {type(payload)!r}")
+        parts = self._assembly.setdefault(merge_id, {})
+        parts[slot_key] = payload
+        if len(parts) < self._parts_needed():
+            return
+        del self._assembly[merge_id]
+        self._build_batch(merge_id, parts, ctx)
+        self._awaited.discard(merge_id)
+        if not self._awaited:
+            self._drain_queue(ctx)
+
+    def _build_batch(self, merge_id: int, parts: Dict[str, object], ctx) -> None:
+        left_perm: PermMsg = parts["perm_left"]  # type: ignore[assignment]
+        left = MergeSide(
+            left_perm.runs, left_perm.permutation, sorted(left_perm.runs[0].tids)
+        )
+        right = None
+        offsets: Dict[Tuple[int, str], object] = {}
+        if self.config.two_stream:
+            right_perm: PermMsg = parts["perm_right"]  # type: ignore[assignment]
+            right = MergeSide(
+                right_perm.runs,
+                right_perm.permutation,
+                sorted(right_perm.runs[0].tids),
+            )
+            for idx in range(len(self.config.query.predicates)):
+                off: OffsetMsg = parts[f"offset_{idx}"]  # type: ignore[assignment]
+                offsets[(idx, "lr")] = off.lr
+                offsets[(idx, "rl")] = off.rl
+        merge_batch = MergeBatch(merge_id, left, right, offsets)
+        ctx.record("merge_built", {"merge_id": merge_id, "pe": self._pe_index})
+        if merge_id >= self._clock.epoch:
+            # Parts outran the broadcast: hold the batch until this PE's
+            # clock passes the merge boundary.
+            self._early[merge_id] = merge_batch
+            return
+        self._link_batch(merge_batch)
+
+    def _link_batch(self, merge_batch: MergeBatch) -> None:
+        batch = self.config.batch_factory(self.config.query, merge_batch)
+        self.list.append(batch)
+        if self.config.state_strategy == "rr":
+            # Strategy A: local window state advances only now.
+            self._expire_by_merge_id(merge_batch.batch_id)
+
+    def _drain_queue(self, ctx) -> None:
+        drained = 0
+        while self._queue:
+            t, limit = self._queue.popleft()
+            self._probe(t, ctx, batch_id_lt=limit)
+            drained += 1
+        if drained:
+            ctx.record("queue_drained", {"count": drained})
+
+    # -- expiry / state management (Section 4.2) -------------------------
+    def _expire_by_merge_id(self, newest_merge_id: int) -> None:
+        frontier = newest_merge_id - self.config.global_max_batches + 1
+        while self.list.batches and self.list.batches[0].batch_id < frontier:
+            self.list.expire_oldest()
+
+    def _expire_from_cache(self, ctx) -> None:
+        count = self._cache_client.read(_STATE_KEY, ctx.now)
+        if count is None:
+            return
+        # One merge interval of slack keeps tuples that were already in
+        # flight when the cache advanced from losing in-window results;
+        # the residual false positives are the ones the paper accepts for
+        # strategy B ("though it may still introduce expired tuple
+        # results", Section 4.2).
+        frontier = int(
+            (count - self.config.window.length) / self.config.policy.delta
+        )
+        while self.list.batches and self.list.batches[0].batch_id < frontier:
+            self.list.expire_oldest()

@@ -1,0 +1,137 @@
+"""Distributed SPO-Join topology builder (the Figure 3 system model).
+
+Wires the operators of :mod:`repro.joins.operators` into a simulated-engine
+topology::
+
+    source -> router --(broadcast)--> pred_0, pred_1     (mutable W_M)
+                 \\--(broadcast)--> pojoin PEs            (immutable W_IM)
+                 \\--(broadcast)--> logical PEs           (slot bookkeeping)
+    pred_i --(hash by probe id)--> logical PEs            (partial results)
+    pred_i --(direct)--> perm PE                          (sorted runs)
+    pred_i --(by merge id)--> pojoin PEs                  (offset arrays)
+    perm   --(by merge id)--> pojoin PEs                  (runs + permutation)
+
+Merge material reaches PO-Join PEs by ``merge_id % |PEs|`` — the paper's
+round-robin distribution made deterministic so all parts of a merge
+interval meet on the owning PE.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..dspe.engine import Engine, RunResult
+from ..dspe.partitioning import Grouping
+from ..dspe.router import RawTuple, RouterOperator
+from ..dspe.topology import Topology
+from .operators import (
+    LogicalOperator,
+    PermutationOperator,
+    POJoinOperator,
+    PredicateOperator,
+    SPOConfig,
+)
+
+__all__ = ["SPORouterOperator", "build_spo_topology", "run_spo"]
+
+_STATE_KEY = "spo_tuple_count"
+
+
+class SPORouterOperator(RouterOperator):
+    """Router that also feeds the distributed cache (state strategy B).
+
+    Under the cache strategy of Section 4.2 the window state — the global
+    count of tuples that have entered the window — is pushed to the
+    distributed cache for every evaluated tuple, and PO-Join PEs sync
+    their local copy from it.
+    """
+
+    def __init__(self, config: SPOConfig) -> None:
+        super().__init__()
+        self.config = config
+
+    def process(self, payload, ctx) -> None:
+        super().process(payload, ctx)
+        if self.config.state_strategy == "dc":
+            self.config.cache.put(_STATE_KEY, self._next_tid, ctx.now)
+
+
+def build_spo_topology(
+    source: Iterable[Tuple[float, RawTuple]],
+    config: SPOConfig,
+    logical_pes: int = 2,
+) -> Topology:
+    """Assemble the full distributed SPO-Join DAG for a two-predicate query."""
+    num_preds = len(config.query.predicates)
+    topo = Topology("spo-join")
+    topo.add_spout("source", source)
+    topo.add_bolt(
+        "router",
+        lambda: SPORouterOperator(config),
+        parallelism=1,
+        inputs=[("source", Grouping.shuffle())],
+    )
+
+    pred_names = [f"pred_{i}" for i in range(num_preds)]
+    for i, name in enumerate(pred_names):
+        topo.add_bolt(
+            name,
+            (lambda idx=i: PredicateOperator(config, idx)),
+            parallelism=1,
+            inputs=[("router", Grouping.broadcast())],
+        )
+
+    # Logical operator: consumes partials from every predicate PE (hash
+    # partitioned by probe id) plus the router broadcast for slot
+    # bookkeeping.
+    logical_inputs = [("router", Grouping.broadcast(), "default")]
+    for name in pred_names:
+        logical_inputs.append(
+            (name, Grouping.hash_by(lambda p: p.probe_tid), "partial")
+        )
+    topo.add_bolt(
+        "logical",
+        lambda: LogicalOperator(config),
+        parallelism=logical_pes,
+        input_streams=logical_inputs,
+    )
+
+    # Dedicated permutation PE fed directly by the predicate PEs.
+    topo.add_bolt(
+        "perm",
+        lambda: PermutationOperator(config),
+        parallelism=1,
+        input_streams=[
+            (name, Grouping.direct(lambda m: 0), "runs") for name in pred_names
+        ],
+    )
+
+    # PO-Join PEs: data tuples broadcast; merge parts routed by merge id.
+    pojoin_inputs = [
+        ("router", Grouping.broadcast(), "default"),
+        ("perm", Grouping.direct(lambda m: m.merge_id), "merge"),
+    ]
+    for name in pred_names:
+        pojoin_inputs.append(
+            (name, Grouping.direct(lambda m: m.merge_id), "merge")
+        )
+    topo.add_bolt(
+        "pojoin",
+        lambda: POJoinOperator(config),
+        parallelism=config.num_pojoin_pes,
+        input_streams=pojoin_inputs,
+    )
+    return topo
+
+
+def run_spo(
+    source: Iterable[Tuple[float, RawTuple]],
+    config: SPOConfig,
+    logical_pes: int = 2,
+    num_nodes: int = 2,
+    **engine_kwargs,
+) -> RunResult:
+    """Build and run the distributed SPO-Join; returns the run result."""
+    topo = build_spo_topology(source, config, logical_pes)
+    engine = Engine(topo, num_nodes=num_nodes, **engine_kwargs)
+    return engine.run()

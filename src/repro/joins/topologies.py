@@ -1,0 +1,353 @@
+"""Baseline distributed join topologies.
+
+The paper compares distributed SPO-Join against:
+
+* **Chain index (CI)** [BiStream] — the window's slide intervals are
+  spread over joiner PEs as chained B+-tree sub-indexes; every tuple is
+  broadcast and each PE searches all of its local sub-indexes
+  (Figures 11a/11c).
+* **Split join (SJ)** — storage is round-robin partitioned; every probe is
+  broadcast and nested-loop evaluated against each PE's share
+  (Figures 11b/11d).
+* **Broadcast hash join (BCHJ)** — every PE stores the full window; each
+  probe is evaluated by one PE, nested-loop (Figures 11b/11d).
+* **Hash join** — Storm's native equality join: tuples hash-partitioned by
+  key, O(1) table maintenance (Figures 22/23).
+
+All run on the same simulated engine, router, and source format as
+SPO-Join so their records are directly comparable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..core.query import QuerySpec
+from ..core.tuples import StreamTuple
+from ..core.window import WindowSpec
+from ..dspe.engine import Engine, RunResult
+from ..dspe.partitioning import Grouping
+from ..dspe.router import RawTuple, RouterOperator
+from ..dspe.topology import Operator, Topology
+from ..indexes.bptree import BPlusTree
+
+__all__ = [
+    "ChainJoinerOperator",
+    "NLJJoinerOperator",
+    "HashJoinerOperator",
+    "build_chain_topology",
+    "build_nlj_topology",
+    "build_hash_join_topology",
+    "run_topology",
+]
+
+
+class _SideRouting:
+    """Shared left/right routing for two-stream queries."""
+
+    def __init__(self, query: QuerySpec, left_stream: str = "R") -> None:
+        self.query = query
+        self.left_stream = left_stream
+        self.two_stream = not query.is_self_join
+
+    def probe_is_left(self, t: StreamTuple) -> bool:
+        if not self.two_stream:
+            return True
+        return t.stream == self.left_stream
+
+    def own_key(self, t: StreamTuple) -> str:
+        if not self.two_stream:
+            return "left"
+        return "left" if t.stream == self.left_stream else "right"
+
+    def opposite_key(self, t: StreamTuple) -> str:
+        if not self.two_stream:
+            return "left"
+        return "right" if t.stream == self.left_stream else "left"
+
+    def own_field(self, side: str, pred) -> int:
+        # Stored tuples of a self join play the predicate's right role.
+        if self.query.is_self_join:
+            return pred.right_field
+        return pred.left_field if side == "left" else pred.right_field
+
+
+class ChainJoinerOperator(Operator, _SideRouting):
+    """One joiner PE of the distributed chain-index join.
+
+    Slide intervals are assigned to PEs round-robin (slide ``s`` is stored
+    by PE ``s mod n``); probes are broadcast, and each PE searches every
+    sub-index it holds — the chain-index tax the paper measures.
+    """
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        order: int = 64,
+        left_stream: str = "R",
+    ) -> None:
+        _SideRouting.__init__(self, query, left_stream)
+        self.window = window
+        self.order = order
+        self._total_subs = max(1, round(window.length / window.slide))
+        self._pe_index = 0
+        self._num_pes = 1
+        self._tuples_seen = 0
+        # Sub-indexes keyed by global slide index: one B+-tree per
+        # predicate field per stored slide interval.  A PE only stores the
+        # slides assigned to it (slide s -> PE s mod n), but expiry is by
+        # global slide age so the union over PEs is exactly the window.
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        self._subs: Dict[str, Dict[int, List[BPlusTree]]] = {
+            side: {} for side in sides
+        }
+
+    def setup(self, ctx) -> None:
+        self._pe_index = ctx.pe_index
+        self._num_pes = ctx.num_pes
+
+    def process(self, payload, ctx) -> None:
+        t: StreamTuple = payload
+        ctx.mark("joiner")
+        probe_is_left = self.probe_is_left(t)
+        combined: Optional[set] = None
+        for pred_idx, pred in enumerate(self.query.predicates):
+            value = t.values[pred.probing_field(probe_is_left)]
+            matched = set()
+            # The chain-index tax: every sub-index is searched.
+            for sub_trees in self._subs[self.opposite_key(t)].values():
+                tree = sub_trees[pred_idx]
+                for lo, hi, lo_inc, hi_inc in pred.probe_bounds(
+                    value, probe_is_left
+                ):
+                    for __, tid in tree.range_search(lo, hi, lo_inc, hi_inc):
+                        matched.add(tid)
+            combined = matched if combined is None else combined & matched
+            if not combined:
+                combined = set()
+                break
+        matches = sorted(combined or ())
+        if self.query.is_self_join:
+            matches = [m for m in matches if m != t.tid]
+        ctx.record(
+            "result",
+            {"tid": t.tid, "matches": matches, "event_time": t.event_time},
+        )
+
+        # Store only when the current slide interval belongs to this PE.
+        slide = max(1, int(self.window.slide))
+        slide_idx = self._tuples_seen // slide
+        self._tuples_seen += 1
+        if slide_idx % self._num_pes == self._pe_index:
+            own_side = self.own_key(t)
+            subs = self._subs[own_side].setdefault(
+                slide_idx,
+                [BPlusTree(self.order) for __ in self.query.predicates],
+            )
+            for pred_idx, pred in enumerate(self.query.predicates):
+                subs[pred_idx].insert(
+                    t.values[self.own_field(own_side, pred)], t.tid
+                )
+        # Coarse expiry at slide boundaries: drop sub-indexes that have
+        # left the window entirely.
+        if self._tuples_seen % slide == 0:
+            floor = slide_idx - (self._total_subs - 2)
+            for side_subs in self._subs.values():
+                for idx in [i for i in side_subs if i < floor]:
+                    del side_subs[idx]
+
+
+class NLJJoinerOperator(Operator, _SideRouting):
+    """Split join / broadcast hash join joiner PE (nested loop).
+
+    ``mode="sj"``: stores every ``n``-th tuple, probes everything.
+    ``mode="bchj"``: stores everything, probes every ``n``-th tuple.
+    """
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        mode: str = "sj",
+        left_stream: str = "R",
+    ) -> None:
+        if mode not in ("sj", "bchj"):
+            raise ValueError("mode must be 'sj' or 'bchj'")
+        _SideRouting.__init__(self, query, left_stream)
+        self.window = window
+        self.mode = mode
+        self._pe_index = 0
+        self._num_pes = 1
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        self._slides: Dict[str, Deque[List[StreamTuple]]] = {
+            side: deque([[]]) for side in sides
+        }
+        self._tuples_seen = 0
+
+    def setup(self, ctx) -> None:
+        self._pe_index = ctx.pe_index
+        self._num_pes = ctx.num_pes
+
+    def process(self, payload, ctx) -> None:
+        t: StreamTuple = payload
+        ctx.mark("joiner")
+        should_probe = (
+            self.mode == "sj" or t.tid % self._num_pes == self._pe_index
+        )
+        if should_probe:
+            probe_is_left = self.probe_is_left(t)
+            matches: List[int] = []
+            for slide in self._slides[self.opposite_key(t)]:
+                for stored in slide:
+                    if probe_is_left:
+                        ok = self.query.matches(t, stored)
+                    else:
+                        ok = self.query.matches(stored, t)
+                    if ok:
+                        matches.append(stored.tid)
+            ctx.record(
+                "result",
+                {"tid": t.tid, "matches": matches, "event_time": t.event_time},
+            )
+
+        should_store = (
+            self.mode == "bchj" or t.tid % self._num_pes == self._pe_index
+        )
+        if should_store:
+            self._slides[self.own_key(t)][-1].append(t)
+        self._tuples_seen += 1
+        if self._tuples_seen % max(1, int(self.window.slide)) == 0:
+            max_slides = max(1, round(self.window.length / self.window.slide))
+            for slides in self._slides.values():
+                slides.append([])
+                while len(slides) > max_slides:
+                    slides.popleft()
+
+
+class HashJoinerOperator(Operator, _SideRouting):
+    """Native hash join joiner PE (equality predicates, Figures 22/23).
+
+    Tuples reach this PE hash-partitioned by join key, so probe and store
+    are both local; maintenance is O(1) per tuple plus slide-granular
+    table drops.
+    """
+
+    def __init__(
+        self, query: QuerySpec, window: WindowSpec, left_stream: str = "R"
+    ) -> None:
+        _SideRouting.__init__(self, query, left_stream)
+        if any(pred.op.value != "=" for pred in query.predicates):
+            raise ValueError("hash join requires equality predicates")
+        self.window = window
+        self._pred = query.predicates[0]
+        sides = ["left", "right"] if self.two_stream else ["left"]
+        # Tables keyed by *global* slide index (router id // slide), so a
+        # PE that only sees its hash share still expires correctly.
+        self._slides: Dict[str, Dict[int, Dict[float, List[int]]]] = {
+            side: {} for side in sides
+        }
+
+    def process(self, payload, ctx) -> None:
+        t: StreamTuple = payload
+        ctx.mark("joiner")
+        slide = max(1, int(self.window.slide))
+        max_slides = max(1, round(self.window.length / self.window.slide))
+        cur_slide = t.tid // slide
+        floor = cur_slide - max_slides + 1
+        # Slide-granular expiry: drop whole tables older than the window
+        # (the hash join's only maintenance cost).
+        for tables in self._slides.values():
+            for idx in [i for i in tables if i < floor]:
+                del tables[idx]
+
+        probe_is_left = self.probe_is_left(t)
+        key = t.values[self._pred.probing_field(probe_is_left)]
+        matches: List[int] = []
+        for table in self._slides[self.opposite_key(t)].values():
+            matches.extend(table.get(key, ()))
+        if self.query.is_self_join:
+            matches = [m for m in matches if m != t.tid]
+        ctx.record(
+            "result",
+            {"tid": t.tid, "matches": matches, "event_time": t.event_time},
+        )
+        own_key = (
+            t.values[self._pred.stored_field(not probe_is_left)]
+            if self.two_stream
+            else key
+        )
+        own = self._slides[self.own_key(t)].setdefault(cur_slide, {})
+        own.setdefault(own_key, []).append(t.tid)
+
+
+# ----------------------------------------------------------------------
+# Topology builders
+# ----------------------------------------------------------------------
+def _base(source) -> Topology:
+    topo = Topology()
+    topo.add_spout("source", source)
+    topo.add_bolt(
+        "router",
+        RouterOperator,
+        parallelism=1,
+        inputs=[("source", Grouping.shuffle())],
+    )
+    return topo
+
+
+def build_chain_topology(
+    source: Iterable[Tuple[float, RawTuple]],
+    query: QuerySpec,
+    window: WindowSpec,
+    joiner_pes: int = 4,
+) -> Topology:
+    topo = _base(source)
+    topo.add_bolt(
+        "joiner",
+        lambda: ChainJoinerOperator(query, window),
+        parallelism=joiner_pes,
+        inputs=[("router", Grouping.broadcast())],
+    )
+    return topo
+
+
+def build_nlj_topology(
+    source: Iterable[Tuple[float, RawTuple]],
+    query: QuerySpec,
+    window: WindowSpec,
+    mode: str = "sj",
+    joiner_pes: int = 4,
+) -> Topology:
+    topo = _base(source)
+    topo.add_bolt(
+        "joiner",
+        lambda: NLJJoinerOperator(query, window, mode=mode),
+        parallelism=joiner_pes,
+        inputs=[("router", Grouping.broadcast())],
+    )
+    return topo
+
+
+def build_hash_join_topology(
+    source: Iterable[Tuple[float, RawTuple]],
+    query: QuerySpec,
+    window: WindowSpec,
+    joiner_pes: int = 4,
+) -> Topology:
+    pred = query.predicates[0]
+    topo = _base(source)
+    topo.add_bolt(
+        "joiner",
+        lambda: HashJoinerOperator(query, window),
+        parallelism=joiner_pes,
+        inputs=[
+            ("router", Grouping.hash_by(lambda t: t.values[pred.left_field]))
+        ],
+    )
+    return topo
+
+
+def run_topology(topo: Topology, num_nodes: int = 2, **kwargs) -> RunResult:
+    return Engine(topo, num_nodes=num_nodes, **kwargs).run()

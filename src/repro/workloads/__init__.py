@@ -1,0 +1,39 @@
+"""Workload generators and query definitions for the experiments."""
+
+from .blond import blond_readings, datacenter_streams
+from .queries import TABLE1, WorkloadRow, equi_q, q1, q2, q3
+from .synthetic import (
+    as_stream_tuples,
+    bursty,
+    cross_stream,
+    equi_stream,
+    interleave,
+    self_stream,
+    shift_for_selectivity,
+    timed,
+    zipf_equi_stream,
+)
+from .taxi import q2_stream, q3_stream, taxi_trips
+
+__all__ = [
+    "q1",
+    "q2",
+    "q3",
+    "equi_q",
+    "TABLE1",
+    "WorkloadRow",
+    "taxi_trips",
+    "q2_stream",
+    "q3_stream",
+    "blond_readings",
+    "datacenter_streams",
+    "cross_stream",
+    "self_stream",
+    "equi_stream",
+    "interleave",
+    "timed",
+    "bursty",
+    "zipf_equi_stream",
+    "as_stream_tuples",
+    "shift_for_selectivity",
+]

@@ -1,0 +1,84 @@
+"""BLOND-like electrical readings for the Q1 data-center workload.
+
+The paper's Q1 experiment streams current/voltage readings from the
+BLOND-250 building dataset, computes ``power = I * V``, and joins two data
+centers ``R`` and ``S`` where ``R`` is the smaller one: the query asks for
+windows where ``R.POWER < S.POWER AND R.COOL > S.COOL``.  The 2-billion-
+tuple dataset is substituted with a generator that reproduces the features
+the join depends on:
+
+* mains voltage around 230 V with small fluctuation;
+* appliance/rack current with a diurnal load cycle plus noise, with
+  data center ``S`` scaled up relative to ``R`` (more servers/racks);
+* cooling power correlated with rack power but with ``R`` running a less
+  efficient (higher cooling draw) installation — which is what makes Q1's
+  two opposing inequalities selective rather than degenerate.
+
+Tuples carry ``(POWER, COOL)`` per data center.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from ..dspe.router import RawTuple
+
+__all__ = ["blond_readings", "datacenter_streams"]
+
+_MAINS_VOLTAGE = 230.0
+_DAY_SECONDS = 86400.0
+
+
+def blond_readings(
+    n: int,
+    seed: int = 0,
+    rate: float = 1000.0,
+    stream: str = "BLOND",
+    load_scale: float = 1.0,
+    cooling_factor: float = 0.35,
+) -> List[RawTuple]:
+    """Generate ``(POWER, COOL)`` readings for one data center.
+
+    ``load_scale`` scales the rack current (data center size);
+    ``cooling_factor`` is the cooling power drawn per watt of rack power
+    (R's infrastructure is less efficient, i.e. a larger factor).
+    """
+    rng = random.Random(seed)
+    out: List[RawTuple] = []
+    at = 0.0
+    for i in range(n):
+        at += rng.expovariate(rate)
+        voltage = _MAINS_VOLTAGE + rng.gauss(0.0, 1.5)
+        diurnal = 1.0 + 0.3 * math.sin(2 * math.pi * (at % _DAY_SECONDS) / _DAY_SECONDS)
+        current = load_scale * diurnal * max(0.1, rng.gauss(8.0, 2.0))
+        power = voltage * current
+        cool = cooling_factor * power * max(0.2, rng.gauss(1.0, 0.15))
+        out.append(RawTuple(stream, (power, cool), at))
+    return out
+
+
+def datacenter_streams(
+    n_per_stream: int,
+    seed: int = 0,
+    rate: float = 1000.0,
+) -> List[RawTuple]:
+    """Interleaved R/S readings shaped like the paper's Example 1.
+
+    ``R`` is the smaller data center (lower rack power) with the less
+    efficient cooling (higher cooling draw) — the regime Q1 monitors.
+    """
+    r_side = blond_readings(
+        n_per_stream, seed, rate, stream="R", load_scale=0.8, cooling_factor=0.45
+    )
+    s_side = blond_readings(
+        n_per_stream, seed + 1, rate, stream="S", load_scale=1.2, cooling_factor=0.30
+    )
+    merged: List[RawTuple] = []
+    for r, s in zip(r_side, s_side):
+        merged.append(r)
+        merged.append(s)
+    # Restore a single global arrival order.
+    merged.sort(key=lambda raw: raw.event_time)
+    return merged

@@ -1,0 +1,82 @@
+"""The paper's evaluation queries (Table 1) as :class:`QuerySpec` objects.
+
+* **Q1** — cross join of data-center streams:
+  ``R.POWER < S.POWER AND R.COOL > S.COOL`` (BLOND / synthetic).
+* **Q2** — band self join on taxi pickups:
+  ``|lon1 - lon2| < 0.03 AND |lat1 - lat2| < 0.03`` (NYC taxi).
+* **Q3** — self join on taxi trips:
+  ``dist1 > dist2 AND fare1 < fare2`` (NYC taxi / synthetic).
+* **QE** — single-key equality join used by the Figures 22/23 comparison
+  against a native hash join.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from ..core.predicates import Op
+from ..core.query import JoinType, QuerySpec
+
+__all__ = ["q1", "q2", "q3", "equi_q", "TABLE1", "WorkloadRow"]
+
+Q2_BANDWIDTH = 3e-2
+
+
+def q1() -> QuerySpec:
+    """Q1: real-time data-center power consumption (cross join)."""
+    return QuerySpec.two_inequalities(
+        "Q1",
+        JoinType.CROSS,
+        Op.LT,  # R.POWER < S.POWER
+        Op.GT,  # R.COOL  > S.COOL
+        field_names=("POWER", "COOL"),
+        description="R.POWER < S.POWER AND R.COOL > S.COOL",
+    )
+
+
+def q2(width: float = Q2_BANDWIDTH) -> QuerySpec:
+    """Q2: taxi pickup proximity (band self join)."""
+    return QuerySpec.band(
+        "Q2",
+        width=width,
+        field_names=("start_LON", "start_LAT"),
+        description="ABS(lon1-lon2) < 0.03 AND ABS(lat1-lat2) < 0.03",
+    )
+
+
+def q3() -> QuerySpec:
+    """Q3: NYC trips — longer distance but lower fare (self join)."""
+    return QuerySpec.two_inequalities(
+        "Q3",
+        JoinType.SELF,
+        Op.GT,  # trip_dist1 > trip_dist2
+        Op.LT,  # trip_fare1 < trip_fare2
+        field_names=("trip_dist", "trip_fare"),
+        description="dist1 > dist2 AND fare1 < fare2",
+    )
+
+
+def equi_q() -> QuerySpec:
+    """Single-key equality join for the hash-join comparison."""
+    return QuerySpec.equi("QE", description="R.k = S.k")
+
+
+class WorkloadRow(NamedTuple):
+    """One row of the paper's Table 1 (scaled to laptop size)."""
+
+    query: str
+    dataset: str
+    paper_tuples: str
+    repo_tuples: int
+    delta_range: Tuple[int, int]
+    join_type: str
+    bandwidth: float
+
+
+TABLE1: List[WorkloadRow] = [
+    WorkloadRow("Q3", "NYC-taxi (synthetic twin)", "172M", 200_000, (1_000, 10_000), "self join", 0.0),
+    WorkloadRow("Q3", "Synthesized", "32M", 100_000, (1_000, 10_000), "self join", 0.0),
+    WorkloadRow("Q2", "NYC-taxi (synthetic twin)", "172M", 200_000, (60, 300), "band join", Q2_BANDWIDTH),
+    WorkloadRow("Q1", "BLOND (synthetic twin)", "2B", 200_000, (2_000, 30_000), "cross join", 0.0),
+    WorkloadRow("Q1", "Synthesized", "32M", 100_000, (2_000, 30_000), "cross join", 0.0),
+]

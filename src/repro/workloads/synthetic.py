@@ -1,0 +1,197 @@
+"""Synthetic workloads with controllable join selectivity.
+
+The paper's synthetic dataset (Table 1) is generated at runtime by the
+stream engine with *varying match rates*; these generators reproduce that
+knob analytically:
+
+* **Cross joins** — each stream's field is uniform on a unit interval and
+  the right stream's interval is *shifted* so that the probability that a
+  predicate matches equals a requested selectivity.  For ``r ~ U(0,1)``
+  and ``s ~ U(c, 1+c)``, ``P(r < s) = (1 - c^2)/2 + c`` for ``c >= 0`` and
+  ``(1 - |c|)^2 / 2`` for ``c < 0``; :func:`shift_for_selectivity` inverts
+  that curve.
+* **Self joins** — both roles are drawn from the same distribution, so
+  per-predicate selectivity is pinned at 1/2; the joint match rate is
+  instead tuned through the *correlation* between a tuple's two fields
+  (anticorrelated fields match both predicates together, equal fields
+  never do).
+* **Equi joins** — uniform keys over a configurable domain size
+  (Figures 22/23).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.tuples import StreamTuple
+from ..dspe.router import RawTuple
+
+__all__ = [
+    "shift_for_selectivity",
+    "cross_stream",
+    "self_stream",
+    "equi_stream",
+    "interleave",
+    "timed",
+    "as_stream_tuples",
+]
+
+
+def shift_for_selectivity(sigma: float) -> float:
+    """Interval shift ``c`` giving ``P(r < s) = sigma`` for unit uniforms."""
+    if not 0.0 <= sigma <= 1.0:
+        raise ValueError("selectivity must be in [0, 1]")
+    if sigma >= 0.5:
+        # (1 - c^2)/2 + c = sigma  =>  c^2 - 2c + (2 sigma - 1) = 0.
+        return 1.0 - (2.0 - 2.0 * sigma) ** 0.5
+    # (1 - d)^2 / 2 = sigma with d = -c.
+    return (2.0 * sigma) ** 0.5 - 1.0
+
+
+def cross_stream(
+    n: int,
+    stream: str,
+    selectivities: Sequence[float] = (0.5, 0.5),
+    is_right: bool = False,
+    seed: int = 0,
+) -> List[RawTuple]:
+    """One side of a cross-join workload.
+
+    The left stream ("R") samples each field from ``U(0, 1)``; the right
+    stream ("S") samples field ``i`` from ``U(c_i, 1 + c_i)`` where ``c_i``
+    realizes ``selectivities[i]`` for a ``<`` predicate (flip the sign of
+    the shift yourself for ``>`` by passing ``1 - sigma``).
+    """
+    rng = random.Random(seed)
+    shifts = [shift_for_selectivity(s) if is_right else 0.0 for s in selectivities]
+    out = []
+    for __ in range(n):
+        values = tuple(rng.random() + shift for shift in shifts)
+        out.append(RawTuple(stream, values))
+    return out
+
+
+def self_stream(
+    n: int,
+    stream: str = "T",
+    correlation: float = 0.0,
+    seed: int = 0,
+) -> List[RawTuple]:
+    """A two-field stream whose field correlation tunes the match rate.
+
+    With ``correlation = -1`` the second field is the mirror of the first
+    and the Q3-style predicate pair (``>``, ``<``) matches half of all
+    pairs; with ``correlation = +1`` it matches none; 0 gives the
+    independent-fields baseline of one quarter.
+    """
+    if not -1.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [-1, 1]")
+    rng = random.Random(seed)
+    out = []
+    for __ in range(n):
+        base = rng.random()
+        noise = rng.random()
+        if correlation >= 0:
+            second = correlation * base + (1 - correlation) * noise
+        else:
+            second = (-correlation) * (1 - base) + (1 + correlation) * noise
+        out.append(RawTuple(stream, (base, second)))
+    return out
+
+
+def equi_stream(
+    n: int,
+    stream: str,
+    num_keys: int = 1000,
+    seed: int = 0,
+) -> List[RawTuple]:
+    """Uniformly distributed integer keys (the Figures 22/23 workload)."""
+    rng = random.Random(seed)
+    return [RawTuple(stream, (rng.randrange(num_keys),)) for __ in range(n)]
+
+
+def zipf_equi_stream(
+    n: int,
+    stream: str,
+    num_keys: int = 1000,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> List[RawTuple]:
+    """Zipf-skewed integer keys (the hot-key regime FastJoin targets).
+
+    ``skew`` is the Zipf exponent: 0 degenerates to uniform, ~1 is the
+    classic heavy head where a handful of keys dominate — the workload
+    under which hash partitioning overloads a single joiner PE.
+    """
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = random.Random(seed)
+    weights = [1.0 / (k + 1) ** skew for k in range(num_keys)]
+    keys = rng.choices(range(num_keys), weights=weights, k=n)
+    return [RawTuple(stream, (key,)) for key in keys]
+
+
+def bursty(
+    raws: Sequence[RawTuple],
+    base_rate: float,
+    burst_rate: float,
+    burst_every: int = 1000,
+    burst_len: int = 200,
+    start: float = 0.0,
+) -> Iterator[Tuple[float, RawTuple]]:
+    """Attach arrival times alternating a base rate with periodic bursts.
+
+    Every ``burst_every`` tuples, the next ``burst_len`` arrive at
+    ``burst_rate`` instead of ``base_rate`` — the load pattern that
+    stresses merge scheduling and queue drains.
+    """
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ValueError("rates must be positive")
+    if burst_every < 1 or burst_len < 0:
+        raise ValueError("burst_every must be >= 1 and burst_len >= 0")
+    at = start
+    for i, raw in enumerate(raws):
+        in_burst = (i % burst_every) < burst_len and i >= burst_len
+        rate = burst_rate if in_burst else base_rate
+        at += 1.0 / rate
+        raw.event_time = at
+        yield at, raw
+
+
+def interleave(*streams: Sequence[RawTuple]) -> List[RawTuple]:
+    """Round-robin interleave several streams into one arrival order."""
+    out: List[RawTuple] = []
+    longest = max((len(s) for s in streams), default=0)
+    for i in range(longest):
+        for stream in streams:
+            if i < len(stream):
+                out.append(stream[i])
+    return out
+
+
+def timed(
+    raws: Sequence[RawTuple], rate: float, start: float = 0.0
+) -> Iterator[Tuple[float, RawTuple]]:
+    """Attach arrival times at ``rate`` tuples/second (spout format)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    period = 1.0 / rate
+    for i, raw in enumerate(raws):
+        at = start + i * period
+        raw.event_time = at
+        yield at, raw
+
+
+def as_stream_tuples(
+    raws: Sequence[RawTuple],
+    start_tid: int = 0,
+    rate: Optional[float] = None,
+) -> List[StreamTuple]:
+    """Stamp router ids (and optionally event times) for core-level use."""
+    out = []
+    period = 1.0 / rate if rate else 0.0
+    for i, raw in enumerate(raws):
+        event_time = i * period if rate else raw.event_time
+        out.append(StreamTuple(start_tid + i, raw.stream, raw.values, event_time))
+    return out

@@ -1,0 +1,83 @@
+"""NYC-taxi-like trip stream (DEBS 2015 grand challenge substitute).
+
+The paper evaluates Q2 and Q3 on the 172M-tuple New York taxi dataset —
+per-trip pickup coordinates, distances, and fares.  That dataset is not
+redistributable here, so this generator synthesizes trips whose *joint
+statistics* drive the same join behaviour:
+
+* **trip distance** — lognormal (median about 1.7 miles, heavy right
+  tail), matching published NYC TLC summaries;
+* **fare** — affine in distance plus noise (metered tariff), so distance
+  and fare are strongly but not perfectly correlated — precisely the
+  regime where Q3's ``dist1 > dist2 AND fare1 < fare2`` is selective but
+  non-empty;
+* **pickup location** — a mixture of Gaussian hot spots (Midtown,
+  Financial District, airports) over Manhattan's lon/lat box, giving Q2's
+  band join the clustered geography it probes for;
+* **pickup time** — Poisson arrivals at a configurable rate.
+
+Tuples carry ``(distance, fare, lon, lat)``; :func:`q3_stream` and
+:func:`q2_stream` project the field pair each query uses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..dspe.router import RawTuple
+
+__all__ = ["taxi_trips", "q3_stream", "q2_stream"]
+
+# (lon, lat, weight, spread) — stylized Manhattan pickup hot spots.
+_HOTSPOTS: Tuple[Tuple[float, float, float, float], ...] = (
+    (-73.985, 40.758, 0.35, 0.008),  # Midtown
+    (-74.010, 40.707, 0.20, 0.006),  # Financial District
+    (-73.978, 40.787, 0.15, 0.010),  # Upper West Side
+    (-73.872, 40.774, 0.10, 0.004),  # LaGuardia
+    (-73.790, 40.644, 0.08, 0.004),  # JFK
+    (-73.950, 40.650, 0.12, 0.030),  # Brooklyn (diffuse)
+)
+
+_BASE_FARE = 2.5
+_PER_MILE = 2.5
+
+
+def taxi_trips(
+    n: int,
+    seed: int = 0,
+    rate: float = 1000.0,
+    stream: str = "NYC",
+) -> List[RawTuple]:
+    """Generate ``n`` trips with fields ``(distance, fare, lon, lat)``."""
+    rng = random.Random(seed)
+    weights = [w for __, __, w, __ in _HOTSPOTS]
+    out: List[RawTuple] = []
+    at = 0.0
+    for __ in range(n):
+        distance = rng.lognormvariate(math.log(1.7), 0.75)
+        fare = _BASE_FARE + _PER_MILE * distance + rng.gauss(0.0, 1.5)
+        fare = max(_BASE_FARE, fare)
+        lon0, lat0, __, spread = rng.choices(_HOTSPOTS, weights=weights)[0]
+        lon = rng.gauss(lon0, spread)
+        lat = rng.gauss(lat0, spread)
+        at += rng.expovariate(rate)
+        out.append(RawTuple(stream, (distance, fare, lon, lat), at))
+    return out
+
+
+def q3_stream(n: int, seed: int = 0, rate: float = 1000.0) -> List[RawTuple]:
+    """Project trips to ``(distance, fare)`` — the fields Q3 joins on."""
+    return [
+        RawTuple(raw.stream, raw.values[:2], raw.event_time)
+        for raw in taxi_trips(n, seed, rate)
+    ]
+
+
+def q2_stream(n: int, seed: int = 0, rate: float = 1000.0) -> List[RawTuple]:
+    """Project trips to ``(lon, lat)`` — the fields Q2's band join uses."""
+    return [
+        RawTuple(raw.stream, raw.values[2:], raw.event_time)
+        for raw in taxi_trips(n, seed, rate)
+    ]

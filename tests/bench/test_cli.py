@@ -1,0 +1,23 @@
+"""Experiment CLI: argument handling and a smoke run."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["equijoin"]) == 0
+        out = capsys.readouterr().out
+        assert "hash join" in out
+        assert "completed 1 experiment(s)" in out

@@ -1,0 +1,151 @@
+"""Bench harness: result tables, local drivers, record extraction."""
+
+import pytest
+
+from repro.bench import (
+    ResultTable,
+    StreamRunStats,
+    build_immutable_list,
+    build_mutable_window,
+    chunk,
+    component_latency,
+    component_throughput,
+    drive_local,
+    time_probes,
+)
+from repro.core import WindowSpec, make_tuple
+from repro.joins import make_spo_join
+from repro.workloads import as_stream_tuples, q3, self_stream
+
+
+class TestResultTable:
+    def test_render_aligns_columns(self):
+        table = ResultTable("Title", ["a", "bb"])
+        table.add_row(1, 2.5)
+        table.add_row("long-value", 0.001)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "long-value" in text
+        assert all(len(line) <= 80 for line in lines)
+
+    def test_row_width_checked(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = ResultTable("t", ["v"])
+        table.add_row(123456.0)
+        table.add_row(0.0001)
+        table.add_row(0.5)
+        table.add_row(0.0)
+        rendered = table.render()
+        assert "1.23e+05" in rendered
+        assert "0.0001" in rendered
+        assert "0.500" in rendered
+
+    def test_empty_table_renders(self):
+        table = ResultTable("t", ["a"])
+        assert "t" in table.render()
+
+
+class TestDriveLocal:
+    def test_counts_and_latencies(self, q3_query):
+        window = WindowSpec.count(100, 20)
+        tuples = as_stream_tuples(self_stream(300, seed=1))
+        stats = drive_local(make_spo_join(q3_query, window), tuples)
+        assert stats.tuples == 300
+        assert stats.matches > 0
+        assert stats.throughput > 0
+        assert len(stats.per_tuple) == 300
+        assert stats.max_latency >= stats.mean_latency > 0
+        assert stats.latency_percentile(50) <= stats.latency_percentile(99)
+
+    def test_latency_sampling(self, q3_query):
+        window = WindowSpec.count(100, 20)
+        tuples = as_stream_tuples(self_stream(100, seed=2))
+        stats = drive_local(
+            make_spo_join(q3_query, window), tuples, sample_latency_every=10
+        )
+        assert len(stats.per_tuple) == 10
+
+    def test_empty_stream(self, q3_query):
+        stats = drive_local(
+            make_spo_join(q3_query, WindowSpec.count(10, 5)), []
+        )
+        assert stats.tuples == 0
+        assert stats.throughput == 0 or stats.elapsed >= 0
+        assert stats.mean_latency == 0.0
+        assert stats.max_latency == 0.0
+
+
+class TestTimeProbes:
+    def test_throughput_and_latencies(self):
+        calls = []
+        probes = [make_tuple(i, "T", i) for i in range(20)]
+        tp, lats = time_probes(lambda t: calls.append(t.tid), probes)
+        assert len(calls) == 20
+        assert tp > 0
+        assert len(lats) == 20
+
+
+class TestComponentExtraction:
+    @pytest.fixture
+    def run_result(self, q3_query):
+        from repro.core import WindowSpec
+        from repro.joins import SPOConfig, run_spo
+        from repro.workloads import timed
+
+        raws = self_stream(300, seed=3)
+        source = timed(raws, rate=1000.0)
+        return run_spo(source, SPOConfig(q3_query, WindowSpec.count(100, 20)))
+
+    def test_component_throughput(self, run_result):
+        summary = component_throughput(run_result, "immutable_result", 0.05)
+        assert summary.count > 0
+        assert summary.mean > 0
+
+    def test_component_latency(self, run_result):
+        collector = component_latency(run_result, "immutable_result")
+        assert len(collector.values) == 300
+        assert collector.percentile(50) > 0
+
+    def test_unknown_record_name(self, run_result):
+        assert component_throughput(run_result, "nope").count == 0
+        assert component_latency(run_result, "nope").values == []
+
+
+class TestComponentBuilders:
+    def test_chunk_splits_evenly(self):
+        tuples = [make_tuple(i, "T", i) for i in range(10)]
+        pieces = chunk(tuples, 5)
+        assert len(pieces) == 5
+        assert all(len(p) == 2 for p in pieces)
+
+    def test_chunk_rejects_zero(self):
+        with pytest.raises(ValueError):
+            chunk([], 0)
+
+    def test_build_mutable_window(self, q3_query):
+        tuples = as_stream_tuples(self_stream(50, seed=4))
+        comp = build_mutable_window(q3_query, tuples)
+        assert len(comp) == 50
+
+    def test_build_immutable_list_self(self, q3_query):
+        tuples = as_stream_tuples(self_stream(100, seed=5))
+        lst = build_immutable_list(q3_query, tuples, 4, "po")
+        assert len(lst) == 4
+        assert lst.total_tuples() == 100
+
+    def test_build_immutable_list_cross(self, q1_query):
+        from ..conftest import interleaved_rs
+
+        tuples = interleaved_rs(100, seed=6)
+        lst = build_immutable_list(q1_query, tuples, 2, "css_bit")
+        assert len(lst) == 2
+        assert lst.total_tuples() == 100
+
+    def test_unknown_kind_rejected(self, q3_query):
+        with pytest.raises(ValueError):
+            build_immutable_list(q3_query, [], 1, "btree")

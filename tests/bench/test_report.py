@@ -1,0 +1,75 @@
+"""Run reports: component summaries, PE accounting, markdown rendering."""
+
+import pytest
+
+from repro.bench import RunReport, summarize_run
+from repro.core import WindowSpec
+from repro.joins import SPOConfig, run_spo
+from repro.workloads import q3, self_stream, timed
+
+
+@pytest.fixture(scope="module")
+def report():
+    raws = self_stream(400, seed=40)
+    result = run_spo(
+        timed(raws, rate=2000.0),
+        SPOConfig(q3(), WindowSpec.count(100, 20), num_pojoin_pes=2),
+    )
+    return summarize_run(result)
+
+
+class TestSummarizeRun:
+    def test_discovers_components(self, report):
+        assert "mutable_result" in report.components
+        assert "immutable_result" in report.components
+        assert "merge_built" in report.components
+
+    def test_component_metrics(self, report):
+        comp = report.components["immutable_result"]
+        # Every tuple is broadcast to both PO-Join PEs: 400 x 2 records.
+        assert comp.records == 800
+        assert comp.throughput.mean > 0
+        assert 0 < comp.latency_p50 <= comp.latency_p95 <= comp.latency_max
+
+    def test_pe_reports(self, report):
+        names = {pe.name for pe in report.pes}
+        assert any(name.startswith("router") for name in names)
+        assert any(name.startswith("pojoin") for name in names)
+        for pe in report.pes:
+            assert 0.0 <= pe.utilization <= 1.0
+            assert pe.mean_wait >= 0.0
+
+    def test_hottest_pe(self, report):
+        hottest = report.hottest_pe()
+        assert hottest is not None
+        assert hottest.utilization == max(p.utilization for p in report.pes)
+
+    def test_markdown_renders(self, report):
+        md = report.to_markdown()
+        assert md.startswith("## Run report")
+        assert "| component |" in md
+        assert "immutable_result" in md
+        assert "pojoin[0]" in md
+
+    def test_explicit_record_names(self, report):
+        # Re-summarize a subset.
+        raws = self_stream(100, seed=41)
+        from repro.joins import SPOConfig, run_spo
+
+        result = run_spo(
+            timed(raws, rate=2000.0),
+            SPOConfig(q3(), WindowSpec.count(50, 10)),
+        )
+        sub = summarize_run(result, record_names=["mutable_result"])
+        assert list(sub.components) == ["mutable_result"]
+
+    def test_empty_component(self, report):
+        from repro.dspe.engine import RunResult
+
+        empty = summarize_run(
+            RunResult([], [], 0.0, 0.0, 0), record_names=["nothing"]
+        )
+        comp = empty.components["nothing"]
+        assert comp.records == 0
+        assert comp.latency_max == 0.0
+        assert empty.hottest_pe() is None

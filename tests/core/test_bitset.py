@@ -1,0 +1,155 @@
+"""Bit array: set/clear/range ops, intersection, popcounts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitSet
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        bits = BitSet(10)
+        assert bits.count() == 0
+        assert not bits.any()
+        assert bits.to_list() == []
+        assert len(bits) == 10
+
+    def test_set_and_get(self):
+        bits = BitSet(10)
+        bits.set(3)
+        bits.set(7)
+        assert bits.get(3) and bits.get(7)
+        assert not bits.get(4)
+        assert bits.to_list() == [3, 7]
+
+    def test_clear(self):
+        bits = BitSet(10)
+        bits.set(5)
+        bits.clear(5)
+        assert not bits.get(5)
+        bits.clear(5)  # idempotent
+        assert bits.count() == 0
+
+    def test_clear_all(self):
+        bits = BitSet(10)
+        bits.set_range(0, 10)
+        bits.clear_all()
+        assert bits.count() == 0
+
+    def test_bounds_checked(self):
+        bits = BitSet(4)
+        with pytest.raises(IndexError):
+            bits.set(4)
+        with pytest.raises(IndexError):
+            bits.get(-1)
+        with pytest.raises(IndexError):
+            bits.set_range(0, 5)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet(-1)
+
+    def test_zero_size(self):
+        bits = BitSet(0)
+        assert bits.count() == 0
+        assert list(bits.iter_set()) == []
+
+
+class TestRangeOps:
+    def test_set_range(self):
+        bits = BitSet(16)
+        bits.set_range(4, 9)
+        assert bits.to_list() == [4, 5, 6, 7, 8]
+
+    def test_set_range_empty(self):
+        bits = BitSet(16)
+        bits.set_range(5, 5)
+        bits.set_range(7, 3)
+        assert bits.count() == 0
+
+    def test_iter_set_window(self):
+        bits = BitSet(20)
+        bits.set_range(2, 18)
+        assert list(bits.iter_set(5, 9)) == [5, 6, 7, 8]
+
+    def test_count_range(self):
+        bits = BitSet(32)
+        bits.set_range(8, 24)
+        assert bits.count_range(0, 32) == 16
+        assert bits.count_range(10, 12) == 2
+        assert bits.count_range(24, 32) == 0
+        assert bits.count_range(9, 9) == 0
+
+
+class TestCombination:
+    def test_intersect(self):
+        a = BitSet(8)
+        b = BitSet(8)
+        a.set_range(0, 5)
+        b.set_range(3, 8)
+        assert a.intersect(b).to_list() == [3, 4]
+
+    def test_intersect_different_sizes(self):
+        a = BitSet(4)
+        b = BitSet(10)
+        a.set_range(0, 4)
+        b.set_range(2, 10)
+        combined = a.intersect(b)
+        assert combined.size == 10
+        assert combined.to_list() == [2, 3]
+
+    def test_union(self):
+        a = BitSet(8)
+        b = BitSet(8)
+        a.set(1)
+        b.set(6)
+        assert a.union(b).to_list() == [1, 6]
+
+    def test_copy_is_independent(self):
+        a = BitSet(8)
+        a.set(1)
+        b = a.copy()
+        b.set(2)
+        assert a.to_list() == [1]
+        assert b.to_list() == [1, 2]
+
+    def test_equality(self):
+        a = BitSet(8)
+        b = BitSet(8)
+        a.set(3)
+        b.set(3)
+        assert a == b
+        b.set(4)
+        assert a != b
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        indices=st.sets(st.integers(min_value=0, max_value=127), max_size=50),
+        lo=st.integers(min_value=0, max_value=128),
+        hi=st.integers(min_value=0, max_value=128),
+    )
+    def test_iter_and_count_agree_with_model(self, indices, lo, hi):
+        bits = BitSet(128)
+        for i in indices:
+            bits.set(i)
+        expected = sorted(i for i in indices if lo <= i < hi)
+        assert list(bits.iter_set(lo, hi)) == expected
+        assert bits.count_range(lo, hi) == len(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a_idx=st.sets(st.integers(min_value=0, max_value=63), max_size=30),
+        b_idx=st.sets(st.integers(min_value=0, max_value=63), max_size=30),
+    )
+    def test_intersect_is_set_intersection(self, a_idx, b_idx):
+        a = BitSet(64)
+        b = BitSet(64)
+        for i in a_idx:
+            a.set(i)
+        for i in b_idx:
+            b.set(i)
+        assert a.intersect(b).to_list() == sorted(a_idx & b_idx)
+        assert a.union(b).to_list() == sorted(a_idx | b_idx)

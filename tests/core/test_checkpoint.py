@@ -1,0 +1,97 @@
+"""Checkpoint/restore: a restored operator behaves bit-for-bit the same."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import JoinType, Op, QuerySpec, SPOJoin, WindowSpec, make_tuple
+from repro.core.checkpoint import checkpoint, restore
+
+from ..conftest import interleaved_rs, random_tuples
+
+
+def drive(join, tuples):
+    return [sorted(m for __, m in join.process(t)) for t in tuples]
+
+
+def roundtrip(query, window, warmup, future, **kwargs):
+    """Run warmup, checkpoint, restore, and compare futures."""
+    original = SPOJoin(query, window, **kwargs)
+    for t in warmup:
+        original.process(t)
+    state = checkpoint(original)
+    # The snapshot must survive a serialization boundary.
+    state = json.loads(json.dumps(state))
+    restored = restore(query, state)
+    assert drive(original, future) == drive(restored, list(future))
+    return original, restored
+
+
+class TestRoundtrip:
+    def test_self_join(self, q3_query):
+        data = random_tuples(400, seed=120)
+        roundtrip(q3_query, WindowSpec.count(100, 20), data[:250], data[250:])
+
+    def test_cross_join(self, q1_query):
+        data = interleaved_rs(400, seed=121)
+        roundtrip(q1_query, WindowSpec.count(100, 20), data[:250], data[250:])
+
+    def test_band_join(self, q2_query):
+        data = random_tuples(300, seed=122)
+        roundtrip(q2_query, WindowSpec.count(80, 20), data[:180], data[180:])
+
+    def test_hash_evaluator(self, q3_query):
+        data = random_tuples(300, seed=123)
+        roundtrip(
+            q3_query, WindowSpec.count(100, 20), data[:180], data[180:],
+            evaluator="hash",
+        )
+
+    def test_sub_intervals(self, q1_query):
+        data = interleaved_rs(300, seed=124)
+        roundtrip(
+            q1_query, WindowSpec.count(100, 20), data[:180], data[180:],
+            sub_intervals=4,
+        )
+
+    def test_time_window(self, q3_query):
+        data = random_tuples(300, seed=125)  # event_time = i * 0.001
+        roundtrip(q3_query, WindowSpec.time(0.1, 0.02), data[:180], data[180:])
+
+    def test_checkpoint_mid_merge_interval(self, q3_query):
+        # Snapshot taken with a partially filled mutable window.
+        data = random_tuples(235, seed=126)
+        roundtrip(q3_query, WindowSpec.count(100, 20), data[:215], data[215:])
+
+    def test_checkpoint_of_fresh_operator(self, q3_query):
+        roundtrip(
+            q3_query, WindowSpec.count(50, 10), [], random_tuples(100, seed=127)
+        )
+
+
+class TestStateContents:
+    def test_stats_survive(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        for t in random_tuples(150, seed=128):
+            join.process(t)
+        restored = restore(q3_query, checkpoint(join))
+        assert restored.stats.tuples_processed == join.stats.tuples_processed
+        assert restored.stats.matches_emitted == join.stats.matches_emitted
+        assert restored.stats.merges == join.stats.merges
+        assert restored.mutable_size() == join.mutable_size()
+        assert restored.immutable_size() == join.immutable_size()
+
+    def test_snapshot_is_json_serializable(self, q1_query):
+        join = SPOJoin(q1_query, WindowSpec.count(60, 20))
+        for t in interleaved_rs(120, seed=129):
+            join.process(t)
+        text = json.dumps(checkpoint(join))
+        assert isinstance(text, str) and len(text) > 100
+
+    def test_version_mismatch_rejected(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(50, 10))
+        state = checkpoint(join)
+        state["version"] = 999
+        with pytest.raises(ValueError):
+            restore(q3_query, state)

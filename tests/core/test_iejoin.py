@@ -1,0 +1,192 @@
+"""Batch IE-Join vs the nested-loop reference, across all operators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JoinType,
+    Op,
+    Predicate,
+    QuerySpec,
+    ie_join,
+    ie_self_join,
+    make_tuple,
+    nested_loop_join,
+    nested_loop_self_join,
+)
+from repro.core.iejoin import ie_join_count, ie_self_join_count
+
+ALL_OPS = [Op.LT, Op.GT, Op.LE, Op.GE, Op.EQ, Op.NE]
+
+
+def rand_tuples(stream, n, start_tid, seed, lo=0, hi=15):
+    rng = random.Random(seed)
+    return [
+        make_tuple(start_tid + i, stream, rng.randint(lo, hi), rng.randint(lo, hi))
+        for i in range(n)
+    ]
+
+
+class TestTwoRelation:
+    @pytest.mark.parametrize("op1", ALL_OPS)
+    @pytest.mark.parametrize("op2", ALL_OPS)
+    def test_all_operator_pairs(self, op1, op2):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, op1, op2)
+        left = rand_tuples("R", 25, 0, seed=hash((op1, op2)) % 1000)
+        right = rand_tuples("S", 25, 100, seed=hash((op2, op1)) % 1000 + 1)
+        assert sorted(ie_join(left, right, q)) == sorted(
+            nested_loop_join(left, right, q)
+        )
+
+    def test_empty_inputs(self):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, Op.LT, Op.GT)
+        right = rand_tuples("S", 10, 0, seed=2)
+        assert ie_join([], right, q) == []
+        assert ie_join(right, [], q) == []
+        assert ie_join([], [], q) == []
+
+    def test_count_matches_pairs(self):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, Op.LE, Op.GE)
+        left = rand_tuples("R", 30, 0, seed=3)
+        right = rand_tuples("S", 30, 100, seed=4)
+        assert ie_join_count(left, right, q) == len(ie_join(left, right, q))
+
+    def test_all_duplicates(self):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, Op.LE, Op.GE)
+        left = [make_tuple(i, "R", 5, 5) for i in range(10)]
+        right = [make_tuple(100 + i, "S", 5, 5) for i in range(10)]
+        assert len(ie_join(left, right, q)) == 100
+
+    def test_three_predicates_via_residual_filter(self):
+        q = QuerySpec(
+            "q",
+            JoinType.CROSS,
+            [Predicate(0, Op.LT, 0), Predicate(1, Op.GT, 1), Predicate(0, Op.NE, 1)],
+        )
+        left = rand_tuples("R", 25, 0, seed=41)
+        right = rand_tuples("S", 25, 100, seed=42)
+        assert sorted(ie_join(left, right, q)) == sorted(
+            nested_loop_join(left, right, q)
+        )
+
+    def test_three_predicates_count(self):
+        q = QuerySpec(
+            "q",
+            JoinType.CROSS,
+            [Predicate(0, Op.LE, 0), Predicate(1, Op.GE, 1), Predicate(1, Op.LT, 0)],
+        )
+        left = rand_tuples("R", 20, 0, seed=43)
+        right = rand_tuples("S", 20, 100, seed=44)
+        assert ie_join_count(left, right, q) == len(
+            nested_loop_join(left, right, q)
+        )
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("op1", ALL_OPS)
+    @pytest.mark.parametrize("op2", ALL_OPS)
+    def test_all_operator_pairs(self, op1, op2):
+        q = QuerySpec.two_inequalities("q3", JoinType.SELF, op1, op2)
+        tuples = rand_tuples("T", 25, 0, seed=hash((op1, op2, "s")) % 1000)
+        assert sorted(ie_self_join(tuples, q)) == sorted(
+            nested_loop_self_join(tuples, q)
+        )
+
+    def test_self_pair_excluded_with_nonstrict_ops(self):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, Op.GE, Op.LE)
+        tuples = [make_tuple(i, "T", 1, 1) for i in range(5)]
+        pairs = ie_self_join(tuples, q)
+        assert all(a != b for a, b in pairs)
+        assert len(pairs) == 20  # 5*4 ordered pairs
+
+    def test_count_variant(self):
+        q = QuerySpec.two_inequalities("q3", JoinType.SELF, Op.GT, Op.LT)
+        tuples = rand_tuples("T", 40, 0, seed=7)
+        assert ie_self_join_count(tuples, q) == len(ie_self_join(tuples, q))
+
+
+class TestBandJoin:
+    def test_band_vs_reference(self):
+        rng = random.Random(8)
+        q = QuerySpec.band("q2", width=3.0)
+        tuples = [
+            make_tuple(i, "T", rng.uniform(0, 20), rng.uniform(0, 20))
+            for i in range(30)
+        ]
+        assert sorted(ie_self_join(tuples, q)) == sorted(
+            nested_loop_self_join(tuples, q)
+        )
+
+    def test_zero_width_band(self):
+        q = QuerySpec.band("q2", width=0.0)
+        tuples = [make_tuple(i, "T", 1.0, 1.0) for i in range(5)]
+        assert ie_self_join(tuples, q) == []  # exclusive band of width 0
+
+    def test_inclusive_band(self):
+        q = QuerySpec.band("q2", width=0.0, inclusive=True)
+        tuples = [make_tuple(i, "T", 1.0, 1.0) for i in range(3)]
+        assert len(ie_self_join(tuples, q)) == 6
+
+
+class TestSinglePredicate:
+    @pytest.mark.parametrize("op", ALL_OPS)
+    def test_single_predicate_ops(self, op):
+        q = QuerySpec("q", JoinType.CROSS, [Predicate(0, op, 0)])
+        left = rand_tuples("R", 20, 0, seed=9)
+        right = rand_tuples("S", 20, 100, seed=10)
+        assert sorted(ie_join(left, right, q)) == sorted(
+            nested_loop_join(left, right, q)
+        )
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left_vals=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=0, max_value=8),
+            ),
+            max_size=20,
+        ),
+        right_vals=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=0, max_value=8),
+            ),
+            max_size=20,
+        ),
+        op1=st.sampled_from(ALL_OPS),
+        op2=st.sampled_from(ALL_OPS),
+    )
+    def test_cross_join_equivalence(self, left_vals, right_vals, op1, op2):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, op1, op2)
+        left = [make_tuple(i, "R", a, b) for i, (a, b) in enumerate(left_vals)]
+        right = [
+            make_tuple(1000 + i, "S", a, b) for i, (a, b) in enumerate(right_vals)
+        ]
+        assert sorted(ie_join(left, right, q)) == sorted(
+            nested_loop_join(left, right, q)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        vals=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=20,
+        ),
+        op1=st.sampled_from(ALL_OPS),
+        op2=st.sampled_from(ALL_OPS),
+    )
+    def test_self_join_equivalence(self, vals, op1, op2):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, op1, op2)
+        tuples = [make_tuple(i, "T", a, b) for i, (a, b) in enumerate(vals)]
+        assert sorted(ie_self_join(tuples, q)) == sorted(
+            nested_loop_self_join(tuples, q)
+        )

@@ -1,0 +1,83 @@
+"""Logical operator: provenance hash table vs overwrite semantics."""
+
+import pytest
+
+from repro.core import BitSet, LogicalAndOperator
+
+
+def bits_of(size, *indices):
+    b = BitSet(size)
+    for i in indices:
+        b.set(i)
+    return b
+
+
+class TestProvenanceMode:
+    def test_waits_for_all_predicates(self):
+        op = LogicalAndOperator(num_predicates=2)
+        assert op.receive(1, 0, {10, 11}) is None
+        result = op.receive(1, 1, {11, 12})
+        assert result is not None
+        assert result.matches == [11]
+        assert result.correct
+        assert op.pending == 0
+
+    def test_interleaved_tuples_stay_separate(self):
+        op = LogicalAndOperator(num_predicates=2)
+        assert op.receive(1, 0, {10}) is None
+        assert op.receive(2, 0, {20}) is None
+        r2 = op.receive(2, 1, {20, 21})
+        assert r2.probe_tid == 2 and r2.matches == [20]
+        r1 = op.receive(1, 1, {10, 30})
+        assert r1.probe_tid == 1 and r1.matches == [10]
+        assert op.correctness_ratio() == 1.0
+
+    def test_bitset_partials(self):
+        op = LogicalAndOperator(num_predicates=2)
+        op.receive(5, 0, bits_of(8, 1, 2, 3))
+        result = op.receive(5, 1, bits_of(8, 2, 3, 4))
+        assert result.matches == [2, 3]
+
+    def test_single_predicate_emits_immediately(self):
+        op = LogicalAndOperator(num_predicates=1)
+        result = op.receive(1, 0, {7})
+        assert result is not None and result.matches == [7]
+
+    def test_rejects_zero_predicates(self):
+        with pytest.raises(ValueError):
+            LogicalAndOperator(num_predicates=0)
+
+
+class TestOverwriteMode:
+    def test_out_of_order_overwrite_detected(self):
+        op = LogicalAndOperator(num_predicates=2, use_provenance=False)
+        # Tuple 1's pred-0 partial arrives, then tuple 2's pred-0 partial
+        # overwrites it before tuple 1's pred-1 partial lands.
+        assert op.receive(1, 0, {10}) is None
+        assert op.receive(2, 0, {20}) is None  # overwrites slot 0
+        result = op.receive(1, 1, {10, 20})
+        assert result is not None
+        assert not result.correct
+        assert op.incorrect == 1
+
+    def test_in_order_remains_correct(self):
+        op = LogicalAndOperator(num_predicates=2, use_provenance=False)
+        op.receive(1, 0, {10})
+        result = op.receive(1, 1, {10})
+        assert result.correct
+        assert op.correctness_ratio() == 1.0
+
+    def test_correctness_ratio_mixed(self):
+        op = LogicalAndOperator(num_predicates=2, use_provenance=False)
+        op.receive(1, 0, {1})
+        op.receive(1, 1, {1})  # correct
+        op.receive(2, 0, {2})
+        op.receive(3, 0, {3})  # overwrite
+        op.receive(3, 1, {3})  # incorrect pairing? ids {3} only -> correct
+        op.receive(4, 0, {4})
+        op.receive(5, 1, {5})  # pairs tid 4 & 5 -> incorrect
+        assert 0.0 < op.correctness_ratio() < 1.0
+
+    def test_empty_correctness_ratio(self):
+        op = LogicalAndOperator(num_predicates=2, use_provenance=False)
+        assert op.correctness_ratio() == 1.0

@@ -1,0 +1,161 @@
+"""Merge step: Algorithm 2 (permutation) and Algorithm 3 (offsets)."""
+
+import random
+from bisect import bisect_left, bisect_right
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JoinType,
+    Op,
+    QuerySpec,
+    build_merge_batch,
+    compute_offsets,
+    compute_permutation,
+    sorted_run_from_tree,
+)
+from repro.indexes import BPlusTree, SortedRun
+
+
+def tree_of(entries):
+    tree = BPlusTree(order=8)
+    for v, tid in entries:
+        tree.insert(v, tid)
+    return tree
+
+
+class TestSortedRunFromTree:
+    def test_leaf_scan_is_sorted(self):
+        rng = random.Random(0)
+        entries = [(rng.randint(0, 30), i) for i in range(200)]
+        run = sorted_run_from_tree(tree_of(entries))
+        assert list(zip(run.values, run.tids)) == sorted(entries)
+
+    def test_empty_tree(self):
+        run = sorted_run_from_tree(BPlusTree())
+        assert len(run) == 0
+
+
+class TestPermutation:
+    def test_paper_semantics(self):
+        # run_a sorts tuples by field a; run_b by field b.  P[j] is the
+        # position in run_a of the j-th tuple of run_b.
+        run_a = SortedRun([1, 2, 3], [10, 11, 12])
+        run_b = SortedRun([5, 6, 7], [12, 10, 11])
+        assert compute_permutation(run_a, run_b) == [2, 0, 1]
+
+    def test_identity_when_orders_agree(self):
+        run = SortedRun([1, 2, 3], [0, 1, 2])
+        assert compute_permutation(run, run) == [0, 1, 2]
+
+    def test_rejects_mismatched_runs(self):
+        with pytest.raises(ValueError):
+            compute_permutation(SortedRun([1], [0]), SortedRun([], []))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=40,
+        )
+    )
+    def test_permutation_is_bijection(self, pairs):
+        tuples = [(a, b, tid) for tid, (a, b) in enumerate(pairs)]
+        run_a = SortedRun.from_unsorted_entries([(a, tid) for a, __, tid in tuples])
+        run_b = SortedRun.from_unsorted_entries([(b, tid) for __, b, tid in tuples])
+        perm = compute_permutation(run_a, run_b)
+        assert sorted(perm) == list(range(len(pairs)))
+        # P maps each tuple's b-position to its a-position.
+        for j, tid in enumerate(run_b.tids):
+            assert run_a.tids[perm[j]] == tid
+
+
+class TestOffsetArray:
+    def test_algorithm3_semantics(self):
+        from repro.core import compute_offset_array
+
+        # offset[i] = first position in the opposite run with key >= k_r.
+        assert compute_offset_array([1, 3, 5], [2, 3, 3, 6]) == [0, 1, 3]
+        assert compute_offset_array([9], [2, 3]) == [2]  # past the end
+        assert compute_offset_array([], [1, 2]) == []
+        assert compute_offset_array([1, 2], []) == [0, 0]
+
+    def test_matches_bisect_left(self):
+        from bisect import bisect_left as bl
+
+        from repro.core import compute_offset_array
+
+        import random
+
+        rng = random.Random(0)
+        left = sorted(rng.randint(0, 20) for __ in range(50))
+        right = sorted(rng.randint(0, 20) for __ in range(60))
+        assert compute_offset_array(left, right) == [bl(right, k) for k in left]
+
+
+class TestOffsets:
+    def test_paper_example_semantics(self):
+        # Offset = relative location of each left key in the right run.
+        lower, upper = compute_offsets([1, 3, 5], [2, 3, 3, 6])
+        assert lower == [0, 1, 3]  # first right >= left key
+        assert upper == [0, 3, 3]  # first right > left key
+
+    def test_empty_right(self):
+        lower, upper = compute_offsets([1, 2], [])
+        assert lower == [0, 0]
+        assert upper == [0, 0]
+
+    def test_empty_left(self):
+        assert compute_offsets([], [1, 2]) == ([], [])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(st.integers(min_value=-15, max_value=15), max_size=40),
+        right=st.lists(st.integers(min_value=-15, max_value=15), max_size=40),
+    )
+    def test_offsets_equal_bisect(self, left, right):
+        left, right = sorted(left), sorted(right)
+        lower, upper = compute_offsets(left, right)
+        for i, key in enumerate(left):
+            assert lower[i] == bisect_left(right, key)
+            assert upper[i] == bisect_right(right, key)
+
+
+class TestMergeBatch:
+    def test_self_join_batch(self):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, Op.GT, Op.LT)
+        trees = [tree_of([(3, 0), (1, 1)]), tree_of([(5, 0), (9, 1)])]
+        batch = build_merge_batch(0, q, trees)
+        assert not batch.is_two_sided
+        assert len(batch) == 2
+        assert batch.left.permutation is not None
+        assert batch.side(True) is batch.left
+
+    def test_cross_join_batch_has_offsets(self):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, Op.LT, Op.GT)
+        left = [tree_of([(1, 0)]), tree_of([(2, 0)])]
+        right = [tree_of([(3, 1)]), tree_of([(4, 1)])]
+        batch = build_merge_batch(1, q, left, right)
+        assert batch.is_two_sided
+        assert set(batch.offsets) == {
+            (0, "lr"),
+            (0, "rl"),
+            (1, "lr"),
+            (1, "rl"),
+        }
+        assert batch.side(True) is batch.right
+        assert batch.side(False) is batch.left
+
+    def test_memory_accounting(self):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, Op.GT, Op.LT)
+        small = build_merge_batch(0, q, [tree_of([(1, 0)]), tree_of([(1, 0)])])
+        entries = [(i, i) for i in range(100)]
+        big = build_merge_batch(
+            1, q, [tree_of(entries), tree_of(entries)]
+        )
+        assert small.memory_bits() < big.memory_bits()

@@ -1,0 +1,156 @@
+"""Mutable component: per-predicate probing, evaluators, drain."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BitSet,
+    JoinType,
+    MutableComponent,
+    Op,
+    QuerySpec,
+    make_tuple,
+)
+
+
+def rand_tuples(stream, n, start, seed, hi=15):
+    rng = random.Random(seed)
+    return [
+        make_tuple(start + i, stream, rng.randint(0, hi), rng.randint(0, hi))
+        for i in range(n)
+    ]
+
+
+class TestInsertAndProbe:
+    def test_insert_assigns_sequential_slots(self, q3_query):
+        comp = MutableComponent(q3_query)
+        tuples = rand_tuples("T", 5, 0, seed=0)
+        slots = [comp.insert(t) for t in tuples]
+        assert slots == [0, 1, 2, 3, 4]
+        assert len(comp) == 5
+        assert comp.tids() == [t.tid for t in tuples]
+
+    def test_bit_probe_matches_reference(self, q3_query):
+        comp = MutableComponent(q3_query, evaluator="bit")
+        stored = rand_tuples("T", 30, 0, seed=1)
+        for t in stored:
+            comp.insert(t)
+        probe = make_tuple(999, "T", 8, 8)
+        bits = comp.probe_predicate(0, probe, True)
+        assert isinstance(bits, BitSet)
+        pred = q3_query.predicates[0]
+        expected_slots = {
+            i
+            for i, s in enumerate(stored)
+            if pred.holds(probe.values[0], s.values[0])
+        }
+        assert set(bits.iter_set()) == expected_slots
+
+    def test_hash_probe_matches_reference(self, q3_query):
+        comp = MutableComponent(q3_query, evaluator="hash")
+        stored = rand_tuples("T", 30, 0, seed=2)
+        for t in stored:
+            comp.insert(t)
+        probe = make_tuple(999, "T", 8, 8)
+        matched = comp.probe_predicate(1, probe, True)
+        # The naive baseline is a hash table carrying the matched values.
+        assert isinstance(matched, dict)
+        pred = q3_query.predicates[1]
+        assert set(matched) == {
+            s.tid for s in stored if pred.holds(probe.values[1], s.values[1])
+        }
+        assert all(matched[s.tid] == s.values[1] for s in stored if s.tid in matched)
+
+    @pytest.mark.parametrize("evaluator", ["bit", "hash"])
+    def test_evaluate_equals_nested_loop(self, q3_query, evaluator):
+        comp = MutableComponent(q3_query, evaluator=evaluator)
+        stored = rand_tuples("T", 40, 0, seed=3)
+        for t in stored:
+            comp.insert(t)
+        for probe in rand_tuples("T", 10, 1000, seed=4):
+            got = sorted(comp.evaluate(probe, True))
+            exp = sorted(s.tid for s in stored if q3_query.matches(probe, s))
+            assert got == exp
+
+    def test_self_join_excludes_probe_itself(self, q3_query):
+        comp = MutableComponent(q3_query)
+        t = make_tuple(5, "T", 3, 3)
+        comp.insert(t)
+        # Re-evaluating the same tuple must not match itself.
+        assert 5 not in comp.evaluate(t, True)
+
+    def test_cross_sides_use_correct_fields(self, q1_query):
+        # Left stores left_field values; right stores right_field values.
+        left = MutableComponent(q1_query, side="left")
+        right = MutableComponent(q1_query, side="right")
+        r = make_tuple(0, "R", 1, 9)
+        s = make_tuple(1, "S", 5, 3)
+        left.insert(r)
+        right.insert(s)
+        # s probes the left window: R.POWER < S.POWER and R.COOL > S.COOL.
+        assert left.evaluate(s, False) == [0]
+        # r probes the right window symmetrically.
+        assert right.evaluate(r, True) == [1]
+
+    def test_invalid_args_rejected(self, q3_query):
+        with pytest.raises(ValueError):
+            MutableComponent(q3_query, side="middle")
+        with pytest.raises(ValueError):
+            MutableComponent(q3_query, evaluator="bloom")
+
+
+class TestDrain:
+    @pytest.mark.parametrize("evaluator", ["bit", "hash"])
+    def test_drain_returns_runs_and_resets(self, q3_query, evaluator):
+        comp = MutableComponent(q3_query, evaluator=evaluator)
+        stored = rand_tuples("T", 20, 0, seed=5)
+        for t in stored:
+            comp.insert(t)
+        runs = comp.drain_runs()
+        assert len(runs) == 2
+        assert all(len(run) == 20 for run in runs)
+        assert len(comp) == 0
+        assert comp.tids() == []
+        # Component usable after drain.
+        comp.insert(make_tuple(100, "T", 1, 1))
+        assert len(comp) == 1
+
+    @pytest.mark.parametrize("evaluator", ["bit", "hash"])
+    def test_drained_runs_carry_real_tuple_ids(self, q3_query, evaluator):
+        comp = MutableComponent(q3_query, evaluator=evaluator)
+        stored = rand_tuples("T", 25, 0, seed=6)
+        for t in stored:
+            comp.insert(t)
+        runs = comp.drain_runs()
+        for pred_idx, run in enumerate(runs):
+            expected = sorted(
+                (t.values[pred_idx], t.tid) for t in stored
+            )
+            assert list(run) == expected
+
+    def test_memory_bits(self, q3_query):
+        comp = MutableComponent(q3_query)
+        for t in rand_tuples("T", 50, 0, seed=7):
+            comp.insert(t)
+        assert comp.memory_bits() > 0
+
+
+class TestIntersect:
+    def test_intersect_bitsets(self, q3_query):
+        comp = MutableComponent(q3_query)
+        for t in rand_tuples("T", 10, 0, seed=8):
+            comp.insert(t)
+        a = BitSet(10)
+        b = BitSet(10)
+        a.set_range(0, 6)
+        b.set_range(4, 10)
+        assert comp.intersect([a, b]) == [comp.tids()[4], comp.tids()[5]]
+
+    def test_intersect_sets(self, q3_query):
+        comp = MutableComponent(q3_query, evaluator="hash")
+        assert comp.intersect([{1, 2, 3}, {2, 3, 4}]) == [2, 3]
+
+    def test_intersect_empty_list(self, q3_query):
+        comp = MutableComponent(q3_query)
+        assert comp.intersect([]) == []

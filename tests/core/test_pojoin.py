@@ -1,0 +1,210 @@
+"""Immutable PO-Join: probe semantics, offset seeding, Algorithm 4 list."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JoinType,
+    Op,
+    POJoinBatch,
+    POJoinList,
+    QuerySpec,
+    build_merge_batch,
+    make_tuple,
+)
+from repro.core.pojoin import _list_schedule_makespan
+from repro.indexes import BPlusTree
+
+ALL_OPS = [Op.LT, Op.GT, Op.LE, Op.GE, Op.EQ, Op.NE]
+
+
+def tree_from(tuples, field):
+    tree = BPlusTree(order=8)
+    for t in tuples:
+        tree.insert(t.values[field], t.tid)
+    return tree
+
+
+def self_batch(query, tuples, batch_id=0, use_offsets=True):
+    trees = [tree_from(tuples, p.left_field) for p in query.predicates]
+    return POJoinBatch(query, build_merge_batch(batch_id, query, trees), use_offsets)
+
+
+def cross_batch(query, left, right, batch_id=0, use_offsets=True):
+    lt = [tree_from(left, p.left_field) for p in query.predicates]
+    rt = [tree_from(right, p.right_field) for p in query.predicates]
+    return POJoinBatch(
+        query, build_merge_batch(batch_id, query, lt, rt), use_offsets
+    )
+
+
+def rand_tuples(stream, n, start, seed, hi=12):
+    rng = random.Random(seed)
+    return [
+        make_tuple(start + i, stream, rng.randint(0, hi), rng.randint(0, hi))
+        for i in range(n)
+    ]
+
+
+class TestSelfBatchProbe:
+    @pytest.mark.parametrize("op1", ALL_OPS)
+    @pytest.mark.parametrize("op2", ALL_OPS)
+    def test_probe_vs_reference(self, op1, op2):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, op1, op2)
+        stored = rand_tuples("T", 30, 0, seed=hash((op1, op2)) % 997)
+        batch = self_batch(q, stored)
+        probes = rand_tuples("T", 10, 1000, seed=5)
+        for probe in probes:
+            got = sorted(batch.probe(probe, True))
+            exp = sorted(s.tid for s in stored if q.matches(probe, s))
+            assert got == exp, (op1, op2, probe.values)
+
+    def test_empty_batch(self):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, Op.GT, Op.LT)
+        batch = self_batch(q, [])
+        assert batch.probe(make_tuple(1, "T", 5, 5), True) == []
+
+    def test_band_probe(self):
+        rng = random.Random(1)
+        q = QuerySpec.band("q2", width=2.5)
+        stored = [
+            make_tuple(i, "T", rng.uniform(0, 10), rng.uniform(0, 10))
+            for i in range(25)
+        ]
+        batch = self_batch(q, stored)
+        probe = make_tuple(99, "T", 5.0, 5.0)
+        got = sorted(batch.probe(probe, True))
+        exp = sorted(s.tid for s in stored if q.matches(probe, s))
+        assert got == exp
+
+
+class TestCrossBatchProbe:
+    @pytest.mark.parametrize("use_offsets", [True, False])
+    @pytest.mark.parametrize("probe_is_left", [True, False])
+    def test_probe_both_directions(self, use_offsets, probe_is_left):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, Op.LT, Op.GT)
+        left = rand_tuples("R", 25, 0, seed=2)
+        right = rand_tuples("S", 25, 100, seed=3)
+        batch = cross_batch(q, left, right, use_offsets=use_offsets)
+        probes = rand_tuples("R" if probe_is_left else "S", 10, 1000, seed=4)
+        stored = right if probe_is_left else left
+        for probe in probes:
+            got = sorted(batch.probe(probe, probe_is_left))
+            if probe_is_left:
+                exp = sorted(s.tid for s in stored if q.matches(probe, s))
+            else:
+                exp = sorted(s.tid for s in stored if q.matches(s, probe))
+            assert got == exp
+
+    def test_offset_and_bisect_paths_agree(self):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, Op.LE, Op.GE)
+        left = rand_tuples("R", 40, 0, seed=6)
+        right = rand_tuples("S", 40, 100, seed=7)
+        with_off = cross_batch(q, left, right, use_offsets=True)
+        without = cross_batch(q, left, right, use_offsets=False)
+        for probe in rand_tuples("R", 25, 1000, seed=8):
+            assert sorted(with_off.probe(probe, True)) == sorted(
+                without.probe(probe, True)
+            )
+
+    def test_single_predicate_equi_batch(self):
+        q = QuerySpec.equi("qe")
+        left = rand_tuples("R", 20, 0, seed=9, hi=5)
+        right = rand_tuples("S", 20, 100, seed=10, hi=5)
+        batch = cross_batch(q, left, right)
+        probe = make_tuple(999, "R", 3, 0)
+        got = sorted(batch.probe(probe, True))
+        assert got == sorted(s.tid for s in right if s.values[0] == 3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left_vals=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20
+        ),
+        right_vals=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20
+        ),
+        probe_vals=st.tuples(st.integers(-1, 9), st.integers(-1, 9)),
+        op1=st.sampled_from(ALL_OPS),
+        op2=st.sampled_from(ALL_OPS),
+        use_offsets=st.booleans(),
+    )
+    def test_property_probe(
+        self, left_vals, right_vals, probe_vals, op1, op2, use_offsets
+    ):
+        q = QuerySpec.two_inequalities("q", JoinType.CROSS, op1, op2)
+        left = [make_tuple(i, "R", a, b) for i, (a, b) in enumerate(left_vals)]
+        right = [
+            make_tuple(100 + i, "S", a, b) for i, (a, b) in enumerate(right_vals)
+        ]
+        batch = cross_batch(q, left, right, use_offsets=use_offsets)
+        probe = make_tuple(999, "R", *probe_vals)
+        got = sorted(batch.probe(probe, True))
+        assert got == sorted(s.tid for s in right if q.matches(probe, s))
+
+
+class TestPOJoinList:
+    def make_list(self, q, num_batches, per_batch=10, max_batches=None):
+        lst = POJoinList(q, max_batches=max_batches)
+        for b in range(num_batches):
+            stored = rand_tuples("T", per_batch, b * per_batch, seed=b)
+            lst.append(self_batch(q, stored, batch_id=b))
+        return lst
+
+    def test_probe_all_unions_batches(self, q3_query):
+        lst = self.make_list(q3_query, 4)
+        probe = make_tuple(999, "T", 6, 6)
+        outcome = lst.probe_all(probe, True)
+        assert outcome.batches_probed == 4
+        # Reference: probe each batch independently.
+        expected = []
+        for batch in lst.batches:
+            expected.extend(batch.probe(probe, True))
+        assert sorted(outcome.matches) == sorted(expected)
+
+    def test_max_batches_expiry(self, q3_query):
+        lst = self.make_list(q3_query, 6, max_batches=3)
+        assert len(lst) == 3
+        assert lst.expired_batches == 3
+        assert [b.batch_id for b in lst.batches] == [3, 4, 5]
+
+    def test_batch_id_filter(self, q3_query):
+        lst = self.make_list(q3_query, 4)
+        probe = make_tuple(999, "T", 6, 6)
+        limited = lst.probe_all(probe, True, batch_id_lt=2)
+        assert limited.batches_probed == 2
+
+    def test_total_tuples_and_memory(self, q3_query):
+        lst = self.make_list(q3_query, 3, per_batch=7)
+        assert lst.total_tuples() == 21
+        assert lst.memory_bits() > 0
+
+    def test_invalid_threads(self, q3_query):
+        lst = self.make_list(q3_query, 1)
+        with pytest.raises(ValueError):
+            lst.probe_all(make_tuple(1, "T", 1, 1), True, num_threads=0)
+
+    def test_makespan_not_more_than_serial(self, q3_query):
+        lst = self.make_list(q3_query, 8)
+        probe = make_tuple(999, "T", 6, 6)
+        serial = lst.probe_all(probe, True, num_threads=1)
+        parallel = lst.probe_all(probe, True, num_threads=4)
+        assert parallel.makespan <= serial.total_cost + 1e-9
+
+
+class TestListScheduling:
+    def test_empty(self):
+        assert _list_schedule_makespan([], 4) == 0.0
+
+    def test_single_thread_is_sum(self):
+        assert _list_schedule_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_more_threads_than_work(self):
+        assert _list_schedule_makespan([1.0, 2.0], 8) == pytest.approx(2.0)
+
+    def test_balanced_split(self):
+        # 4 equal costs over 2 workers -> 2 each.
+        assert _list_schedule_makespan([1.0] * 4, 2) == pytest.approx(2.0)

@@ -1,0 +1,158 @@
+"""Vectorized PO-Join batch: bit-for-bit parity with the scalar batch."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JoinType,
+    Op,
+    Predicate,
+    QuerySpec,
+    WindowSpec,
+    build_merge_batch,
+    make_tuple,
+)
+from repro.core.pojoin import POJoinBatch
+from repro.core.pojoin_numpy import VectorPOJoinBatch
+from repro.indexes import BPlusTree
+
+ALL_OPS = [Op.LT, Op.GT, Op.LE, Op.GE, Op.EQ, Op.NE]
+
+
+def tree_from(tuples, field):
+    tree = BPlusTree(order=8)
+    for t in tuples:
+        tree.insert(t.values[field], t.tid)
+    return tree
+
+
+def pair_of_batches(query, left, right=None):
+    if query.is_self_join:
+        lt = [tree_from(left, p.right_field) for p in query.predicates]
+        rt = None
+    else:
+        lt = [tree_from(left, p.left_field) for p in query.predicates]
+        rt = (
+            [tree_from(right, p.right_field) for p in query.predicates]
+            if right is not None
+            else None
+        )
+    merge = build_merge_batch(0, query, lt, rt)
+    return POJoinBatch(query, merge), VectorPOJoinBatch(query, merge)
+
+
+def rand_tuples(stream, n, start, seed, hi=12, fields=2):
+    rng = random.Random(seed)
+    return [
+        make_tuple(
+            start + i, stream, *(rng.randint(0, hi) for __ in range(fields))
+        )
+        for i in range(n)
+    ]
+
+
+class TestParity:
+    @pytest.mark.parametrize("op1", ALL_OPS)
+    @pytest.mark.parametrize("op2", ALL_OPS)
+    def test_self_join_all_ops(self, op1, op2):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, op1, op2)
+        stored = rand_tuples("T", 30, 0, seed=hash((op1, op2)) % 991)
+        scalar, vector = pair_of_batches(q, stored)
+        for probe in rand_tuples("T", 10, 1000, seed=90):
+            assert sorted(vector.probe(probe, True)) == sorted(
+                scalar.probe(probe, True)
+            )
+
+    @pytest.mark.parametrize("probe_is_left", [True, False])
+    def test_cross_join(self, q1_query, probe_is_left):
+        left = rand_tuples("R", 25, 0, seed=91)
+        right = rand_tuples("S", 25, 100, seed=92)
+        scalar, vector = pair_of_batches(q1_query, left, right)
+        stream = "R" if probe_is_left else "S"
+        for probe in rand_tuples(stream, 12, 1000, seed=93):
+            assert sorted(vector.probe(probe, probe_is_left)) == sorted(
+                scalar.probe(probe, probe_is_left)
+            )
+
+    def test_band_join(self, q2_query):
+        rng = random.Random(94)
+        stored = [
+            make_tuple(i, "T", rng.uniform(0, 10), rng.uniform(0, 10))
+            for i in range(30)
+        ]
+        scalar, vector = pair_of_batches(q2_query, stored)
+        probe = make_tuple(999, "T", 5.0, 5.0)
+        assert sorted(vector.probe(probe, True)) == sorted(
+            scalar.probe(probe, True)
+        )
+
+    def test_single_predicate(self):
+        q = QuerySpec.equi("qe")
+        left = rand_tuples("R", 20, 0, seed=95, hi=5, fields=1)
+        right = rand_tuples("S", 20, 100, seed=96, hi=5, fields=1)
+        scalar, vector = pair_of_batches(q, left, right)
+        probe = make_tuple(999, "R", 3)
+        assert sorted(vector.probe(probe, True)) == sorted(
+            scalar.probe(probe, True)
+        )
+
+    def test_three_predicates(self):
+        q = QuerySpec(
+            "q3p",
+            JoinType.SELF,
+            [Predicate(0, Op.GT, 0), Predicate(1, Op.LT, 1), Predicate(2, Op.NE, 2)],
+        )
+        stored = rand_tuples("T", 25, 0, seed=97, fields=3)
+        scalar, vector = pair_of_batches(q, stored)
+        for probe in rand_tuples("T", 10, 1000, seed=98, fields=3):
+            assert sorted(vector.probe(probe, True)) == sorted(
+                scalar.probe(probe, True)
+            )
+
+    def test_empty_batch(self, q3_query):
+        scalar, vector = pair_of_batches(q3_query, [])
+        assert vector.probe(make_tuple(1, "T", 5, 5), True) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vals=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=25
+        ),
+        probe_vals=st.tuples(st.integers(-1, 9), st.integers(-1, 9)),
+        op1=st.sampled_from(ALL_OPS),
+        op2=st.sampled_from(ALL_OPS),
+    )
+    def test_property_parity(self, vals, probe_vals, op1, op2):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, op1, op2)
+        stored = [make_tuple(i, "T", a, b) for i, (a, b) in enumerate(vals)]
+        scalar, vector = pair_of_batches(q, stored)
+        probe = make_tuple(999, "T", *probe_vals)
+        assert sorted(vector.probe(probe, True)) == sorted(
+            scalar.probe(probe, True)
+        )
+
+
+class TestIntegration:
+    def test_spo_join_with_vectorized_immutable(self, q3_query):
+        from repro.joins import NestedLoopJoin, make_spo_join
+
+        from ..conftest import random_tuples
+
+        window = WindowSpec.count(100, 20)
+        spo = make_spo_join(q3_query, window, immutable="po_vec")
+        nlj = NestedLoopJoin(q3_query, window)
+        for t in random_tuples(400, seed=99):
+            assert sorted(m for __, m in spo.process(t)) == sorted(
+                m for __, m in nlj.process(t)
+            )
+
+    def test_accounting_delegates(self, q3_query):
+        stored = rand_tuples("T", 20, 0, seed=100)
+        scalar, vector = pair_of_batches(q3_query, stored)
+        assert len(vector) == len(scalar)
+        assert vector.memory_bits() == scalar.memory_bits()
+        assert vector.index_overhead_bits() == scalar.index_overhead_bits()
+        assert vector.batch_id == scalar.batch_id

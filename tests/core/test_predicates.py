@@ -1,0 +1,154 @@
+"""Predicates: operator semantics, sorted-array intervals, value bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BandPredicate, Op, Predicate
+
+ALL_OPS = [Op.LT, Op.GT, Op.LE, Op.GE, Op.EQ, Op.NE]
+
+
+class TestOp:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (Op.LT, 1, 2, True),
+            (Op.LT, 2, 2, False),
+            (Op.GT, 3, 2, True),
+            (Op.GT, 2, 2, False),
+            (Op.LE, 2, 2, True),
+            (Op.GE, 2, 2, True),
+            (Op.EQ, 2, 2, True),
+            (Op.EQ, 2, 3, False),
+            (Op.NE, 2, 3, True),
+            (Op.NE, 2, 2, False),
+        ],
+    )
+    def test_holds(self, op, left, right, expected):
+        assert op.holds(left, right) is expected
+
+    @pytest.mark.parametrize("op", ALL_OPS)
+    def test_flip_is_involution(self, op):
+        assert op.flipped.flipped is op
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.integers(min_value=-10, max_value=10),
+        right=st.integers(min_value=-10, max_value=10),
+        op=st.sampled_from(ALL_OPS),
+    )
+    def test_flip_swaps_operands(self, left, right, op):
+        assert op.holds(left, right) == op.flipped.holds(right, left)
+
+
+class TestProbeIntervals:
+    @pytest.mark.parametrize("op", ALL_OPS)
+    @pytest.mark.parametrize("probe_is_left", [True, False])
+    @pytest.mark.parametrize("probe", [-1, 0, 2, 3, 7, 11])
+    def test_intervals_match_direct_evaluation(self, op, probe_is_left, probe):
+        stored = [0, 2, 2, 3, 5, 5, 5, 9, 10]
+        pred = Predicate(0, op, 0)
+        intervals = pred.probe_intervals(probe, stored, probe_is_left)
+        selected = {
+            pos for lo, hi in intervals for pos in range(lo, hi)
+        }
+        for pos, value in enumerate(stored):
+            if probe_is_left:
+                expected = op.holds(probe, value)
+            else:
+                expected = op.holds(value, probe)
+            assert (pos in selected) == expected, (op, probe, pos)
+
+    def test_empty_stored(self):
+        pred = Predicate(0, Op.LT, 0)
+        assert pred.probe_intervals(5, [], True) == [(0, 0)]
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        stored=st.lists(st.integers(min_value=-10, max_value=10), max_size=40),
+        probe=st.integers(min_value=-12, max_value=12),
+        op=st.sampled_from(ALL_OPS),
+        probe_is_left=st.booleans(),
+    )
+    def test_property_intervals(self, stored, probe, op, probe_is_left):
+        stored = sorted(stored)
+        pred = Predicate(0, op, 0)
+        selected = {
+            pos
+            for lo, hi in pred.probe_intervals(probe, stored, probe_is_left)
+            for pos in range(lo, hi)
+        }
+        for pos, value in enumerate(stored):
+            left, right = (probe, value) if probe_is_left else (value, probe)
+            assert (pos in selected) == op.holds(left, right)
+
+
+class TestProbeBounds:
+    @pytest.mark.parametrize("op", ALL_OPS)
+    @pytest.mark.parametrize("probe_is_left", [True, False])
+    def test_bounds_agree_with_intervals(self, op, probe_is_left):
+        stored = [0, 1, 3, 3, 4, 8, 9]
+        pred = Predicate(0, op, 0)
+        probe = 3
+        from_intervals = {
+            stored[pos]
+            for lo, hi in pred.probe_intervals(probe, stored, probe_is_left)
+            for pos in range(lo, hi)
+        }
+        from_bounds = set()
+        for lo, hi, lo_inc, hi_inc in pred.probe_bounds(probe, probe_is_left):
+            for v in stored:
+                above = lo is None or v > lo or (lo_inc and v == lo)
+                below = hi is None or v < hi or (hi_inc and v == hi)
+                if above and below:
+                    from_bounds.add(v)
+        assert from_bounds == from_intervals
+
+
+class TestBandPredicate:
+    def test_holds_exclusive(self):
+        band = BandPredicate(0, 0, width=2.0)
+        assert band.holds(5.0, 6.5)
+        assert not band.holds(5.0, 7.0)
+        assert band.holds(5.0, 3.5)
+
+    def test_holds_inclusive(self):
+        band = BandPredicate(0, 0, width=2.0, inclusive=True)
+        assert band.holds(5.0, 7.0)
+        assert not band.holds(5.0, 7.1)
+
+    def test_symmetry(self):
+        band = BandPredicate(0, 0, width=1.5)
+        assert band.holds(2.0, 3.0) == band.holds(3.0, 2.0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BandPredicate(0, 0, width=-1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stored=st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            max_size=30,
+        ),
+        probe=st.floats(min_value=-55, max_value=55, allow_nan=False),
+        width=st.floats(min_value=0, max_value=20, allow_nan=False),
+        inclusive=st.booleans(),
+    )
+    def test_intervals_match_holds(self, stored, probe, width, inclusive):
+        stored = sorted(stored)
+        band = BandPredicate(0, 0, width=width, inclusive=inclusive)
+        selected = {
+            pos
+            for lo, hi in band.probe_intervals(probe, stored, True)
+            for pos in range(lo, hi)
+        }
+        for pos, value in enumerate(stored):
+            assert (pos in selected) == band.holds(probe, value)
+
+    def test_probe_bounds(self):
+        band = BandPredicate(0, 0, width=2.0)
+        [(lo, hi, lo_inc, hi_inc)] = band.probe_bounds(5.0, True)
+        assert (lo, hi) == (3.0, 7.0)
+        assert not lo_inc and not hi_inc

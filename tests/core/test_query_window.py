@@ -1,0 +1,115 @@
+"""Query specs, tuples, windows, and merge policies."""
+
+import pytest
+
+from repro.core import (
+    JoinType,
+    MergePolicy,
+    Op,
+    Predicate,
+    QuerySpec,
+    StreamTuple,
+    WindowKind,
+    WindowSpec,
+    make_tuple,
+)
+
+
+class TestStreamTuple:
+    def test_construction(self):
+        t = make_tuple(3, "R", 1.0, 2.0, event_time=0.5)
+        assert t.tid == 3
+        assert t.stream == "R"
+        assert t.values == (1.0, 2.0)
+        assert t.value(1) == 2.0
+        assert t.event_time == 0.5
+
+    def test_equality_and_hash(self):
+        a = make_tuple(1, "R", 5)
+        b = make_tuple(1, "R", 5)
+        c = make_tuple(2, "R", 5)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_values_immutable_tuple(self):
+        t = StreamTuple(0, "R", [1, 2])
+        assert isinstance(t.values, tuple)
+
+
+class TestQuerySpec:
+    def test_requires_predicates(self):
+        with pytest.raises(ValueError):
+            QuerySpec("q", JoinType.SELF, [])
+
+    def test_two_inequalities_shape(self):
+        q = QuerySpec.two_inequalities("Q", JoinType.CROSS, Op.LT, Op.GT)
+        assert q.num_predicates == 2
+        assert not q.is_self_join
+        assert q.fields_used() == [0, 1]
+
+    def test_band_shape(self):
+        q = QuerySpec.band("Q2", width=0.03)
+        assert q.is_self_join
+        assert q.join_type is JoinType.BAND
+
+    def test_equi_shape(self):
+        q = QuerySpec.equi("QE")
+        assert q.num_predicates == 1
+        assert q.predicates[0].op is Op.EQ
+
+    def test_matches_semantics(self):
+        q = QuerySpec.two_inequalities("Q", JoinType.CROSS, Op.LT, Op.GT)
+        r = make_tuple(0, "R", 1, 9)
+        s = make_tuple(1, "S", 5, 3)
+        assert q.matches(r, s)  # 1 < 5 and 9 > 3
+        assert not q.matches(s, r)
+
+    def test_self_join_excludes_identity(self):
+        q = QuerySpec.two_inequalities("Q", JoinType.SELF, Op.GE, Op.LE)
+        t = make_tuple(7, "T", 1, 1)
+        assert not q.matches(t, t)
+        other = make_tuple(8, "T", 1, 1)
+        assert q.matches(t, other)
+
+    def test_fields_used_custom(self):
+        q = QuerySpec("q", JoinType.SELF, [Predicate(2, Op.LT, 4)])
+        assert q.fields_used() == [2, 4]
+
+
+class TestWindowSpec:
+    def test_count_window(self):
+        w = WindowSpec.count(1000, 100)
+        assert w.kind is WindowKind.COUNT
+        assert w.num_slides == 10
+
+    def test_time_window(self):
+        w = WindowSpec.time(60.0, 10.0)
+        assert w.kind is WindowKind.TIME
+        assert w.num_slides == 6
+
+    @pytest.mark.parametrize(
+        "length,slide", [(0, 1), (10, 0), (10, -1), (5, 10)]
+    )
+    def test_invalid_specs_rejected(self, length, slide):
+        with pytest.raises(ValueError):
+            WindowSpec.count(length, slide)
+
+
+class TestMergePolicy:
+    def test_full_slide_threshold(self):
+        policy = MergePolicy(WindowSpec.count(1000, 200))
+        assert policy.delta == 200
+        assert policy.max_batches == 4  # 5 intervals - 1 mutable
+
+    def test_sub_interval_threshold(self):
+        policy = MergePolicy(WindowSpec.count(1000, 200), sub_intervals=4)
+        assert policy.delta == 50
+        assert policy.max_batches == 16  # 20 intervals - 4 mutable
+
+    def test_single_slide_window(self):
+        policy = MergePolicy(WindowSpec.count(100, 100))
+        assert policy.max_batches >= 1
+
+    def test_rejects_bad_sub_intervals(self):
+        with pytest.raises(ValueError):
+            MergePolicy(WindowSpec.count(10, 5), sub_intervals=0)

@@ -1,0 +1,161 @@
+"""SPO-Join end-to-end (local): Algorithm 1 vs the reference window join."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JoinType,
+    Op,
+    QuerySpec,
+    SPOJoin,
+    WindowSpec,
+    make_tuple,
+)
+
+from ..conftest import ReferenceWindowJoin, interleaved_rs, random_tuples
+
+ALL_OPS = [Op.LT, Op.GT, Op.LE, Op.GE, Op.EQ, Op.NE]
+
+
+def compare_against_reference(query, tuples, window, sub_intervals=1, **kwargs):
+    join = SPOJoin(query, window, sub_intervals=sub_intervals, **kwargs)
+    ref = ReferenceWindowJoin(query, window, sub_intervals)
+    for t in tuples:
+        got = sorted(m for __, m in join.process(t))
+        exp = ref.process(t)
+        assert got == exp, (t.tid, got, exp)
+    return join
+
+
+class TestSelfJoin:
+    def test_q3_shape_vs_reference(self, q3_query):
+        tuples = random_tuples(400, seed=0)
+        join = compare_against_reference(q3_query, tuples, WindowSpec.count(100, 20))
+        assert join.stats.tuples_processed == 400
+        assert join.stats.merges == 20
+        assert join.stats.expired_batches > 0
+
+    @pytest.mark.parametrize("op1,op2", [(Op.GE, Op.LE), (Op.NE, Op.NE), (Op.LT, Op.LT)])
+    def test_other_operator_pairs(self, op1, op2):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, op1, op2)
+        tuples = random_tuples(250, seed=1, hi=8)
+        compare_against_reference(q, tuples, WindowSpec.count(60, 15))
+
+    def test_band_join_vs_reference(self, q2_query):
+        tuples = random_tuples(300, seed=2)
+        compare_against_reference(q2_query, tuples, WindowSpec.count(80, 20))
+
+    def test_sub_intervals(self, q3_query):
+        tuples = random_tuples(300, seed=3)
+        join = compare_against_reference(
+            q3_query, tuples, WindowSpec.count(100, 20), sub_intervals=4
+        )
+        assert join.policy.delta == 5
+
+    def test_hash_evaluator(self, q3_query):
+        tuples = random_tuples(250, seed=4)
+        compare_against_reference(
+            q3_query, tuples, WindowSpec.count(100, 20), evaluator="hash"
+        )
+
+    def test_time_based_window(self, q3_query):
+        tuples = random_tuples(300, seed=5)  # event_time = i * 0.001
+        compare_against_reference(q3_query, tuples, WindowSpec.time(0.1, 0.02))
+
+
+class TestCrossJoin:
+    def test_q1_shape_vs_reference(self, q1_query):
+        tuples = interleaved_rs(400, seed=6)
+        join = compare_against_reference(q1_query, tuples, WindowSpec.count(100, 20))
+        assert join.is_two_stream
+        assert join.stats.mutable_matches > 0
+        assert join.stats.immutable_matches > 0
+
+    def test_no_offsets_variant(self, q1_query):
+        tuples = interleaved_rs(300, seed=7)
+        compare_against_reference(
+            q1_query, tuples, WindowSpec.count(100, 20), use_offsets=False
+        )
+
+    def test_equi_join(self):
+        q = QuerySpec.equi("qe")
+        rng = random.Random(8)
+        tuples = [
+            make_tuple(i, rng.choice(["R", "S"]), rng.randrange(10))
+            for i in range(300)
+        ]
+        compare_against_reference(q, tuples, WindowSpec.count(100, 20))
+
+    def test_one_sided_input(self, q1_query):
+        # Only R tuples: everything matches nothing but nothing crashes.
+        tuples = [make_tuple(i, "R", i % 7, i % 5) for i in range(150)]
+        join = SPOJoin(q1_query, WindowSpec.count(50, 10))
+        for t in tuples:
+            assert join.process(t) == []
+
+
+class TestMergeMechanics:
+    def test_merge_moves_tuples_to_immutable(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        for t in random_tuples(20, seed=9):
+            join.process(t)
+        assert join.mutable_size() == 0  # exactly at threshold -> merged
+        assert join.immutable_size() == 20
+        assert join.stats.merges == 1
+
+    def test_empty_merge_skipped(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        assert join.merge() is None
+        assert join.stats.merges == 0
+
+    def test_window_size_bounded(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        for t in random_tuples(1000, seed=10):
+            join.process(t)
+        total = join.mutable_size() + join.immutable_size()
+        assert total <= 100
+        assert total >= 80  # window stays near W_L
+
+    def test_memory_accounting_grows_then_stabilizes(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        sizes = []
+        for i, t in enumerate(random_tuples(600, seed=11)):
+            join.process(t)
+            if i % 100 == 99:
+                sizes.append(join.memory_bits())
+        assert sizes[0] > 0
+        # After the window fills, memory should stop growing.
+        assert max(sizes[2:]) <= 2 * min(sizes[2:])
+
+    def test_stats_track_matches(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        emitted = 0
+        for t in random_tuples(300, seed=12):
+            emitted += len(join.process(t))
+        assert join.stats.matches_emitted == emitted
+        assert (
+            join.stats.mutable_matches + join.stats.immutable_matches == emitted
+        )
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vals=st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)),
+            min_size=1,
+            max_size=120,
+        ),
+        op1=st.sampled_from(ALL_OPS),
+        op2=st.sampled_from(ALL_OPS),
+        window_len=st.integers(min_value=10, max_value=60),
+        num_slides=st.integers(min_value=1, max_value=5),
+    )
+    def test_self_join_any_config(self, vals, op1, op2, window_len, num_slides):
+        slide = max(1, window_len // num_slides)
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, op1, op2)
+        tuples = [make_tuple(i, "T", a, b) for i, (a, b) in enumerate(vals)]
+        compare_against_reference(q, tuples, WindowSpec.count(window_len, slide))

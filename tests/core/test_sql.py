@@ -1,0 +1,185 @@
+"""SQL front-end: the paper's three queries verbatim, plus the dialect."""
+
+import pytest
+
+from repro.core import JoinType, Op, SPOJoin, WindowKind, WindowSpec, make_tuple
+from repro.core.predicates import BandPredicate
+from repro.core.sql import SQLParseError, parse_query
+
+Q1_SQL = """
+SELECT R.POW_ID, R.COOL_ID, S.POW_ID, S.COOL_ID
+FROM R, S
+WHERE R.POWER<S.POWER AND R.COOL>S.COOL
+WINDOW AS (SLIDE INTERVAL '10' ON '60')
+"""
+
+Q2_SQL = """
+SELECT tripId, time FROM taxi_trips
+WHERE ABS(start_LON1 - start_LON2) < 0.03
+AND ABS(start_LAT1 - start_LAT2) < 0.03
+WINDOW AS (SLIDE INTERVAL '1min' ON '5min')
+"""
+
+Q3_SQL = """
+SELECT trip.ID FROM NYC
+WHERE NYC.trip_dist1 > NYC.trip_dist2
+AND NYC.trip_fare1 < NYC.trip_fare2
+WINDOW AS ( SLIDE INTERVAL '10K' ON '100K');
+"""
+
+
+class TestPaperQueries:
+    def test_q1(self):
+        query, window = parse_query(Q1_SQL, {"POWER": 0, "COOL": 1})
+        assert query.join_type is JoinType.CROSS
+        assert [p.op for p in query.predicates] == [Op.LT, Op.GT]
+        assert [(p.left_field, p.right_field) for p in query.predicates] == [
+            (0, 0),
+            (1, 1),
+        ]
+        assert window.kind is WindowKind.COUNT
+        assert (window.length, window.slide) == (60, 10)
+
+    def test_q2(self):
+        query, window = parse_query(
+            Q2_SQL, {"start_LON": 0, "start_LAT": 1}
+        )
+        assert query.join_type is JoinType.BAND
+        assert all(isinstance(p, BandPredicate) for p in query.predicates)
+        assert query.predicates[0].width == pytest.approx(0.03)
+        assert not query.predicates[0].inclusive
+        assert window.kind is WindowKind.TIME
+        assert (window.length, window.slide) == (300.0, 60.0)
+
+    def test_q3(self):
+        query, window = parse_query(
+            Q3_SQL, {"trip_dist": 0, "trip_fare": 1}
+        )
+        assert query.join_type is JoinType.SELF
+        assert [p.op for p in query.predicates] == [Op.GT, Op.LT]
+        assert (window.length, window.slide) == (100_000, 10_000)
+
+    def test_q3_parsed_query_actually_joins(self):
+        query, __ = parse_query(Q3_SQL, {"trip_dist": 0, "trip_fare": 1})
+        join = SPOJoin(query, WindowSpec.count(50, 10))
+        join.process(make_tuple(0, "NYC", 1.0, 10.0))
+        # dist 2.0 > 1.0 and fare 5.0 < 10.0: matches tuple 0.
+        assert join.process(make_tuple(1, "NYC", 2.0, 5.0)) == [(1, 0)]
+
+
+class TestDialect:
+    SCHEMA = {"a": 0, "b": 1}
+
+    def test_operator_normalization(self):
+        # S on the left of the comparison still yields an R-oriented
+        # predicate.
+        query, __ = parse_query(
+            "SELECT * FROM R, S WHERE S.a > R.a", self.SCHEMA
+        )
+        pred = query.predicates[0]
+        assert pred.op is Op.LT  # R.a < S.a
+
+    @pytest.mark.parametrize(
+        "op_text,expected",
+        [("<", Op.LT), (">", Op.GT), ("<=", Op.LE), (">=", Op.GE),
+         ("!=", Op.NE), ("<>", Op.NE), ("=", Op.EQ)],
+    )
+    def test_all_operators(self, op_text, expected):
+        query, __ = parse_query(
+            f"SELECT * FROM R, S WHERE R.a {op_text} S.a", self.SCHEMA
+        )
+        assert query.predicates[0].op is expected
+
+    def test_equality_only_is_equi_join(self):
+        query, __ = parse_query(
+            "SELECT * FROM R, S WHERE R.a = S.a", self.SCHEMA
+        )
+        assert query.join_type is JoinType.EQUI
+
+    def test_three_conjuncts(self):
+        query, __ = parse_query(
+            "SELECT * FROM R, S WHERE R.a < S.a AND R.b > S.b AND R.a != S.b",
+            self.SCHEMA,
+        )
+        assert query.num_predicates == 3
+
+    def test_missing_window_uses_default(self):
+        default = WindowSpec.count(100, 10)
+        __, window = parse_query(
+            "SELECT * FROM R, S WHERE R.a < S.a", self.SCHEMA,
+            default_window=default,
+        )
+        assert window is default
+
+    def test_case_insensitivity(self):
+        query, window = parse_query(
+            "select * from r, s where r.A < s.A "
+            "window as (slide interval '5' on '20')",
+            self.SCHEMA,
+        )
+        assert query.predicates[0].op is Op.LT
+        assert window.slide == 5
+
+    def test_inclusive_band(self):
+        query, __ = parse_query(
+            "SELECT * FROM T WHERE ABS(a1 - a2) <= 1.5", self.SCHEMA
+        )
+        assert query.predicates[0].inclusive
+
+    def test_count_suffixes(self):
+        __, window = parse_query(
+            "SELECT * FROM R, S WHERE R.a < S.a "
+            "WINDOW AS (SLIDE INTERVAL '2K' ON '1M')",
+            self.SCHEMA,
+        )
+        assert (window.length, window.slide) == (1_000_000, 2_000)
+
+    def test_duration_units(self):
+        __, window = parse_query(
+            "SELECT * FROM R, S WHERE R.a < S.a "
+            "WINDOW AS (SLIDE INTERVAL '500ms' ON '2h')",
+            self.SCHEMA,
+        )
+        assert window.kind is WindowKind.TIME
+        assert (window.length, window.slide) == (7200.0, 0.5)
+
+
+class TestErrors:
+    SCHEMA = {"a": 0, "b": 1}
+
+    @pytest.mark.parametrize(
+        "sql,hint",
+        [
+            ("SELECT * FROM R, S", "SELECT/FROM/WHERE"),
+            ("SELECT * FROM R, S, T WHERE R.a < S.a", "one or two relations"),
+            ("SELECT * FROM R, S WHERE R.zzz < S.a", "unknown column"),
+            ("SELECT * FROM R, S WHERE X.a < S.a", "unknown relation"),
+            ("SELECT * FROM R, S WHERE R.a < R.b", "same stream"),
+            ("SELECT * FROM R, S WHERE R.a BETWEEN 1 AND 2", "cannot parse"),
+            ("SELECT * FROM T WHERE a < b", "which stream"),
+            (
+                "SELECT * FROM R, S WHERE R.a < S.a "
+                "WINDOW AS (SLIDE INTERVAL '10' ON '5min')",
+                "both counts or both durations",
+            ),
+            (
+                "SELECT * FROM R, S WHERE R.a < S.a "
+                "WINDOW AS (SLIDE INTERVAL '10parsec' ON '20parsec')",
+                "unknown window unit",
+            ),
+            (
+                "SELECT * FROM R, S WHERE R.a < S.a "
+                "WINDOW AS (SLIDE INTERVAL '50' ON '10')",
+                "invalid window",
+            ),
+        ],
+    )
+    def test_rejections(self, sql, hint):
+        with pytest.raises(SQLParseError, match=re_escape_loose(hint)):
+            parse_query(sql, self.SCHEMA)
+
+
+def re_escape_loose(text):
+    import re
+
+    return ".*".join(re.escape(part) for part in text.split())

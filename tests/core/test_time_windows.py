@@ -1,0 +1,76 @@
+"""Time-based windows under irregular event-time patterns."""
+
+import random
+
+import pytest
+
+from repro.core import SPOJoin, WindowSpec, make_tuple
+
+from ..conftest import ReferenceWindowJoin
+
+
+def drive_both(query, window, tuples):
+    join = SPOJoin(query, window)
+    ref = ReferenceWindowJoin(query, window)
+    for t in tuples:
+        got = sorted(m for __, m in join.process(t))
+        assert got == ref.process(t), t.tid
+    return join
+
+
+class TestIrregularEventTimes:
+    def test_poisson_gaps(self, q3_query):
+        rng = random.Random(50)
+        at = 0.0
+        tuples = []
+        for i in range(300):
+            at += rng.expovariate(1000.0)
+            tuples.append(
+                make_tuple(i, "T", rng.randint(0, 15), rng.randint(0, 15),
+                           event_time=at)
+            )
+        drive_both(q3_query, WindowSpec.time(0.1, 0.02), tuples)
+
+    def test_long_silence_then_burst(self, q3_query):
+        rng = random.Random(51)
+        tuples = []
+        at = 0.0
+        for i in range(300):
+            # Every 50 tuples the stream goes quiet for several windows.
+            at += 1.0 if i % 50 == 0 else 0.001
+            tuples.append(
+                make_tuple(i, "T", rng.randint(0, 15), rng.randint(0, 15),
+                           event_time=at)
+            )
+        join = drive_both(q3_query, WindowSpec.time(0.2, 0.05), tuples)
+        assert join.stats.merges > 0
+
+    def test_many_tuples_same_timestamp(self, q3_query):
+        rng = random.Random(52)
+        tuples = [
+            make_tuple(i, "T", rng.randint(0, 15), rng.randint(0, 15),
+                       event_time=(i // 40) * 0.05)
+            for i in range(240)
+        ]
+        drive_both(q3_query, WindowSpec.time(0.1, 0.05), tuples)
+
+    def test_slide_much_smaller_than_gap(self, q3_query):
+        # Event gaps larger than the whole window: nothing ever matches
+        # from the immutable tier, but merges must keep firing.
+        tuples = [
+            make_tuple(i, "T", i % 5, i % 7, event_time=i * 10.0)
+            for i in range(50)
+        ]
+        join = drive_both(q3_query, WindowSpec.time(1.0, 0.5), tuples)
+        assert join.stats.merges > 0
+
+    def test_time_window_size_bounded(self, q3_query):
+        rng = random.Random(53)
+        join = SPOJoin(q3_query, WindowSpec.time(0.1, 0.02))
+        for i in range(2000):
+            t = make_tuple(i, "T", rng.random(), rng.random(),
+                           event_time=i * 0.001)
+            join.process(t)
+        # ~100ms window at 1000 tuples/sec: about 100 retained tuples.
+        total = join.mutable_size() + join.immutable_size()
+        assert total <= 140

@@ -1,0 +1,121 @@
+"""Distributed cache staleness and window-state management strategies."""
+
+import pytest
+
+from repro.dspe import (
+    CachedStateManager,
+    CacheClient,
+    DistributedCache,
+    RoundRobinStateManager,
+)
+
+
+class TestDistributedCache:
+    def test_versioned_reads(self):
+        cache = DistributedCache()
+        cache.put("k", 1, at_time=0.0)
+        cache.put("k", 2, at_time=1.0)
+        cache.put("k", 3, at_time=2.0)
+        assert cache.get_as_of("k", 0.5) == 1
+        assert cache.get_as_of("k", 1.0) == 2
+        assert cache.get_as_of("k", 99.0) == 3
+        assert cache.latest("k") == 3
+
+    def test_read_before_first_write(self):
+        cache = DistributedCache()
+        cache.put("k", 1, at_time=5.0)
+        assert cache.get_as_of("k", 4.0) is None
+
+    def test_missing_key(self):
+        cache = DistributedCache()
+        assert cache.get_as_of("nope", 1.0) is None
+        assert cache.latest("nope") is None
+
+    def test_rejects_time_travel(self):
+        cache = DistributedCache()
+        cache.put("k", 1, at_time=5.0)
+        with pytest.raises(ValueError):
+            cache.put("k", 2, at_time=4.0)
+
+    def test_history_pruned(self):
+        cache = DistributedCache(history_limit=10)
+        for i in range(100):
+            cache.put("k", i, at_time=float(i))
+        assert cache.latest("k") == 99
+
+
+class TestCacheClient:
+    def test_refresh_interval(self):
+        cache = DistributedCache()
+        client = CacheClient(cache, sync_interval=1.0)
+        cache.put("k", 1, at_time=0.0)
+        assert client.read("k", 0.0) == 1
+        cache.put("k", 2, at_time=0.5)
+        # Local copy still serves the stale value inside the interval.
+        assert client.read("k", 0.9) == 1
+        # Past the interval, the client re-syncs.
+        assert client.read("k", 1.1) == 2
+
+    def test_sync_counter(self):
+        cache = DistributedCache()
+        client = CacheClient(cache, sync_interval=1.0)
+        cache.put("k", 1, at_time=0.0)
+        client.read("k", 0.0)
+        client.read("k", 0.5)
+        client.read("k", 2.0)
+        assert client.syncs == 2
+
+
+class TestStateManagers:
+    def test_round_robin_lags_by_merge_interval(self):
+        mgr = RoundRobinStateManager(num_pes=4)
+        for i in range(95):
+            mgr.on_tuple(i * 0.001)
+        # No merge batch shipped yet: followers know nothing.
+        assert mgr.local_count(0, 0.1) == 95
+        assert mgr.local_count(1, 0.1) == 0
+        assert mgr.max_divergence(0.1) == 95
+        mgr.on_merge_batch(1, 50, 0.1)
+        assert mgr.local_count(1, 0.1) == 50
+        assert mgr.max_divergence(0.1) == 45
+
+    def test_cached_manager_bounded_staleness(self):
+        mgr = CachedStateManager(num_pes=4, sync_interval=0.01)
+        for i in range(100):
+            mgr.on_tuple(i * 0.001)
+        # At time 0.1 every follower can sync a recent count.
+        for pe in range(1, 4):
+            assert mgr.local_count(pe, 0.1) == 100
+        assert mgr.max_divergence(0.1) == 0
+
+    def test_cached_manager_staleness_within_interval(self):
+        mgr = CachedStateManager(num_pes=2, sync_interval=1.0)
+        mgr.on_tuple(0.0)
+        assert mgr.local_count(1, 0.0) == 1
+        for i in range(1, 50):
+            mgr.on_tuple(i * 0.001)
+        # Follower synced at t=0 and stays stale until t=1.
+        assert mgr.local_count(1, 0.5) == 1
+        assert mgr.max_divergence(0.5) == 49
+
+    def test_divergence_shapes_rr_vs_dc(self):
+        """The Figure 19 claim: cache sync diverges less than round-robin."""
+        rr = RoundRobinStateManager(num_pes=4)
+        dc = CachedStateManager(num_pes=4, sync_interval=0.005)
+        merge_every = 200
+        rr_div = []
+        dc_div = []
+        for i in range(1000):
+            now = i * 0.001
+            rr.on_tuple(now)
+            dc.on_tuple(now)
+            if (i + 1) % merge_every == 0:
+                rr.on_merge_batch((i // merge_every) % 4, merge_every, now)
+            if i % 50 == 0:
+                rr_div.append(rr.max_divergence(now))
+                dc_div.append(dc.max_divergence(now))
+        assert sum(dc_div) < sum(rr_div)
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError):
+            RoundRobinStateManager(0)

@@ -1,0 +1,163 @@
+"""Discrete-event engine: routing, queueing, latency, service charging."""
+
+import pytest
+
+from repro.dspe import Engine, Grouping, Operator, RawTuple, RouterOperator, Topology
+
+
+class Passthrough(Operator):
+    def process(self, payload, ctx):
+        ctx.emit(payload)
+
+
+class FixedCost(Operator):
+    def __init__(self, cost):
+        self.cost = cost
+
+    def process(self, payload, ctx):
+        ctx.charge(self.cost)
+        ctx.emit(payload)
+
+
+class Sink(Operator):
+    def process(self, payload, ctx):
+        ctx.record("out", payload)
+
+
+def simple_source(n, rate=1000.0):
+    return ((i / rate, i) for i in range(n))
+
+
+def build_pipeline(source, middle_factory, middle_par=1):
+    topo = Topology()
+    topo.add_spout("src", source)
+    topo.add_bolt(
+        "mid", middle_factory, parallelism=middle_par,
+        inputs=[("src", Grouping.round_robin())],
+    )
+    topo.add_bolt(
+        "sink", Sink, parallelism=1, inputs=[("mid", Grouping.round_robin())]
+    )
+    return topo
+
+
+class TestBasics:
+    def test_all_tuples_delivered(self):
+        topo = build_pipeline(simple_source(50), Passthrough)
+        result = Engine(topo).run()
+        outs = sorted(r.payload for r in result.records_named("out"))
+        assert outs == list(range(50))
+
+    def test_validation_rejects_unknown_source(self):
+        topo = Topology()
+        topo.add_spout("src", [])
+        topo.add_bolt("b", Passthrough, inputs=[("ghost", Grouping.broadcast())])
+        with pytest.raises(ValueError):
+            Engine(topo)
+
+    def test_duplicate_names_rejected(self):
+        topo = Topology()
+        topo.add_spout("x", [])
+        with pytest.raises(ValueError):
+            topo.add_bolt("x", Passthrough, inputs=[])
+
+    def test_topology_needs_spout(self):
+        topo = Topology()
+        topo.add_bolt("only", Passthrough, inputs=[])
+        with pytest.raises(ValueError):
+            Engine(topo)
+
+    def test_empty_source_terminates(self):
+        topo = build_pipeline(iter([]), Passthrough)
+        result = Engine(topo).run()
+        assert result.records == []
+
+
+class TestQueueing:
+    def test_fixed_cost_serializes_single_pe(self):
+        # 10 tuples, 10ms each, all arriving at t=0 -> finish near 0.1s.
+        topo = build_pipeline(((0.0, i) for i in range(10)), lambda: FixedCost(0.01))
+        result = Engine(topo, net_delay_local=0.0, net_delay_remote=0.0).run()
+        assert result.sim_end == pytest.approx(0.1, rel=0.01)
+
+    def test_parallelism_divides_backlog(self):
+        topo = build_pipeline(
+            ((0.0, i) for i in range(10)), lambda: FixedCost(0.01), middle_par=2
+        )
+        result = Engine(topo, net_delay_local=0.0, net_delay_remote=0.0).run()
+        assert result.sim_end == pytest.approx(0.05, rel=0.02)
+
+    def test_event_latency_includes_queueing(self):
+        topo = build_pipeline(((0.0, i) for i in range(5)), lambda: FixedCost(0.01))
+        result = Engine(topo, net_delay_local=0.0, net_delay_remote=0.0).run()
+        latencies = sorted(r.event_latency for r in result.records_named("out"))
+        # The last tuple waits for the first four: ~0.05s.
+        assert latencies[-1] == pytest.approx(0.05, rel=0.05)
+
+    def test_pe_stats_accumulate(self):
+        topo = build_pipeline(simple_source(20), lambda: FixedCost(0.001))
+        result = Engine(topo).run()
+        mid = result.pes_of("mid")[0]
+        assert mid.processed == 20
+        assert mid.busy_time == pytest.approx(0.02, rel=0.01)
+
+    def test_event_budget_guard(self):
+        class Echo(Operator):
+            def process(self, payload, ctx):
+                ctx.emit(payload)  # feeds back forever
+
+        topo = Topology()
+        topo.add_spout("src", [(0.0, 1)])
+        topo.add_bolt("loop", Echo, inputs=[("src", Grouping.broadcast())])
+        topo.add_bolt("loop2", Echo, inputs=[("loop", Grouping.broadcast())])
+        # loop2 feeds loop back -> infinite message cycle.
+        topo.bolts["loop"].inputs.append(
+            type(topo.bolts["loop2"].inputs[0])("loop2", Grouping.broadcast(), "default")
+        )
+        engine = Engine(topo, max_events=1000)
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+
+class TestNetworkDelays:
+    def test_remote_delay_slower_than_local(self):
+        def run(nodes):
+            topo = build_pipeline([(0.0, 1)], Passthrough)
+            return Engine(
+                topo,
+                num_nodes=nodes,
+                net_delay_local=0.0001,
+                net_delay_remote=0.01,
+            ).run().sim_end
+
+        # With one node, all hops are local and cheap.
+        assert run(1) < run(3)
+
+
+class TestRouter:
+    def test_router_assigns_monotone_ids(self):
+        raws = [(i * 0.001, RawTuple("R", (float(i),))) for i in range(20)]
+        topo = Topology()
+        topo.add_spout("src", raws)
+        topo.add_bolt("router", RouterOperator, inputs=[("src", Grouping.shuffle())])
+        topo.add_bolt("sink", Sink, inputs=[("router", Grouping.broadcast())])
+        result = Engine(topo).run()
+        tids = [r.payload.tid for r in result.records_named("out")]
+        assert tids == list(range(20))
+        streams = {r.payload.stream for r in result.records_named("out")}
+        assert streams == {"R"}
+
+    def test_marks_propagate(self):
+        class Marker(Operator):
+            def process(self, payload, ctx):
+                ctx.mark("joiner")
+                ctx.emit(payload)
+
+        topo = Topology()
+        topo.add_spout("src", [(0.0, 1)])
+        topo.add_bolt("m", Marker, inputs=[("src", Grouping.broadcast())])
+        topo.add_bolt("sink", Sink, inputs=[("m", Grouping.broadcast())])
+        result = Engine(topo).run()
+        record = result.records_named("out")[0]
+        assert "joiner" in record.marks
+        assert record.processing_latency() <= record.event_latency

@@ -1,0 +1,116 @@
+"""Metrics: summaries, percentiles, CDFs, throughput buckets."""
+
+import pytest
+
+from repro.dspe import (
+    LatencyCollector,
+    Summary,
+    ThroughputCollector,
+    cdf_points,
+    percentile,
+)
+
+
+class TestSummary:
+    def test_empty(self):
+        s = Summary([])
+        assert s.count == 0
+        assert s.mean == 0.0 and s.std == 0.0
+
+    def test_single_value(self):
+        s = Summary([5.0])
+        assert s.mean == 5.0 and s.std == 0.0
+        assert s.min == s.max == 5.0
+
+    def test_known_stats(self):
+        s = Summary([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.mean == pytest.approx(5.0)
+        assert s.std == pytest.approx(2.0)
+
+
+class TestPercentile:
+    def test_bounds(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 0) == 1
+        assert percentile(vals, 100) == 100
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single(self):
+        assert percentile([42], 95) == 42
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCDF:
+    def test_monotone_and_complete(self):
+        points = cdf_points([3, 1, 2, 5, 4], num_points=5)
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+
+class TestThroughputCollector:
+    def test_bucketing(self):
+        c = ThroughputCollector(bucket_seconds=1.0)
+        for t in [0.1, 0.2, 0.9, 1.5, 2.1, 2.2, 2.3]:
+            c.record(t)
+        assert c.per_second() == [3.0, 1.0, 3.0]
+        assert c.total == 7
+
+    def test_empty_interior_buckets(self):
+        c = ThroughputCollector()
+        c.record(0.5)
+        c.record(3.5)
+        assert c.per_second() == [1.0, 0.0, 0.0, 1.0]
+
+    def test_overall_rate(self):
+        c = ThroughputCollector()
+        for i in range(10):
+            c.record(i * 0.5)
+        assert c.overall_rate() == pytest.approx(10 / 4.5)
+
+    def test_empty_rate(self):
+        assert ThroughputCollector().overall_rate() == 0.0
+
+    def test_summary(self):
+        c = ThroughputCollector()
+        for t in [0.1, 0.2, 1.1]:
+            c.record(t)
+        s = c.summary()
+        assert s.mean == pytest.approx(1.5)
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            ThroughputCollector(0)
+
+
+class TestLatencyCollector:
+    def test_percentiles_dict(self):
+        c = LatencyCollector()
+        for v in range(1, 101):
+            c.record(float(v))
+        ps = c.percentiles((50, 95))
+        assert ps[50] == pytest.approx(50.5)
+        assert ps[95] == pytest.approx(95.05)
+
+    def test_max(self):
+        c = LatencyCollector()
+        assert c.max() == 0.0
+        c.record(3.0)
+        c.record(1.0)
+        assert c.max() == 3.0

@@ -1,0 +1,63 @@
+"""Partitioning strategies: hash, broadcast, round-robin, direct."""
+
+import pytest
+
+from repro.dspe import Grouping
+
+
+class TestHash:
+    def test_deterministic(self):
+        g = Grouping.hash_by(lambda p: p)
+        assert g.targets(42, 8) == g.targets(42, 8)
+
+    def test_same_key_same_target(self):
+        g = Grouping.hash_by(lambda p: p["k"])
+        a = g.targets({"k": 7, "x": 1}, 5)
+        b = g.targets({"k": 7, "x": 2}, 5)
+        assert a == b
+
+    def test_spreads_keys(self):
+        g = Grouping.hash_by(lambda p: p)
+        targets = {g.targets(i, 8)[0] for i in range(200)}
+        assert len(targets) == 8
+
+    def test_single_target(self):
+        g = Grouping.hash_by(lambda p: p)
+        result = g.targets("anything", 4)
+        assert len(result) == 1
+        assert 0 <= result[0] < 4
+
+
+class TestBroadcast:
+    def test_all_pes(self):
+        g = Grouping.broadcast()
+        assert g.targets("x", 5) == [0, 1, 2, 3, 4]
+
+    def test_empty_downstream(self):
+        assert Grouping.broadcast().targets("x", 0) == []
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        g = Grouping.round_robin()
+        seq = [g.targets("x", 3)[0] for __ in range(7)]
+        assert seq == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_shuffle_alias(self):
+        g = Grouping.shuffle()
+        assert g.kind == Grouping.ROUND_ROBIN
+
+
+class TestDirect:
+    def test_explicit_target(self):
+        g = Grouping.direct(lambda p: p["target"])
+        assert g.targets({"target": 2}, 4) == [2]
+
+    def test_wraps_modulo(self):
+        g = Grouping.direct(lambda p: p)
+        assert g.targets(10, 4) == [2]
+
+    def test_unknown_kind_raises(self):
+        g = Grouping("bogus")
+        with pytest.raises(ValueError):
+            g.targets("x", 2)

@@ -1,0 +1,49 @@
+"""Router operators: id stamping and cache feeding (state strategy B)."""
+
+import pytest
+
+from repro.core import QuerySpec, WindowSpec
+from repro.dspe import Engine, Grouping, Operator, RawTuple, Topology
+from repro.joins import SPOConfig, SPORouterOperator
+from repro.workloads import q3
+
+
+class Sink(Operator):
+    def process(self, payload, ctx):
+        ctx.record("out", payload)
+
+
+def router_topology(raws, router_factory):
+    topo = Topology()
+    topo.add_spout("src", ((r.event_time, r) for r in raws))
+    topo.add_bolt("router", router_factory, inputs=[("src", Grouping.shuffle())])
+    topo.add_bolt("sink", Sink, inputs=[("router", Grouping.broadcast())])
+    return topo
+
+
+class TestSPORouter:
+    def test_ids_monotone_and_event_time_preserved(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(30)]
+        config = SPOConfig(q3(), WindowSpec.count(10, 5))
+        result = Engine(
+            router_topology(raws, lambda: SPORouterOperator(config))
+        ).run()
+        outs = [r.payload for r in result.records_named("out")]
+        assert [t.tid for t in outs] == list(range(30))
+        assert all(t.event_time == pytest.approx(t.tid * 0.01) for t in outs)
+
+    def test_dc_strategy_feeds_cache(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(20)]
+        config = SPOConfig(
+            q3(), WindowSpec.count(10, 5), state_strategy="dc"
+        )
+        Engine(router_topology(raws, lambda: SPORouterOperator(config))).run()
+        # One cache write per routed tuple (Section 4.2, strategy B).
+        assert config.cache.writes == 20
+        assert config.cache.latest("spo_tuple_count") == 20
+
+    def test_rr_strategy_leaves_cache_untouched(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(20)]
+        config = SPOConfig(q3(), WindowSpec.count(10, 5), state_strategy="rr")
+        Engine(router_topology(raws, lambda: SPORouterOperator(config))).run()
+        assert config.cache.writes == 0

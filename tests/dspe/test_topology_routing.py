@@ -1,0 +1,88 @@
+"""Topology wiring: named streams, multi-consumer routing, validation."""
+
+import pytest
+
+from repro.dspe import Engine, Grouping, Operator, Topology
+
+
+class Splitter(Operator):
+    """Routes even payloads to the default stream, odd to 'side'."""
+
+    def process(self, payload, ctx):
+        if payload % 2 == 0:
+            ctx.emit(payload)
+        else:
+            ctx.emit(payload, stream="side")
+
+
+class Sink(Operator):
+    def __init__(self, name):
+        self.name = name
+
+    def process(self, payload, ctx):
+        ctx.record(self.name, payload)
+
+
+class TestNamedStreams:
+    def test_streams_route_independently(self):
+        topo = Topology()
+        topo.add_spout("src", ((i * 0.001, i) for i in range(20)))
+        topo.add_bolt("split", Splitter, inputs=[("src", Grouping.round_robin())])
+        topo.add_bolt(
+            "evens",
+            lambda: Sink("even"),
+            inputs=[("split", Grouping.round_robin())],
+        )
+        topo.add_bolt(
+            "odds",
+            lambda: Sink("odd"),
+            input_streams=[("split", Grouping.round_robin(), "side")],
+        )
+        result = Engine(topo).run()
+        evens = sorted(r.payload for r in result.records_named("even"))
+        odds = sorted(r.payload for r in result.records_named("odd"))
+        assert evens == list(range(0, 20, 2))
+        assert odds == list(range(1, 20, 2))
+
+    def test_multiple_consumers_of_one_stream(self):
+        topo = Topology()
+        topo.add_spout("src", ((0.0, i) for i in range(5)))
+        topo.add_bolt("a", lambda: Sink("a"), inputs=[("src", Grouping.broadcast())])
+        topo.add_bolt("b", lambda: Sink("b"), inputs=[("src", Grouping.broadcast())])
+        result = Engine(topo).run()
+        assert len(result.records_named("a")) == 5
+        assert len(result.records_named("b")) == 5
+
+    def test_consumers_of_reports_subscriptions(self):
+        topo = Topology()
+        topo.add_spout("src", [])
+        topo.add_bolt("split", Splitter, inputs=[("src", Grouping.broadcast())])
+        topo.add_bolt(
+            "side_sink",
+            lambda: Sink("s"),
+            input_streams=[("split", Grouping.broadcast(), "side")],
+        )
+        side = list(topo.consumers_of("split", "side"))
+        default = list(topo.consumers_of("split", "default"))
+        assert len(side) == 1 and side[0][0].name == "side_sink"
+        assert default == []
+
+
+class TestValidation:
+    def test_bolt_parallelism_positive(self):
+        topo = Topology()
+        topo.add_spout("src", [])
+        with pytest.raises(ValueError):
+            topo.add_bolt("b", Splitter, parallelism=0, inputs=[])
+
+    def test_fifo_per_link(self):
+        """Messages between two PEs keep their emission order."""
+        topo = Topology()
+        topo.add_spout("src", ((i * 1e-4, i) for i in range(200)))
+        topo.add_bolt("mid", Splitter, inputs=[("src", Grouping.round_robin())])
+        topo.add_bolt(
+            "sink", lambda: Sink("even"), inputs=[("mid", Grouping.round_robin())]
+        )
+        result = Engine(topo).run()
+        seen = [r.payload for r in result.records_named("even")]
+        assert seen == sorted(seen)

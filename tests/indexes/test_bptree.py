@@ -1,0 +1,249 @@
+"""B+-tree: ordering, range search, deletion, and structural invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import BPlusTree
+
+
+def build(entries, order=8):
+    tree = BPlusTree(order=order)
+    for value, tid in entries:
+        tree.insert(value, tid)
+    return tree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert tree.min() is None
+        assert tree.max() is None
+        assert tree.search(1.0) == []
+
+    def test_single_entry(self):
+        tree = build([(5.0, 1)])
+        assert len(tree) == 1
+        assert tree.min() == (5.0, 1)
+        assert tree.max() == (5.0, 1)
+        assert tree.search(5.0) == [1]
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_items_sorted(self):
+        entries = [(random.Random(1).randint(0, 50), i) for i in range(500)]
+        rng = random.Random(1)
+        entries = [(rng.randint(0, 50), i) for i in range(500)]
+        tree = build(entries)
+        assert list(tree.items()) == sorted(entries)
+
+    def test_items_reversed(self):
+        rng = random.Random(2)
+        entries = [(rng.randint(0, 50), i) for i in range(300)]
+        tree = build(entries)
+        assert list(tree.items_reversed()) == sorted(entries, reverse=True)
+
+    def test_duplicates_kept_distinct(self):
+        tree = build([(7.0, 1), (7.0, 2), (7.0, 3)])
+        assert sorted(tree.search(7.0)) == [1, 2, 3]
+
+    def test_height_grows_logarithmically(self):
+        tree = build([(i, i) for i in range(1000)], order=8)
+        assert 3 <= tree.height <= 6
+
+    def test_memory_bits_positive_and_monotone(self):
+        small = build([(i, i) for i in range(10)])
+        large = build([(i, i) for i in range(1000)])
+        assert 0 < small.memory_bits() < large.memory_bits()
+
+
+class TestRangeSearch:
+    @pytest.fixture
+    def tree_and_entries(self):
+        rng = random.Random(3)
+        entries = [(rng.randint(0, 40), i) for i in range(800)]
+        return build(entries), entries
+
+    @pytest.mark.parametrize(
+        "lo_inc,hi_inc",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_bounded_ranges(self, tree_and_entries, lo_inc, hi_inc):
+        tree, entries = tree_and_entries
+        got = list(tree.range_search(10, 30, lo_inc, hi_inc))
+        exp = sorted(
+            (v, i)
+            for v, i in entries
+            if (v > 10 or (lo_inc and v == 10)) and (v < 30 or (hi_inc and v == 30))
+        )
+        assert got == exp
+
+    def test_open_low_end(self, tree_and_entries):
+        tree, entries = tree_and_entries
+        got = list(tree.range_search(None, 15))
+        assert got == sorted((v, i) for v, i in entries if v <= 15)
+
+    def test_open_high_end(self, tree_and_entries):
+        tree, entries = tree_and_entries
+        got = list(tree.range_search(25, None))
+        assert got == sorted((v, i) for v, i in entries if v >= 25)
+
+    def test_empty_range(self, tree_and_entries):
+        tree, __ = tree_and_entries
+        assert list(tree.range_search(100, 200)) == []
+
+    def test_exclusive_empty_point_range(self, tree_and_entries):
+        tree, __ = tree_and_entries
+        assert list(tree.range_search(10, 10, False, False)) == []
+
+
+class TestDeletion:
+    def test_delete_returns_false_for_absent(self):
+        tree = build([(1.0, 1)])
+        assert not tree.delete(2.0, 1)
+        assert not tree.delete(1.0, 2)
+        assert len(tree) == 1
+
+    def test_delete_all_then_empty(self):
+        rng = random.Random(4)
+        entries = [(rng.randint(0, 30), i) for i in range(400)]
+        tree = build(entries)
+        rng.shuffle(entries)
+        for v, tid in entries:
+            assert tree.delete(v, tid)
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        rng = random.Random(5)
+        tree = BPlusTree(order=6)
+        live = set()
+        next_tid = 0
+        for step in range(3000):
+            if live and rng.random() < 0.45:
+                v, tid = rng.choice(sorted(live))
+                assert tree.delete(v, tid)
+                live.remove((v, tid))
+            else:
+                v = rng.randint(0, 25)
+                tree.insert(v, next_tid)
+                live.add((v, next_tid))
+                next_tid += 1
+            if step % 500 == 0:
+                tree.check_invariants()
+        assert list(tree.items()) == sorted(live)
+        tree.check_invariants()
+
+    def test_delete_maintains_leaf_chain(self):
+        entries = [(i, i) for i in range(200)]
+        tree = build(entries, order=4)
+        for i in range(0, 200, 2):
+            assert tree.delete(i, i)
+        assert list(tree.items()) == [(i, i) for i in range(1, 200, 2)]
+        assert list(tree.items_reversed()) == [
+            (i, i) for i in range(199, 0, -2)
+        ]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    @pytest.mark.parametrize("n", [1, 7, 64, 65, 500])
+    @pytest.mark.parametrize("order", [4, 8, 64])
+    def test_roundtrip_and_invariants(self, n, order):
+        rng = random.Random(n * order)
+        entries = sorted((rng.randint(0, 40), i) for i in range(n))
+        tree = BPlusTree.bulk_load(entries, order=order)
+        assert list(tree.items()) == entries
+        assert len(tree) == n
+        tree.check_invariants()
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load([(2, 0), (1, 1)])
+
+    def test_mutable_after_load(self):
+        entries = [(i, i) for i in range(200)]
+        tree = BPlusTree.bulk_load(entries, order=8)
+        tree.insert(50.5, 999)
+        assert tree.delete(0, 0)
+        tree.check_invariants()
+        assert len(tree) == 200
+
+    def test_range_search_after_load(self):
+        entries = [(i % 10, i) for i in range(100)]
+        tree = BPlusTree.bulk_load(sorted(entries), order=8)
+        got = list(tree.range_search(3, 5))
+        assert got == sorted((v, i) for v, i in entries if 3 <= v <= 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=-30, max_value=30), max_size=300),
+        order=st.integers(min_value=4, max_value=32),
+    )
+    def test_property_bulk_equals_incremental(self, values, order):
+        entries = sorted((v, i) for i, v in enumerate(values))
+        bulk = BPlusTree.bulk_load(entries, order=order)
+        incremental = BPlusTree(order=order)
+        for v, tid in entries:
+            incremental.insert(v, tid)
+        assert list(bulk.items()) == list(incremental.items())
+        bulk.check_invariants()
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=-50, max_value=50), max_size=200),
+        order=st.integers(min_value=4, max_value=32),
+    )
+    def test_insert_preserves_sorted_order(self, values, order):
+        tree = BPlusTree(order=order)
+        entries = [(v, i) for i, v in enumerate(values)]
+        for v, tid in entries:
+            tree.insert(v, tid)
+        assert list(tree.items()) == sorted(entries)
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=-20, max_value=20), max_size=150),
+        delete_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_delete_subset_leaves_remainder(self, values, delete_fraction, seed):
+        rng = random.Random(seed)
+        entries = [(v, i) for i, v in enumerate(values)]
+        tree = BPlusTree(order=6)
+        for v, tid in entries:
+            tree.insert(v, tid)
+        to_delete = [e for e in entries if rng.random() < delete_fraction]
+        for v, tid in to_delete:
+            assert tree.delete(v, tid)
+        remaining = sorted(set(entries) - set(to_delete))
+        assert list(tree.items()) == remaining
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=30), max_size=120),
+        lo=st.integers(min_value=-5, max_value=35),
+        hi=st.integers(min_value=-5, max_value=35),
+    )
+    def test_range_search_matches_filter(self, values, lo, hi):
+        entries = [(v, i) for i, v in enumerate(values)]
+        tree = BPlusTree(order=8)
+        for v, tid in entries:
+            tree.insert(v, tid)
+        got = list(tree.range_search(lo, hi))
+        assert got == sorted((v, i) for v, i in entries if lo <= v <= hi)

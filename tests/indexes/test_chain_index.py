@@ -1,0 +1,87 @@
+"""Chain index: active/archive roll-over, coarse expiry, full-chain search."""
+
+import random
+
+import pytest
+
+from repro.indexes import ChainIndex
+
+
+class TestRollOver:
+    def test_active_rolls_at_capacity(self):
+        chain = ChainIndex(sub_index_capacity=10)
+        for i in range(25):
+            chain.insert(i, i)
+        assert chain.num_sub_indexes == 3
+        assert len(chain) == 25
+
+    def test_max_sub_indexes_enforced(self):
+        chain = ChainIndex(sub_index_capacity=10, max_sub_indexes=3)
+        for i in range(100):
+            chain.insert(i, i)
+        assert chain.num_sub_indexes <= 3
+        assert chain.expired_sub_indexes > 0
+
+    def test_expire_oldest_counts(self):
+        chain = ChainIndex(sub_index_capacity=5)
+        for i in range(12):
+            chain.insert(i, i)
+        removed = chain.expire_oldest()
+        assert removed == 5
+        assert len(chain) == 7
+
+    def test_expire_refuses_last_sub_index(self):
+        chain = ChainIndex(sub_index_capacity=5)
+        chain.insert(1, 1)
+        assert chain.expire_oldest() == 0
+        assert len(chain) == 1
+
+    def test_manual_roll_active(self):
+        chain = ChainIndex(sub_index_capacity=100)
+        chain.insert(1, 1)
+        chain.roll_active()
+        assert chain.num_sub_indexes == 2
+        assert len(chain.active) == 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ChainIndex(0)
+        with pytest.raises(ValueError):
+            ChainIndex(5, max_sub_indexes=0)
+
+
+class TestSearch:
+    def test_search_spans_all_sub_indexes(self):
+        rng = random.Random(0)
+        chain = ChainIndex(sub_index_capacity=20)
+        entries = []
+        for i in range(100):
+            v = rng.randint(0, 15)
+            chain.insert(v, i)
+            entries.append((v, i))
+        got = sorted(chain.range_search(5, 10))
+        assert got == sorted((v, i) for v, i in entries if 5 <= v <= 10)
+
+    def test_search_after_expiry_drops_old(self):
+        chain = ChainIndex(sub_index_capacity=10, max_sub_indexes=2)
+        for i in range(30):
+            chain.insert(i % 5, i)
+        got = {tid for __, tid in chain.range_search(None, None)}
+        # Only the last two sub-indexes (tuples 10..29) survive.
+        assert got == set(range(10, 30))
+
+    def test_exact_search(self):
+        chain = ChainIndex(sub_index_capacity=3)
+        for i in range(9):
+            chain.insert(7, i)
+        assert sorted(chain.search(7)) == list(range(9))
+        assert chain.search(8) == []
+
+    def test_memory_grows_with_content(self):
+        small = ChainIndex(10)
+        big = ChainIndex(10)
+        for i in range(5):
+            small.insert(i, i)
+        for i in range(500):
+            big.insert(i, i)
+        assert small.memory_bits() < big.memory_bits()

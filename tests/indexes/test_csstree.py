@@ -1,0 +1,121 @@
+"""CSS-tree: implicit directory search, block scans, rebuild-on-insert."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import CSSTree
+
+
+def entries_of(values):
+    return sorted((v, i) for i, v in enumerate(values))
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = CSSTree()
+        assert len(tree) == 0
+        assert tree.num_blocks == 0
+        assert list(tree.items()) == []
+        assert list(tree.range_search(0, 10)) == []
+
+    def test_blocks_sized(self):
+        tree = CSSTree([(i, i) for i in range(100)], block_size=8)
+        assert tree.num_blocks == 13  # ceil(100/8)
+        tree.check_invariants()
+
+    def test_directory_levels(self):
+        tree = CSSTree([(i, i) for i in range(1000)], block_size=4, fanout=4)
+        # 250 blocks -> levels of 250, 63, 16, 4 keys.
+        assert tree.height >= 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CSSTree(block_size=1)
+        with pytest.raises(ValueError):
+            CSSTree(fanout=1)
+
+    def test_items_roundtrip(self):
+        entries = entries_of([random.Random(0).randint(0, 30) for __ in range(300)])
+        tree = CSSTree(entries, block_size=16, fanout=4)
+        assert list(tree.items()) == entries
+
+
+class TestSearch:
+    @pytest.fixture
+    def tree_and_entries(self):
+        rng = random.Random(1)
+        entries = entries_of([rng.randint(0, 40) for __ in range(600)])
+        return CSSTree(entries, block_size=8, fanout=4), entries
+
+    def test_exact_search(self, tree_and_entries):
+        tree, entries = tree_and_entries
+        for probe in range(-2, 45):
+            got = sorted(tree.search(probe))
+            exp = sorted(i for v, i in entries if v == probe)
+            assert got == exp
+
+    @pytest.mark.parametrize(
+        "lo_inc,hi_inc",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_range_search(self, tree_and_entries, lo_inc, hi_inc):
+        tree, entries = tree_and_entries
+        got = list(tree.range_search(12, 28, lo_inc, hi_inc))
+        exp = sorted(
+            (v, i)
+            for v, i in entries
+            if (v > 12 or (lo_inc and v == 12)) and (v < 28 or (hi_inc and v == 28))
+        )
+        assert got == exp
+
+    def test_range_below_all(self, tree_and_entries):
+        tree, __ = tree_and_entries
+        assert list(tree.range_search(-10, -5)) == []
+
+    def test_open_ranges(self, tree_and_entries):
+        tree, entries = tree_and_entries
+        assert list(tree.range_search(None, None)) == entries
+
+
+class TestInsertion:
+    def test_insert_into_empty(self):
+        tree = CSSTree()
+        tree.insert(5.0, 1)
+        assert list(tree.items()) == [(5.0, 1)]
+
+    def test_insert_forces_directory_rebuild(self):
+        tree = CSSTree([(i, i) for i in range(64)], block_size=8)
+        before = tree.rebuild_count
+        tree.insert(3.5, 100)
+        assert tree.rebuild_count == before + 1
+
+    def test_many_inserts_stay_sorted(self):
+        rng = random.Random(2)
+        tree = CSSTree(block_size=8, fanout=4)
+        entries = []
+        for i in range(300):
+            v = rng.randint(0, 40)
+            tree.insert(v, i)
+            entries.append((v, i))
+        assert list(tree.items()) == sorted(entries)
+        tree.check_invariants()
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=-30, max_value=30), max_size=200),
+        block_size=st.integers(min_value=2, max_value=32),
+        fanout=st.integers(min_value=2, max_value=16),
+        lo=st.integers(min_value=-35, max_value=35),
+        hi=st.integers(min_value=-35, max_value=35),
+    )
+    def test_range_matches_filter(self, values, block_size, fanout, lo, hi):
+        entries = entries_of(values)
+        tree = CSSTree(entries, block_size=block_size, fanout=fanout)
+        tree.check_invariants()
+        got = list(tree.range_search(lo, hi))
+        assert got == sorted((v, i) for v, i in entries if lo <= v <= hi)

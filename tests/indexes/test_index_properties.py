@@ -1,0 +1,89 @@
+"""Cross-index property tests: all four structures answer ranges alike."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import BPlusTree, ChainIndex, CSSTree, PIMTree
+
+
+def reference_range(entries, lo, hi):
+    return sorted((v, i) for v, i in entries if lo <= v <= hi)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-20, max_value=20), max_size=120),
+    lo=st.integers(min_value=-25, max_value=25),
+    hi=st.integers(min_value=-25, max_value=25),
+    capacity=st.integers(min_value=1, max_value=40),
+)
+def test_chain_index_matches_reference(values, lo, hi, capacity):
+    entries = [(v, i) for i, v in enumerate(values)]
+    chain = ChainIndex(sub_index_capacity=capacity)
+    for v, tid in entries:
+        chain.insert(v, tid)
+    assert sorted(chain.range_search(lo, hi)) == reference_range(entries, lo, hi)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-20, max_value=20), max_size=120),
+    lo=st.integers(min_value=-25, max_value=25),
+    hi=st.integers(min_value=-25, max_value=25),
+    merge_every=st.integers(min_value=5, max_value=50),
+)
+def test_pim_tree_matches_reference(values, lo, hi, merge_every):
+    entries = [(v, i) for i, v in enumerate(values)]
+    tree = PIMTree(depth=2, fanout=4)
+    for count, (v, tid) in enumerate(entries, start=1):
+        tree.insert(v, tid)
+        if count % merge_every == 0:
+            tree.merge()
+    assert sorted(tree.range_search(lo, hi)) == reference_range(entries, lo, hi)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    initial=st.lists(st.integers(min_value=-20, max_value=20), max_size=80),
+    inserts=st.lists(st.integers(min_value=-20, max_value=20), max_size=30),
+    lo=st.integers(min_value=-25, max_value=25),
+    hi=st.integers(min_value=-25, max_value=25),
+)
+def test_css_insert_path_matches_reference(initial, inserts, lo, hi):
+    entries = sorted((v, i) for i, v in enumerate(initial))
+    tree = CSSTree(entries, block_size=4, fanout=4)
+    for j, v in enumerate(inserts):
+        tid = 1000 + j
+        tree.insert(v, tid)
+        entries.append((v, tid))
+    assert sorted(tree.range_search(lo, hi)) == reference_range(entries, lo, hi)
+    tree.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-20, max_value=20), max_size=150),
+    lo=st.integers(min_value=-25, max_value=25),
+    hi=st.integers(min_value=-25, max_value=25),
+)
+def test_all_indexes_agree(values, lo, hi):
+    """Every structure answers the same range identically."""
+    entries = [(v, i) for i, v in enumerate(values)]
+    expected = reference_range(entries, lo, hi)
+
+    bpt = BPlusTree(order=6)
+    chain = ChainIndex(sub_index_capacity=17)
+    pim = PIMTree(depth=1, fanout=4)
+    for v, tid in entries:
+        bpt.insert(v, tid)
+        chain.insert(v, tid)
+        pim.insert(v, tid)
+    css = CSSTree(sorted(entries), block_size=4, fanout=4)
+
+    assert list(bpt.range_search(lo, hi)) == expected
+    assert sorted(chain.range_search(lo, hi)) == expected
+    assert sorted(pim.range_search(lo, hi)) == expected
+    assert list(css.range_search(lo, hi)) == expected

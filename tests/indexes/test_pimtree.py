@@ -1,0 +1,86 @@
+"""PIM-tree: two-tier inserts, merges, and combined probing."""
+
+import random
+
+import pytest
+
+from repro.indexes import PIMTree
+
+
+class TestInsertAndMerge:
+    def test_inserts_go_to_mutable(self):
+        tree = PIMTree()
+        for i in range(50):
+            tree.insert(i, i)
+        assert tree.mutable_size == 50
+        assert len(tree.immutable) == 0
+
+    def test_merge_moves_to_immutable(self):
+        tree = PIMTree()
+        for i in range(50):
+            tree.insert(i, i)
+        tree.merge()
+        assert tree.mutable_size == 0
+        assert len(tree.immutable) == 50
+        assert tree.merge_count == 1
+
+    def test_regions_partition_after_merge(self):
+        tree = PIMTree(depth=2, fanout=4)
+        for i in range(200):
+            tree.insert(i, i)
+        tree.merge()
+        assert tree.num_regions > 1
+        # Post-merge inserts land in different regions by value.
+        tree.insert(0, 1000)
+        tree.insert(199, 1001)
+        assert tree.mutable_size == 2
+
+    def test_repeated_merges_accumulate(self):
+        tree = PIMTree(depth=1, fanout=4)
+        total = []
+        for round_ in range(4):
+            for i in range(30):
+                tid = round_ * 30 + i
+                tree.insert(tid % 13, tid)
+                total.append((tid % 13, tid))
+            tree.merge()
+        assert sorted(tree.items()) == sorted(total)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            PIMTree(depth=0)
+
+
+class TestSearch:
+    def test_search_spans_both_tiers(self):
+        rng = random.Random(0)
+        tree = PIMTree(depth=2, fanout=4)
+        entries = []
+        for i in range(100):
+            v = rng.randint(0, 20)
+            tree.insert(v, i)
+            entries.append((v, i))
+        tree.merge()
+        for i in range(100, 150):
+            v = rng.randint(0, 20)
+            tree.insert(v, i)
+            entries.append((v, i))
+        got = sorted(tree.range_search(5, 12))
+        assert got == sorted((v, i) for v, i in entries if 5 <= v <= 12)
+
+    def test_exact_search(self):
+        tree = PIMTree()
+        tree.insert(5, 1)
+        tree.merge()
+        tree.insert(5, 2)
+        assert sorted(tree.search(5)) == [1, 2]
+
+    def test_memory_includes_both_tiers(self):
+        tree = PIMTree()
+        for i in range(100):
+            tree.insert(i, i)
+        before = tree.memory_bits()
+        tree.merge()
+        for i in range(100, 200):
+            tree.insert(i, i)
+        assert tree.memory_bits() > before

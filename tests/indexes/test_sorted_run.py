@@ -1,0 +1,50 @@
+"""Sorted runs: construction, binary-search positions, accounting."""
+
+import pytest
+
+from repro.indexes import SortedRun
+
+
+class TestConstruction:
+    def test_from_sorted_entries(self):
+        run = SortedRun.from_sorted_entries([(1, 10), (2, 11), (2, 12)])
+        assert run.values == [1, 2, 2]
+        assert run.tids == [10, 11, 12]
+
+    def test_from_unsorted_entries(self):
+        run = SortedRun.from_unsorted_entries([(3, 1), (1, 2), (2, 3)])
+        assert run.values == [1, 2, 3]
+        assert run.tids == [2, 3, 1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SortedRun([1, 2], [1])
+
+    def test_iteration(self):
+        run = SortedRun([1, 2], [10, 20])
+        assert list(run) == [(1, 10), (2, 20)]
+
+
+class TestPositions:
+    @pytest.fixture
+    def run(self):
+        return SortedRun([1, 3, 3, 5, 9], [0, 1, 2, 3, 4])
+
+    def test_position_left(self, run):
+        assert run.position_left(3) == 1
+        assert run.position_left(0) == 0
+        assert run.position_left(10) == 5
+
+    def test_position_right(self, run):
+        assert run.position_right(3) == 3
+        assert run.position_right(9) == 5
+
+    def test_accessors(self, run):
+        assert run.value_at(3) == 5
+        assert run.tid_at(3) == 3
+
+    def test_positions_of_tids(self, run):
+        assert run.positions_of_tids() == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_memory_bits(self, run):
+        assert run.memory_bits() == 2 * 64 * 5

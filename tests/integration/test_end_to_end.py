@@ -1,0 +1,115 @@
+"""End-to-end integration: paper queries on their (synthetic) datasets."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core import SPOJoin, StreamTuple, WindowSpec
+from repro.dspe.router import RawTuple
+from repro.joins import NestedLoopJoin, SPOConfig, run_spo
+from repro.workloads import (
+    as_stream_tuples,
+    datacenter_streams,
+    q1,
+    q2,
+    q2_stream,
+    q3,
+    q3_stream,
+)
+
+
+class TestQ3TaxiSelfJoin:
+    def test_spo_vs_nlj_on_taxi(self):
+        query = q3()
+        window = WindowSpec.count(200, 50)
+        tuples = as_stream_tuples(q3_stream(600, seed=60))
+        spo = SPOJoin(query, window)
+        nlj = NestedLoopJoin(query, window)
+        for t in tuples:
+            assert sorted(m for __, m in spo.process(t)) == sorted(
+                m for __, m in nlj.process(t)
+            )
+
+    def test_matches_are_plausible(self):
+        # Longer-distance, cheaper-fare pairs must exist but be a minority.
+        query = q3()
+        window = WindowSpec.count(200, 50)
+        tuples = as_stream_tuples(q3_stream(500, seed=61))
+        spo = SPOJoin(query, window)
+        total = sum(len(spo.process(t)) for t in tuples)
+        assert 0 < total < 500 * 200
+
+
+class TestQ2TaxiBandJoin:
+    def test_band_join_on_taxi_coordinates(self):
+        query = q2()  # 0.03 degree band
+        window = WindowSpec.count(150, 50)
+        tuples = as_stream_tuples(q2_stream(400, seed=62))
+        spo = SPOJoin(query, window)
+        nlj = NestedLoopJoin(query, window)
+        for t in tuples:
+            assert sorted(m for __, m in spo.process(t)) == sorted(
+                m for __, m in nlj.process(t)
+            )
+
+    def test_hotspot_clustering_yields_matches(self):
+        query = q2()
+        window = WindowSpec.count(200, 50)
+        tuples = as_stream_tuples(q2_stream(400, seed=63))
+        spo = SPOJoin(query, window)
+        total = sum(len(spo.process(t)) for t in tuples)
+        assert total > 0  # hot spots put pickups within 0.03 degrees
+
+
+class TestQ1BlondCrossJoin:
+    def test_cross_join_on_datacenter_streams(self):
+        query = q1()
+        window = WindowSpec.count(200, 40)
+        tuples = as_stream_tuples(datacenter_streams(300, seed=64))
+        spo = SPOJoin(query, window)
+        nlj = NestedLoopJoin(query, window)
+        for t in tuples:
+            assert sorted(m for __, m in spo.process(t)) == sorted(
+                m for __, m in nlj.process(t)
+            )
+
+    def test_distributed_pipeline_on_blond(self):
+        query = q1()
+        window = WindowSpec.count(100, 20)
+        merged = datacenter_streams(250, seed=65)
+        raws = [RawTuple(t.stream, t.values, t.event_time) for t in merged]
+
+        def source():
+            for raw in raws:
+                yield raw.event_time, raw
+
+        res = run_spo(source(), SPOConfig(query, window, num_pojoin_pes=2,
+                                          sub_intervals=2), num_nodes=3)
+        local = SPOJoin(query, window, sub_intervals=2)
+        expected = defaultdict(set)
+        for i, raw in enumerate(raws):
+            t = StreamTuple(i, raw.stream, raw.values, raw.event_time)
+            expected[i] = {m for __, m in local.process(t)}
+        got = defaultdict(set)
+        for name in ("mutable_result", "immutable_result"):
+            for record in res.records_named(name):
+                got[record.payload["tid"]].update(record.payload["matches"])
+        for tid, exp in expected.items():
+            assert exp <= got[tid]  # nothing lost
+            assert all(e < tid for e in got[tid] - exp)  # extras are expired
+
+
+class TestLongRunStability:
+    def test_thousands_of_tuples_window_stays_bounded(self):
+        query = q3()
+        window = WindowSpec.count(300, 60)
+        rng = random.Random(66)
+        spo = SPOJoin(query, window)
+        for i in range(3000):
+            t = StreamTuple(i, "T", (rng.random(), rng.random()), i * 0.001)
+            spo.process(t)
+        assert spo.mutable_size() + spo.immutable_size() <= 300
+        assert spo.stats.merges == 50
+        # max_batches = 300/60 - 1 = 4 retained, so 46 of 50 expired.
+        assert spo.stats.expired_batches == 46

@@ -1,0 +1,118 @@
+"""Asymmetric streams: the Section 2.4 'different sizes' concern.
+
+Cross joins must stay correct when one stream arrives much faster than
+the other (the upstream indexing structures then hold very different
+tuple counts at every merge), when one stream stalls entirely, and when
+arrival order is bursty.
+"""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core import JoinType, Op, QuerySpec, SPOJoin, StreamTuple, WindowSpec, make_tuple
+from repro.dspe.router import RawTuple
+from repro.joins import NestedLoopJoin, SPOConfig, run_spo
+
+from ..conftest import ReferenceWindowJoin
+
+
+def ratio_stream(n, ratio, seed, hi=20):
+    """R:S arrival ratio of ``ratio``:1."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        stream = "R" if rng.random() < ratio / (ratio + 1) else "S"
+        out.append(make_tuple(i, stream, rng.randint(0, hi), rng.randint(0, hi)))
+    return out
+
+
+class TestLocalAsymmetry:
+    @pytest.mark.parametrize("ratio", [1, 5, 20])
+    def test_skewed_ratio_vs_nlj(self, q1_query, ratio):
+        window = WindowSpec.count(100, 20)
+        spo = SPOJoin(q1_query, window)
+        nlj = NestedLoopJoin(q1_query, window)
+        for t in ratio_stream(400, ratio, seed=ratio):
+            assert sorted(m for __, m in spo.process(t)) == sorted(
+                m for __, m in nlj.process(t)
+            )
+
+    def test_one_stream_stalls_mid_run(self, q1_query):
+        window = WindowSpec.count(100, 20)
+        spo = SPOJoin(q1_query, window)
+        nlj = NestedLoopJoin(q1_query, window)
+        rng = random.Random(7)
+        for i in range(400):
+            # S stops arriving after tuple 150.
+            stream = "S" if (i < 150 and i % 3 == 0) else "R"
+            t = make_tuple(i, stream, rng.randint(0, 20), rng.randint(0, 20))
+            assert sorted(m for __, m in spo.process(t)) == sorted(
+                m for __, m in nlj.process(t)
+            )
+
+    def test_alternating_bursts(self, q1_query):
+        window = WindowSpec.count(80, 20)
+        spo = SPOJoin(q1_query, window)
+        nlj = NestedLoopJoin(q1_query, window)
+        rng = random.Random(8)
+        for i in range(400):
+            # 50-tuple bursts of each stream.
+            stream = "R" if (i // 50) % 2 == 0 else "S"
+            t = make_tuple(i, stream, rng.randint(0, 20), rng.randint(0, 20))
+            assert sorted(m for __, m in spo.process(t)) == sorted(
+                m for __, m in nlj.process(t)
+            )
+
+
+class TestDistributedAsymmetry:
+    def test_skewed_ratio_distributed(self, q1_query):
+        window = WindowSpec.count(100, 20)
+        tuples = ratio_stream(400, 10, seed=9)
+        raws = [RawTuple(t.stream, t.values, i * 0.001) for i, t in enumerate(tuples)]
+
+        local = SPOJoin(q1_query, window)
+        expected = {}
+        for i, raw in enumerate(raws):
+            t = StreamTuple(i, raw.stream, raw.values, raw.event_time)
+            expected[i] = {m for __, m in local.process(t)}
+
+        res = run_spo(
+            ((raw.event_time, raw) for raw in raws),
+            SPOConfig(q1_query, window, num_pojoin_pes=1),
+        )
+        got = defaultdict(set)
+        for name in ("mutable_result", "immutable_result"):
+            for record in res.records_named(name):
+                got[record.payload["tid"]].update(record.payload["matches"])
+        for i in expected:
+            assert got[i] == expected[i], i
+
+
+class TestEngineDeterminism:
+    def test_identical_runs_identical_results(self, q1_query):
+        """Two runs over the same source produce identical match sets.
+
+        Service times are wall-clock and therefore vary, but routing,
+        merge boundaries, and results must not depend on them.
+        """
+        window = WindowSpec.count(100, 20)
+        tuples = ratio_stream(300, 2, seed=10)
+        raws = [RawTuple(t.stream, t.values, i * 0.001) for i, t in enumerate(tuples)]
+
+        def run_once():
+            res = run_spo(
+                ((raw.event_time, raw) for raw in raws),
+                SPOConfig(q1_query, window, num_pojoin_pes=2),
+                num_nodes=2,
+            )
+            combined = defaultdict(set)
+            for name in ("mutable_result", "immutable_result"):
+                for record in res.records_named(name):
+                    combined[record.payload["tid"]].update(
+                        record.payload["matches"]
+                    )
+            return dict(combined)
+
+        assert run_once() == run_once()

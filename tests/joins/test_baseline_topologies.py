@@ -1,0 +1,106 @@
+"""Baseline distributed topologies: chain index, SJ, BCHJ, hash join."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core import QuerySpec, StreamTuple, WindowSpec
+from repro.dspe.router import RawTuple
+from repro.joins import (
+    NestedLoopJoin,
+    build_chain_topology,
+    build_hash_join_topology,
+    build_nlj_topology,
+    run_topology,
+)
+
+WINDOW = WindowSpec.count(100, 20)
+
+
+def make_raws(n, streams, seed, hi=25):
+    rng = random.Random(seed)
+    return [
+        RawTuple(rng.choice(streams), (rng.randint(0, hi), rng.randint(0, hi)), i * 0.001)
+        for i in range(n)
+    ]
+
+
+def source_of(raws):
+    return ((raw.event_time, raw) for raw in raws)
+
+
+def combined_results(res):
+    out = defaultdict(set)
+    for record in res.records_named("result"):
+        out[record.payload["tid"]].update(record.payload["matches"])
+    return out
+
+
+def nlj_reference(query, raws, window):
+    ref = NestedLoopJoin(query, window)
+    out = {}
+    for i, raw in enumerate(raws):
+        t = StreamTuple(i, raw.stream, raw.values, raw.event_time)
+        out[i] = {m for __, m in ref.process(t)}
+    return out
+
+
+class TestSplitJoin:
+    @pytest.mark.parametrize("pes", [1, 3])
+    def test_matches_reference(self, q3_query, pes):
+        raws = make_raws(300, ["NYC"], seed=50)
+        topo = build_nlj_topology(source_of(raws), q3_query, WINDOW, mode="sj", joiner_pes=pes)
+        got = combined_results(run_topology(topo))
+        assert got == defaultdict(set, nlj_reference(q3_query, raws, WINDOW))
+
+    def test_each_pe_stores_share(self, q3_query):
+        raws = make_raws(90, ["NYC"], seed=51)
+        topo = build_nlj_topology(source_of(raws), q3_query, WINDOW, mode="sj", joiner_pes=3)
+        res = run_topology(topo)
+        # In SJ every PE probes every tuple.
+        assert len(res.records_named("result")) == 90 * 3
+
+
+class TestBroadcastHashJoin:
+    @pytest.mark.parametrize("pes", [1, 4])
+    def test_matches_reference(self, q1_query, pes):
+        raws = make_raws(300, ["R", "S"], seed=52)
+        topo = build_nlj_topology(source_of(raws), q1_query, WINDOW, mode="bchj", joiner_pes=pes)
+        got = combined_results(run_topology(topo))
+        assert got == defaultdict(set, nlj_reference(q1_query, raws, WINDOW))
+
+    def test_each_tuple_probed_once(self, q1_query):
+        raws = make_raws(80, ["R", "S"], seed=53)
+        topo = build_nlj_topology(source_of(raws), q1_query, WINDOW, mode="bchj", joiner_pes=4)
+        res = run_topology(topo)
+        assert len(res.records_named("result")) == 80
+
+
+class TestChainTopology:
+    @pytest.mark.parametrize("pes", [1, 3])
+    def test_matches_reference(self, q3_query, pes):
+        raws = make_raws(400, ["NYC"], seed=54)
+        topo = build_chain_topology(source_of(raws), q3_query, WINDOW, joiner_pes=pes)
+        got = combined_results(run_topology(topo))
+        assert got == defaultdict(set, nlj_reference(q3_query, raws, WINDOW))
+
+    def test_cross_join(self, q1_query):
+        raws = make_raws(300, ["R", "S"], seed=55)
+        topo = build_chain_topology(source_of(raws), q1_query, WINDOW, joiner_pes=2)
+        got = combined_results(run_topology(topo))
+        assert got == defaultdict(set, nlj_reference(q1_query, raws, WINDOW))
+
+
+class TestHashJoinTopology:
+    @pytest.mark.parametrize("pes", [1, 4])
+    def test_matches_reference(self, pes):
+        q = QuerySpec.equi("qe")
+        rng = random.Random(56)
+        raws = [
+            RawTuple(rng.choice(["R", "S"]), (rng.randrange(15),), i * 0.001)
+            for i in range(300)
+        ]
+        topo = build_hash_join_topology(source_of(raws), q, WINDOW, joiner_pes=pes)
+        got = combined_results(run_topology(topo))
+        assert got == defaultdict(set, nlj_reference(q, raws, WINDOW))

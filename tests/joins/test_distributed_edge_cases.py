@@ -1,0 +1,99 @@
+"""Distributed SPO edge cases: band multi-PE, tiny windows, empty streams."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core import QuerySpec, SPOJoin, StreamTuple, WindowSpec
+from repro.dspe.router import RawTuple
+from repro.joins import SPOConfig, run_spo
+
+
+def collect(res):
+    combined = defaultdict(set)
+    for name in ("mutable_result", "immutable_result"):
+        for record in res.records_named(name):
+            combined[record.payload["tid"]].update(record.payload["matches"])
+    return combined
+
+
+def local_reference(query, raws, window, sub_intervals=1):
+    join = SPOJoin(query, window, sub_intervals=sub_intervals)
+    return {
+        i: {m for __, m in join.process(
+            StreamTuple(i, raw.stream, raw.values, raw.event_time)
+        )}
+        for i, raw in enumerate(raws)
+    }
+
+
+class TestBandMultiPE:
+    def test_band_join_three_pes_complete(self, q2_query):
+        rng = random.Random(60)
+        raws = [
+            RawTuple("NYC", (rng.random(), rng.random()), i * 0.001)
+            for i in range(400)
+        ]
+        window = WindowSpec.count(100, 20)
+        expected = local_reference(q2_query, raws, window)
+        res = run_spo(
+            ((raw.event_time, raw) for raw in raws),
+            SPOConfig(q2_query, window, num_pojoin_pes=3),
+            num_nodes=3,
+        )
+        got = collect(res)
+        for tid, exp in expected.items():
+            assert exp <= got[tid], tid
+            assert all(e < tid for e in got[tid] - exp)
+
+
+class TestDegenerateInputs:
+    def test_empty_source(self, q1_query):
+        res = run_spo(iter([]), SPOConfig(q1_query, WindowSpec.count(10, 5)))
+        assert res.records == []
+
+    def test_single_tuple(self, q1_query):
+        raws = [RawTuple("R", (1.0, 2.0), 0.0)]
+        res = run_spo(
+            ((raw.event_time, raw) for raw in raws),
+            SPOConfig(q1_query, WindowSpec.count(10, 5)),
+        )
+        mutable = res.records_named("mutable_result")
+        assert len(mutable) == 1
+        assert mutable[0].payload["matches"] == []
+
+    def test_window_of_one_slide(self, q1_query):
+        rng = random.Random(61)
+        raws = [
+            RawTuple(rng.choice(["R", "S"]),
+                     (rng.randint(0, 10), rng.randint(0, 10)), i * 0.001)
+            for i in range(150)
+        ]
+        window = WindowSpec.count(30, 30)
+        expected = local_reference(q1_query, raws, window)
+        res = run_spo(
+            ((raw.event_time, raw) for raw in raws),
+            SPOConfig(q1_query, window, num_pojoin_pes=1),
+        )
+        got = collect(res)
+        for tid, exp in expected.items():
+            assert got[tid] == exp, tid
+
+    def test_more_pes_than_merges(self, q3_query):
+        # 8 PO-Join PEs but only ~3 merges: most PEs never own a batch.
+        rng = random.Random(62)
+        raws = [
+            RawTuple("NYC", (rng.random(), rng.random()), i * 0.001)
+            for i in range(70)
+        ]
+        window = WindowSpec.count(60, 20)
+        expected = local_reference(q3_query, raws, window)
+        res = run_spo(
+            ((raw.event_time, raw) for raw in raws),
+            SPOConfig(q3_query, window, num_pojoin_pes=8),
+            num_nodes=4,
+        )
+        got = collect(res)
+        for tid, exp in expected.items():
+            assert exp <= got[tid], tid

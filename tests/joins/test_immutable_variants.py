@@ -1,0 +1,98 @@
+"""CSS immutable batches: probe parity with PO-Join, both intersections."""
+
+import random
+
+import pytest
+
+from repro.core import JoinType, Op, QuerySpec, build_merge_batch, make_tuple
+from repro.core.pojoin import POJoinBatch
+from repro.indexes import BPlusTree
+from repro.joins import CSSImmutableBatch
+
+ALL_OPS = [Op.LT, Op.GT, Op.LE, Op.GE, Op.EQ, Op.NE]
+
+
+def tree_from(tuples, field):
+    tree = BPlusTree(order=8)
+    for t in tuples:
+        tree.insert(t.values[field], t.tid)
+    return tree
+
+
+def rand_tuples(stream, n, start, seed, hi=12):
+    rng = random.Random(seed)
+    return [
+        make_tuple(start + i, stream, rng.randint(0, hi), rng.randint(0, hi))
+        for i in range(n)
+    ]
+
+
+def batches_for(query, left, right=None, **kwargs):
+    lt = [tree_from(left, p.left_field) for p in query.predicates]
+    rt = (
+        [tree_from(right, p.right_field) for p in query.predicates]
+        if right is not None
+        else None
+    )
+    merge = build_merge_batch(0, query, lt, rt)
+    po = POJoinBatch(query, merge)
+    css = CSSImmutableBatch(query, merge, **kwargs)
+    return po, css
+
+
+class TestParityWithPOJoin:
+    @pytest.mark.parametrize("intersect", ["bit", "hash"])
+    @pytest.mark.parametrize("op_pair", [(Op.GT, Op.LT), (Op.LE, Op.GE), (Op.NE, Op.EQ)])
+    def test_self_join_parity(self, intersect, op_pair):
+        q = QuerySpec.two_inequalities("q", JoinType.SELF, *op_pair)
+        stored = rand_tuples("T", 30, 0, seed=70)
+        po, css = batches_for(q, stored, intersect=intersect)
+        for probe in rand_tuples("T", 15, 1000, seed=71):
+            assert sorted(css.probe(probe, True)) == sorted(po.probe(probe, True))
+
+    @pytest.mark.parametrize("probe_is_left", [True, False])
+    def test_cross_join_parity(self, q1_query, probe_is_left):
+        left = rand_tuples("R", 25, 0, seed=72)
+        right = rand_tuples("S", 25, 100, seed=73)
+        po, css = batches_for(q1_query, left, right)
+        stream = "R" if probe_is_left else "S"
+        for probe in rand_tuples(stream, 15, 1000, seed=74):
+            assert sorted(css.probe(probe, probe_is_left)) == sorted(
+                po.probe(probe, probe_is_left)
+            )
+
+    def test_band_parity(self, q2_query):
+        rng = random.Random(75)
+        stored = [
+            make_tuple(i, "T", rng.uniform(0, 10), rng.uniform(0, 10))
+            for i in range(25)
+        ]
+        po, css = batches_for(q2_query, stored)
+        probe = make_tuple(999, "T", 5.0, 5.0)
+        assert sorted(css.probe(probe, True)) == sorted(po.probe(probe, True))
+
+
+class TestBehaviour:
+    def test_empty_batch(self, q3_query):
+        __, css = batches_for(q3_query, [])
+        assert css.probe(make_tuple(1, "T", 5, 5), True) == []
+
+    def test_invalid_intersect_rejected(self, q3_query):
+        lt = [tree_from([], p.left_field) for p in q3_query.predicates]
+        merge = build_merge_batch(0, q3_query, lt)
+        with pytest.raises(ValueError):
+            CSSImmutableBatch(q3_query, merge, intersect="bloom")
+
+    def test_memory_and_len(self, q1_query):
+        left = rand_tuples("R", 20, 0, seed=76)
+        right = rand_tuples("S", 10, 100, seed=77)
+        __, css = batches_for(q1_query, left, right)
+        assert len(css) == 30
+        assert css.memory_bits() > 0
+
+    def test_early_exit_on_empty_first_predicate(self, q3_query):
+        stored = [make_tuple(i, "T", 5, 5) for i in range(10)]
+        __, css = batches_for(q3_query, stored)
+        # Probe whose first predicate (GT) matches nothing.
+        probe = make_tuple(999, "T", 0, 0)
+        assert css.probe(probe, True) == []

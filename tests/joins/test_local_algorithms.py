@@ -1,0 +1,127 @@
+"""Every local join algorithm must agree with the nested-loop baseline."""
+
+import random
+
+import pytest
+
+from repro.core import JoinType, Op, QuerySpec, WindowSpec, make_tuple
+from repro.joins import (
+    BPlusTreeJoin,
+    ChainIndexJoin,
+    HashEquiJoin,
+    NestedLoopJoin,
+    PIMTreeJoin,
+    make_spo_join,
+)
+
+from ..conftest import interleaved_rs, random_tuples
+
+
+def drive_pair(algo_a, algo_b, tuples):
+    for t in tuples:
+        got_a = sorted(m for __, m in algo_a.process(t))
+        got_b = sorted(m for __, m in algo_b.process(t))
+        assert got_a == got_b, (t.tid, got_a, got_b)
+
+
+WINDOW = WindowSpec.count(100, 20)
+
+
+class TestSelfJoinAgreement:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda q: make_spo_join(q, WINDOW),
+            lambda q: make_spo_join(q, WINDOW, mutable="hash"),
+            lambda q: make_spo_join(q, WINDOW, immutable="css_bit"),
+            lambda q: make_spo_join(q, WINDOW, immutable="css_hash"),
+            lambda q: make_spo_join(q, WINDOW, sub_intervals=1, num_threads=4),
+            lambda q: ChainIndexJoin(q, WINDOW),
+            lambda q: BPlusTreeJoin(q, WINDOW),
+        ],
+        ids=["spo", "spo_hash", "css_bit", "css_hash", "spo_mt", "chain", "bptree"],
+    )
+    def test_agrees_with_nlj(self, q3_query, factory):
+        tuples = random_tuples(400, seed=20)
+        drive_pair(factory(q3_query), NestedLoopJoin(q3_query, WINDOW), tuples)
+
+    def test_band_join_agreement(self, q2_query):
+        tuples = random_tuples(300, seed=21)
+        drive_pair(
+            make_spo_join(q2_query, WINDOW),
+            NestedLoopJoin(q2_query, WINDOW),
+            tuples,
+        )
+
+    def test_pim_tree_agreement_fresh_window(self, q3_query):
+        # PIM expiry is coarse; compare within a never-expiring horizon.
+        big = WindowSpec.count(500, 100)
+        tuples = random_tuples(450, seed=22)
+        drive_pair(
+            PIMTreeJoin(q3_query, big), NestedLoopJoin(q3_query, big), tuples
+        )
+
+
+class TestCrossJoinAgreement:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda q: make_spo_join(q, WINDOW),
+            lambda q: make_spo_join(q, WINDOW, use_offsets=False),
+            lambda q: make_spo_join(q, WINDOW, immutable="css_bit"),
+            lambda q: ChainIndexJoin(q, WINDOW),
+            lambda q: BPlusTreeJoin(q, WINDOW),
+        ],
+        ids=["spo", "spo_nooff", "css_bit", "chain", "bptree"],
+    )
+    def test_agrees_with_nlj(self, q1_query, factory):
+        tuples = interleaved_rs(400, seed=23)
+        drive_pair(factory(q1_query), NestedLoopJoin(q1_query, WINDOW), tuples)
+
+
+class TestEquiJoin:
+    def test_hash_join_agrees_with_nlj(self):
+        q = QuerySpec.equi("qe")
+        rng = random.Random(24)
+        tuples = [
+            make_tuple(i, rng.choice(["R", "S"]), rng.randrange(12))
+            for i in range(400)
+        ]
+        drive_pair(HashEquiJoin(q, WINDOW), NestedLoopJoin(q, WINDOW), tuples)
+
+    def test_spo_handles_equi(self):
+        q = QuerySpec.equi("qe")
+        rng = random.Random(25)
+        tuples = [
+            make_tuple(i, rng.choice(["R", "S"]), rng.randrange(12))
+            for i in range(400)
+        ]
+        drive_pair(make_spo_join(q, WINDOW), HashEquiJoin(q, WINDOW), tuples)
+
+    def test_hash_join_rejects_inequality(self, q3_query):
+        with pytest.raises(ValueError):
+            HashEquiJoin(q3_query, WINDOW)
+
+
+class TestVariants:
+    def test_unknown_immutable_variant_rejected(self, q3_query):
+        with pytest.raises(ValueError):
+            make_spo_join(q3_query, WINDOW, immutable="btree")
+
+    def test_nlj_mode_validation(self, q3_query):
+        from repro.joins import NLJJoinerOperator
+
+        with pytest.raises(ValueError):
+            NLJJoinerOperator(q3_query, WINDOW, mode="zigzag")
+
+    def test_memory_accounting_exposed(self, q3_query):
+        tuples = random_tuples(200, seed=26)
+        for algo in [
+            make_spo_join(q3_query, WINDOW),
+            ChainIndexJoin(q3_query, WINDOW),
+            BPlusTreeJoin(q3_query, WINDOW),
+            NestedLoopJoin(q3_query, WINDOW),
+        ]:
+            for t in tuples:
+                algo.process(t)
+            assert algo.memory_bits() > 0

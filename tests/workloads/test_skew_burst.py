@@ -1,0 +1,58 @@
+"""Skewed and bursty workload generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import bursty, equi_stream, zipf_equi_stream
+
+
+class TestZipf:
+    def test_skew_concentrates_keys(self):
+        uniform = Counter(
+            r.values[0] for r in zipf_equi_stream(2000, "R", 100, skew=0.0, seed=1)
+        )
+        skewed = Counter(
+            r.values[0] for r in zipf_equi_stream(2000, "R", 100, skew=1.5, seed=1)
+        )
+        assert skewed.most_common(1)[0][1] > 3 * uniform.most_common(1)[0][1]
+
+    def test_zero_skew_close_to_uniform(self):
+        counts = Counter(
+            r.values[0] for r in zipf_equi_stream(5000, "R", 10, skew=0.0, seed=2)
+        )
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_keys_in_domain(self):
+        raws = zipf_equi_stream(500, "R", num_keys=7, skew=1.0, seed=3)
+        assert all(0 <= r.values[0] < 7 for r in raws)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_equi_stream(10, "R", skew=-1.0)
+
+
+class TestBursty:
+    def test_burst_compresses_interarrival(self):
+        raws = equi_stream(300, "R", seed=4)
+        events = list(
+            bursty(raws, base_rate=100.0, burst_rate=10_000.0,
+                   burst_every=100, burst_len=20)
+        )
+        times = [at for at, __ in events]
+        assert times == sorted(times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Burst gaps are ~100x tighter than base gaps.
+        assert min(gaps) < max(gaps) / 50
+
+    def test_event_times_written_back(self):
+        raws = equi_stream(10, "R", seed=5)
+        events = list(bursty(raws, 100.0, 1000.0))
+        for at, raw in events:
+            assert raw.event_time == at
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(bursty([], 0.0, 1.0))
+        with pytest.raises(ValueError):
+            list(bursty([], 1.0, 1.0, burst_every=0))

@@ -1,0 +1,177 @@
+"""Workload generators: distributions, selectivity control, query specs."""
+
+import pytest
+
+from repro.core import JoinType, Op
+from repro.core.iejoin import ie_join_count, ie_self_join_count
+from repro.workloads import (
+    TABLE1,
+    as_stream_tuples,
+    blond_readings,
+    cross_stream,
+    datacenter_streams,
+    equi_q,
+    equi_stream,
+    interleave,
+    q1,
+    q2,
+    q2_stream,
+    q3,
+    q3_stream,
+    self_stream,
+    shift_for_selectivity,
+    taxi_trips,
+    timed,
+)
+
+
+class TestQueries:
+    def test_q1_shape(self):
+        q = q1()
+        assert q.join_type is JoinType.CROSS
+        assert [p.op for p in q.predicates] == [Op.LT, Op.GT]
+        assert q.field_names == ("POWER", "COOL")
+
+    def test_q2_shape(self):
+        q = q2()
+        assert q.join_type is JoinType.BAND
+        assert q.predicates[0].width == pytest.approx(0.03)
+
+    def test_q3_shape(self):
+        q = q3()
+        assert q.join_type is JoinType.SELF
+        assert [p.op for p in q.predicates] == [Op.GT, Op.LT]
+
+    def test_equi_shape(self):
+        q = equi_q()
+        assert q.predicates[0].op is Op.EQ
+
+    def test_table1_inventory(self):
+        assert len(TABLE1) == 5
+        assert {row.query for row in TABLE1} == {"Q1", "Q2", "Q3"}
+        assert all(row.repo_tuples > 0 for row in TABLE1)
+
+
+class TestShiftForSelectivity:
+    @pytest.mark.parametrize("sigma", [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+    def test_inverts_probability(self, sigma):
+        c = shift_for_selectivity(sigma)
+        if c >= 0:
+            p = (1 - c * c) / 2 + c
+        else:
+            p = (1 - abs(c)) ** 2 / 2
+        assert p == pytest.approx(sigma, abs=1e-9)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            shift_for_selectivity(1.5)
+
+    @pytest.mark.parametrize("sigma", [0.2, 0.5, 0.8])
+    def test_empirical_selectivity(self, sigma):
+        from repro.core import Predicate, QuerySpec
+
+        left = as_stream_tuples(cross_stream(400, "R", (sigma,), seed=1))
+        right = as_stream_tuples(
+            cross_stream(400, "S", (sigma,), is_right=True, seed=2),
+            start_tid=1000,
+        )
+        q = QuerySpec("q", JoinType.CROSS, [Predicate(0, Op.LT, 0)])
+        measured = ie_join_count(left, right, q) / (400 * 400)
+        assert measured == pytest.approx(sigma, abs=0.08)
+
+
+class TestSelfStream:
+    def test_correlation_controls_match_rate(self):
+        q = q3()
+        rates = []
+        for corr in (-0.9, 0.0, 0.9):
+            tuples = as_stream_tuples(self_stream(300, correlation=corr, seed=3))
+            rates.append(ie_self_join_count(tuples, q) / (300 * 299))
+        # Anticorrelated fields match most, correlated least.
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_correlation_bounds(self):
+        with pytest.raises(ValueError):
+            self_stream(10, correlation=2.0)
+
+
+class TestTaxi:
+    def test_field_layout(self):
+        trips = taxi_trips(100, seed=4)
+        assert all(len(t.values) == 4 for t in trips)
+        dists = [t.values[0] for t in trips]
+        fares = [t.values[1] for t in trips]
+        assert all(d > 0 for d in dists)
+        assert all(f >= 2.5 for f in fares)
+
+    def test_fare_correlates_with_distance(self):
+        trips = taxi_trips(2000, seed=5)
+        long_trips = [t for t in trips if t.values[0] > 5]
+        short_trips = [t for t in trips if t.values[0] < 1]
+        avg = lambda ts: sum(t.values[1] for t in ts) / len(ts)
+        assert avg(long_trips) > avg(short_trips)
+
+    def test_projections(self):
+        assert all(len(t.values) == 2 for t in q3_stream(50, seed=6))
+        lonlat = q2_stream(50, seed=6)
+        assert all(-75 < t.values[0] < -73 for t in lonlat)
+        assert all(40 < t.values[1] < 42 for t in lonlat)
+
+    def test_event_times_increase(self):
+        trips = taxi_trips(100, seed=7, rate=100.0)
+        times = [t.event_time for t in trips]
+        assert times == sorted(times)
+
+
+class TestBlond:
+    def test_power_is_positive(self):
+        readings = blond_readings(200, seed=8)
+        assert all(t.values[0] > 0 and t.values[1] > 0 for t in readings)
+
+    def test_datacenter_asymmetry(self):
+        merged = datacenter_streams(500, seed=9)
+        r_power = [t.values[0] for t in merged if t.stream == "R"]
+        s_power = [t.values[0] for t in merged if t.stream == "S"]
+        r_ratio = [t.values[1] / t.values[0] for t in merged if t.stream == "R"]
+        s_ratio = [t.values[1] / t.values[0] for t in merged if t.stream == "S"]
+        avg = lambda xs: sum(xs) / len(xs)
+        assert avg(r_power) < avg(s_power)  # R is the smaller data center
+        assert avg(r_ratio) > avg(s_ratio)  # but cools less efficiently
+
+    def test_merged_order_is_chronological(self):
+        merged = datacenter_streams(100, seed=10)
+        times = [t.event_time for t in merged]
+        assert times == sorted(times)
+
+    def test_q1_has_matches(self):
+        from repro.core import ie_join
+
+        merged = datacenter_streams(200, seed=11)
+        tuples = as_stream_tuples(merged)
+        left = [t for t in tuples if t.stream == "R"]
+        right = [t for t in tuples if t.stream == "S"]
+        pairs = ie_join(left, right, q1())
+        assert 0 < len(pairs) < len(left) * len(right)
+
+
+class TestHelpers:
+    def test_interleave(self):
+        a = cross_stream(3, "R", seed=12)
+        b = cross_stream(2, "S", seed=13)
+        merged = interleave(a, b)
+        assert [t.stream for t in merged] == ["R", "S", "R", "S", "R"]
+
+    def test_timed_assigns_rate(self):
+        raws = cross_stream(10, "R", seed=14)
+        events = list(timed(raws, rate=100.0))
+        assert events[1][0] - events[0][0] == pytest.approx(0.01)
+        assert events[0][1].event_time == 0.0
+
+    def test_timed_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            list(timed([], rate=0))
+
+    def test_as_stream_tuples_ids(self):
+        raws = equi_stream(5, "R", seed=15)
+        tuples = as_stream_tuples(raws, start_tid=10)
+        assert [t.tid for t in tuples] == [10, 11, 12, 13, 14]
