@@ -12,6 +12,7 @@ pass after installation::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict
@@ -39,7 +40,7 @@ from .harness import ResultTable, drive_local, time_probes
 __all__ = ["main"]
 
 
-def _throughput() -> None:
+def _throughput(args) -> None:
     """Component throughput: bit vs hash mutable, PO vs CSS immutable."""
     query = q3()
     data = as_stream_tuples(q3_stream(4_200, seed=1))
@@ -66,7 +67,7 @@ def _throughput() -> None:
     table.show()
 
 
-def _designs() -> None:
+def _designs(args) -> None:
     """Full designs side by side on the Q3 stream."""
     query = q3()
     window = WindowSpec.count(1_000, 200)
@@ -84,7 +85,7 @@ def _designs() -> None:
     table.show()
 
 
-def _crossjoin() -> None:
+def _crossjoin(args) -> None:
     """Q1 cross join on the data-center streams."""
     query = q1()
     window = WindowSpec.count(1_000, 200)
@@ -97,7 +98,7 @@ def _crossjoin() -> None:
     table.show()
 
 
-def _equijoin() -> None:
+def _equijoin(args) -> None:
     """The negative result: hash join vs SPO on equality predicates."""
     query = equi_q()
     window = WindowSpec.count(1_000, 200)
@@ -116,11 +117,67 @@ def _equijoin() -> None:
     table.show()
 
 
-EXPERIMENTS: Dict[str, Callable[[], None]] = {
+def _batching(args) -> None:
+    """Micro-batched vs tuple-at-a-time SPO-Join (batch-first core)."""
+    query = q3()
+    window = WindowSpec.count(1_000, 200)
+    tuples = as_stream_tuples(q3_stream(3_000, seed=6))
+    sizes = [1, 8, 64]
+    if args.batch_size and args.batch_size not in sizes:
+        sizes.append(args.batch_size)
+    table = ResultTable(
+        "Micro-batching, Q3 self join",
+        ["batch", "tuples/sec", "per-tuple (us)", "per-batch (us)", "speedup"],
+    )
+    rows = []
+    base = None
+    for bs in sorted(sizes):
+        stats = drive_local(
+            make_spo_join(query, window), tuples, batch_size=bs
+        )
+        if base is None:
+            base = stats.throughput
+        speedup = stats.throughput / base if base else 0.0
+        table.add_row(
+            bs,
+            stats.throughput,
+            stats.mean_latency * 1e6,
+            stats.mean_batch_cost * 1e6,
+            speedup,
+        )
+        rows.append(
+            {
+                "batch_size": bs,
+                "tuples": stats.tuples,
+                "matches": stats.matches,
+                "throughput_tps": stats.throughput,
+                "mean_per_tuple_cost_s": stats.mean_latency,
+                "mean_per_batch_cost_s": stats.mean_batch_cost,
+                "p95_per_tuple_cost_s": stats.latency_percentile(95),
+                "speedup_vs_scalar": speedup,
+            }
+        )
+    table.show()
+    if args.json_out:
+        payload = {
+            "experiment": "batching",
+            "query": "q3_self_join",
+            "window": {"size": 1_000, "slide": 200, "kind": "count"},
+            "stream_tuples": len(tuples),
+            "results": rows,
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+
+
+EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "throughput": _throughput,
     "designs": _designs,
     "crossjoin": _crossjoin,
     "equijoin": _equijoin,
+    "batching": _batching,
 }
 
 
@@ -139,7 +196,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment groups and exit"
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="router/process_many micro-batch size (adds the value to the "
+        "batching sweep; other experiments ignore it)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help="write the batching experiment's results to this JSON file",
+    )
     args = parser.parse_args(argv)
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error("--batch-size must be >= 1")
 
     if args.list:
         for name, fn in sorted(EXPERIMENTS.items()):
@@ -149,7 +220,7 @@ def main(argv=None) -> int:
     chosen = [args.experiment] if args.experiment else sorted(EXPERIMENTS)
     start = time.perf_counter()
     for name in chosen:
-        EXPERIMENTS[name]()
+        EXPERIMENTS[name](args)
     print(f"\ncompleted {len(chosen)} experiment(s) "
           f"in {time.perf_counter() - start:.1f}s")
     return 0

@@ -9,7 +9,7 @@ the paper's.
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..core.tuples import StreamTuple
 from ..dspe.engine import RunResult
@@ -52,7 +52,13 @@ def time_probes(probe_fn: Callable, probes: Iterable[StreamTuple]):
 
 
 class StreamRunStats:
-    """Wall-clock statistics from driving a local join algorithm."""
+    """Wall-clock statistics from driving a local join algorithm.
+
+    ``per_tuple`` holds amortized per-tuple costs (batch cost divided by
+    batch length when batching); ``per_batch`` holds the raw cost of each
+    ``process``/``process_many`` call.  At ``batch_size=1`` the two lists
+    are identical.
+    """
 
     def __init__(
         self,
@@ -60,11 +66,15 @@ class StreamRunStats:
         matches: int,
         elapsed: float,
         per_tuple: List[float],
+        per_batch: Optional[List[float]] = None,
+        batch_size: int = 1,
     ) -> None:
         self.tuples = tuples
         self.matches = matches
         self.elapsed = elapsed
         self.per_tuple = per_tuple
+        self.per_batch = per_tuple if per_batch is None else per_batch
+        self.batch_size = batch_size
 
     @property
     def throughput(self) -> float:
@@ -72,6 +82,8 @@ class StreamRunStats:
         return self.tuples / self.elapsed if self.elapsed > 0 else 0.0
 
     def latency_percentile(self, q: float) -> float:
+        if not self.per_tuple:
+            return 0.0
         return percentile(self.per_tuple, q)
 
     @property
@@ -84,25 +96,57 @@ class StreamRunStats:
             return 0.0
         return sum(self.per_tuple) / len(self.per_tuple)
 
+    @property
+    def mean_batch_cost(self) -> float:
+        if not self.per_batch:
+            return 0.0
+        return sum(self.per_batch) / len(self.per_batch)
+
 
 def drive_local(
     algo,
     tuples: Iterable[StreamTuple],
     sample_latency_every: int = 1,
+    batch_size: int = 1,
 ) -> StreamRunStats:
-    """Push tuples through a local join algorithm, timing each call."""
+    """Push tuples through a local join algorithm, timing each call.
+
+    With ``batch_size > 1`` the stream is chunked and handed to
+    ``algo.process_many``; each chunk's wall-clock cost is recorded in
+    ``per_batch`` and amortized (cost / chunk length) into ``per_tuple``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     per_tuple: List[float] = []
     matches = 0
     count = 0
+    if batch_size == 1:
+        t_start = time.perf_counter()
+        for i, t in enumerate(tuples):
+            t0 = time.perf_counter()
+            matches += len(algo.process(t))
+            if i % sample_latency_every == 0:
+                per_tuple.append(time.perf_counter() - t0)
+            count += 1
+        elapsed = time.perf_counter() - t_start
+        return StreamRunStats(count, matches, elapsed, per_tuple)
+
+    stream = list(tuples)
+    per_batch: List[float] = []
     t_start = time.perf_counter()
-    for i, t in enumerate(tuples):
+    for i in range(0, len(stream), batch_size):
+        chunk = stream[i : i + batch_size]
         t0 = time.perf_counter()
-        matches += len(algo.process(t))
-        if i % sample_latency_every == 0:
-            per_tuple.append(time.perf_counter() - t0)
-        count += 1
+        matches += len(algo.process_many(chunk))
+        cost = time.perf_counter() - t0
+        if (i // batch_size) % sample_latency_every == 0:
+            per_batch.append(cost)
+            per_tuple.append(cost / len(chunk))
+        count += len(chunk)
     elapsed = time.perf_counter() - t_start
-    return StreamRunStats(count, matches, elapsed, per_tuple)
+    return StreamRunStats(
+        count, matches, elapsed, per_tuple, per_batch, batch_size
+    )
 
 
 # ----------------------------------------------------------------------

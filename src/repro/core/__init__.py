@@ -12,10 +12,12 @@ from .iejoin import (
     nested_loop_join,
     nested_loop_self_join,
 )
+from .immutable import ImmutableBatch, scalar_probe_batch
 from .logical import LogicalAndOperator, LogicalResult
 from .merge import MergeBatch, MergeSide, build_merge_batch, sorted_run_from_tree
 from .mutable import MutableComponent
-from .pojoin import POJoinBatch, POJoinList, ProbeOutcome
+from .pojoin import BatchProbeOutcome, POJoinBatch, POJoinList, ProbeOutcome
+from .pojoin_numpy import VectorPOJoinBatch
 from .predicates import BandPredicate, Op, Predicate
 from .query import JoinType, QuerySpec
 from .spojoin import JoinStats, SPOJoin
@@ -42,9 +44,13 @@ __all__ = [
     "MergeSide",
     "build_merge_batch",
     "sorted_run_from_tree",
+    "ImmutableBatch",
+    "scalar_probe_batch",
     "POJoinBatch",
     "POJoinList",
     "ProbeOutcome",
+    "BatchProbeOutcome",
+    "VectorPOJoinBatch",
     "SPOJoin",
     "JoinStats",
     "parse_query",

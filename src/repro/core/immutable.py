@@ -1,0 +1,72 @@
+"""The ``ImmutableBatch`` protocol: what a frozen merge interval must do.
+
+Every immutable representation of one merge interval's tuples — the
+paper's PO-Join batch (:class:`~repro.core.pojoin.POJoinBatch`), its
+numpy-vectorized twin (:class:`~repro.core.pojoin_numpy.VectorPOJoinBatch`,
+the default), and the CSS-tree baseline
+(:class:`~repro.joins.immutable_variants.CSSImmutableBatch`) — plugs into
+:class:`~repro.core.pojoin.POJoinList` and the PO-Join processing elements
+through this protocol.  The batch-first execution core relies on
+``probe_batch``: probing a micro-batch of tuples against one frozen
+structure in a single call, so per-probe interpreter overhead is paid once
+per batch instead of once per tuple.
+
+Implementations must guarantee that ``probe_batch`` returns exactly
+``[probe(t, f) for t, f in zip(probes, flags)]`` — the scalar and batched
+paths are interchangeable, which the equivalence property tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, runtime_checkable
+
+from .tuples import StreamTuple
+
+__all__ = ["ImmutableBatch", "scalar_probe_batch"]
+
+
+@runtime_checkable
+class ImmutableBatch(Protocol):
+    """One probe-ready frozen merge interval."""
+
+    @property
+    def batch_id(self) -> int:
+        """Provenance identifier (monotone merge-interval number)."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of stored tuples."""
+        ...
+
+    def memory_bits(self) -> int:
+        """Total footprint: window payload plus index arrays."""
+        ...
+
+    def index_overhead_bits(self) -> int:
+        """Index structures beyond the raw window payload (Equation 2)."""
+        ...
+
+    def probe(self, probe: StreamTuple, probe_is_left: bool) -> List[int]:
+        """Stored tuple ids joining with one probe tuple."""
+        ...
+
+    def probe_batch(
+        self, probes: Sequence[StreamTuple], flags: Sequence[bool]
+    ) -> List[List[int]]:
+        """Per-probe match lists for a micro-batch of tuples.
+
+        ``flags[i]`` is ``probe_is_left`` for ``probes[i]``.  Must equal
+        the scalar ``probe`` applied element-wise.
+        """
+        ...
+
+
+def scalar_probe_batch(
+    batch, probes: Sequence[StreamTuple], flags: Sequence[bool]
+) -> List[List[int]]:
+    """Reference ``probe_batch``: one scalar probe per tuple.
+
+    Used as the fallback for representations without a vectorized path,
+    and by tests as the ground truth the vectorized paths must match.
+    """
+    return [batch.probe(t, flag) for t, flag in zip(probes, flags)]

@@ -16,10 +16,13 @@ same order — agree on bit positions without coordination.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..indexes.bptree import BPlusTree
 from .bitset import BitSet
+from .pojoin_numpy import batch_probe_intervals
 from .predicates import Predicate
 from .query import QuerySpec
 from .tuples import StreamTuple
@@ -150,6 +153,101 @@ class MutableComponent:
         if self.query.is_self_join:
             tids = [tid for tid in tids if tid != probe.tid]
         return tids
+
+    def evaluate_batch(
+        self,
+        probes: Sequence[StreamTuple],
+        flags: Sequence[bool],
+        bounds: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        """Batched :meth:`evaluate`: one tree pass serves every probe.
+
+        ``flags[i]`` is ``probe_is_left`` for ``probes[i]``.  ``bounds``
+        restricts probe ``i``'s matches to stored slots ``< bounds[i]``
+        (default: the whole window).  Slots are assigned in arrival
+        order, so a caller that inserts a micro-batch *up front* can
+        replay exact tuple-at-a-time semantics by bounding each probe to
+        the window size at its own arrival — including self-exclusion in
+        self joins, whose probing tuple sits exactly at its bound.
+
+        The bit design vectorizes: each field tree is scanned once into
+        sorted ``(value, slot)`` arrays, the whole batch's interval
+        bounds come from one ``np.searchsorted`` per predicate, and the
+        per-probe bit arrays (boolean rows reused across predicates) are
+        ANDed in place.  The hash baseline has no slot order to exploit
+        and falls back to per-probe :meth:`evaluate`.
+        """
+        n = len(self._arrival)
+        num = len(probes)
+        if bounds is None:
+            bounds = [n] * num
+        if len(flags) != num or len(bounds) != num:
+            raise ValueError("probes, flags, and bounds must align")
+        if num == 0:
+            return []
+        if self.evaluator != "bit":
+            if any(b != n for b in bounds):
+                raise ValueError(
+                    "hash evaluator cannot bound probes by slot; "
+                    "process tuples one at a time instead"
+                )
+            return [self.evaluate(t, f) for t, f in zip(probes, flags)]
+        results: List[List[int]] = [[] for __ in probes]
+        if n == 0:
+            return results
+        for flag in (True, False):
+            idx = [j for j, f in enumerate(flags) if bool(f) == flag]
+            if idx:
+                self._evaluate_group(probes, bounds, idx, flag, results)
+        return results
+
+    def _evaluate_group(
+        self,
+        probes: Sequence[StreamTuple],
+        bounds: Sequence[int],
+        idx: List[int],
+        flag: bool,
+        results: List[List[int]],
+    ) -> None:
+        n = len(self._arrival)
+        g = len(idx)
+        cur = np.zeros((g, n), dtype=bool)
+        row = np.empty(n, dtype=bool)
+        for pred_pos, (pred, tree) in enumerate(
+            zip(self.query.predicates, self.trees)
+        ):
+            values = np.empty(n, dtype=np.float64)
+            slots = np.empty(n, dtype=np.int64)
+            for k, (value, slot) in enumerate(tree.items()):
+                values[k] = value
+                slots[k] = slot
+            pvals = np.fromiter(
+                (probes[j].values[pred.probing_field(flag)] for j in idx),
+                np.float64,
+                g,
+            )
+            pairs = batch_probe_intervals(pred, pvals, values, flag)
+            for j in range(g):
+                if pred_pos == 0:
+                    target = cur[j]
+                else:
+                    row[:] = False
+                    target = row
+                for lo_arr, hi_arr in pairs:
+                    lo, hi = int(lo_arr[j]), int(hi_arr[j])
+                    if lo < hi:
+                        target[slots[lo:hi]] = True
+                if pred_pos > 0:
+                    cur[j] &= row
+        arrival = self._arrival
+        self_join = self.query.is_self_join
+        for j, out_idx in enumerate(idx):
+            probe = probes[out_idx]
+            hit = np.nonzero(cur[j, : bounds[out_idx]])[0]
+            tids = [arrival[slot] for slot in hit]
+            if self_join:
+                tids = [tid for tid in tids if tid != probe.tid]
+            results[out_idx] = tids
 
     def intersect(self, partials: Sequence[PartialResult]) -> List[int]:
         """Logical AND across per-predicate partial results.

@@ -22,14 +22,15 @@ from __future__ import annotations
 import time
 from bisect import bisect_left, bisect_right
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from .bitset import BitSet
+from .immutable import scalar_probe_batch
 from .merge import MergeBatch, MergeSide
 from .query import QuerySpec
 from .tuples import StreamTuple
 
-__all__ = ["POJoinBatch", "POJoinList", "ProbeOutcome"]
+__all__ = ["BatchProbeOutcome", "POJoinBatch", "POJoinList", "ProbeOutcome"]
 
 
 class POJoinBatch:
@@ -77,6 +78,12 @@ class POJoinBatch:
         if self.query.num_predicates > 2:
             matches = self._apply_residuals(probe, probe_is_left, stored, matches)
         return matches
+
+    def probe_batch(
+        self, probes: Sequence[StreamTuple], flags: Sequence[bool]
+    ) -> List[List[int]]:
+        """Per-probe match lists; the scalar batch probes one at a time."""
+        return scalar_probe_batch(self, probes, flags)
 
     def _apply_residuals(
         self,
@@ -308,6 +315,58 @@ class POJoinList:
             costs.append(time.perf_counter() - start)
         makespan = _list_schedule_makespan(costs, num_threads)
         return ProbeOutcome(matches, sum(costs), makespan, len(costs))
+
+    def probe_all_batch(
+        self,
+        probes: Sequence[StreamTuple],
+        flags: Sequence[bool],
+        num_threads: int = 1,
+        batch_id_lt: Optional[int] = None,
+    ) -> "BatchProbeOutcome":
+        """Probe a micro-batch of tuples against every linked batch.
+
+        Each immutable batch is probed once for the whole micro-batch
+        (via its ``probe_batch`` when available), so its cost — and the
+        two ``perf_counter`` calls timing it — is paid once per batch of
+        tuples instead of once per tuple.  Per-tuple results equal
+        ``[probe_all(t, f, ...).matches for t, f in zip(probes, flags)]``.
+        """
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        per_probe: List[List[int]] = [[] for __ in probes]
+        costs: List[float] = []
+        for batch in self.batches:
+            if batch_id_lt is not None and batch.batch_id >= batch_id_lt:
+                continue
+            start = time.perf_counter()
+            probe_batch = getattr(batch, "probe_batch", None)
+            if probe_batch is not None:
+                rows = probe_batch(probes, flags)
+            else:
+                rows = scalar_probe_batch(batch, probes, flags)
+            for acc, row in zip(per_probe, rows):
+                acc.extend(row)
+            costs.append(time.perf_counter() - start)
+        makespan = _list_schedule_makespan(costs, num_threads)
+        return BatchProbeOutcome(per_probe, sum(costs), makespan, len(costs))
+
+
+class BatchProbeOutcome:
+    """Result of evaluating a micro-batch against a linked PO-Join list."""
+
+    __slots__ = ("per_probe", "total_cost", "makespan", "batches_probed")
+
+    def __init__(
+        self,
+        per_probe: List[List[int]],
+        total_cost: float,
+        makespan: float,
+        batches_probed: int,
+    ) -> None:
+        self.per_probe = per_probe
+        self.total_cost = total_cost
+        self.makespan = makespan
+        self.batches_probed = batches_probed
 
 
 def _list_schedule_makespan(costs: List[float], num_threads: int) -> float:

@@ -22,11 +22,12 @@ microbenches (insertion cost, match rate, window split) measure.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .merge import build_merge_batch_from_runs
 from .mutable import MutableComponent
 from .pojoin import POJoinBatch, POJoinList
+from .pojoin_numpy import VectorPOJoinBatch
 from .query import QuerySpec
 from .tuples import StreamTuple
 from .window import MergePolicy, WindowKind, WindowSpec
@@ -111,11 +112,14 @@ class SPOJoin:
             self.mutable_right = MutableComponent(
                 query, side="right", evaluator=evaluator, order=bptree_order
             )
-        # batch_factory lets baselines (e.g. the CSS-tree immutable join)
-        # reuse this two-tier skeleton with a different frozen structure.
+        # batch_factory lets baselines (e.g. the CSS-tree immutable join,
+        # or the pure-python scalar POJoinBatch) reuse this two-tier
+        # skeleton with a different frozen structure.  The default is the
+        # numpy-vectorized batch, whose probe_batch carries the
+        # batch-first hot path.
         if batch_factory is None:
             def batch_factory(q, mb):
-                return POJoinBatch(q, mb, use_offsets=use_offsets)
+                return VectorPOJoinBatch(q, mb, use_offsets=use_offsets)
         self.batch_factory = batch_factory
         self.immutable = POJoinList(query, max_batches=self.policy.max_batches)
 
@@ -171,6 +175,138 @@ class SPOJoin:
         self.stats.tuples_processed += 1
         self.stats.matches_emitted += len(matches)
         return [(t.tid, m) for m in matches]
+
+    # ------------------------------------------------------------------
+    # Micro-batched processing (the batch-first hot path)
+    # ------------------------------------------------------------------
+    def process_many(self, tuples: Sequence[StreamTuple]) -> List[Pair]:
+        """Run a micro-batch through Algorithm 1 in amortized passes.
+
+        Produces exactly ``process(t)`` concatenated over ``tuples`` —
+        same pairs, same order, same stats and merge schedule — but pays
+        the immutable probe once per (sub-batch, PO-Join batch) and the
+        mutable probe once per (sub-batch, B+-tree).  Merges cannot
+        happen mid-batch, so the input is cut into sub-batches at the
+        positions where the merge clock fires; within a sub-batch the
+        immutable list is frozen and the mutable window only grows,
+        which the slot-bounded batched evaluation accounts for.
+        """
+        pairs: List[Pair] = []
+        i, n = 0, len(tuples)
+        while i < n:
+            j, fired = self._scan_boundary(tuples, i)
+            self._process_subbatch(tuples[i:j], pairs)
+            if fired:
+                self.merge()
+            i = j
+        return pairs
+
+    def _scan_boundary(
+        self, tuples: Sequence[StreamTuple], start: int
+    ) -> Tuple[int, bool]:
+        """Advance the merge clock until it fires or the batch ends.
+
+        Returns ``(end, fired)`` where ``tuples[start:end]`` is the next
+        merge-free sub-batch; ``fired`` means a merge is due immediately
+        after it.  The clock state is updated exactly as
+        :meth:`_advance_merge_clock` would have, minus the merge itself.
+        """
+        if self.window.kind is WindowKind.COUNT:
+            for k in range(start, len(tuples)):
+                self._merge_counter += 1
+                if self._merge_counter >= self.policy.delta:
+                    self._merge_counter = 0
+                    return k + 1, True
+            return len(tuples), False
+        for k in range(start, len(tuples)):
+            t = tuples[k]
+            if self._next_merge_time is None:
+                self._next_merge_time = t.event_time + self.policy.delta
+            elif t.event_time >= self._next_merge_time:
+                self._next_merge_time += self.policy.delta
+                return k + 1, True
+        return len(tuples), False
+
+    def _process_subbatch(
+        self, sub: Sequence[StreamTuple], pairs: List[Pair]
+    ) -> None:
+        flags = [self._probe_is_left(t) for t in sub]
+        mutable_rows = self._mutable_batch(sub, flags)
+        outcome = self.immutable.probe_all_batch(sub, flags, self.num_threads)
+        for t, mut, imm in zip(sub, mutable_rows, outcome.per_probe):
+            self.stats.mutable_matches += len(mut)
+            self.stats.immutable_matches += len(imm)
+            self.stats.tuples_processed += 1
+            self.stats.matches_emitted += len(mut) + len(imm)
+            pairs.extend((t.tid, m) for m in mut)
+            pairs.extend((t.tid, m) for m in imm)
+
+    def _mutable_batch(
+        self, sub: Sequence[StreamTuple], flags: List[bool]
+    ) -> List[List[int]]:
+        """Probe + insert a merge-free sub-batch against the mutable tier.
+
+        Bit evaluator: insert everything up front, then replay each
+        probe bounded to the opposite window's size at its own arrival —
+        slot order equals arrival order, so the bound restores exact
+        tuple-at-a-time visibility (including self-exclusion).  The hash
+        evaluator has no slot order, so it interleaves scalar steps.
+        """
+        if self.evaluator != "bit":
+            rows: List[List[int]] = []
+            for t, flag in zip(sub, flags):
+                opposite = self._opposite_of(flag)
+                rows.append(opposite.evaluate(t, flag))
+                self._own_of(flag).insert(t)
+            return rows
+        if not self.is_two_stream:
+            window = self.mutable_left
+            pre = len(window)
+            bounds = [pre + i for i in range(len(sub))]
+            for t in sub:
+                window.insert(t)
+            return window.evaluate_batch(sub, flags, bounds)
+        assert self.mutable_right is not None
+        bounds: List[int] = []
+        seen_left = seen_right = 0
+        pre_left, pre_right = len(self.mutable_left), len(self.mutable_right)
+        for flag in flags:
+            if flag:  # left tuple probes the right window
+                bounds.append(pre_right + seen_right)
+                seen_left += 1
+            else:
+                bounds.append(pre_left + seen_left)
+                seen_right += 1
+        for t, flag in zip(sub, flags):
+            self._own_of(flag).insert(t)
+        results: List[List[int]] = [[] for __ in sub]
+        for window, flag_value in (
+            (self.mutable_right, True),
+            (self.mutable_left, False),
+        ):
+            idx = [i for i, f in enumerate(flags) if f == flag_value]
+            if not idx:
+                continue
+            rows = window.evaluate_batch(
+                [sub[i] for i in idx],
+                [flag_value] * len(idx),
+                [bounds[i] for i in idx],
+            )
+            for i, row in zip(idx, rows):
+                results[i] = row
+        return results
+
+    def _opposite_of(self, probe_is_left: bool) -> MutableComponent:
+        if not self.is_two_stream:
+            return self.mutable_left
+        assert self.mutable_right is not None
+        return self.mutable_right if probe_is_left else self.mutable_left
+
+    def _own_of(self, probe_is_left: bool) -> MutableComponent:
+        if not self.is_two_stream or probe_is_left:
+            return self.mutable_left
+        assert self.mutable_right is not None
+        return self.mutable_right
 
     # ------------------------------------------------------------------
     def _advance_merge_clock(self, t: StreamTuple) -> None:

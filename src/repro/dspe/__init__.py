@@ -7,7 +7,7 @@ cluster experiments.
 """
 
 from .cache import CacheClient, DistributedCache
-from .engine import Context, Engine, Message, Record, RunResult
+from .engine import Context, Engine, Message, Record, RunResult, TupleBatch
 from .metrics import (
     LatencyCollector,
     Summary,
@@ -28,6 +28,7 @@ __all__ = [
     "Message",
     "Record",
     "RunResult",
+    "TupleBatch",
     "Grouping",
     "ProcessingElement",
     "Operator",

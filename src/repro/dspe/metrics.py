@@ -29,7 +29,12 @@ __all__ = [
 
 
 class Summary:
-    """Mean / standard deviation / min / max / count of a sample."""
+    """Mean / standard deviation / min / max / count of a sample.
+
+    An empty sample is a valid summary — ``count`` is 0 and every moment
+    is 0.0 — so callers aggregating possibly-empty buckets (e.g. a run
+    with no completions) can render a row without special-casing.
+    """
 
     __slots__ = ("count", "mean", "std", "min", "max")
 
@@ -53,13 +58,21 @@ class Summary:
 
 
 def summarize(values: Sequence[float]) -> Summary:
+    """Summary of ``values``; an empty input yields the empty Summary."""
     return Summary(values)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0-100), linear interpolation."""
+    """The ``q``-th percentile (0-100), linear interpolation.
+
+    Raises :class:`ValueError` on an empty input — a percentile of no
+    data is undefined, and silently returning 0.0 has hidden broken
+    collectors before.  Callers with possibly-empty samples should use
+    :meth:`LatencyCollector.percentile`, which documents its empty-case
+    behavior.
+    """
     if not values:
-        return 0.0
+        raise ValueError("percentile() of an empty sequence is undefined")
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
     ordered = sorted(values)
@@ -75,9 +88,13 @@ def percentile(values: Sequence[float], q: float) -> float:
 def cdf_points(
     values: Sequence[float], num_points: int = 100
 ) -> List[Tuple[float, float]]:
-    """(value, cumulative fraction) pairs for CDF plots (Figures 10/11)."""
+    """(value, cumulative fraction) pairs for CDF plots (Figures 10/11).
+
+    Raises :class:`ValueError` on an empty input; an empty CDF plot is
+    almost always a measurement bug upstream.
+    """
     if not values:
-        return []
+        raise ValueError("cdf_points() of an empty sequence is undefined")
     ordered = sorted(values)
     n = len(ordered)
     points: List[Tuple[float, float]] = []
@@ -126,7 +143,13 @@ class ThroughputCollector:
 
 
 class LatencyCollector:
-    """Accumulates latencies and reports summaries/percentiles/CDFs."""
+    """Accumulates latencies and reports summaries/percentiles/CDFs.
+
+    Unlike the module-level :func:`percentile`/:func:`cdf_points`, the
+    collector's reporting methods tolerate an empty sample (0.0 / empty
+    list) — report generators run them over components that may have
+    recorded nothing.
+    """
 
     def __init__(self) -> None:
         self.values: List[float] = []
@@ -138,12 +161,18 @@ class LatencyCollector:
         return Summary(self.values)
 
     def percentile(self, q: float) -> float:
+        """Percentile of the recorded sample; 0.0 when nothing recorded."""
+        if not self.values:
+            return 0.0
         return percentile(self.values, q)
 
     def percentiles(self, qs: Iterable[float] = (50, 75, 95)) -> Dict[float, float]:
-        return {q: percentile(self.values, q) for q in qs}
+        return {q: self.percentile(q) for q in qs}
 
     def cdf(self, num_points: int = 100) -> List[Tuple[float, float]]:
+        """CDF of the recorded sample; empty list when nothing recorded."""
+        if not self.values:
+            return []
         return cdf_points(self.values, num_points)
 
     def max(self) -> float:

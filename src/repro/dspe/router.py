@@ -8,11 +8,23 @@ PEs happens at the consumers, which each read their own field of the
 shared tuple; this mirrors the paper's router partitioning
 ``{id, R.POWER} -> PE_1`` and ``{id, R.COOL} -> PE_2`` without copying
 payloads.
+
+With ``batch_size > 1`` the router becomes the topology's batching point:
+stamped tuples accumulate into a :class:`~repro.dspe.engine.TupleBatch`
+that is emitted when full, when the oldest buffered tuple exceeds
+``flush_timeout`` of simulated time, when the caller-supplied ``cut_fn``
+marks a tuple as a batch boundary (the SPO topology cuts at merge
+boundaries so no batch spans a merge), or at end of stream via
+:meth:`flush`.  Downstream PEs then pay their per-message overhead once
+per batch.
 """
 
 from __future__ import annotations
 
+from typing import Callable, List, Optional
+
 from ..core.tuples import StreamTuple
+from .engine import TupleBatch
 from .topology import Operator
 
 __all__ = ["RouterOperator", "RawTuple"]
@@ -34,10 +46,38 @@ class RouterOperator(Operator):
 
     Parallelism must be 1 so identifiers stay globally monotone (as in the
     paper, where a single router vertex orders arrivals).
+
+    Parameters
+    ----------
+    batch_size:
+        1 (default) emits each stamped tuple immediately — the seed's
+        tuple-at-a-time behavior, byte-identical results.  ``> 1``
+        accumulates tuples into :class:`TupleBatch` messages.
+    flush_timeout:
+        Maximum simulated age of a partial batch; on the next arrival an
+        over-age buffer is flushed before the new tuple is buffered.
+    cut_fn:
+        ``cut_fn(tuple) -> bool`` called on each stamped tuple; ``True``
+        closes the batch *with* that tuple (used to cut at merge
+        boundaries).
     """
 
-    def __init__(self, start_tid: int = 0) -> None:
+    def __init__(
+        self,
+        start_tid: int = 0,
+        batch_size: int = 1,
+        flush_timeout: Optional[float] = None,
+        cut_fn: Optional[Callable[[StreamTuple], bool]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self._next_tid = start_tid
+        self.batch_size = batch_size
+        self.flush_timeout = flush_timeout
+        self._cut_fn = cut_fn
+        self._buffer: List[StreamTuple] = []
+        self._buffer_origins: List[float] = []
+        self._buffer_opened: Optional[float] = None
 
     def process(self, payload, ctx) -> None:
         raw: RawTuple = payload
@@ -45,4 +85,35 @@ class RouterOperator(Operator):
             self._next_tid, raw.stream, raw.values, raw.event_time
         )
         self._next_tid += 1
-        ctx.emit(tuple_)
+        self._on_stamped(tuple_, ctx)
+        if self.batch_size == 1:
+            ctx.emit(tuple_)
+            return
+        if (
+            self.flush_timeout is not None
+            and self._buffer
+            and ctx.now - self._buffer_opened >= self.flush_timeout
+        ):
+            self._flush_buffer(ctx)
+        if not self._buffer:
+            self._buffer_opened = ctx.now
+        self._buffer.append(tuple_)
+        self._buffer_origins.append(ctx.origin_time)
+        cut = self._cut_fn(tuple_) if self._cut_fn is not None else False
+        if cut or len(self._buffer) >= self.batch_size:
+            self._flush_buffer(ctx)
+
+    def _on_stamped(self, tuple_: StreamTuple, ctx) -> None:
+        """Subclass hook: runs once per stamped tuple, before buffering."""
+
+    def _flush_buffer(self, ctx) -> None:
+        if not self._buffer:
+            return
+        ctx.emit(TupleBatch(self._buffer, self._buffer_origins))
+        self._buffer = []
+        self._buffer_origins = []
+        self._buffer_opened = None
+
+    def flush(self, ctx) -> None:
+        """End-of-stream hook: emit the partial tail batch, if any."""
+        self._flush_buffer(ctx)

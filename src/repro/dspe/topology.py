@@ -32,6 +32,15 @@ class Operator:
         """Handle one message; emit downstream via ``ctx.emit``."""
         raise NotImplementedError
 
+    def flush(self, ctx) -> None:
+        """Emit any buffered output (called when the event heap drains).
+
+        Operators that accumulate micro-batches (e.g. the router's
+        ``batch_size`` buffer) override this so a partial tail batch is
+        not lost at end of stream.  May be called repeatedly; must be a
+        no-op when nothing is buffered.
+        """
+
     def teardown(self, ctx) -> None:
         """Called once when the run drains."""
 

@@ -20,9 +20,10 @@ PO-Join's win.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Sequence, Set
 
 from ..core.bitset import BitSet
+from ..core.immutable import scalar_probe_batch
 from ..core.merge import MergeBatch, MergeSide
 from ..core.query import QuerySpec
 from ..core.tuples import StreamTuple
@@ -101,6 +102,10 @@ class CSSImmutableBatch:
             bits += self._right.memory_bits()
         return bits
 
+    def index_overhead_bits(self) -> int:
+        """CSS-trees *are* the index: the whole footprint is overhead."""
+        return self.memory_bits()
+
     # ------------------------------------------------------------------
     def probe(self, probe: StreamTuple, probe_is_left: bool) -> List[int]:
         """Range-search every predicate's CSS-tree and intersect."""
@@ -110,6 +115,17 @@ class CSSImmutableBatch:
         if self.intersect == "bit":
             return self._probe_bit(probe, probe_is_left, stored)
         return self._probe_hash(probe, probe_is_left, stored)
+
+    def probe_batch(
+        self, probes: Sequence[StreamTuple], flags: Sequence[bool]
+    ) -> List[List[int]]:
+        """Per-probe match lists; the CSS baseline probes one at a time.
+
+        The block-hopping range search has no vectorized form — which is
+        part of why the paper's PO-Join wins — so protocol conformance is
+        the scalar loop.
+        """
+        return scalar_probe_batch(self, probes, flags)
 
     def _probe_bit(
         self, probe: StreamTuple, probe_is_left: bool, stored: _CSSSide

@@ -23,7 +23,7 @@ comparable.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.query import QuerySpec
 from ..core.spojoin import SPOJoin
@@ -56,6 +56,18 @@ class StreamJoinAlgorithm:
         """Probe, emit result pairs, insert, and maintain the window."""
         raise NotImplementedError
 
+    def process_many(self, tuples: Sequence[StreamTuple]) -> List[Pair]:
+        """Run a micro-batch through the join; same pairs as scalar.
+
+        The default is the scalar loop, so every baseline accepts the
+        batched driver; algorithms with a real batched path (SPO-Join)
+        override this with an amortized implementation.
+        """
+        pairs: List[Pair] = []
+        for t in tuples:
+            pairs.extend(self.process(t))
+        return pairs
+
     def memory_bits(self) -> int:
         raise NotImplementedError
 
@@ -75,15 +87,17 @@ def make_spo_join(
     """Build SPO-Join or one of its component ablations.
 
     ``mutable`` selects the partial-result representation (``"bit"`` /
-    ``"hash"``); ``immutable`` selects the frozen structure (``"po"``,
-    ``"po_vec"`` — the numpy-vectorized fast path, ``"css_bit"``,
-    ``"css_hash"``).
+    ``"hash"``); ``immutable`` selects the frozen structure (``"po"`` /
+    ``"po_vec"`` — the numpy-vectorized default, ``"po_scalar"`` — the
+    pure-python batch for ablations, ``"css_bit"``, ``"css_hash"``).
     """
+    from ..core.pojoin import POJoinBatch
     from ..core.pojoin_numpy import VectorPOJoinBatch
 
     factories: Dict[str, Optional[Callable]] = {
-        "po": None,  # SPOJoin's default POJoinBatch
-        "po_vec": lambda q, mb: VectorPOJoinBatch(q, mb),
+        "po": lambda q, mb: VectorPOJoinBatch(q, mb, use_offsets=use_offsets),
+        "po_vec": lambda q, mb: VectorPOJoinBatch(q, mb, use_offsets=use_offsets),
+        "po_scalar": lambda q, mb: POJoinBatch(q, mb, use_offsets=use_offsets),
         "css_bit": lambda q, mb: CSSImmutableBatch(q, mb, intersect="bit"),
         "css_hash": lambda q, mb: CSSImmutableBatch(q, mb, intersect="hash"),
     }

@@ -38,11 +38,13 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..core.bitset import BitSet
 from ..core.iejoin import compute_offset_array, compute_permutation
 from ..core.merge import MergeBatch, MergeSide
-from ..core.pojoin import POJoinBatch, POJoinList
+from ..core.pojoin import POJoinList
+from ..core.pojoin_numpy import VectorPOJoinBatch
 from ..core.query import QuerySpec
 from ..core.tuples import StreamTuple
 from ..core.window import MergePolicy, WindowKind, WindowSpec
 from ..dspe.cache import CacheClient, DistributedCache
+from ..dspe.engine import TupleBatch
 from ..dspe.topology import Operator
 from ..indexes.bptree import BPlusTree
 from ..indexes.sorted_run import SortedRun
@@ -54,6 +56,7 @@ __all__ = [
     "LogicalOperator",
     "POJoinOperator",
     "PartialMsg",
+    "PartialBatchMsg",
     "OffsetMsg",
     "RunsMsg",
     "PermMsg",
@@ -80,9 +83,13 @@ class SPOConfig:
         num_threads: int = 1,
         use_provenance: bool = True,
         bptree_order: int = 64,
+        batch_size: int = 1,
+        flush_timeout: Optional[float] = None,
     ) -> None:
         if state_strategy not in ("rr", "dc"):
             raise ValueError("state_strategy must be 'rr' or 'dc'")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.query = query
         self.window = window
         self.policy = MergePolicy(window, sub_intervals)
@@ -91,7 +98,7 @@ class SPOConfig:
         self.use_offsets = use_offsets
         if batch_factory is None:
             def batch_factory(q, mb):
-                return POJoinBatch(q, mb, use_offsets=use_offsets)
+                return VectorPOJoinBatch(q, mb, use_offsets=use_offsets)
         self.batch_factory = batch_factory
         self.state_strategy = state_strategy
         self.cache = DistributedCache()
@@ -100,6 +107,10 @@ class SPOConfig:
         self.num_threads = num_threads
         self.use_provenance = use_provenance
         self.bptree_order = bptree_order
+        # Micro-batching: the router accumulates this many tuples per
+        # TupleBatch (cut early at merge boundaries); 1 = tuple-at-a-time.
+        self.batch_size = batch_size
+        self.flush_timeout = flush_timeout
 
     @property
     def two_stream(self) -> bool:
@@ -151,6 +162,14 @@ class _MergeClock:
             return True
         return False
 
+    def copy(self) -> "_MergeClock":
+        """An independent clock with identical state (for lookahead)."""
+        clone = _MergeClock(self.policy)
+        clone._count = self._count
+        clone._next_time = self._next_time
+        clone.epoch = self.epoch
+        return clone
+
 
 # ----------------------------------------------------------------------
 # Message payloads between operators
@@ -170,6 +189,27 @@ class PartialMsg:
         self.side = side
         self.partial = partial
         self.event_time = event_time
+
+
+class PartialBatchMsg:
+    """One predicate PE's partials for a whole router batch.
+
+    Both predicate PEs receive identical router-cut batches, so their
+    batch messages carry the same probe tids in the same order;
+    ``probe_tid`` (the first entry's) therefore hash-routes the two
+    messages of one batch to the same logical PE, exactly as the scalar
+    per-tuple partials would.
+    """
+
+    __slots__ = ("pred_idx", "entries")
+
+    def __init__(self, pred_idx: int, entries: List[PartialMsg]) -> None:
+        self.pred_idx = pred_idx
+        self.entries = entries
+
+    @property
+    def probe_tid(self) -> int:
+        return self.entries[0].probe_tid
 
 
 class OffsetMsg:
@@ -282,11 +322,46 @@ class PredicateOperator(Operator):
 
     # -- processing -----------------------------------------------------
     def process(self, payload, ctx) -> None:
-        t: StreamTuple = payload
+        if isinstance(payload, TupleBatch):
+            self.process_batch(payload, ctx)
+            return
+        self._process_one(payload, ctx)
+
+    def _process_one(self, t: StreamTuple, ctx) -> None:
         ctx.mark("joiner")
+        ctx.emit(self._partial_for(t), stream="partial")
+        self._insert(t)
+        if self.clock.advance(t):
+            self._merge(ctx)
+
+    def process_batch(self, batch: TupleBatch, ctx) -> None:
+        """Probe + insert a router batch; one PartialBatchMsg downstream.
+
+        The router cuts batches at merge boundaries, so the fast path
+        assumes at most the *last* tuple closes a merge interval — every
+        entry then shares one epoch and one partial-batch message.  A
+        batch that straddles a boundary anyway (a router without the cut
+        hook) falls back to the scalar loop, which remains correct.
+        """
+        lookahead = self.clock.copy()
+        fired = [lookahead.advance(t) for t in batch.tuples]
+        if any(fired[:-1]):
+            for t in batch.tuples:
+                self._process_one(t, ctx)
+            return
+        ctx.mark("joiner")
+        entries = []
+        for t in batch.tuples:
+            entries.append(self._partial_for(t))
+            self._insert(t)
+        self.clock = lookahead
+        ctx.emit(PartialBatchMsg(self.pred_idx, entries), stream="partial")
+        if fired and fired[-1]:
+            self._merge(ctx)
+
+    def _partial_for(self, t: StreamTuple) -> PartialMsg:
         probe_is_left = self.config.probe_is_left(t)
         opposite = self.windows[self._opposite_side(t)]
-
         value = t.values[self.pred.probing_field(probe_is_left)]
         if self.config.evaluator == "bit":
             partial = BitSet(len(opposite.arrival))
@@ -306,24 +381,19 @@ class PredicateOperator(Operator):
                     lo, hi, lo_inc, hi_inc
                 ):
                     partial[tid] = stored_value
-        ctx.emit(
-            PartialMsg(
-                t.tid,
-                self.pred_idx,
-                self.clock.epoch,
-                self._opposite_side(t),
-                partial,
-                t.event_time,
-            ),
-            stream="partial",
+        return PartialMsg(
+            t.tid,
+            self.pred_idx,
+            self.clock.epoch,
+            self._opposite_side(t),
+            partial,
+            t.event_time,
         )
 
+    def _insert(self, t: StreamTuple) -> None:
         own_side = self._own_side(t)
         own = self.windows[own_side]
         own.insert(t.values[self._own_field(own_side)], t.tid)
-
-        if self.clock.advance(t):
-            self._merge(ctx)
 
     def _merge(self, ctx) -> None:
         merge_id = self._merge_id
@@ -413,7 +483,22 @@ class LogicalOperator(Operator):
             self._observe(payload)
             self._flush_deferred(ctx)
             return
-        msg: PartialMsg = payload
+        if isinstance(payload, TupleBatch):
+            self.process_batch(payload, ctx)
+            return
+        if isinstance(payload, PartialBatchMsg):
+            for entry in payload.entries:
+                self._accept_partial(entry, ctx)
+            return
+        self._accept_partial(payload, ctx)
+
+    def process_batch(self, batch: TupleBatch, ctx) -> None:
+        """Observe a router batch's arrivals in order, then retry deferred."""
+        for t in batch.tuples:
+            self._observe(t)
+        self._flush_deferred(ctx)
+
+    def _accept_partial(self, msg: PartialMsg, ctx) -> None:
         if self.config.use_provenance:
             pending = self._table.setdefault(msg.probe_tid, {})
             pending[msg.pred_idx] = msg
@@ -558,18 +643,80 @@ class POJoinOperator(Operator):
             ctx.charge(makespan)
             self._advance_clock(payload)
             return
+        if isinstance(payload, TupleBatch):
+            self.process_batch(payload, ctx)
+            return
         self._accept_merge_part(payload, ctx)
+
+    def process_batch(self, batch: TupleBatch, ctx) -> None:
+        """Probe a router batch against the linked list in batched runs.
+
+        Tuples are accumulated into a *run* that is probed with one
+        ``probe_all_batch`` call; the run is flushed before any state
+        change the scalar path would interleave — a merge boundary (the
+        boundary may link an early batch, changing what later tuples may
+        see) or the start of flag-tuple queueing — so every tuple probes
+        exactly the list state it would have seen tuple-at-a-time.
+        """
+        if self.config.state_strategy == "dc":
+            # Scalar mode reads the cache per tuple; all tuples of a
+            # batch share one service instant, so one read is identical.
+            self._expire_from_cache(ctx)
+        total_makespan = 0.0
+        probed_any = False
+        run: List[StreamTuple] = []
+        for t in batch.tuples:
+            self._tuples_seen += 1
+            if self._awaited:
+                if run:
+                    total_makespan += self._probe_run(run, ctx)
+                    run = []
+                self._queue.append((t, self._clock.epoch))
+                self._advance_clock(t)
+                continue
+            if not probed_any:
+                ctx.mark("joiner")
+                probed_any = True
+            run.append(t)
+            if self._clock.advance(t):
+                total_makespan += self._probe_run(run, ctx)
+                run = []
+                self._on_boundary()
+        if run:
+            total_makespan += self._probe_run(run, ctx)
+        if probed_any:
+            ctx.charge(total_makespan)
+
+    def _probe_run(self, run: List[StreamTuple], ctx) -> float:
+        flags = [self.config.probe_is_left(t) for t in run]
+        outcome = self.list.probe_all_batch(
+            run, flags, self.config.num_threads
+        )
+        for t, matches in zip(run, outcome.per_probe):
+            ctx.record(
+                "immutable_result",
+                {
+                    "tid": t.tid,
+                    "matches": matches,
+                    "event_time": t.event_time,
+                    "pe": self._pe_index,
+                },
+            )
+        return outcome.makespan
 
     def _advance_clock(self, t: StreamTuple) -> None:
         """Detect merge boundaries; start queueing when we own the batch."""
         if self._clock.advance(t):
-            merge_id = self._clock.epoch - 1
-            if merge_id % self._num_pes == self._pe_index:
-                if merge_id in self._early:
-                    # The batch already assembled; it becomes visible now.
-                    self._link_batch(self._early.pop(merge_id))
-                else:
-                    self._awaited.add(merge_id)
+            self._on_boundary()
+
+    def _on_boundary(self) -> None:
+        merge_id = self._clock.epoch - 1
+        if merge_id % self._num_pes == self._pe_index:
+            if merge_id in self._early:
+                # The batch already assembled; it becomes visible now.
+                self._link_batch(self._early.pop(merge_id))
+            else:
+                self._awaited.add(merge_id)
 
     def _probe(
         self, t: StreamTuple, ctx, batch_id_lt: Optional[int] = None

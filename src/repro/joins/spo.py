@@ -30,6 +30,7 @@ from .operators import (
     POJoinOperator,
     PredicateOperator,
     SPOConfig,
+    _MergeClock,
 )
 
 __all__ = ["SPORouterOperator", "build_spo_topology", "run_spo"]
@@ -44,14 +45,28 @@ class SPORouterOperator(RouterOperator):
     count of tuples that have entered the window — is pushed to the
     distributed cache for every evaluated tuple, and PO-Join PEs sync
     their local copy from it.
+
+    With ``config.batch_size > 1`` the router cuts micro-batches at
+    merge boundaries: it advances its own copy of the deterministic
+    merge clock and closes the in-flight batch with the tuple that
+    closes a merge interval, so no :class:`TupleBatch` ever spans a
+    merge and the downstream flag-tuple protocol sees the same epochs
+    it would tuple-at-a-time.
     """
 
     def __init__(self, config: SPOConfig) -> None:
-        super().__init__()
+        cut_fn = None
+        if config.batch_size > 1:
+            clock = _MergeClock(config.policy)
+            cut_fn = clock.advance
+        super().__init__(
+            batch_size=config.batch_size,
+            flush_timeout=config.flush_timeout,
+            cut_fn=cut_fn,
+        )
         self.config = config
 
-    def process(self, payload, ctx) -> None:
-        super().process(payload, ctx)
+    def _on_stamped(self, tuple_, ctx) -> None:
         if self.config.state_strategy == "dc":
             self.config.cache.put(_STATE_KEY, self._next_tid, ctx.now)
 

@@ -26,7 +26,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 from ..core.query import QuerySpec
 from ..core.tuples import StreamTuple
 from ..core.window import WindowSpec
-from ..dspe.engine import Engine, RunResult
+from ..dspe.engine import Engine, RunResult, TupleBatch
 from ..dspe.partitioning import Grouping
 from ..dspe.router import RawTuple, RouterOperator
 from ..dspe.topology import Operator, Topology
@@ -41,6 +41,26 @@ __all__ = [
     "build_hash_join_topology",
     "run_topology",
 ]
+
+
+class _BatchedJoiner(Operator):
+    """Joiner base: accepts single tuples or router micro-batches.
+
+    The baselines have no batched algorithm (that is the point of the
+    comparison), so a :class:`TupleBatch` is processed as a loop over
+    :meth:`_process_one` — results are identical to tuple-at-a-time and
+    the service time is still measured once per message.
+    """
+
+    def process(self, payload, ctx) -> None:
+        if isinstance(payload, TupleBatch):
+            for t in payload.tuples:
+                self._process_one(t, ctx)
+            return
+        self._process_one(payload, ctx)
+
+    def _process_one(self, t: StreamTuple, ctx) -> None:
+        raise NotImplementedError
 
 
 class _SideRouting:
@@ -73,7 +93,7 @@ class _SideRouting:
         return pred.left_field if side == "left" else pred.right_field
 
 
-class ChainJoinerOperator(Operator, _SideRouting):
+class ChainJoinerOperator(_BatchedJoiner, _SideRouting):
     """One joiner PE of the distributed chain-index join.
 
     Slide intervals are assigned to PEs round-robin (slide ``s`` is stored
@@ -108,8 +128,7 @@ class ChainJoinerOperator(Operator, _SideRouting):
         self._pe_index = ctx.pe_index
         self._num_pes = ctx.num_pes
 
-    def process(self, payload, ctx) -> None:
-        t: StreamTuple = payload
+    def _process_one(self, t: StreamTuple, ctx) -> None:
         ctx.mark("joiner")
         probe_is_left = self.probe_is_left(t)
         combined: Optional[set] = None
@@ -159,7 +178,7 @@ class ChainJoinerOperator(Operator, _SideRouting):
                     del side_subs[idx]
 
 
-class NLJJoinerOperator(Operator, _SideRouting):
+class NLJJoinerOperator(_BatchedJoiner, _SideRouting):
     """Split join / broadcast hash join joiner PE (nested loop).
 
     ``mode="sj"``: stores every ``n``-th tuple, probes everything.
@@ -190,8 +209,7 @@ class NLJJoinerOperator(Operator, _SideRouting):
         self._pe_index = ctx.pe_index
         self._num_pes = ctx.num_pes
 
-    def process(self, payload, ctx) -> None:
-        t: StreamTuple = payload
+    def _process_one(self, t: StreamTuple, ctx) -> None:
         ctx.mark("joiner")
         should_probe = (
             self.mode == "sj" or t.tid % self._num_pes == self._pe_index
@@ -285,12 +303,12 @@ class HashJoinerOperator(Operator, _SideRouting):
 # ----------------------------------------------------------------------
 # Topology builders
 # ----------------------------------------------------------------------
-def _base(source) -> Topology:
+def _base(source, batch_size: int = 1) -> Topology:
     topo = Topology()
     topo.add_spout("source", source)
     topo.add_bolt(
         "router",
-        RouterOperator,
+        lambda: RouterOperator(batch_size=batch_size),
         parallelism=1,
         inputs=[("source", Grouping.shuffle())],
     )
@@ -302,8 +320,9 @@ def build_chain_topology(
     query: QuerySpec,
     window: WindowSpec,
     joiner_pes: int = 4,
+    batch_size: int = 1,
 ) -> Topology:
-    topo = _base(source)
+    topo = _base(source, batch_size)
     topo.add_bolt(
         "joiner",
         lambda: ChainJoinerOperator(query, window),
@@ -319,8 +338,9 @@ def build_nlj_topology(
     window: WindowSpec,
     mode: str = "sj",
     joiner_pes: int = 4,
+    batch_size: int = 1,
 ) -> Topology:
-    topo = _base(source)
+    topo = _base(source, batch_size)
     topo.add_bolt(
         "joiner",
         lambda: NLJJoinerOperator(query, window, mode=mode),
@@ -335,7 +355,14 @@ def build_hash_join_topology(
     query: QuerySpec,
     window: WindowSpec,
     joiner_pes: int = 4,
+    batch_size: int = 1,
 ) -> Topology:
+    if batch_size != 1:
+        # The hash join's grouping partitions *tuples* by join key; a
+        # batch would be routed by its first tuple's key and break the
+        # partitioning contract, so batching is rejected rather than
+        # silently producing wrong results.
+        raise ValueError("hash join topology requires batch_size=1")
     pred = query.predicates[0]
     topo = _base(source)
     topo.add_bolt(

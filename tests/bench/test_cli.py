@@ -21,3 +21,26 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "hash join" in out
         assert "completed 1 experiment(s)" in out
+
+    def test_batching_experiment_writes_json(self, capsys, tmp_path):
+        out_file = tmp_path / "bench_batching.json"
+        assert main(["batching", "--json-out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Micro-batching" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["experiment"] == "batching"
+        sizes = [r["batch_size"] for r in payload["results"]]
+        assert sizes == [1, 8, 64]
+        matches = {r["matches"] for r in payload["results"]}
+        assert len(matches) == 1  # batching never changes results
+
+    def test_batch_size_flag_extends_sweep(self, capsys):
+        assert main(["batching", "--batch-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16" in out
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["batching", "--batch-size", "0"])

@@ -149,3 +149,46 @@ class TestComponentBuilders:
     def test_unknown_kind_rejected(self, q3_query):
         with pytest.raises(ValueError):
             build_immutable_list(q3_query, [], 1, "btree")
+
+
+class TestDriveLocalBatched:
+    def test_batched_run_matches_scalar(self, q3_query):
+        window = WindowSpec.count(100, 20)
+        tuples = as_stream_tuples(self_stream(300, seed=3))
+        scalar = drive_local(make_spo_join(q3_query, window), tuples)
+        batched = drive_local(
+            make_spo_join(q3_query, window), tuples, batch_size=16
+        )
+        assert batched.matches == scalar.matches
+        assert batched.tuples == scalar.tuples
+        assert batched.batch_size == 16
+
+    def test_per_batch_and_per_tuple_costs(self, q3_query):
+        window = WindowSpec.count(100, 20)
+        tuples = as_stream_tuples(self_stream(100, seed=4))
+        stats = drive_local(
+            make_spo_join(q3_query, window), tuples, batch_size=16
+        )
+        # 100 tuples in chunks of 16 -> 7 process_many calls.
+        assert len(stats.per_batch) == 7
+        assert len(stats.per_tuple) == 7
+        assert stats.mean_batch_cost > stats.mean_latency > 0
+        # Amortized costs are batch cost divided by actual chunk length.
+        assert stats.per_tuple[0] == pytest.approx(stats.per_batch[0] / 16)
+        assert stats.per_tuple[-1] == pytest.approx(stats.per_batch[-1] / 4)
+
+    def test_scalar_run_aliases_per_batch(self, q3_query):
+        tuples = as_stream_tuples(self_stream(50, seed=5))
+        stats = drive_local(
+            make_spo_join(q3_query, WindowSpec.count(20, 5)), tuples
+        )
+        assert stats.per_batch == stats.per_tuple
+        assert stats.batch_size == 1
+
+    def test_invalid_batch_size_rejected(self, q3_query):
+        with pytest.raises(ValueError):
+            drive_local(
+                make_spo_join(q3_query, WindowSpec.count(20, 5)),
+                [],
+                batch_size=0,
+            )

@@ -161,3 +161,51 @@ class TestRouter:
         record = result.records_named("out")[0]
         assert "joiner" in record.marks
         assert record.processing_latency() <= record.event_latency
+
+
+class TestFlushDrain:
+    def test_flush_called_at_end_of_stream(self):
+        class Buffering(Operator):
+            def __init__(self):
+                self.buffer = []
+
+            def process(self, payload, ctx):
+                self.buffer.append(payload)
+
+            def flush(self, ctx):
+                while self.buffer:
+                    ctx.emit(self.buffer.pop(0))
+
+        topo = build_pipeline(simple_source(7), Buffering)
+        result = Engine(topo).run()
+        outs = sorted(r.payload for r in result.records_named("out"))
+        assert outs == list(range(7))
+
+    def test_flush_cascades_through_pipeline(self):
+        # A flush emission must itself be delivered and may trigger the
+        # next stage's flush in a later drain pass.
+        class BufferAll(Operator):
+            def __init__(self):
+                self.buffer = []
+
+            def process(self, payload, ctx):
+                self.buffer.append(payload)
+
+            def flush(self, ctx):
+                for p in self.buffer:
+                    ctx.emit(p)
+                self.buffer = []
+
+        topo = Topology()
+        topo.add_spout("src", simple_source(5))
+        topo.add_bolt("a", BufferAll, inputs=[("src", Grouping.broadcast())])
+        topo.add_bolt("b", BufferAll, inputs=[("a", Grouping.broadcast())])
+        topo.add_bolt("sink", Sink, inputs=[("b", Grouping.broadcast())])
+        result = Engine(topo).run()
+        outs = sorted(r.payload for r in result.records_named("out"))
+        assert outs == list(range(5))
+
+    def test_flush_default_is_noop(self):
+        topo = build_pipeline(simple_source(3), Passthrough)
+        result = Engine(topo).run()
+        assert len(result.records_named("out")) == 3

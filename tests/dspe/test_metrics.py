@@ -40,11 +40,16 @@ class TestPercentile:
     def test_interpolation(self):
         assert percentile([0, 10], 50) == pytest.approx(5.0)
 
-    def test_empty(self):
-        assert percentile([], 50) == 0.0
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
 
     def test_single(self):
         assert percentile([42], 95) == 42
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5, 3, 7], 50) == 5
+        assert percentile([10, 0], 50) == pytest.approx(5.0)
 
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
@@ -60,8 +65,16 @@ class TestCDF:
         assert ys == sorted(ys)
         assert ys[-1] == 1.0
 
-    def test_empty(self):
-        assert cdf_points([]) == []
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            cdf_points([])
+
+    def test_single(self):
+        assert cdf_points([7.0]) == [(7.0, 1.0)]
+
+    def test_unsorted_input(self):
+        points = cdf_points([5, 1, 4, 2, 3], num_points=5)
+        assert [p[0] for p in points] == [1, 2, 3, 4, 5]
 
 
 class TestThroughputCollector:
@@ -114,3 +127,18 @@ class TestLatencyCollector:
         c.record(3.0)
         c.record(1.0)
         assert c.max() == 3.0
+
+    def test_empty_collector_is_guarded(self):
+        # Collector-level reporting tolerates an empty sample even though
+        # the module-level functions reject it.
+        c = LatencyCollector()
+        assert c.percentile(95) == 0.0
+        assert c.percentiles((50, 99)) == {50: 0.0, 99: 0.0}
+        assert c.cdf() == []
+        assert c.summary().count == 0
+
+    def test_single_element(self):
+        c = LatencyCollector()
+        c.record(2.5)
+        assert c.percentile(50) == 2.5
+        assert c.cdf() == [(2.5, 1.0)]

@@ -1,9 +1,17 @@
-"""Router operators: id stamping and cache feeding (state strategy B)."""
+"""Router operators: id stamping, batching, cache feeding (strategy B)."""
 
 import pytest
 
 from repro.core import QuerySpec, WindowSpec
-from repro.dspe import Engine, Grouping, Operator, RawTuple, Topology
+from repro.dspe import (
+    Engine,
+    Grouping,
+    Operator,
+    RawTuple,
+    RouterOperator,
+    Topology,
+    TupleBatch,
+)
 from repro.joins import SPOConfig, SPORouterOperator
 from repro.workloads import q3
 
@@ -47,3 +55,52 @@ class TestSPORouter:
         config = SPOConfig(q3(), WindowSpec.count(10, 5), state_strategy="rr")
         Engine(router_topology(raws, lambda: SPORouterOperator(config))).run()
         assert config.cache.writes == 0
+
+
+class TestBatchingRouter:
+    def _run(self, raws, **router_kw):
+        result = Engine(
+            router_topology(raws, lambda: RouterOperator(**router_kw))
+        ).run()
+        return [r.payload for r in result.records_named("out")]
+
+    def test_batch_size_one_emits_bare_tuples(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(5)]
+        outs = self._run(raws, batch_size=1)
+        assert len(outs) == 5
+        assert not any(isinstance(p, TupleBatch) for p in outs)
+
+    def test_full_batches_and_tail_flush(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(10)]
+        outs = self._run(raws, batch_size=4)
+        assert all(isinstance(p, TupleBatch) for p in outs)
+        assert [len(b) for b in outs] == [4, 4, 2]
+        # Stamped ids stay globally monotone across batches.
+        tids = [t.tid for b in outs for t in b]
+        assert tids == list(range(10))
+
+    def test_batch_origin_time_is_oldest_member(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(6)]
+        outs = self._run(raws, batch_size=3)
+        for batch in outs:
+            assert batch.origin_time == min(batch.origin_times)
+            assert len(batch.origin_times) == len(batch)
+
+    def test_cut_fn_closes_batch_early(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(9)]
+        # Cut after every tuple whose id is congruent 2 mod 3.
+        outs = self._run(
+            raws, batch_size=100, cut_fn=lambda t: t.tid % 3 == 2
+        )
+        assert [len(b) for b in outs] == [3, 3, 3]
+
+    def test_flush_timeout_limits_batch_age(self):
+        raws = [RawTuple("T", (float(i),), i * 0.01) for i in range(8)]
+        outs = self._run(raws, batch_size=100, flush_timeout=0.0)
+        # Zero tolerance: each arrival flushes the previous buffer, so no
+        # batch ever holds more than one tuple.
+        assert [len(b) for b in outs] == [1] * 8
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            RouterOperator(batch_size=0)

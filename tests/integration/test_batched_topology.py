@@ -1,0 +1,153 @@
+"""Distributed SPO-Join with micro-batching equals tuple-at-a-time.
+
+The router cuts :class:`TupleBatch` messages at merge boundaries, so the
+batched topology must produce exactly the per-tuple match sets of the
+``batch_size=1`` run (which is byte-identical to the seed behavior) and
+of the local ``SPOJoin`` oracle, at every batch size.
+"""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core import JoinType, Op, QuerySpec, SPOJoin, StreamTuple, WindowSpec
+from repro.dspe.router import RawTuple
+from repro.joins import SPOConfig, run_spo
+
+BATCH_SIZES = [1, 7, 64]
+
+
+def _source(n, streams, seed, hi=8):
+    rng = random.Random(seed)
+    return [
+        RawTuple(
+            rng.choice(streams),
+            (rng.randint(0, hi), rng.randint(0, hi)),
+            i * 0.001,
+        )
+        for i in range(n)
+    ]
+
+
+def _match_sets(result):
+    got = defaultdict(set)
+    for name in ("mutable_result", "immutable_result"):
+        for record in result.records_named(name):
+            got[record.payload["tid"]].update(record.payload["matches"])
+    return got
+
+
+def _run_at(raws, query, window, batch_size, num_pojoin_pes=1, **cfg_kw):
+    # One PO-Join PE whenever results are compared against the *local*
+    # oracle: with several PEs each expires its own batch list, so the
+    # retained window differs from the single-process join (seed
+    # behavior, independent of batching).
+    config = SPOConfig(
+        query,
+        window,
+        num_pojoin_pes=num_pojoin_pes,
+        batch_size=batch_size,
+        **cfg_kw,
+    )
+    return run_spo(((raw.event_time, raw) for raw in raws), config)
+
+
+def _local_expected(raws, query, window):
+    local = SPOJoin(query, window)
+    expected = {}
+    for i, raw in enumerate(raws):
+        t = StreamTuple(i, raw.stream, raw.values, raw.event_time)
+        expected[i] = {m for __, m in local.process(t)}
+    return expected
+
+
+class TestBatchedEqualsScalar:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_self_join(self, batch_size, q3_query):
+        window = WindowSpec.count(40, 10)
+        raws = _source(150, ["T"], seed=1)
+        expected = _local_expected(raws, q3_query, window)
+        got = _match_sets(_run_at(raws, q3_query, window, batch_size))
+        for tid in expected:
+            assert got[tid] == expected[tid], (tid, batch_size)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_cross_join(self, batch_size, q1_query):
+        window = WindowSpec.count(40, 10)
+        raws = _source(150, ["R", "S"], seed=2)
+        expected = _local_expected(raws, q1_query, window)
+        got = _match_sets(_run_at(raws, q1_query, window, batch_size))
+        for tid in expected:
+            assert got[tid] == expected[tid], (tid, batch_size)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_band_join(self, batch_size, q2_query):
+        window = WindowSpec.count(40, 10)
+        raws = _source(120, ["T"], seed=3)
+        expected = _local_expected(raws, q2_query, window)
+        got = _match_sets(_run_at(raws, q2_query, window, batch_size))
+        for tid in expected:
+            assert got[tid] == expected[tid], (tid, batch_size)
+
+    def test_dc_state_strategy_batched(self, q3_query):
+        window = WindowSpec.count(40, 10)
+        raws = _source(120, ["T"], seed=4)
+        base = _match_sets(
+            _run_at(raws, q3_query, window, 1, state_strategy="dc")
+        )
+        for bs in BATCH_SIZES[1:]:
+            got = _match_sets(
+                _run_at(raws, q3_query, window, bs, state_strategy="dc")
+            )
+            assert got == base, bs
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES[1:])
+    def test_multiple_pojoin_pes_match_scalar_run(self, batch_size, q3_query):
+        # At 2 PO-Join PEs the oracle no longer applies, but every batch
+        # size must still agree with the batch_size=1 run of the same
+        # topology shape.
+        window = WindowSpec.count(40, 10)
+        raws = _source(150, ["T"], seed=8)
+        base = _match_sets(_run_at(raws, q3_query, window, 1, num_pojoin_pes=2))
+        got = _match_sets(
+            _run_at(raws, q3_query, window, batch_size, num_pojoin_pes=2)
+        )
+        assert got == base
+
+    def test_flush_timeout_stays_exact(self, q3_query):
+        # A tiny flush timeout forces many partial batches; results must
+        # not change, only the batch boundaries.
+        window = WindowSpec.count(40, 10)
+        raws = _source(120, ["T"], seed=5)
+        expected = _local_expected(raws, q3_query, window)
+        got = _match_sets(
+            _run_at(raws, q3_query, window, 64, flush_timeout=0.002)
+        )
+        for tid in expected:
+            assert got[tid] == expected[tid], tid
+
+
+class TestBatchedAccounting:
+    def test_fewer_messages_at_larger_batches(self, q3_query):
+        # Batching's whole point: the router emits fewer, larger messages,
+        # so downstream PEs serve fewer of them.
+        window = WindowSpec.count(40, 10)
+        raws = _source(150, ["T"], seed=6)
+        counts = {}
+        for bs in (1, 64):
+            res = _run_at(raws, q3_query, window, bs)
+            counts[bs] = sum(
+                pe.processed for pe in res.pes_of("pred_0")
+            )
+        assert counts[64] < counts[1]
+
+    def test_latency_uses_oldest_origin(self, q3_query):
+        # Batched completion records must not report negative latency
+        # (origin time of a batch is its oldest member's).
+        window = WindowSpec.count(40, 10)
+        raws = _source(100, ["T"], seed=7)
+        res = _run_at(raws, q3_query, window, 16)
+        for name in ("mutable_result", "immutable_result"):
+            for record in res.records_named(name):
+                assert record.completion_time >= record.origin_time

@@ -64,13 +64,19 @@ class TestSPOConfig:
         with pytest.raises(ValueError):
             SPOConfig(q1_query, WindowSpec.count(100, 20), state_strategy="gossip")
 
-    def test_batch_factory_default_builds_pojoin(self, q3_query):
+    def test_batch_factory_default_builds_vector_pojoin(self, q3_query):
         from repro.core import build_merge_batch
-        from repro.core.pojoin import POJoinBatch
+        from repro.core.immutable import ImmutableBatch
+        from repro.core.pojoin_numpy import VectorPOJoinBatch
         from repro.indexes import BPlusTree
 
         config = SPOConfig(q3_query, WindowSpec.count(100, 20))
         trees = [BPlusTree() for __ in q3_query.predicates]
         merge = build_merge_batch(0, q3_query, trees)
         batch = config.batch_factory(q3_query, merge)
-        assert isinstance(batch, POJoinBatch)
+        assert isinstance(batch, VectorPOJoinBatch)
+        assert isinstance(batch, ImmutableBatch)
+
+    def test_invalid_batch_size_rejected(self, q3_query):
+        with pytest.raises(ValueError):
+            SPOConfig(q3_query, WindowSpec.count(100, 20), batch_size=0)
