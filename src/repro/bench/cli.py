@@ -18,11 +18,14 @@ import time
 from typing import Callable, Dict
 
 from ..core import WindowSpec
+from ..dspe import FaultConfig, RecoveryConfig
 from ..joins import (
     ChainIndexJoin,
     HashEquiJoin,
     NestedLoopJoin,
+    build_spo_local_topology,
     make_spo_join,
+    run_topology,
 )
 from ..workloads import (
     as_stream_tuples,
@@ -158,18 +161,125 @@ def _batching(args) -> None:
             }
         )
     table.show()
-    if args.json_out:
-        payload = {
+    _write_json(
+        args,
+        "batching",
+        {
             "experiment": "batching",
             "query": "q3_self_join",
             "window": {"size": 1_000, "slide": 200, "kind": "count"},
             "stream_tuples": len(tuples),
             "results": rows,
-        }
-        with open(args.json_out, "w") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {args.json_out}")
+        },
+    )
+
+
+def _recovery(args) -> None:
+    """Chaos run: crash the SPO joiner PE, sweep checkpoint intervals."""
+    query = q3()
+    window = WindowSpec.count(100, 20)
+    raws = q3_stream(600, seed=7)
+    horizon = raws[-1].event_time * 0.8
+
+    def build():
+        source = ((raw.event_time, raw) for raw in raws)
+        return build_spo_local_topology(source, query, window, batch_size=8)
+
+    baseline = run_topology(build())
+    base_fp = baseline.result_fingerprint()
+
+    intervals = [0.02, 0.08]
+    if args.checkpoint_interval and args.checkpoint_interval not in intervals:
+        intervals.append(args.checkpoint_interval)
+
+    table = ResultTable(
+        "Recovery vs checkpoint interval (Q3, SPO joiner)",
+        [
+            "ckpt interval (s)",
+            "crashes",
+            "recovery mean (ms)",
+            "replayed",
+            "dup ratio",
+            "ckpts",
+            "identical",
+        ],
+    )
+    rows = []
+    for interval in sorted(intervals):
+        res = run_topology(
+            build(),
+            faults=FaultConfig(crash_rate=args.crash_rate, horizon=horizon),
+            recovery=RecoveryConfig(checkpoint_interval=interval),
+            fault_seed=args.fault_seed,
+        )
+        rec = res.recovery
+        identical = res.result_fingerprint() == base_fp
+        latency = rec.recovery_latency_summary()
+        table.add_row(
+            interval,
+            rec.crashes,
+            latency.mean * 1e3,
+            rec.replayed_tuples,
+            rec.duplicate_ratio(),
+            rec.checkpoints,
+            identical,
+        )
+        rows.append(
+            {
+                "checkpoint_interval_s": interval,
+                "result_identical": identical,
+                **rec.to_dict(),
+            }
+        )
+        if not identical or rec.divergent_records:
+            raise SystemExit(
+                f"chaos run diverged at checkpoint_interval={interval}: "
+                f"identical={identical}, "
+                f"divergent_records={rec.divergent_records}"
+            )
+    table.show()
+    _write_json(
+        args,
+        "recovery",
+        {
+            "experiment": "recovery",
+            "query": "q3_self_join",
+            "window": {"size": 100, "slide": 20, "kind": "count"},
+            "stream_tuples": len(raws),
+            "crash_rate": args.crash_rate,
+            "fault_seed": args.fault_seed,
+            "fault_horizon_s": horizon,
+            "baseline_fingerprint": base_fp,
+            "results": rows,
+        },
+    )
+
+
+def _write_json(args, key: str, payload) -> None:
+    """Merge one experiment's payload under ``key`` in ``--json-out``.
+
+    The file holds a mapping of experiment name to payload; a legacy
+    single-experiment (flat) file is folded into the mapping rather than
+    clobbered.
+    """
+    if not args.json_out:
+        return
+    data: Dict[str, object] = {}
+    try:
+        with open(args.json_out) as fh:
+            existing = json.load(fh)
+    except (OSError, ValueError):
+        existing = None
+    if isinstance(existing, dict):
+        if "experiment" in existing and "results" in existing:
+            data[str(existing["experiment"])] = existing
+        else:
+            data = existing
+    data[key] = payload
+    with open(args.json_out, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {key!r} entry to {args.json_out}")
 
 
 EXPERIMENTS: Dict[str, Callable[..., None]] = {
@@ -178,6 +288,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "crossjoin": _crossjoin,
     "equijoin": _equijoin,
     "batching": _batching,
+    "recovery": _recovery,
 }
 
 
@@ -206,11 +317,36 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json-out",
         default=None,
-        help="write the batching experiment's results to this JSON file",
+        help="merge each experiment's results into this JSON file "
+        "(mapping of experiment name to payload, e.g. BENCH.json)",
+    )
+    parser.add_argument(
+        "--crash-rate",
+        type=float,
+        default=6.0,
+        help="recovery experiment: expected crashes per joiner PE over "
+        "the fault horizon (Poisson)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        help="recovery experiment: add this checkpoint interval (seconds) "
+        "to the default sweep",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=42,
+        help="recovery experiment: seed for the fault plan and loss RNG",
     )
     args = parser.parse_args(argv)
     if args.batch_size is not None and args.batch_size < 1:
         parser.error("--batch-size must be >= 1")
+    if args.crash_rate < 0:
+        parser.error("--crash-rate must be non-negative")
+    if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
+        parser.error("--checkpoint-interval must be positive")
 
     if args.list:
         for name, fn in sorted(EXPERIMENTS.items()):

@@ -82,6 +82,7 @@ def checkpoint(join: SPOJoin) -> Dict[str, Any]:
         "sub_intervals": join.policy.sub_intervals,
         "evaluator": join.evaluator,
         "use_offsets": join.use_offsets,
+        "bptree_order": join.bptree_order,
         "left_stream": join.left_stream,
         "right_stream": join.right_stream,
         "num_threads": join.num_threads,
@@ -158,6 +159,9 @@ def restore(query: QuerySpec, state: Dict[str, Any]) -> SPOJoin:
         sub_intervals=state["sub_intervals"],
         evaluator=state["evaluator"],
         use_offsets=state["use_offsets"],
+        # Absent in version-1 snapshots written before the order was
+        # serialized; those were all taken at the default.
+        bptree_order=state.get("bptree_order", 64),
         left_stream=state["left_stream"],
         right_stream=state["right_stream"],
         num_threads=state["num_threads"],

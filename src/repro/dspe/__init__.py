@@ -8,14 +8,17 @@ cluster experiments.
 
 from .cache import CacheClient, DistributedCache
 from .engine import Context, Engine, Message, Record, RunResult, TupleBatch
+from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
 from .metrics import (
     LatencyCollector,
+    RecoveryMetrics,
     Summary,
     ThroughputCollector,
     cdf_points,
     percentile,
     summarize,
 )
+from .recovery import RecoveryConfig, RecoveryManager
 from .partitioning import Grouping
 from .pe import ProcessingElement
 from .router import RawTuple, RouterOperator
@@ -42,6 +45,13 @@ __all__ = [
     "StateManager",
     "RoundRobinStateManager",
     "CachedStateManager",
+    "CrashEvent",
+    "FaultConfig",
+    "FaultPlan",
+    "build_fault_plan",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryMetrics",
     "LatencyCollector",
     "ThroughputCollector",
     "Summary",

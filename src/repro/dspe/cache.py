@@ -18,13 +18,21 @@ __all__ = ["DistributedCache", "CacheClient"]
 
 
 class DistributedCache:
-    """A versioned key-value store indexed by simulated write time."""
+    """A versioned key-value store indexed by simulated write time.
+
+    ``partitions`` holds ``(start, end)`` windows of simulated time
+    during which replication to readers stalls (the fault scheduler's
+    cache-partition fault): a read landing inside a window observes the
+    state as of the window's *start* — writes keep accumulating and
+    become visible the moment the partition heals.
+    """
 
     def __init__(self, history_limit: int = 4096) -> None:
         self._history: Dict[str, Tuple[List[float], List[object]]] = {}
         self.history_limit = history_limit
         self.writes = 0
         self.reads = 0
+        self.partitions: List[Tuple[float, float]] = []
 
     def put(self, key: str, value: object, at_time: float) -> None:
         """Write ``value`` at simulated time ``at_time`` (monotone per key)."""
@@ -39,13 +47,22 @@ class DistributedCache:
             del values[: -self.history_limit // 2]
 
     def get_as_of(self, key: str, at_time: float) -> Optional[object]:
-        """Newest value written at or before ``at_time``."""
+        """Newest value written at or before ``at_time``.
+
+        During a partition window the effective read time is clamped to
+        the window's start — replication is stalled, so nothing newer is
+        visible until the partition heals.
+        """
         self.reads += 1
+        effective = at_time
+        for start, end in self.partitions:
+            if start <= at_time < end:
+                effective = min(effective, start)
         entry = self._history.get(key)
         if entry is None:
             return None
         times, values = entry
-        idx = bisect_right(times, at_time) - 1
+        idx = bisect_right(times, effective) - 1
         return values[idx] if idx >= 0 else None
 
     def latest(self, key: str) -> Optional[object]:

@@ -15,17 +15,29 @@ the experiments actually measure:
 
 Delivery is reliable and per-link FIFO, which satisfies the paper's
 at-least-once processing guarantee without modelling replays.
+
+The fault-injection subsystem (:mod:`repro.dspe.faults`) relaxes that:
+with a :class:`~repro.dspe.faults.FaultConfig`, PEs crash and restart at
+scheduled simulated times, link delays spike, and the distributed cache
+partitions.  The recovery layer (:mod:`repro.dspe.recovery`) keeps the
+results correct anyway — periodic operator checkpoints, bounded replay
+logs, held-delivery buffers for downtime, and replay-duplicate dedup —
+so a chaos run's final result multiset is bit-identical to the
+failure-free run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import random
 import time
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
 from .pe import ProcessingElement
+from .recovery import RecoveryConfig, RecoveryManager
 from .topology import Topology
 
 __all__ = ["Message", "Context", "Engine", "RunResult", "Record", "TupleBatch"]
@@ -177,12 +189,18 @@ class RunResult:
         sim_end: float,
         wall_seconds: float,
         events_processed: int,
+        recovery=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.records = records
         self.pes = pes
         self.sim_end = sim_end
         self.wall_seconds = wall_seconds
         self.events_processed = events_processed
+        #: :class:`~repro.dspe.metrics.RecoveryMetrics` when the run had
+        #: a recovery layer, else None.
+        self.recovery = recovery
+        self.fault_plan = fault_plan
 
     def records_named(self, name: str) -> List[Record]:
         return [r for r in self.records if r.name == name]
@@ -190,9 +208,48 @@ class RunResult:
     def pes_of(self, component: str) -> List[ProcessingElement]:
         return [pe for pe in self.pes if pe.component == component]
 
+    def result_fingerprint(
+        self,
+        names: Tuple[str, ...] = ("result", "mutable_result", "immutable_result"),
+    ) -> str:
+        """Order-independent digest of the run's join results.
+
+        Hashes the multiset of ``(record name, probe tid, sorted match
+        set)`` triples — the timing-free part of a run — so two runs
+        produce the same fingerprint iff they emitted the same results,
+        regardless of simulated-clock jitter from measured service
+        times.  This is what the chaos experiments compare against the
+        failure-free run.
+        """
+        entries = []
+        for record in self.records:
+            if record.name not in names:
+                continue
+            payload = record.payload
+            if isinstance(payload, dict) and "tid" in payload:
+                entries.append(
+                    (
+                        record.name,
+                        payload["tid"],
+                        tuple(sorted(payload.get("matches", ()))),
+                    )
+                )
+        entries.sort()
+        return hashlib.sha256(repr(entries).encode()).hexdigest()
+
 
 _SPOUT = 0
 _DELIVERY = 1
+_FAULT = 2
+_RESTART = 3
+_CHECKPOINT = 4
+
+
+def _payload_tuples(payload) -> int:
+    """Tuples carried by one delivery (batches count their length)."""
+    if isinstance(payload, TupleBatch):
+        return len(payload)
+    return 1
 
 
 class Engine:
@@ -210,6 +267,20 @@ class Engine:
     time_scale:
         Multiplier applied to measured operator wall time before it is
         charged as simulated service time.
+    faults:
+        A :class:`~repro.dspe.faults.FaultConfig` to expand into a
+        deterministic fault schedule (PE crashes, delay spikes, cache
+        partitions).  Implies a default recovery layer when ``recovery``
+        is not given.
+    recovery:
+        A :class:`~repro.dspe.recovery.RecoveryConfig` controlling
+        periodic checkpoints, replay-log capacity, and which components
+        are protected.
+    fault_seed:
+        Single seed for everything stochastic about failures: it
+        overrides ``loss_seed`` for the at-least-once loss RNG and seeds
+        the fault plan, so one value makes a whole chaos run
+        reproducible.
     """
 
     def __init__(
@@ -224,6 +295,9 @@ class Engine:
         spout_loss_rate: float = 0.0,
         redelivery_timeout: float = 0.01,
         loss_seed: int = 0,
+        faults: Optional[FaultConfig] = None,
+        recovery: Optional[RecoveryConfig] = None,
+        fault_seed: Optional[int] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
@@ -253,6 +327,9 @@ class Engine:
         # source tuple is processed exactly once, possibly late.
         self.spout_loss_rate = spout_loss_rate
         self.redelivery_timeout = redelivery_timeout
+        if fault_seed is not None:
+            loss_seed = fault_seed
+        self.fault_seed = fault_seed if fault_seed is not None else loss_seed
         self._loss_rng = random.Random(loss_seed)
         self.redeliveries = 0
         self.duplicates_dropped = 0
@@ -261,6 +338,39 @@ class Engine:
         self._build_pes()
         self._records: List[Record] = []
         self._seq = itertools.count()
+        # Per-link FIFO floor: newest arrival per (sender, receiver PE).
+        # With constant link delays this is a no-op; under delay spikes it
+        # keeps a message sent during a spike from being overtaken by a
+        # later message sent after the spike, preserving the engine's
+        # reliable-FIFO delivery contract.
+        self._link_arrivals: Dict[Tuple[str, str], float] = {}
+
+        # Fault injection + recovery (see module docstring).  Injected
+        # crashes without a recovery layer would silently lose operator
+        # state, so faults imply a default RecoveryConfig.
+        if faults is not None and recovery is None:
+            recovery = RecoveryConfig()
+        self.recovery_manager: Optional[RecoveryManager] = None
+        self.fault_plan: Optional[FaultPlan] = None
+        protected: Dict[str, int] = {}
+        if recovery is not None:
+            self.recovery_manager = RecoveryManager(recovery)
+            for name, instances in self._pes.items():
+                if recovery.components is not None:
+                    if name not in recovery.components:
+                        continue
+                    if not instances[0].operator.checkpointable:
+                        raise ValueError(
+                            f"component {name!r} cannot be protected: its "
+                            "operator is not checkpointable"
+                        )
+                elif not instances[0].operator.checkpointable:
+                    continue
+                protected[name] = len(instances)
+                for pe in instances:
+                    self.recovery_manager.register(pe)
+        if faults is not None:
+            self.fault_plan = build_fault_plan(faults, protected, self.fault_seed)
 
     # ------------------------------------------------------------------
     def _build_pes(self) -> None:
@@ -280,10 +390,14 @@ class Engine:
     def pes_of(self, component: str) -> List[ProcessingElement]:
         return list(self._pes.get(component, []))
 
-    def _delay(self, src_node: Optional[int], dst_node: int) -> float:
+    def _delay(self, src_node: Optional[int], dst_node: int, at: float) -> float:
         if src_node is None or src_node == dst_node:
-            return self.net_delay_local
-        return self.net_delay_remote
+            base = self.net_delay_local
+        else:
+            base = self.net_delay_remote
+        if self.fault_plan is not None:
+            base *= self.fault_plan.delay_multiplier(at)
+        return base
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -308,6 +422,19 @@ class Engine:
         delivered: Dict[str, Set[int]] = {name: set() for name in spout_iters}
         for name, it in spout_iters.items():
             self._push_spout_event(heap, name, it, spout_offsets[name])
+
+        # Schedule the fault plan and the first periodic checkpoint tick.
+        if self.fault_plan is not None:
+            for crash in self.fault_plan.crashes:
+                heapq.heappush(
+                    heap, (crash.at, next(self._seq), _FAULT, crash)
+                )
+        mgr = self.recovery_manager
+        if mgr is not None and mgr.config.checkpoint_interval is not None:
+            heapq.heappush(
+                heap,
+                (mgr.config.checkpoint_interval, next(self._seq), _CHECKPOINT, None),
+            )
 
         sim_end = 0.0
         events = 0
@@ -363,7 +490,71 @@ class Engine:
                 message = Message(payload, origin_time=origin)
                 self._dispatch(heap, name, None, message, when)
                 continue
+            if kind == _FAULT:
+                crash: CrashEvent = data
+                pe = self._pes[crash.component][crash.index]
+                if pe.down or mgr is None:
+                    # Already down (overlapping schedule): the pending
+                    # restart covers this crash too.
+                    continue
+                pe.down = True
+                mgr.on_crash(pe, when, crash.restart_delay)
+                self._records.append(
+                    Record(
+                        "pe_crashed",
+                        {"pe": pe.name, "at": when},
+                        when,
+                        when,
+                        {},
+                    )
+                )
+                heapq.heappush(
+                    heap,
+                    (
+                        when + crash.restart_delay,
+                        next(self._seq),
+                        _RESTART,
+                        crash,
+                    ),
+                )
+                sim_end = max(sim_end, when)
+                continue
+            if kind == _RESTART:
+                completion = self._handle_restart(heap, ctx, data, when)
+                sim_end = max(sim_end, completion)
+                continue
+            if kind == _CHECKPOINT:
+                latest = when
+                for pe in mgr.protected_pes():
+                    if pe.down:
+                        continue
+                    latest = max(latest, self._checkpoint_pe(pe, when))
+                sim_end = max(sim_end, latest)
+                # Reschedule only while other work remains, so the timer
+                # does not keep a drained run alive forever.
+                if heap:
+                    heapq.heappush(
+                        heap,
+                        (
+                            when + mgr.config.checkpoint_interval,
+                            next(self._seq),
+                            _CHECKPOINT,
+                            None,
+                        ),
+                    )
+                continue
             pe, message = data
+            if pe.down:
+                # At-least-once delivery: buffer for redelivery once the
+                # PE is back up.
+                self.recovery_manager.hold(pe, message)
+                continue
+            if mgr is not None and mgr.protects(pe):
+                if mgr.log_is_full(pe):
+                    # Bounded replay buffer: force a checkpoint (which
+                    # truncates the log) before accepting more work.
+                    self._checkpoint_pe(pe, when, forced=True)
+                mgr.log_delivery(pe, message)
             completion = self._serve(heap, ctx, pe, message, when)
             sim_end = max(sim_end, completion)
 
@@ -374,7 +565,83 @@ class Engine:
 
         wall = time.perf_counter() - wall_start
         all_pes = [pe for group in self._pes.values() for pe in group]
-        return RunResult(self._records, all_pes, sim_end, wall, events)
+        return RunResult(
+            self._records,
+            all_pes,
+            sim_end,
+            wall,
+            events,
+            recovery=mgr.metrics if mgr is not None else None,
+            fault_plan=self.fault_plan,
+        )
+
+    # ------------------------------------------------------------------
+    def _checkpoint_pe(
+        self, pe: ProcessingElement, at: float, forced: bool = False
+    ) -> float:
+        """Snapshot a protected PE; returns the checkpoint completion time.
+
+        The snapshot's measured wall cost is charged to the PE as
+        ordinary service time, so checkpoint overhead competes with real
+        work in throughput/latency metrics exactly like processing does.
+        """
+        t0 = time.perf_counter()
+        snapshot = pe.operator.snapshot_state()
+        cost = (time.perf_counter() - t0) * self.time_scale
+        start = max(at, pe.busy_until)
+        completion = start + cost
+        pe.busy_until = completion
+        pe.busy_time += cost
+        self.recovery_manager.store_checkpoint(pe, snapshot, at, cost, forced)
+        return completion
+
+    def _handle_restart(self, heap, ctx: Context, crash: CrashEvent, when: float) -> float:
+        """Bring a crashed PE back: fresh operator, restore, replay, drain.
+
+        Replayed log entries are re-served (their records are dropped by
+        the dedup layer); deliveries held while the PE was down are then
+        logged and served in arrival order.  Returns the simulated time
+        at which the PE caught up.
+        """
+        mgr = self.recovery_manager
+        pe = self._pes[crash.component][crash.index]
+        operator = self.topology.bolts[pe.component].factory()
+        pe.operator = operator
+        ctx.pe = pe
+        operator.setup(ctx)
+        snapshot = mgr.checkpoint_of(pe)
+        if snapshot is not None:
+            operator.restore_state(snapshot)
+        pe.down = False
+        pe.busy_until = max(pe.busy_until, when)
+        completion = when
+        replayed = 0
+        for message in mgr.replay_log(pe):
+            # Already logged — do not re-log; a second crash before the
+            # next checkpoint replays the same prefix again.
+            replayed += _payload_tuples(message.payload)
+            completion = self._serve(heap, ctx, pe, message, completion)
+        for message in mgr.drain_held(pe):
+            if mgr.log_is_full(pe):
+                self._checkpoint_pe(pe, completion, forced=True)
+            mgr.log_delivery(pe, message)
+            completion = self._serve(heap, ctx, pe, message, completion)
+        mgr.on_recovered(pe, completion, replayed)
+        self._records.append(
+            Record(
+                "pe_recovered",
+                {
+                    "pe": pe.name,
+                    "at": when,
+                    "caught_up": completion,
+                    "replayed": replayed,
+                },
+                completion,
+                when,
+                {},
+            )
+        )
+        return completion
 
     # ------------------------------------------------------------------
     def _flush_pass(self, heap, ctx: Context, sim_end: float) -> bool:
@@ -388,6 +655,8 @@ class Engine:
         moved = False
         for instances in self._pes.values():
             for pe in instances:
+                if pe.down:
+                    continue
                 at = max(pe.busy_until, sim_end)
                 ctx.pe = pe
                 ctx.now = at
@@ -396,8 +665,12 @@ class Engine:
                 ctx._records = []
                 ctx._charged = None
                 pe.operator.flush(ctx)
+                mgr = self.recovery_manager
+                dedup = mgr is not None and mgr.protects(pe)
                 for name, payload in ctx._records:
                     moved = True
+                    if dedup and not mgr.admit(pe, name, payload):
+                        continue
                     self._records.append(
                         Record(name, payload, at, at, {})
                     )
@@ -407,7 +680,9 @@ class Engine:
                     out = Message(
                         payload, stream, origin if origin is not None else at
                     )
-                    self._dispatch(heap, pe.component, pe.node, out, at)
+                    self._dispatch(
+                        heap, pe.component, pe.node, out, at, sender=pe.name
+                    )
         return moved
 
     # ------------------------------------------------------------------
@@ -437,13 +712,18 @@ class Engine:
         src_node: Optional[int],
         message: Message,
         at: float,
+        sender: Optional[str] = None,
     ) -> None:
         """Route one emission to every subscribed bolt."""
+        sender_key = sender if sender is not None else source
         for bolt, grouping in self.topology.consumers_of(source, message.stream):
             instances = self._pes[bolt.name]
             for target in grouping.targets(message.payload, len(instances)):
                 pe = instances[target]
-                arrival = at + self._delay(src_node, pe.node)
+                arrival = at + self._delay(src_node, pe.node, at)
+                link = (sender_key, pe.name)
+                arrival = max(arrival, self._link_arrivals.get(link, 0.0))
+                self._link_arrivals[link] = arrival
                 delivered = Message(
                     message.payload,
                     "default",
@@ -486,7 +766,14 @@ class Engine:
         if core_index is not None:
             self._node_cores[pe.node][core_index] = completion
 
+        mgr = self.recovery_manager
+        dedup = mgr is not None and mgr.protects(pe)
         for name, payload in ctx._records:
+            if dedup and not mgr.admit(pe, name, payload):
+                # Replay duplicate: the record was already emitted before
+                # the crash; dropping it keeps the result multiset
+                # identical to the failure-free run.
+                continue
             self._records.append(
                 Record(
                     name,
@@ -507,5 +794,7 @@ class Engine:
                 origin if origin is not None else message.origin_time,
                 dict(message.marks),
             )
-            self._dispatch(heap, pe.component, pe.node, out, completion)
+            self._dispatch(
+                heap, pe.component, pe.node, out, completion, sender=pe.name
+            )
         return completion

@@ -1,0 +1,267 @@
+"""Deterministic fault injection for the simulated DSPE.
+
+The paper runs SPO-Join on a 10-machine Storm cluster where worker
+failure is a fact of life (Section 5.3 relies on Storm's at-least-once
+guarantee to mask it).  This module brings that failure model into the
+simulator: a :class:`FaultConfig` describes *how much* chaos to inject
+and a :class:`FaultPlan` — expanded deterministically from a seed — says
+exactly *when and where* it lands:
+
+* **PE crashes** — a processing element loses its operator state at a
+  simulated time and comes back ``restart_delay`` seconds later.  The
+  engine restores it from its last checkpoint and replays the logged
+  deliveries (see :mod:`repro.dspe.recovery`).
+* **Network delay spikes** — every message delivered inside a spike
+  window pays ``multiplier`` times the configured link delay, modelling
+  transient congestion between nodes.
+* **Cache partitions** — windows during which the distributed cache's
+  replication stalls: readers see the state as of the partition's start
+  (:attr:`repro.dspe.cache.DistributedCache.partitions`).
+
+Everything is derived from ``random.Random(seed)`` so a chaos run is
+reproducible end to end: the same seed yields the same plan, and —
+because recovery replays deterministically — the same final results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CrashEvent", "FaultConfig", "FaultPlan", "build_fault_plan"]
+
+
+class CrashEvent:
+    """One scheduled PE failure."""
+
+    __slots__ = ("component", "index", "at", "restart_delay")
+
+    def __init__(
+        self, component: str, index: int, at: float, restart_delay: float
+    ) -> None:
+        if at < 0:
+            raise ValueError("crash time must be non-negative")
+        if restart_delay < 0:
+            raise ValueError("restart_delay must be non-negative")
+        self.component = component
+        self.index = index
+        self.at = at
+        self.restart_delay = restart_delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrashEvent({self.component}[{self.index}] @ {self.at:.4f}, "
+            f"restart={self.restart_delay:.4f})"
+        )
+
+
+class FaultConfig:
+    """Chaos knobs, expanded into a :class:`FaultPlan` by the engine.
+
+    Parameters
+    ----------
+    crash_rate:
+        Expected number of crashes *per protected PE* over ``horizon``
+        simulated seconds (Poisson-sampled per PE).
+    horizon:
+        Simulated time span over which faults are scheduled.  Callers
+        usually set this to roughly the source's event-time span so
+        crashes land while the stream is flowing.
+    restart_delay:
+        Downtime between a crash and the PE's restart.
+    components:
+        Bolt names eligible to crash.  ``None`` targets every component
+        whose operator is checkpointable (``Operator.checkpointable``);
+        naming a non-checkpointable component is an error — crashing it
+        would silently lose state and diverge the results.
+    crash_times:
+        Explicit ``(component, index, at)`` schedule.  When given it is
+        used verbatim (plus ``restart_delay``) and ``crash_rate`` is
+        ignored — the chaos bench uses this for guaranteed, stable
+        crash placement.
+    delay_spike_rate / delay_spike_duration / delay_spike_multiplier:
+        Expected number of network-delay spikes over the horizon, each
+        lasting ``duration`` and multiplying link delays by
+        ``multiplier``.
+    cache_partition_rate / cache_partition_duration:
+        Expected number of distributed-cache partitions over the
+        horizon, during which cache readers see stale state.
+    seed:
+        Plan seed.  ``None`` inherits the engine's ``fault_seed`` (the
+        single seed that also drives the at-least-once loss RNG).
+    """
+
+    def __init__(
+        self,
+        crash_rate: float = 0.0,
+        horizon: float = 1.0,
+        restart_delay: float = 0.005,
+        components: Optional[Sequence[str]] = None,
+        crash_times: Optional[Sequence[Tuple[str, int, float]]] = None,
+        delay_spike_rate: float = 0.0,
+        delay_spike_duration: float = 0.01,
+        delay_spike_multiplier: float = 8.0,
+        cache_partition_rate: float = 0.0,
+        cache_partition_duration: float = 0.02,
+        seed: Optional[int] = None,
+    ) -> None:
+        if crash_rate < 0:
+            raise ValueError("crash_rate must be non-negative")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if restart_delay < 0:
+            raise ValueError("restart_delay must be non-negative")
+        if delay_spike_multiplier < 1.0:
+            raise ValueError("delay_spike_multiplier must be >= 1")
+        self.crash_rate = crash_rate
+        self.horizon = horizon
+        self.restart_delay = restart_delay
+        self.components = list(components) if components is not None else None
+        self.crash_times = (
+            list(crash_times) if crash_times is not None else None
+        )
+        self.delay_spike_rate = delay_spike_rate
+        self.delay_spike_duration = delay_spike_duration
+        self.delay_spike_multiplier = delay_spike_multiplier
+        self.cache_partition_rate = cache_partition_rate
+        self.cache_partition_duration = cache_partition_duration
+        self.seed = seed
+
+
+class FaultPlan:
+    """A concrete, fully expanded fault schedule."""
+
+    def __init__(
+        self,
+        crashes: List[CrashEvent],
+        delay_spikes: List[Tuple[float, float, float]],
+        cache_partitions: List[Tuple[float, float]],
+        seed: int,
+    ) -> None:
+        self.crashes = sorted(crashes, key=lambda c: c.at)
+        #: (start, end, multiplier) windows, sorted by start.
+        self.delay_spikes = sorted(delay_spikes)
+        #: (start, end) windows, sorted by start.
+        self.cache_partitions = sorted(cache_partitions)
+        self.seed = seed
+
+    def delay_multiplier(self, at: float) -> float:
+        """Link-delay multiplier in effect at simulated time ``at``."""
+        factor = 1.0
+        for start, end, multiplier in self.delay_spikes:
+            if start <= at < end:
+                factor = max(factor, multiplier)
+            elif start > at:
+                break
+        return factor
+
+    def crashes_of(self, component: str) -> List[CrashEvent]:
+        return [c for c in self.crashes if c.component == component]
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of the plan (determinism tests)."""
+        return (
+            tuple(
+                (c.component, c.index, round(c.at, 12), c.restart_delay)
+                for c in self.crashes
+            ),
+            tuple(self.delay_spikes),
+            tuple(self.cache_partitions),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(crashes={len(self.crashes)}, "
+            f"spikes={len(self.delay_spikes)}, "
+            f"partitions={len(self.cache_partitions)}, seed={self.seed})"
+        )
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler (rates here are small, so this is cheap)."""
+    if lam <= 0:
+        return 0
+    import math
+
+    threshold = math.exp(-lam)
+    k, p = 0, 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+def build_fault_plan(
+    config: FaultConfig, parallelism: Dict[str, int], seed: int
+) -> FaultPlan:
+    """Expand a :class:`FaultConfig` into a deterministic schedule.
+
+    ``parallelism`` maps every *eligible* component name to its PE count
+    (the engine passes only checkpointable components unless the config
+    names its targets explicitly).  The same ``(config, parallelism,
+    seed)`` always yields the same plan.
+    """
+    if config.seed is not None:
+        seed = config.seed
+    rng = random.Random(seed)
+
+    crashes: List[CrashEvent] = []
+    if config.crash_times is not None:
+        for component, index, at in config.crash_times:
+            _check_target(component, index, parallelism)
+            crashes.append(
+                CrashEvent(component, index, at, config.restart_delay)
+            )
+    elif config.crash_rate > 0:
+        targets = (
+            config.components
+            if config.components is not None
+            else sorted(parallelism)
+        )
+        for component in targets:
+            _check_target(component, 0, parallelism)
+            for index in range(parallelism[component]):
+                for __ in range(_poisson(rng, config.crash_rate)):
+                    crashes.append(
+                        CrashEvent(
+                            component,
+                            index,
+                            rng.uniform(0.0, config.horizon),
+                            config.restart_delay,
+                        )
+                    )
+
+    delay_spikes: List[Tuple[float, float, float]] = []
+    for __ in range(_poisson(rng, config.delay_spike_rate)):
+        start = rng.uniform(0.0, config.horizon)
+        delay_spikes.append(
+            (
+                start,
+                start + config.delay_spike_duration,
+                config.delay_spike_multiplier,
+            )
+        )
+
+    cache_partitions: List[Tuple[float, float]] = []
+    for __ in range(_poisson(rng, config.cache_partition_rate)):
+        start = rng.uniform(0.0, config.horizon)
+        cache_partitions.append(
+            (start, start + config.cache_partition_duration)
+        )
+
+    return FaultPlan(crashes, delay_spikes, cache_partitions, seed)
+
+
+def _check_target(component: str, index: int, parallelism: Dict[str, int]) -> None:
+    if component not in parallelism:
+        raise ValueError(
+            f"fault target {component!r} is not a crashable component "
+            "(only bolts whose operators are checkpointable can fail "
+            "recoverably)"
+        )
+    if not 0 <= index < parallelism[component]:
+        raise ValueError(
+            f"fault target {component}[{index}] is out of range "
+            f"(parallelism {parallelism[component]})"
+        )

@@ -9,8 +9,10 @@ Implements the paper's evaluation metrics (Section 5.1):
 * **processing latency** — from entry into the joiner component until
   completion;
 
-plus percentile/CDF helpers for the Figure 10/11 plots and a memory
-accountant for Figure 13.
+plus percentile/CDF helpers for the Figure 10/11 plots, a memory
+accountant for Figure 13, and the recovery counters reported by the
+fault-injection subsystem (downtime, replayed tuples, duplicate ratio,
+checkpoint overhead).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ __all__ = [
     "cdf_points",
     "ThroughputCollector",
     "LatencyCollector",
+    "RecoveryMetrics",
     "Summary",
 ]
 
@@ -140,6 +143,123 @@ class ThroughputCollector:
         if self._last_time <= 0:
             return 0.0
         return self.total / self._last_time
+
+
+class RecoveryMetrics:
+    """Counters emitted by the fault/checkpoint/recovery subsystem.
+
+    One instance accompanies a chaos run's :class:`~repro.dspe.engine.
+    RunResult`.  Every reporting method tolerates the empty case — a run
+    with no faults (or no recovery layer at all) yields zero counters,
+    ``duplicate_ratio() == 0.0`` and an empty latency summary — matching
+    the empty-input conventions of the other collectors in this module.
+    """
+
+    __slots__ = (
+        "crashes",
+        "downtime_total",
+        "replayed_tuples",
+        "held_messages",
+        "records_admitted",
+        "duplicates_dropped",
+        "divergent_records",
+        "checkpoints",
+        "forced_checkpoints",
+        "checkpoint_overhead_s",
+        "recovery_latencies",
+    )
+
+    def __init__(self) -> None:
+        self.crashes = 0
+        self.downtime_total = 0.0
+        self.replayed_tuples = 0
+        self.held_messages = 0
+        self.records_admitted = 0
+        self.duplicates_dropped = 0
+        #: Duplicates whose payload differed from the original — always 0
+        #: for a correct recovery (replay is deterministic).
+        self.divergent_records = 0
+        self.checkpoints = 0
+        #: Checkpoints forced by a full replay log rather than the timer.
+        self.forced_checkpoints = 0
+        self.checkpoint_overhead_s = 0.0
+        #: Per-crash time from failure until the PE caught up its backlog.
+        self.recovery_latencies: List[float] = []
+
+    # -- recording ------------------------------------------------------
+    def record_crash(self, downtime: float) -> None:
+        self.crashes += 1
+        self.downtime_total += downtime
+
+    def record_recovery(self, latency: float, replayed: int) -> None:
+        self.recovery_latencies.append(latency)
+        self.replayed_tuples += replayed
+
+    def record_checkpoint(self, overhead_s: float, forced: bool = False) -> None:
+        self.checkpoints += 1
+        if forced:
+            self.forced_checkpoints += 1
+        self.checkpoint_overhead_s += overhead_s
+
+    def record_admitted(self, count: int = 1) -> None:
+        self.records_admitted += count
+
+    def record_duplicate(self, divergent: bool = False) -> None:
+        self.duplicates_dropped += 1
+        if divergent:
+            self.divergent_records += 1
+
+    def record_held(self, count: int = 1) -> None:
+        self.held_messages += count
+
+    # -- reporting ------------------------------------------------------
+    def duplicate_ratio(self) -> float:
+        """Fraction of emitted records that were replay duplicates.
+
+        0.0 when nothing was emitted at all (empty-input guard).
+        """
+        total = self.records_admitted + self.duplicates_dropped
+        if total == 0:
+            return 0.0
+        return self.duplicates_dropped / total
+
+    def recovery_latency_summary(self) -> Summary:
+        """Summary of per-crash recovery latencies; empty Summary if none."""
+        return Summary(self.recovery_latencies)
+
+    def mean_checkpoint_overhead(self) -> float:
+        """Average wall cost per checkpoint; 0.0 when none were taken."""
+        if self.checkpoints == 0:
+            return 0.0
+        return self.checkpoint_overhead_s / self.checkpoints
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data view for BENCH.json and the chaos experiment."""
+        latency = self.recovery_latency_summary()
+        return {
+            "crashes": self.crashes,
+            "downtime_total_s": self.downtime_total,
+            "replayed_tuples": self.replayed_tuples,
+            "held_messages": self.held_messages,
+            "records_admitted": self.records_admitted,
+            "duplicates_dropped": self.duplicates_dropped,
+            "divergent_records": self.divergent_records,
+            "duplicate_ratio": self.duplicate_ratio(),
+            "checkpoints": self.checkpoints,
+            "forced_checkpoints": self.forced_checkpoints,
+            "checkpoint_overhead_s": self.checkpoint_overhead_s,
+            "mean_checkpoint_overhead_s": self.mean_checkpoint_overhead(),
+            "recovery_latency_mean_s": latency.mean,
+            "recovery_latency_max_s": latency.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecoveryMetrics(crashes={self.crashes}, "
+            f"replayed={self.replayed_tuples}, "
+            f"dups={self.duplicates_dropped}, "
+            f"checkpoints={self.checkpoints})"
+        )
 
 
 class LatencyCollector:

@@ -28,6 +28,10 @@ class ProcessingElement:
         "busy_time",
         "wait_time",
         "wait_max",
+        "down",
+        "crashes",
+        "downtime",
+        "checkpoints",
     )
 
     def __init__(self, component: str, index: int, node: int, operator: Operator) -> None:
@@ -42,6 +46,12 @@ class ProcessingElement:
         #: Aggregate / worst time messages spent queued before service.
         self.wait_time = 0.0
         self.wait_max = 0.0
+        #: Fault-injection state: a down PE receives no deliveries (they
+        #: are held for redelivery) until its scheduled restart.
+        self.down = False
+        self.crashes = 0
+        self.downtime = 0.0
+        self.checkpoints = 0
 
     @property
     def name(self) -> str:

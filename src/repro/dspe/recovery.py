@@ -1,0 +1,210 @@
+"""Checkpoint/replay recovery layer for the simulated DSPE.
+
+Pairs with :mod:`repro.dspe.faults` to give the simulator the recovery
+semantics the paper gets from Storm (Section 5.3): at-least-once
+delivery plus periodic operator snapshots, with result deduplication so
+a run with injected crashes emits the *same* join-result multiset as a
+failure-free run.
+
+The pieces, per protected PE:
+
+* **Checkpoints** — the engine snapshots the operator's state
+  (``Operator.snapshot_state``, e.g. :func:`repro.core.checkpoint.
+  checkpoint` for an SPO joiner) every ``checkpoint_interval`` simulated
+  seconds.  Snapshot wall cost is charged to the PE as service time, so
+  checkpoint overhead shows up in throughput/latency exactly like any
+  other work.
+* **Replay log** — every delivery served since the last checkpoint is
+  logged.  The log is bounded by ``replay_capacity``: when it fills, a
+  checkpoint is *forced* (the real-system equivalent of upstream
+  acknowledgement pressure bounding replay buffers), which truncates it.
+  Recovery is therefore always possible from bounded memory.
+* **Held messages** — deliveries that arrive while the PE is down are
+  buffered (the at-least-once layer would redeliver them) and served in
+  order after the restart.
+* **Dedup** — replaying the post-checkpoint deliveries re-emits records
+  the PE already emitted before crashing.  Each record from a protected
+  PE carries an implicit key ``(pe, record name, tid)``; the second
+  occurrence is dropped, and — because replay is deterministic — its
+  payload must be identical to the first (a mismatch is counted as a
+  *divergent* record and indicates a recovery bug).
+
+With all four, the final result multiset of a crashed run is
+bit-identical to the failure-free run — the property the chaos tests
+and the ``repro.bench recovery`` experiment assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import RecoveryMetrics
+from .pe import ProcessingElement
+
+__all__ = ["RecoveryConfig", "RecoveryManager"]
+
+
+class RecoveryConfig:
+    """Knobs of the recovery layer.
+
+    Parameters
+    ----------
+    checkpoint_interval:
+        Simulated seconds between periodic checkpoints of every
+        protected PE.  ``None`` disables the timer; checkpoints then
+        happen only when a replay log fills.
+    replay_capacity:
+        Maximum deliveries logged per PE between checkpoints.  Reaching
+        the cap forces a checkpoint, so recovery never needs more than
+        this many replays.
+    components:
+        Bolt names to protect.  ``None`` protects every component whose
+        operator is checkpointable.
+    """
+
+    def __init__(
+        self,
+        checkpoint_interval: Optional[float] = 0.05,
+        replay_capacity: int = 1024,
+        components: Optional[Sequence[str]] = None,
+    ) -> None:
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive or None")
+        if replay_capacity < 1:
+            raise ValueError("replay_capacity must be >= 1")
+        self.checkpoint_interval = checkpoint_interval
+        self.replay_capacity = replay_capacity
+        self.components = list(components) if components is not None else None
+
+
+class _PEState:
+    """Recovery bookkeeping for one protected PE."""
+
+    __slots__ = (
+        "pe",
+        "snapshot",
+        "snapshot_time",
+        "log",
+        "held",
+        "crash_time",
+    )
+
+    def __init__(self, pe: ProcessingElement) -> None:
+        self.pe = pe
+        self.snapshot = None
+        self.snapshot_time: Optional[float] = None
+        #: Deliveries served since the last checkpoint, in service order.
+        self.log: List[object] = []
+        #: Deliveries that arrived while the PE was down.
+        self.held: List[object] = []
+        self.crash_time: Optional[float] = None
+
+
+class RecoveryManager:
+    """Per-run recovery state shared with the engine."""
+
+    def __init__(self, config: RecoveryConfig) -> None:
+        self.config = config
+        self.metrics = RecoveryMetrics()
+        self._states: Dict[str, _PEState] = {}
+        # Result dedup: (pe name, record name, tid-or-repr) -> payload
+        # digest of the first admission.
+        self._seen: Dict[Tuple[str, str, object], str] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, pe: ProcessingElement) -> None:
+        self._states[pe.name] = _PEState(pe)
+
+    def protects(self, pe: ProcessingElement) -> bool:
+        return pe.name in self._states
+
+    def protected_pes(self) -> List[ProcessingElement]:
+        return [state.pe for state in self._states.values()]
+
+    # -- delivery logging -----------------------------------------------
+    def log_is_full(self, pe: ProcessingElement) -> bool:
+        return len(self._states[pe.name].log) >= self.config.replay_capacity
+
+    def log_delivery(self, pe: ProcessingElement, message) -> None:
+        """Record a served delivery for post-crash replay.
+
+        The engine must force a checkpoint (which truncates the log)
+        before logging when :meth:`log_is_full` — the log is a bounded
+        replay buffer, never an unbounded history.
+        """
+        self._states[pe.name].log.append(message)
+
+    def hold(self, pe: ProcessingElement, message) -> None:
+        """Buffer a delivery that arrived while the PE was down."""
+        self._states[pe.name].held.append(message)
+        self.metrics.record_held()
+
+    # -- checkpoints ----------------------------------------------------
+    def store_checkpoint(
+        self,
+        pe: ProcessingElement,
+        snapshot,
+        at: float,
+        overhead_s: float,
+        forced: bool = False,
+    ) -> None:
+        state = self._states[pe.name]
+        state.snapshot = snapshot
+        state.snapshot_time = at
+        state.log = []
+        pe.checkpoints += 1
+        self.metrics.record_checkpoint(overhead_s, forced)
+
+    def checkpoint_of(self, pe: ProcessingElement):
+        return self._states[pe.name].snapshot
+
+    # -- crash / restart -------------------------------------------------
+    def on_crash(self, pe: ProcessingElement, at: float, downtime: float) -> None:
+        state = self._states[pe.name]
+        state.crash_time = at
+        pe.crashes += 1
+        pe.downtime += downtime
+        self.metrics.record_crash(downtime)
+
+    def replay_log(self, pe: ProcessingElement) -> List[object]:
+        """Deliveries to re-serve after a restart (log is kept: a second
+        crash before the next checkpoint replays them again)."""
+        return list(self._states[pe.name].log)
+
+    def drain_held(self, pe: ProcessingElement) -> List[object]:
+        state = self._states[pe.name]
+        held, state.held = state.held, []
+        return held
+
+    def on_recovered(
+        self, pe: ProcessingElement, caught_up_at: float, replayed: int
+    ) -> Optional[float]:
+        """Close out a recovery; returns the recovery latency."""
+        state = self._states[pe.name]
+        if state.crash_time is None:
+            return None
+        latency = caught_up_at - state.crash_time
+        state.crash_time = None
+        self.metrics.record_recovery(latency, replayed)
+        return latency
+
+    # -- result dedup ----------------------------------------------------
+    def admit(self, pe: ProcessingElement, name: str, payload) -> bool:
+        """True if this record is new; False if it is a replay duplicate.
+
+        A duplicate whose payload differs from the original is counted
+        as divergent — replay is deterministic, so this only happens
+        when recovery restored the wrong state.
+        """
+        if isinstance(payload, dict) and "tid" in payload:
+            key = (pe.name, name, payload["tid"])
+        else:
+            key = (pe.name, name, repr(payload))
+        digest = repr(payload)
+        first = self._seen.get(key)
+        if first is None:
+            self._seen[key] = digest
+            self.metrics.record_admitted()
+            return True
+        self.metrics.record_duplicate(divergent=first != digest)
+        return False

@@ -23,7 +23,18 @@ class Operator:
     delivered message, measures its wall-clock cost, and charges that as
     the PE's service time (unless the operator overrides the charge via
     ``ctx.charge``).
+
+    Operators that can survive a PE crash set ``checkpointable = True``
+    and implement :meth:`snapshot_state`/:meth:`restore_state`; the
+    recovery layer (:mod:`repro.dspe.recovery`) then periodically
+    snapshots them and, after a crash, rebuilds a fresh instance from
+    the last snapshot plus a replay of the logged deliveries.
     """
+
+    #: Whether :meth:`snapshot_state`/:meth:`restore_state` are supported
+    #: (and hence whether the fault scheduler may crash this operator's
+    #: PEs recoverably).
+    checkpointable = False
 
     def setup(self, ctx) -> None:
         """Called once before the first message (PE index available)."""
@@ -43,6 +54,28 @@ class Operator:
 
     def teardown(self, ctx) -> None:
         """Called once when the run drains."""
+
+    def snapshot_state(self):
+        """Plain-data (JSON-serializable) snapshot of operator state.
+
+        Must return *fresh* structures that do not alias live state —
+        the snapshot outlives arbitrary further processing — and must be
+        restorable more than once (a PE can crash twice between
+        checkpoints).  Only called when ``checkpointable`` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def restore_state(self, state) -> None:
+        """Rebuild internal state from a :meth:`snapshot_state` value.
+
+        Called on a freshly constructed operator (after ``setup``);
+        must not mutate ``state``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
 
 
 class Spout:

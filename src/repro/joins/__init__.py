@@ -22,9 +22,11 @@ from .topologies import (
     ChainJoinerOperator,
     HashJoinerOperator,
     NLJJoinerOperator,
+    SPOJoinerOperator,
     build_chain_topology,
     build_hash_join_topology,
     build_nlj_topology,
+    build_spo_local_topology,
     run_topology,
 )
 
@@ -48,8 +50,10 @@ __all__ = [
     "ChainJoinerOperator",
     "NLJJoinerOperator",
     "HashJoinerOperator",
+    "SPOJoinerOperator",
     "build_chain_topology",
     "build_nlj_topology",
     "build_hash_join_topology",
+    "build_spo_local_topology",
     "run_topology",
 ]

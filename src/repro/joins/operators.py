@@ -85,6 +85,9 @@ class SPOConfig:
         bptree_order: int = 64,
         batch_size: int = 1,
         flush_timeout: Optional[float] = None,
+        faults=None,
+        recovery=None,
+        fault_seed: Optional[int] = None,
     ) -> None:
         if state_strategy not in ("rr", "dc"):
             raise ValueError("state_strategy must be 'rr' or 'dc'")
@@ -111,6 +114,14 @@ class SPOConfig:
         # TupleBatch (cut early at merge boundaries); 1 = tuple-at-a-time.
         self.batch_size = batch_size
         self.flush_timeout = flush_timeout
+        # Fault injection / recovery (repro.dspe.faults / .recovery):
+        # carried here so one config object describes a whole chaos run;
+        # run_spo / run_topology forward them to the Engine, which also
+        # mirrors any scheduled cache-partition windows into
+        # ``self.cache.partitions``.
+        self.faults = faults
+        self.recovery = recovery
+        self.fault_seed = fault_seed
 
     @property
     def two_stream(self) -> bool:

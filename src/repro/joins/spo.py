@@ -146,7 +146,19 @@ def run_spo(
     num_nodes: int = 2,
     **engine_kwargs,
 ) -> RunResult:
-    """Build and run the distributed SPO-Join; returns the run result."""
+    """Build and run the distributed SPO-Join; returns the run result.
+
+    The config's ``faults``/``recovery``/``fault_seed`` are forwarded to
+    the engine (explicit ``engine_kwargs`` win), and any cache-partition
+    windows of the resulting fault plan are mirrored into
+    ``config.cache.partitions`` so stale reads line up with the schedule.
+    """
     topo = build_spo_topology(source, config, logical_pes)
+    for knob in ("faults", "recovery", "fault_seed"):
+        value = getattr(config, knob, None)
+        if value is not None:
+            engine_kwargs.setdefault(knob, value)
     engine = Engine(topo, num_nodes=num_nodes, **engine_kwargs)
+    if engine.fault_plan is not None:
+        config.cache.partitions = list(engine.fault_plan.cache_partitions)
     return engine.run()

@@ -23,7 +23,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..core.checkpoint import checkpoint as checkpoint_join
+from ..core.checkpoint import restore as restore_join
 from ..core.query import QuerySpec
+from ..core.spojoin import SPOJoin
 from ..core.tuples import StreamTuple
 from ..core.window import WindowSpec
 from ..dspe.engine import Engine, RunResult, TupleBatch
@@ -36,9 +39,11 @@ __all__ = [
     "ChainJoinerOperator",
     "NLJJoinerOperator",
     "HashJoinerOperator",
+    "SPOJoinerOperator",
     "build_chain_topology",
     "build_nlj_topology",
     "build_hash_join_topology",
+    "build_spo_local_topology",
     "run_topology",
 ]
 
@@ -101,6 +106,8 @@ class ChainJoinerOperator(_BatchedJoiner, _SideRouting):
     sub-index it holds — the chain-index tax the paper measures.
     """
 
+    checkpointable = True
+
     def __init__(
         self,
         query: QuerySpec,
@@ -127,6 +134,36 @@ class ChainJoinerOperator(_BatchedJoiner, _SideRouting):
     def setup(self, ctx) -> None:
         self._pe_index = ctx.pe_index
         self._num_pes = ctx.num_pes
+
+    def snapshot_state(self):
+        # Trees flatten to sorted (value, tid) pair lists; ties are
+        # tid-ordered so bulk_load accepts them on restore (match sets
+        # are tid sets, so intra-value order is immaterial).
+        return {
+            "tuples_seen": self._tuples_seen,
+            "subs": {
+                side: {
+                    str(slide_idx): [
+                        [list(entry) for entry in sorted(tree.items())]
+                        for tree in trees
+                    ]
+                    for slide_idx, trees in slides.items()
+                }
+                for side, slides in self._subs.items()
+            },
+        }
+
+    def restore_state(self, state) -> None:
+        self._tuples_seen = state["tuples_seen"]
+        self._subs = {side: {} for side in self._subs}
+        for side, slides in state["subs"].items():
+            for key, trees in slides.items():
+                self._subs[side][int(key)] = [
+                    BPlusTree.bulk_load(
+                        [(value, tid) for value, tid in entries], self.order
+                    )
+                    for entries in trees
+                ]
 
     def _process_one(self, t: StreamTuple, ctx) -> None:
         ctx.mark("joiner")
@@ -185,6 +222,8 @@ class NLJJoinerOperator(_BatchedJoiner, _SideRouting):
     ``mode="bchj"``: stores everything, probes every ``n``-th tuple.
     """
 
+    checkpointable = True
+
     def __init__(
         self,
         query: QuerySpec,
@@ -208,6 +247,32 @@ class NLJJoinerOperator(_BatchedJoiner, _SideRouting):
     def setup(self, ctx) -> None:
         self._pe_index = ctx.pe_index
         self._num_pes = ctx.num_pes
+
+    def snapshot_state(self):
+        return {
+            "tuples_seen": self._tuples_seen,
+            "slides": {
+                side: [
+                    [
+                        [t.tid, t.stream, list(t.values), t.event_time]
+                        for t in slide
+                    ]
+                    for slide in slides
+                ]
+                for side, slides in self._slides.items()
+            },
+        }
+
+    def restore_state(self, state) -> None:
+        self._tuples_seen = state["tuples_seen"]
+        for side, slides in state["slides"].items():
+            self._slides[side] = deque(
+                [
+                    StreamTuple(tid, stream, values, event_time)
+                    for tid, stream, values, event_time in slide
+                ]
+                for slide in slides
+            )
 
     def _process_one(self, t: StreamTuple, ctx) -> None:
         ctx.mark("joiner")
@@ -242,6 +307,74 @@ class NLJJoinerOperator(_BatchedJoiner, _SideRouting):
                 slides.append([])
                 while len(slides) > max_slides:
                     slides.popleft()
+
+
+class SPOJoinerOperator(Operator):
+    """A joiner PE hosting one complete (local) SPO-Join operator.
+
+    The fully distributed SPO topology (:mod:`repro.joins.spo`) spreads
+    Algorithm 1 over predicate/logical/permutation/PO-Join PEs whose
+    intermediate state is not individually checkpointable.  This
+    operator instead runs the whole two-tier :class:`~repro.core.
+    spojoin.SPOJoin` inside a single joiner PE — the deployment the
+    paper's recovery discussion assumes — so its state snapshots via
+    :func:`repro.core.checkpoint.checkpoint` and the chaos experiments
+    can crash and restore it.
+    """
+
+    checkpointable = True
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        sub_intervals: int = 1,
+        evaluator: str = "bit",
+        use_offsets: bool = True,
+        bptree_order: int = 64,
+        left_stream: str = "R",
+        right_stream: str = "S",
+        num_threads: int = 1,
+    ) -> None:
+        self.query = query
+        self.join = SPOJoin(
+            query,
+            window,
+            sub_intervals=sub_intervals,
+            evaluator=evaluator,
+            use_offsets=use_offsets,
+            bptree_order=bptree_order,
+            left_stream=left_stream,
+            right_stream=right_stream,
+            num_threads=num_threads,
+        )
+
+    def process(self, payload, ctx) -> None:
+        ctx.mark("joiner")
+        if isinstance(payload, TupleBatch):
+            tuples = list(payload.tuples)
+            pairs = self.join.process_many(tuples)
+        else:
+            tuples = [payload]
+            pairs = self.join.process(payload)
+        by_tid: Dict[int, List[int]] = {}
+        for tid, match in pairs:
+            by_tid.setdefault(tid, []).append(match)
+        for t in tuples:
+            ctx.record(
+                "result",
+                {
+                    "tid": t.tid,
+                    "matches": sorted(by_tid.get(t.tid, ())),
+                    "event_time": t.event_time,
+                },
+            )
+
+    def snapshot_state(self):
+        return checkpoint_join(self.join)
+
+    def restore_state(self, state) -> None:
+        self.join = restore_join(self.query, state)
 
 
 class HashJoinerOperator(Operator, _SideRouting):
@@ -345,6 +478,28 @@ def build_nlj_topology(
         "joiner",
         lambda: NLJJoinerOperator(query, window, mode=mode),
         parallelism=joiner_pes,
+        inputs=[("router", Grouping.broadcast())],
+    )
+    return topo
+
+
+def build_spo_local_topology(
+    source: Iterable[Tuple[float, RawTuple]],
+    query: QuerySpec,
+    window: WindowSpec,
+    batch_size: int = 1,
+    **join_kwargs,
+) -> Topology:
+    """Router + one checkpointable SPO joiner PE (the chaos-test shape).
+
+    ``join_kwargs`` forward to :class:`SPOJoinerOperator` (sub_intervals,
+    evaluator, bptree_order, ...).
+    """
+    topo = _base(source, batch_size)
+    topo.add_bolt(
+        "joiner",
+        lambda: SPOJoinerOperator(query, window, **join_kwargs),
+        parallelism=1,
         inputs=[("router", Grouping.broadcast())],
     )
     return topo

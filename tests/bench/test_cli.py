@@ -29,12 +29,51 @@ class TestCLI:
         assert "Micro-batching" in out
         import json
 
-        payload = json.loads(out_file.read_text())
+        payload = json.loads(out_file.read_text())["batching"]
         assert payload["experiment"] == "batching"
         sizes = [r["batch_size"] for r in payload["results"]]
         assert sizes == [1, 8, 64]
         matches = {r["matches"] for r in payload["results"]}
         assert len(matches) == 1  # batching never changes results
+
+    def test_json_out_merges_experiments(self, capsys, tmp_path):
+        out_file = tmp_path / "bench.json"
+        assert main(["batching", "--json-out", str(out_file)]) == 0
+        assert main(["recovery", "--json-out", str(out_file)]) == 0
+        capsys.readouterr()
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert set(payload) == {"batching", "recovery"}
+
+    def test_json_out_folds_legacy_flat_file(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        out_file.write_text(
+            json.dumps({"experiment": "batching", "results": []})
+        )
+        assert main(["recovery", "--json-out", str(out_file)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text())
+        assert set(payload) == {"batching", "recovery"}
+
+    def test_recovery_experiment(self, capsys, tmp_path):
+        out_file = tmp_path / "bench_recovery.json"
+        assert main(
+            ["recovery", "--checkpoint-interval", "0.04",
+             "--json-out", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Recovery vs checkpoint interval" in out
+        import json
+
+        payload = json.loads(out_file.read_text())["recovery"]
+        intervals = [r["checkpoint_interval_s"] for r in payload["results"]]
+        assert intervals == [0.02, 0.04, 0.08]
+        assert all(r["result_identical"] for r in payload["results"])
+        assert all(r["divergent_records"] == 0 for r in payload["results"])
+        assert any(r["crashes"] >= 2 for r in payload["results"])
 
     def test_batch_size_flag_extends_sweep(self, capsys):
         assert main(["batching", "--batch-size", "16"]) == 0
@@ -44,3 +83,11 @@ class TestCLI:
     def test_invalid_batch_size_rejected(self):
         with pytest.raises(SystemExit):
             main(["batching", "--batch-size", "0"])
+
+    def test_invalid_crash_rate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["recovery", "--crash-rate", "-1"])
+
+    def test_invalid_checkpoint_interval_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["recovery", "--checkpoint-interval", "0"])

@@ -15,6 +15,15 @@ def drive(join, tuples):
     return [sorted(m for __, m in join.process(t)) for t in tuples]
 
 
+def chunks(seq, size):
+    seq = list(seq)
+    return [seq[i : i + size] for i in range(0, len(seq), size)]
+
+
+def drive_many(join, tuples, batch_size):
+    return [join.process_many(chunk) for chunk in chunks(tuples, batch_size)]
+
+
 def roundtrip(query, window, warmup, future, **kwargs):
     """Run warmup, checkpoint, restore, and compare futures."""
     original = SPOJoin(query, window, **kwargs)
@@ -68,6 +77,88 @@ class TestRoundtrip:
         roundtrip(
             q3_query, WindowSpec.count(50, 10), [], random_tuples(100, seed=127)
         )
+
+
+class TestBatchedRoundtrip:
+    """Snapshots taken between ``process_many`` micro-batches restore
+    bit-for-bit, including the vectorized immutable batches' state."""
+
+    def _roundtrip_many(
+        self, query, window, warmup, future, batch_size, **kwargs
+    ):
+        original = SPOJoin(query, window, **kwargs)
+        for chunk in chunks(warmup, batch_size):
+            original.process_many(chunk)
+        state = json.loads(json.dumps(checkpoint(original)))
+        restored = restore(query, state)
+        assert drive_many(original, future, batch_size) == drive_many(
+            restored, future, batch_size
+        )
+        return original, restored
+
+    @pytest.mark.parametrize("batch_size", [7, 64])
+    def test_self_join(self, q3_query, batch_size):
+        data = random_tuples(400, seed=220)
+        self._roundtrip_many(
+            q3_query, WindowSpec.count(100, 20), data[:250], data[250:],
+            batch_size,
+        )
+
+    @pytest.mark.parametrize("batch_size", [7, 64])
+    def test_cross_join(self, q1_query, batch_size):
+        data = interleaved_rs(400, seed=221)
+        self._roundtrip_many(
+            q1_query, WindowSpec.count(100, 20), data[:250], data[250:],
+            batch_size,
+        )
+
+    @pytest.mark.parametrize("batch_size", [7, 64])
+    def test_time_window(self, q3_query, batch_size):
+        data = random_tuples(300, seed=222)  # event_time = i * 0.001
+        self._roundtrip_many(
+            q3_query, WindowSpec.time(0.1, 0.02), data[:180], data[180:],
+            batch_size,
+        )
+
+    def test_snapshot_mid_batch_stream(self, q3_query):
+        # Warmup batched, future scalar: the snapshot point does not care
+        # how the tuples around it were grouped.
+        data = random_tuples(300, seed=223)
+        original = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        for chunk in chunks(data[:185], 7):
+            original.process_many(chunk)
+        restored = restore(
+            q3_query, json.loads(json.dumps(checkpoint(original)))
+        )
+        assert drive(original, data[185:]) == drive(restored, data[185:])
+
+    def test_batched_stats_survive(self, q1_query):
+        join = SPOJoin(q1_query, WindowSpec.count(100, 20))
+        for chunk in chunks(interleaved_rs(260, seed=224), 7):
+            join.process_many(chunk)
+        restored = restore(q1_query, checkpoint(join))
+        assert restored.stats.tuples_processed == join.stats.tuples_processed
+        assert restored.stats.matches_emitted == join.stats.matches_emitted
+        assert restored.stats.merges == join.stats.merges
+
+
+class TestBptreeOrder:
+    def test_order_survives_roundtrip(self, q3_query):
+        data = random_tuples(300, seed=225)
+        original, restored = roundtrip(
+            q3_query, WindowSpec.count(100, 20), data[:180], data[180:],
+            bptree_order=8,
+        )
+        assert original.bptree_order == restored.bptree_order == 8
+
+    def test_legacy_snapshot_defaults_to_64(self, q3_query):
+        # Version-1 snapshots written before the order was serialized
+        # carry no "bptree_order" key; restore falls back to the default.
+        join = SPOJoin(q3_query, WindowSpec.count(50, 10))
+        state = checkpoint(join)
+        del state["bptree_order"]
+        restored = restore(q3_query, state)
+        assert restored.bptree_order == 64
 
 
 class TestStateContents:

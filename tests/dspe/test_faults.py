@@ -1,0 +1,120 @@
+"""Fault scheduler: deterministic plans, validation, window queries."""
+
+import pytest
+
+from repro.dspe import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
+
+PAR = {"joiner": 2, "aux": 1}
+
+
+class TestConfigValidation:
+    def test_negative_crash_rate(self):
+        with pytest.raises(ValueError):
+            FaultConfig(crash_rate=-1.0)
+
+    def test_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            FaultConfig(horizon=0.0)
+
+    def test_negative_restart_delay(self):
+        with pytest.raises(ValueError):
+            FaultConfig(restart_delay=-0.1)
+
+    def test_multiplier_below_one(self):
+        with pytest.raises(ValueError):
+            FaultConfig(delay_spike_multiplier=0.5)
+
+    def test_crash_event_validation(self):
+        with pytest.raises(ValueError):
+            CrashEvent("joiner", 0, -1.0, 0.01)
+        with pytest.raises(ValueError):
+            CrashEvent("joiner", 0, 1.0, -0.01)
+
+
+class TestBuildPlan:
+    def test_same_seed_same_plan(self):
+        config = FaultConfig(
+            crash_rate=3.0, horizon=0.5, delay_spike_rate=2.0,
+            cache_partition_rate=1.0,
+        )
+        a = build_fault_plan(config, PAR, 7)
+        b = build_fault_plan(config, PAR, 7)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seed_different_plan(self):
+        config = FaultConfig(crash_rate=5.0, horizon=0.5)
+        plans = {
+            build_fault_plan(config, PAR, seed).fingerprint()
+            for seed in range(6)
+        }
+        assert len(plans) > 1
+
+    def test_config_seed_overrides_engine_seed(self):
+        config = FaultConfig(crash_rate=5.0, horizon=0.5, seed=3)
+        a = build_fault_plan(config, PAR, 100)
+        b = build_fault_plan(config, PAR, 200)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_explicit_crash_times_verbatim(self):
+        config = FaultConfig(
+            crash_times=[("joiner", 1, 0.25), ("joiner", 0, 0.1)],
+            restart_delay=0.02,
+        )
+        plan = build_fault_plan(config, PAR, 0)
+        assert [(c.component, c.index, c.at) for c in plan.crashes] == [
+            ("joiner", 0, 0.1),
+            ("joiner", 1, 0.25),
+        ]
+        assert all(c.restart_delay == 0.02 for c in plan.crashes)
+
+    def test_crashes_sorted_and_within_horizon(self):
+        config = FaultConfig(crash_rate=4.0, horizon=0.3)
+        plan = build_fault_plan(config, PAR, 11)
+        times = [c.at for c in plan.crashes]
+        assert times == sorted(times)
+        assert all(0.0 <= at <= 0.3 for at in times)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError):
+            build_fault_plan(
+                FaultConfig(crash_times=[("nope", 0, 0.1)]), PAR, 0
+            )
+        with pytest.raises(ValueError):
+            build_fault_plan(
+                FaultConfig(crash_rate=1.0, components=["nope"]), PAR, 0
+            )
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_fault_plan(
+                FaultConfig(crash_times=[("joiner", 2, 0.1)]), PAR, 0
+            )
+
+    def test_zero_rate_empty_plan(self):
+        plan = build_fault_plan(FaultConfig(), PAR, 5)
+        assert plan.crashes == []
+        assert plan.delay_spikes == []
+        assert plan.cache_partitions == []
+
+    def test_crashes_of_filters_by_component(self):
+        config = FaultConfig(
+            crash_times=[("joiner", 0, 0.1), ("aux", 0, 0.2)]
+        )
+        plan = build_fault_plan(config, PAR, 0)
+        assert {c.component for c in plan.crashes_of("joiner")} == {"joiner"}
+        assert len(plan.crashes_of("aux")) == 1
+
+
+class TestDelayMultiplier:
+    def test_windows(self):
+        plan = FaultPlan([], [(0.1, 0.2, 8.0), (0.3, 0.4, 4.0)], [], 0)
+        assert plan.delay_multiplier(0.05) == 1.0
+        assert plan.delay_multiplier(0.15) == 8.0
+        assert plan.delay_multiplier(0.2) == 1.0  # end-exclusive
+        assert plan.delay_multiplier(0.35) == 4.0
+        assert plan.delay_multiplier(0.9) == 1.0
+
+    def test_overlapping_windows_take_max(self):
+        plan = FaultPlan([], [(0.0, 0.5, 2.0), (0.1, 0.3, 6.0)], [], 0)
+        assert plan.delay_multiplier(0.2) == 6.0
+        assert plan.delay_multiplier(0.4) == 2.0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.dspe import (
+    RecoveryMetrics,
     LatencyCollector,
     Summary,
     ThroughputCollector,
@@ -142,3 +143,73 @@ class TestLatencyCollector:
         c.record(2.5)
         assert c.percentile(50) == 2.5
         assert c.cdf() == [(2.5, 1.0)]
+
+
+class TestRecoveryMetrics:
+    """Empty-input guards and counter bookkeeping (PR 1 conventions)."""
+
+    def test_empty_guards(self):
+        m = RecoveryMetrics()
+        assert m.duplicate_ratio() == 0.0
+        assert m.mean_checkpoint_overhead() == 0.0
+        summary = m.recovery_latency_summary()
+        assert summary.count == 0 and summary.mean == 0.0
+
+    def test_empty_to_dict_is_all_zero(self):
+        d = RecoveryMetrics().to_dict()
+        assert d["crashes"] == 0
+        assert d["duplicate_ratio"] == 0.0
+        assert d["recovery_latency_mean_s"] == 0.0
+        assert d["recovery_latency_max_s"] == 0.0
+
+    def test_crash_and_recovery_accounting(self):
+        m = RecoveryMetrics()
+        m.record_crash(0.005)
+        m.record_crash(0.005)
+        m.record_recovery(0.02, replayed=10)
+        m.record_recovery(0.04, replayed=5)
+        assert m.crashes == 2
+        assert m.downtime_total == pytest.approx(0.01)
+        assert m.replayed_tuples == 15
+        assert m.recovery_latency_summary().mean == pytest.approx(0.03)
+        assert m.recovery_latency_summary().max == pytest.approx(0.04)
+
+    def test_checkpoint_accounting(self):
+        m = RecoveryMetrics()
+        m.record_checkpoint(0.002)
+        m.record_checkpoint(0.004, forced=True)
+        assert m.checkpoints == 2
+        assert m.forced_checkpoints == 1
+        assert m.checkpoint_overhead_s == pytest.approx(0.006)
+        assert m.mean_checkpoint_overhead() == pytest.approx(0.003)
+
+    def test_duplicate_ratio(self):
+        m = RecoveryMetrics()
+        for __ in range(3):
+            m.record_admitted()
+        m.record_duplicate()
+        assert m.duplicate_ratio() == pytest.approx(0.25)
+        assert m.divergent_records == 0
+        m.record_duplicate(divergent=True)
+        assert m.divergent_records == 1
+
+    def test_held_counter(self):
+        m = RecoveryMetrics()
+        m.record_held()
+        m.record_held(count=4)
+        assert m.held_messages == 5
+
+    def test_to_dict_round_trips_counters(self):
+        m = RecoveryMetrics()
+        m.record_crash(0.005)
+        m.record_recovery(0.02, replayed=3)
+        m.record_checkpoint(0.001)
+        m.record_admitted(10)
+        m.record_duplicate()
+        d = m.to_dict()
+        assert d["crashes"] == 1
+        assert d["replayed_tuples"] == 3
+        assert d["records_admitted"] == 10
+        assert d["duplicates_dropped"] == 1
+        assert d["duplicate_ratio"] == pytest.approx(1 / 11)
+        assert d["checkpoints"] == 1

@@ -1,0 +1,165 @@
+"""Recovery layer: logs, checkpoints, held messages, result dedup."""
+
+import pytest
+
+from repro.dspe import (
+    Engine,
+    FaultConfig,
+    Grouping,
+    Operator,
+    ProcessingElement,
+    RecoveryConfig,
+    RecoveryManager,
+    Topology,
+)
+
+
+class _Noop(Operator):
+    def process(self, payload, ctx) -> None:
+        pass
+
+
+def make_pe(name="joiner", index=0):
+    return ProcessingElement(name, index, 0, _Noop())
+
+
+class TestConfigValidation:
+    def test_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(checkpoint_interval=0.0)
+
+    def test_none_interval_allowed(self):
+        assert RecoveryConfig(checkpoint_interval=None).checkpoint_interval is None
+
+    def test_capacity_below_one(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(replay_capacity=0)
+
+
+class TestReplayLog:
+    def test_log_fills_and_checkpoint_truncates(self):
+        mgr = RecoveryManager(RecoveryConfig(replay_capacity=3))
+        pe = make_pe()
+        mgr.register(pe)
+        for i in range(3):
+            assert not mgr.log_is_full(pe)
+            mgr.log_delivery(pe, f"m{i}")
+        assert mgr.log_is_full(pe)
+        mgr.store_checkpoint(pe, {"s": 1}, at=0.5, overhead_s=0.001)
+        assert not mgr.log_is_full(pe)
+        assert mgr.replay_log(pe) == []
+        assert pe.checkpoints == 1
+        assert mgr.checkpoint_of(pe) == {"s": 1}
+
+    def test_replay_log_survives_replay(self):
+        # A second crash before the next checkpoint replays the same
+        # prefix, so reading the log must not consume it.
+        mgr = RecoveryManager(RecoveryConfig())
+        pe = make_pe()
+        mgr.register(pe)
+        mgr.log_delivery(pe, "a")
+        mgr.log_delivery(pe, "b")
+        assert mgr.replay_log(pe) == ["a", "b"]
+        assert mgr.replay_log(pe) == ["a", "b"]
+
+    def test_held_messages_drain_once(self):
+        mgr = RecoveryManager(RecoveryConfig())
+        pe = make_pe()
+        mgr.register(pe)
+        mgr.hold(pe, "x")
+        mgr.hold(pe, "y")
+        assert mgr.metrics.held_messages == 2
+        assert mgr.drain_held(pe) == ["x", "y"]
+        assert mgr.drain_held(pe) == []
+
+
+class TestCrashAccounting:
+    def test_crash_and_recovery_latency(self):
+        mgr = RecoveryManager(RecoveryConfig())
+        pe = make_pe()
+        mgr.register(pe)
+        mgr.on_crash(pe, at=1.0, downtime=0.005)
+        assert pe.crashes == 1
+        assert pe.downtime == pytest.approx(0.005)
+        latency = mgr.on_recovered(pe, caught_up_at=1.02, replayed=7)
+        assert latency == pytest.approx(0.02)
+        assert mgr.metrics.replayed_tuples == 7
+        assert mgr.metrics.recovery_latencies == [pytest.approx(0.02)]
+
+    def test_recovered_without_crash_is_noop(self):
+        mgr = RecoveryManager(RecoveryConfig())
+        pe = make_pe()
+        mgr.register(pe)
+        assert mgr.on_recovered(pe, caught_up_at=1.0, replayed=0) is None
+        assert mgr.metrics.recovery_latencies == []
+
+
+class TestAdmit:
+    def test_first_admission_then_duplicate(self):
+        mgr = RecoveryManager(RecoveryConfig())
+        pe = make_pe()
+        mgr.register(pe)
+        payload = {"tid": 4, "matches": [1, 2]}
+        assert mgr.admit(pe, "result", payload)
+        assert not mgr.admit(pe, "result", {"tid": 4, "matches": [1, 2]})
+        assert mgr.metrics.records_admitted == 1
+        assert mgr.metrics.duplicates_dropped == 1
+        assert mgr.metrics.divergent_records == 0
+
+    def test_divergent_duplicate_counted(self):
+        mgr = RecoveryManager(RecoveryConfig())
+        pe = make_pe()
+        mgr.register(pe)
+        mgr.admit(pe, "result", {"tid": 4, "matches": [1]})
+        assert not mgr.admit(pe, "result", {"tid": 4, "matches": [1, 9]})
+        assert mgr.metrics.divergent_records == 1
+
+    def test_keys_scoped_by_pe_and_name(self):
+        mgr = RecoveryManager(RecoveryConfig())
+        a, b = make_pe(index=0), make_pe(index=1)
+        mgr.register(a)
+        mgr.register(b)
+        payload = {"tid": 1, "matches": []}
+        assert mgr.admit(a, "result", payload)
+        assert mgr.admit(b, "result", dict(payload))
+        assert mgr.admit(a, "other", dict(payload))
+
+    def test_non_tid_payload_keyed_by_repr(self):
+        mgr = RecoveryManager(RecoveryConfig())
+        pe = make_pe()
+        mgr.register(pe)
+        assert mgr.admit(pe, "note", "hello")
+        assert not mgr.admit(pe, "note", "hello")
+        assert mgr.admit(pe, "note", "world")
+
+
+class TestEngineWiring:
+    def _topo(self):
+        topo = Topology()
+        topo.add_spout("source", iter([(0.0, 1)]))
+        topo.add_bolt(
+            "sink", _Noop, parallelism=1,
+            inputs=[("source", Grouping.shuffle())],
+        )
+        return topo
+
+    def test_protecting_noncheckpointable_component_rejected(self):
+        with pytest.raises(ValueError, match="not checkpointable"):
+            Engine(
+                self._topo(),
+                recovery=RecoveryConfig(components=["sink"]),
+            )
+
+    def test_faults_imply_default_recovery(self):
+        engine = Engine(self._topo(), faults=FaultConfig())
+        assert engine.recovery_manager is not None
+        assert engine.fault_plan is not None
+
+    def test_noncheckpointable_components_skipped_by_default(self):
+        engine = Engine(self._topo(), recovery=RecoveryConfig())
+        assert engine.recovery_manager.protected_pes() == []
+
+    def test_fault_seed_overrides_loss_seed(self):
+        engine = Engine(self._topo(), loss_seed=1, fault_seed=99)
+        assert engine.fault_seed == 99
+        assert engine._loss_rng.random() == __import__("random").Random(99).random()
