@@ -1,7 +1,15 @@
 """Experiment harness for the per-figure benchmark drivers."""
 
 from .components import build_immutable_list, build_mutable_window, chunk
-from .report import ComponentReport, PEReport, RunReport, summarize_run
+from .report import (
+    ComponentReport,
+    PEReport,
+    RunReport,
+    events_table,
+    summarize_run,
+    telemetry_table,
+    waterfall_table,
+)
 from .harness import (
     ResultTable,
     run_once,
@@ -27,4 +35,7 @@ __all__ = [
     "PEReport",
     "RunReport",
     "summarize_run",
+    "telemetry_table",
+    "events_table",
+    "waterfall_table",
 ]

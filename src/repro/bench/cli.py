@@ -19,6 +19,7 @@ from typing import Callable, Dict
 
 from ..core import WindowSpec
 from ..dspe import FaultConfig, RecoveryConfig
+from ..obs import ObsConfig, Observer, reconcile_spans
 from ..joins import (
     ChainIndexJoin,
     HashEquiJoin,
@@ -39,6 +40,12 @@ from ..workloads import (
 )
 from .components import build_immutable_list, build_mutable_window
 from .harness import ResultTable, drive_local, time_probes
+from .report import (
+    events_table,
+    summarize_run,
+    telemetry_table,
+    waterfall_table,
+)
 
 __all__ = ["main"]
 
@@ -174,6 +181,90 @@ def _batching(args) -> None:
     )
 
 
+def _trace(args) -> None:
+    """Tuple tracing: per-stage latency waterfall with reconciliation."""
+    query = q3()
+    window = WindowSpec.count(200, 40)
+    raws = q3_stream(800, seed=8)
+    obs = Observer(ObsConfig(trace_sample_every=1, tick_interval=0.01))
+    source = ((raw.event_time, raw) for raw in raws)
+    # batch_size=1 keeps the router -> joiner chain linear, so per-stage
+    # slices telescope exactly into the end-to-end latency (see
+    # repro.obs.trace); branching topologies would over-count.
+    result = run_topology(
+        build_spo_local_topology(source, query, window, batch_size=1),
+        obs=obs,
+    )
+    waterfall_table(obs.tracer.spans).show()
+    rec = reconcile_spans(obs.tracer.spans)
+    table = ResultTable("Trace reconciliation", ["metric", "value"])
+    table.add_row("spans", int(rec["spans"]))
+    table.add_row("stage-sum latency (s)", rec["stage_total_s"])
+    table.add_row("end-to-end latency (s)", rec["end_to_end_s"])
+    table.add_row("relative error", rec["relative_error"])
+    table.show()
+    if args.trace_out:
+        lines = obs.export_jsonl(
+            args.trace_out,
+            meta={"experiment": "trace", "query": "q3_self_join"},
+        )
+        print(f"wrote {lines} JSONL lines to {args.trace_out}")
+    _write_json(
+        args,
+        "trace",
+        {
+            "experiment": "trace",
+            "query": "q3_self_join",
+            "window": {"size": 200, "slide": 40, "kind": "count"},
+            "stream_tuples": len(raws),
+            "result_records": len(result.records),
+            "reconciliation": rec,
+            "telemetry": obs.summary(),
+        },
+    )
+    if rec["relative_error"] > 0.01:
+        raise SystemExit(
+            f"trace reconciliation error {rec['relative_error']:.3%} "
+            f"exceeds the 1% budget"
+        )
+
+
+def _report(args) -> None:
+    """Instrumented run report: utilization, telemetry, event counts."""
+    query = q3()
+    window = WindowSpec.count(200, 40)
+    raws = q3_stream(800, seed=9)
+    batch_size = args.batch_size or 8
+    obs = Observer(ObsConfig(tick_interval=0.02))
+    source = ((raw.event_time, raw) for raw in raws)
+    result = run_topology(
+        build_spo_local_topology(source, query, window, batch_size=batch_size),
+        obs=obs,
+    )
+    summarize_run(result).show()
+    telemetry_table(obs.telemetry).show()
+    events_table(obs.events).show()
+    if args.trace_out:
+        lines = obs.export_jsonl(
+            args.trace_out,
+            meta={"experiment": "report", "query": "q3_self_join"},
+        )
+        print(f"wrote {lines} JSONL lines to {args.trace_out}")
+    _write_json(
+        args,
+        "report",
+        {
+            "experiment": "report",
+            "query": "q3_self_join",
+            "window": {"size": 200, "slide": 40, "kind": "count"},
+            "stream_tuples": len(raws),
+            "batch_size": batch_size,
+            "result_records": len(result.records),
+            "telemetry": obs.summary(),
+        },
+    )
+
+
 def _recovery(args) -> None:
     """Chaos run: crash the SPO joiner PE, sweep checkpoint intervals."""
     query = q3()
@@ -206,11 +297,13 @@ def _recovery(args) -> None:
     )
     rows = []
     for interval in sorted(intervals):
+        obs = Observer(ObsConfig(tick_interval=0.02))
         res = run_topology(
             build(),
             faults=FaultConfig(crash_rate=args.crash_rate, horizon=horizon),
             recovery=RecoveryConfig(checkpoint_interval=interval),
             fault_seed=args.fault_seed,
+            obs=obs,
         )
         rec = res.recovery
         identical = res.result_fingerprint() == base_fp
@@ -229,8 +322,24 @@ def _recovery(args) -> None:
                 "checkpoint_interval_s": interval,
                 "result_identical": identical,
                 **rec.to_dict(),
+                "event_counts": obs.events.counts(),
+                "cost_categories_s": obs.telemetry.summary()[
+                    "cost_categories_s"
+                ],
             }
         )
+        # Export the trace before the divergence check so a failing chaos
+        # run still leaves its JSONL behind for the CI artifact upload.
+        if args.trace_out:
+            lines = obs.export_jsonl(
+                args.trace_out,
+                meta={
+                    "experiment": "recovery",
+                    "checkpoint_interval_s": interval,
+                    "result_identical": identical,
+                },
+            )
+            print(f"wrote {lines} JSONL lines to {args.trace_out}")
         if not identical or rec.divergent_records:
             raise SystemExit(
                 f"chaos run diverged at checkpoint_interval={interval}: "
@@ -289,6 +398,8 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "equijoin": _equijoin,
     "batching": _batching,
     "recovery": _recovery,
+    "trace": _trace,
+    "report": _report,
 }
 
 
@@ -333,6 +444,13 @@ def main(argv=None) -> int:
         default=None,
         help="recovery experiment: add this checkpoint interval (seconds) "
         "to the default sweep",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="trace/report/recovery experiments: export the run's "
+        "observability stream (events, telemetry ticks, trace spans) as "
+        "one time-ordered JSONL file",
     )
     parser.add_argument(
         "--fault-seed",

@@ -15,7 +15,15 @@ from ..dspe.engine import RunResult
 from ..dspe.metrics import LatencyCollector, Summary, ThroughputCollector
 from .harness import ResultTable
 
-__all__ = ["ComponentReport", "PEReport", "RunReport", "summarize_run"]
+__all__ = [
+    "ComponentReport",
+    "PEReport",
+    "RunReport",
+    "summarize_run",
+    "telemetry_table",
+    "events_table",
+    "waterfall_table",
+]
 
 
 class ComponentReport:
@@ -148,3 +156,89 @@ def summarize_run(
         )
     pes = [PEReport(pe, result.sim_end) for pe in result.pes]
     return RunReport(components, pes, result.sim_end, result.events_processed)
+
+
+# ----------------------------------------------------------------------
+# Observability rendering (repro.obs collectors -> human tables)
+# ----------------------------------------------------------------------
+def telemetry_table(telemetry) -> ResultTable:
+    """Per-PE totals from a :class:`~repro.obs.telemetry.Telemetry`.
+
+    The cost column is the operator-phase split (mutable/immutable probe,
+    insert, merge) the join operators report through ``observe_cost``.
+    """
+    table = ResultTable(
+        "Per-PE telemetry",
+        ["PE", "msgs", "service (ms)", "busy", "q mean", "q max", "cost split"],
+    )
+    summary = telemetry.summary()
+    for pe, row in summary["pes"].items():
+        costs = ", ".join(
+            f"{name}={seconds * 1e3:.2f}ms"
+            for name, seconds in sorted(row["costs"].items())
+        )
+        table.add_row(
+            pe,
+            row["messages"],
+            row["service_s"] * 1e3,
+            f"{row['busy_fraction']:.1%}",
+            f"{row['queue_depth_mean']:.1f}",
+            row["queue_depth_max"],
+            costs or "-",
+        )
+    return table
+
+
+def events_table(events) -> ResultTable:
+    """Event-kind counts and time bounds from an :class:`~repro.obs.events.EventLog`."""
+    table = ResultTable(
+        "Event log", ["kind", "count", "first (s)", "last (s)"]
+    )
+    by_kind: Dict[str, List[float]] = {}
+    for event in events.ordered():
+        by_kind.setdefault(event.kind, []).append(event.at)
+    for kind in sorted(by_kind):
+        times = by_kind[kind]
+        table.add_row(kind, len(times), f"{times[0]:.4f}", f"{times[-1]:.4f}")
+    return table
+
+
+def waterfall_table(spans) -> ResultTable:
+    """Per-stage latency waterfall aggregated over trace spans.
+
+    Averages each component's network / queue / service slices across
+    all finished spans — the "where is time lost" table the ``trace``
+    experiment prints.  Stages appear in first-hop order.
+    """
+    order: List[str] = []
+    sums: Dict[str, List[float]] = {}
+    finished = 0
+    for span in spans:
+        if not span.hops:
+            continue
+        finished += 1
+        for stage in span.stages():
+            component = stage["component"]
+            if component not in sums:
+                order.append(component)
+                sums[component] = [0.0, 0.0, 0.0, 0]
+            acc = sums[component]
+            acc[0] += stage["network_s"]
+            acc[1] += stage["queue_s"]
+            acc[2] += stage["service_s"]
+            acc[3] += 1
+    table = ResultTable(
+        "Per-stage latency waterfall (mean us/tuple)",
+        ["stage", "network", "queue", "service", "total", "hops"],
+    )
+    for component in order:
+        net, queue, service, hops = sums[component]
+        table.add_row(
+            component,
+            net / finished * 1e6,
+            queue / finished * 1e6,
+            service / finished * 1e6,
+            (net + queue + service) / finished * 1e6,
+            hops,
+        )
+    return table

@@ -22,6 +22,7 @@ microbenches (insertion cost, match rate, window split) measure.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .merge import build_merge_batch_from_runs
@@ -127,6 +128,13 @@ class SPOJoin:
         self._merge_counter = 0.0
         self._next_batch_id = 0
         self._next_merge_time: Optional[float] = None
+        #: Observability hook: when set, called as ``hook(category,
+        #: seconds, **fields)`` with the operator-cost split the paper's
+        #: breakdowns use — ``mutable_probe`` / ``immutable_probe`` /
+        #: ``mutable_insert`` (measured wall seconds) and ``merge``
+        #: (wall seconds, with ``batch_id``).  ``None`` (the default)
+        #: keeps the hot path free of timestamping.
+        self.phase_hook = None
 
     # ------------------------------------------------------------------
     @property
@@ -153,12 +161,18 @@ class SPOJoin:
         else:
             opposite = self.mutable_left
         assert opposite is not None
+        hook = self.phase_hook
+        t0 = time.perf_counter() if hook is not None else 0.0
         mutable_matches = opposite.evaluate(t, probe_is_left)
+        if hook is not None:
+            hook("mutable_probe", time.perf_counter() - t0)
         matches.extend(mutable_matches)
         self.stats.mutable_matches += len(mutable_matches)
 
         # ... and against every immutable PO-Join batch.
         outcome = self.immutable.probe_all(t, probe_is_left, self.num_threads)
+        if hook is not None:
+            hook("immutable_probe", outcome.makespan)
         matches.extend(outcome.matches)
         self.stats.immutable_matches += len(outcome.matches)
 
@@ -167,7 +181,10 @@ class SPOJoin:
         if self.is_two_stream and not probe_is_left:
             own = self.mutable_right
         assert own is not None
+        t1 = time.perf_counter() if hook is not None else 0.0
         own.insert(t)
+        if hook is not None:
+            hook("mutable_insert", time.perf_counter() - t1)
 
         # (4-12) merge-interval bookkeeping.
         self._advance_merge_clock(t)
@@ -231,8 +248,17 @@ class SPOJoin:
         self, sub: Sequence[StreamTuple], pairs: List[Pair]
     ) -> None:
         flags = [self._probe_is_left(t) for t in sub]
+        hook = self.phase_hook
+        t0 = time.perf_counter() if hook is not None else 0.0
         mutable_rows = self._mutable_batch(sub, flags)
+        if hook is not None:
+            # The batched mutable pass interleaves probe and insert;
+            # report it under one combined category rather than a split
+            # the code cannot honestly measure.
+            hook("mutable_probe_insert", time.perf_counter() - t0)
         outcome = self.immutable.probe_all_batch(sub, flags, self.num_threads)
+        if hook is not None:
+            hook("immutable_probe", outcome.makespan)
         for t, mut, imm in zip(sub, mutable_rows, outcome.per_probe):
             self.stats.mutable_matches += len(mut)
             self.stats.immutable_matches += len(imm)
@@ -328,6 +354,8 @@ class SPOJoin:
             self.mutable_right is None or len(self.mutable_right) == 0
         ):
             return None
+        hook = self.phase_hook
+        t0 = time.perf_counter() if hook is not None else 0.0
         left_runs = self.mutable_left.drain_runs()
         right_runs = (
             self.mutable_right.drain_runs()
@@ -343,6 +371,12 @@ class SPOJoin:
         self.immutable.append(batch)
         self.stats.expired_batches += self.immutable.expired_batches - before
         self.stats.merges += 1
+        if hook is not None:
+            hook(
+                "merge",
+                time.perf_counter() - t0,
+                batch_id=merge_batch.batch_id,
+            )
         return batch
 
     def run(self, tuples) -> "Iterator[Tuple[StreamTuple, List[int]]]":

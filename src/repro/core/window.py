@@ -13,7 +13,32 @@ Section 3.3).
 from __future__ import annotations
 
 import enum
+import math
+import warnings
+from typing import Tuple
+
 __all__ = ["WindowKind", "WindowSpec", "MergePolicy"]
+
+#: Relative slack when deciding whether length/slide is an integral
+#: ratio: time-based specs produce quotients like 1.0/0.2 =
+#: 4.999999999999999 that are divisible in intent.
+_DIVISIBILITY_TOL = 1e-9
+
+
+def _interval_count(total: float, step: float) -> Tuple[int, bool]:
+    """How many ``step`` intervals cover ``total``, and whether exactly.
+
+    Returns ``(ceil(total / step), exact)`` with a relative float
+    tolerance: a quotient within ``_DIVISIBILITY_TOL`` of an integer is
+    treated as that integer.  Ceiling (never banker's rounding) is the
+    explicit semantics for non-divisible specs — a partial trailing
+    interval still needs covering, so retention rounds *up*.
+    """
+    ratio = total / step
+    nearest = round(ratio)
+    if abs(ratio - nearest) <= _DIVISIBILITY_TOL * max(1.0, abs(ratio)):
+        return max(1, int(nearest)), True
+    return max(1, math.ceil(ratio)), False
 
 
 class WindowKind(enum.Enum):
@@ -37,6 +62,15 @@ class WindowSpec:
             raise ValueError("slide interval must be positive")
         if slide > length:
             raise ValueError("slide interval cannot exceed window length")
+        __, exact = _interval_count(length, slide)
+        if not exact:
+            warnings.warn(
+                f"window length {length!r} is not an integral multiple of "
+                f"slide {slide!r}; slide counts round up (ceiling), so the "
+                "effective window covers slightly more than L",
+                UserWarning,
+                stacklevel=3,
+            )
         self.kind = kind
         self.length = length
         self.slide = slide
@@ -51,8 +85,13 @@ class WindowSpec:
 
     @property
     def num_slides(self) -> int:
-        """Number of slide intervals that make up one full window."""
-        return max(1, round(self.length / self.slide))
+        """Number of slide intervals that cover one full window.
+
+        Explicit ceiling semantics: a non-divisible spec needs a partial
+        trailing slide, which counts as a whole one (previously
+        ``round()`` silently banker's-rounded it away half the time).
+        """
+        return _interval_count(self.length, self.slide)[0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WindowSpec({self.kind.value}, L={self.length}, s={self.slide})"
@@ -87,9 +126,11 @@ class MergePolicy:
 
         One window holds ``W_L / delta`` merge intervals; the newest slide's
         worth of data still lives in the mutable part, so the immutable
-        linked list keeps the remainder.
+        linked list keeps the remainder.  Non-divisible ratios round
+        *up* (ceiling): retaining a partial interval's extra batch beats
+        expiring tuples still inside the window.
         """
-        total = max(1, round(self.window.length / self.delta))
+        total = _interval_count(self.window.length, self.delta)[0]
         return max(1, total - self.sub_intervals)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

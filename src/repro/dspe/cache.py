@@ -7,14 +7,30 @@ at a fixed interval.  What matters to the false-positive experiment
 (Figure 19) is the *staleness semantics*: a reader sees the newest value
 written at or before its own last synchronization point.  This module
 models exactly that.
+
+Two guarantees shape the history-retention logic:
+
+* **Snapshot consistency** — a client refresh replaces its entire local
+  copy with :meth:`DistributedCache.snapshot_as_of`, so keys deleted (or
+  never written) as of the sync point disappear locally instead of being
+  served stale forever.
+* **Retention floor** — history trimming never discards the newest
+  version at or before :meth:`DistributedCache.retention_floor`: the
+  oldest outstanding partition start or registered-client sync point.
+  A reader clamped to a long partition's start therefore still finds the
+  partition-start value rather than ``None`` (total state loss).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["DistributedCache", "CacheClient"]
+
+#: Internal marker for a deleted key; versioned like any write so that
+#: as-of reads before the deletion still see the old value.
+_TOMBSTONE = object()
 
 
 class DistributedCache:
@@ -32,8 +48,11 @@ class DistributedCache:
         self.history_limit = history_limit
         self.writes = 0
         self.reads = 0
+        self.trims = 0
         self.partitions: List[Tuple[float, float]] = []
+        self._clients: List["CacheClient"] = []
 
+    # -- writers --------------------------------------------------------
     def put(self, key: str, value: object, at_time: float) -> None:
         """Write ``value`` at simulated time ``at_time`` (monotone per key)."""
         times, values = self._history.setdefault(key, ([], []))
@@ -43,8 +62,36 @@ class DistributedCache:
         values.append(value)
         self.writes += 1
         if len(times) > self.history_limit:
-            del times[: -self.history_limit // 2]
-            del values[: -self.history_limit // 2]
+            cut = len(times) - self.history_limit // 2
+            floor = self.retention_floor(at_time)
+            if floor is not None:
+                # Keep the newest version at or before the floor — it is
+                # what a partition-clamped or lagging reader will ask for.
+                guaranteed = bisect_right(times, floor) - 1
+                if guaranteed >= 0:
+                    cut = min(cut, guaranteed)
+            if cut > 0:
+                del times[:cut]
+                del values[:cut]
+                self.trims += 1
+
+    def delete(self, key: str, at_time: float) -> None:
+        """Remove ``key`` as of ``at_time``.
+
+        Deletion is a versioned tombstone write: as-of reads earlier
+        than ``at_time`` still see the previous value, later ones (and
+        snapshots) see the key as absent.
+        """
+        self.put(key, _TOMBSTONE, at_time)
+
+    # -- readers --------------------------------------------------------
+    def _effective_time(self, at_time: float) -> float:
+        """Clamp a read inside a partition window to the window start."""
+        effective = at_time
+        for start, end in self.partitions:
+            if start <= at_time < end:
+                effective = min(effective, start)
+        return effective
 
     def get_as_of(self, key: str, at_time: float) -> Optional[object]:
         """Newest value written at or before ``at_time``.
@@ -54,22 +101,62 @@ class DistributedCache:
         visible until the partition heals.
         """
         self.reads += 1
-        effective = at_time
-        for start, end in self.partitions:
-            if start <= at_time < end:
-                effective = min(effective, start)
         entry = self._history.get(key)
         if entry is None:
             return None
         times, values = entry
-        idx = bisect_right(times, effective) - 1
-        return values[idx] if idx >= 0 else None
+        idx = bisect_right(times, self._effective_time(at_time)) - 1
+        if idx < 0:
+            return None
+        value = values[idx]
+        return None if value is _TOMBSTONE else value
+
+    def snapshot_as_of(self, at_time: float) -> Dict[str, object]:
+        """Every key's newest value at or before ``at_time``.
+
+        This is the public bulk-read API clients synchronize through
+        (instead of walking the private history): keys whose newest
+        as-of version is a tombstone — or that have no version yet — are
+        absent from the snapshot, which is what lets a refresh *evict*.
+        """
+        self.reads += 1
+        effective = self._effective_time(at_time)
+        snapshot: Dict[str, object] = {}
+        for key, (times, values) in self._history.items():
+            idx = bisect_right(times, effective) - 1
+            if idx >= 0 and values[idx] is not _TOMBSTONE:
+                snapshot[key] = values[idx]
+        return snapshot
 
     def latest(self, key: str) -> Optional[object]:
         entry = self._history.get(key)
         if entry is None or not entry[0]:
             return None
-        return entry[1][-1]
+        value = entry[1][-1]
+        return None if value is _TOMBSTONE else value
+
+    # -- retention ------------------------------------------------------
+    def register_client(self, client: "CacheClient") -> None:
+        """Track a client so trimming respects its sync point."""
+        self._clients.append(client)
+
+    def retention_floor(self, at_time: float) -> Optional[float]:
+        """Oldest as-of time the cache must keep serving, or None.
+
+        The floor is the minimum over (a) the starts of partition
+        windows still outstanding at ``at_time`` — a reader inside one
+        is clamped there — and (b) the last sync point of every
+        registered client, whose next refresh may still read as of that
+        boundary's past.  History trimming never discards the newest
+        version at or before this floor.
+        """
+        floors = [start for start, end in self.partitions if end > at_time]
+        floors.extend(
+            client.last_sync
+            for client in self._clients
+            if client.last_sync != float("-inf")
+        )
+        return min(floors) if floors else None
 
 
 class CacheClient:
@@ -80,16 +167,35 @@ class CacheClient:
     the cache held at the last sync — the bounded staleness that still
     lets a few expired-window results through for tuples landing just
     before a refresh (Section 4.2, false positives).
+
+    A refresh replaces the whole local copy with the cache's snapshot as
+    of the boundary, so keys expired (deleted) from the cache drop out of
+    the local view at the next sync instead of lingering forever.
+    ``on_sync``, when set, is called as ``on_sync(as_of, evicted, size)``
+    after each refresh (the observability layer's cache-sync event).
     """
 
-    def __init__(self, cache: DistributedCache, sync_interval: float) -> None:
+    def __init__(
+        self,
+        cache: DistributedCache,
+        sync_interval: float,
+        on_sync: Optional[Callable[[float, int, int], None]] = None,
+    ) -> None:
         if sync_interval < 0:
             raise ValueError("sync_interval must be non-negative")
         self.cache = cache
         self.sync_interval = sync_interval
+        self.on_sync = on_sync
         self._local: Dict[str, object] = {}
         self._last_sync = float("-inf")
         self.syncs = 0
+        self.evictions = 0
+        cache.register_client(self)
+
+    @property
+    def last_sync(self) -> float:
+        """The boundary this client last synchronized as of."""
+        return self._last_sync
 
     def read(self, key: str, now: float) -> Optional[object]:
         """Read through the local copy, syncing at interval boundaries."""
@@ -104,7 +210,9 @@ class CacheClient:
     def _refresh(self, as_of: float) -> None:
         self._last_sync = as_of
         self.syncs += 1
-        for key in list(self.cache._history):
-            value = self.cache.get_as_of(key, as_of)
-            if value is not None:
-                self._local[key] = value
+        snapshot = self.cache.snapshot_as_of(as_of)
+        evicted = sum(1 for key in self._local if key not in snapshot)
+        self.evictions += evicted
+        self._local = snapshot
+        if self.on_sync is not None:
+            self.on_sync(as_of, evicted, len(snapshot))

@@ -35,6 +35,7 @@ import random
 import time
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..obs import Observer
 from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
 from .pe import ProcessingElement
 from .recovery import RecoveryConfig, RecoveryManager
@@ -77,9 +78,15 @@ class TupleBatch:
 
 
 class Message:
-    """Envelope delivered to a PE."""
+    """Envelope delivered to a PE.
 
-    __slots__ = ("payload", "stream", "origin_time", "marks")
+    ``trace`` is the observability hook: when a run has an observer and
+    this delivery was sampled, it holds the tuple's
+    :class:`~repro.obs.trace.TraceSpan`, which downstream emissions
+    inherit.  It stays ``None`` (and costs one slot) otherwise.
+    """
+
+    __slots__ = ("payload", "stream", "origin_time", "marks", "trace")
 
     def __init__(
         self,
@@ -87,11 +94,13 @@ class Message:
         stream: str = "default",
         origin_time: float = 0.0,
         marks: Optional[Dict[str, float]] = None,
+        trace=None,
     ) -> None:
         self.payload = payload
         self.stream = stream
         self.origin_time = origin_time
         self.marks = marks if marks is not None else {}
+        self.trace = trace
 
 
 class Record:
@@ -135,6 +144,10 @@ class Context:
         self._emissions: List[Tuple[str, object]] = []
         self._records: List[Tuple[str, object]] = []
         self._charged: Optional[float] = None
+        #: Wall seconds spent inside observe_* callbacks during the
+        #: current service; the engine subtracts this from the measured
+        #: service time so instrumentation never inflates the charge.
+        self._obs_overhead = 0.0
 
     # -- emission -------------------------------------------------------
     def emit(self, payload, stream: str = "default") -> None:
@@ -162,6 +175,42 @@ class Context:
         if seconds < 0:
             raise ValueError("charge must be non-negative")
         self._charged = seconds
+
+    # -- observability --------------------------------------------------
+    @property
+    def observing(self) -> bool:
+        """True when the run has an observer attached.
+
+        Operators gate *all* instrumentation work (timestamping,
+        dict-building) behind this so a plain run pays nothing.
+        """
+        return self._engine.obs is not None
+
+    def observe_cost(self, category: str, seconds: float, **fields) -> None:
+        """Attribute ``seconds`` of this service to a phase category.
+
+        The join operators use this for the paper's operator-cost split
+        (insert vs. probe vs. merge).  The callback's own wall cost is
+        accumulated into ``_obs_overhead`` and excluded from the charged
+        service time.
+        """
+        obs = self._engine.obs
+        if obs is None:
+            return
+        t0 = time.perf_counter()
+        assert self.pe is not None
+        obs.on_operator_cost(self.pe.name, self.now, category, seconds, fields or None)
+        self._obs_overhead += time.perf_counter() - t0
+
+    def observe_event(self, kind: str, **fields) -> None:
+        """Append a point event (merge, cache sync, ...) to the event log."""
+        obs = self._engine.obs
+        if obs is None:
+            return
+        t0 = time.perf_counter()
+        assert self.pe is not None
+        obs.on_event(kind, self.now, self.pe.name, fields or None)
+        self._obs_overhead += time.perf_counter() - t0
 
     @property
     def num_pes(self) -> int:
@@ -191,6 +240,8 @@ class RunResult:
         events_processed: int,
         recovery=None,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry=None,
+        obs: Optional[Observer] = None,
     ) -> None:
         self.records = records
         self.pes = pes
@@ -201,6 +252,12 @@ class RunResult:
         #: a recovery layer, else None.
         self.recovery = recovery
         self.fault_plan = fault_plan
+        #: :class:`~repro.obs.telemetry.Telemetry` per-PE tick series
+        #: when the run had an observer, else None.
+        self.telemetry = telemetry
+        #: The full :class:`~repro.obs.Observer` (tracer + telemetry +
+        #: event log) when one was attached, else None.
+        self.obs = obs
 
     def records_named(self, name: str) -> List[Record]:
         return [r for r in self.records if r.name == name]
@@ -281,6 +338,12 @@ class Engine:
         overrides ``loss_seed`` for the at-least-once loss RNG and seeds
         the fault plan, so one value makes a whole chaos run
         reproducible.
+    obs:
+        An :class:`~repro.obs.Observer` collecting tuple traces, per-PE
+        telemetry, and point events.  ``None`` (the default) disables
+        all instrumentation at the cost of a per-serve ``is None``
+        check; charged service times are identical either way (the
+        overhead-isolation rule — see :mod:`repro.obs`).
     """
 
     def __init__(
@@ -298,6 +361,7 @@ class Engine:
         faults: Optional[FaultConfig] = None,
         recovery: Optional[RecoveryConfig] = None,
         fault_seed: Optional[int] = None,
+        obs: Optional[Observer] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
@@ -333,6 +397,11 @@ class Engine:
         self._loss_rng = random.Random(loss_seed)
         self.redeliveries = 0
         self.duplicates_dropped = 0
+
+        # Observability (see repro.obs): None means every hook reduces
+        # to an attribute check, keeping plain runs unobserved and free.
+        self.obs = obs
+        self._replaying = False
 
         self._pes: Dict[str, List[ProcessingElement]] = {}
         self._build_pes()
@@ -488,6 +557,10 @@ class Engine:
                 # Latency accounting starts at the original emission, so a
                 # redelivered tuple carries its redelivery delay.
                 message = Message(payload, origin_time=origin)
+                if self.obs is not None:
+                    # Sampling is per accepted delivery (post-dedup), so
+                    # the traced population is the processed tuples.
+                    message.trace = self.obs.tracer.maybe_start(origin)
                 self._dispatch(heap, name, None, message, when)
                 continue
             if kind == _FAULT:
@@ -499,6 +572,13 @@ class Engine:
                     continue
                 pe.down = True
                 mgr.on_crash(pe, when, crash.restart_delay)
+                if self.obs is not None:
+                    self.obs.on_event(
+                        "crash",
+                        when,
+                        pe.name,
+                        {"restart_delay_s": crash.restart_delay},
+                    )
                 self._records.append(
                     Record(
                         "pe_crashed",
@@ -544,6 +624,11 @@ class Engine:
                     )
                 continue
             pe, message = data
+            if self.obs is not None:
+                # Leaves the in-flight set now even if held below: held
+                # messages are tracked by the recovery layer, not the
+                # queue-depth gauge.
+                pe.pending -= 1
             if pe.down:
                 # At-least-once delivery: buffer for redelivery once the
                 # PE is back up.
@@ -573,6 +658,8 @@ class Engine:
             events,
             recovery=mgr.metrics if mgr is not None else None,
             fault_plan=self.fault_plan,
+            telemetry=self.obs.telemetry if self.obs is not None else None,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -593,6 +680,13 @@ class Engine:
         pe.busy_until = completion
         pe.busy_time += cost
         self.recovery_manager.store_checkpoint(pe, snapshot, at, cost, forced)
+        if self.obs is not None:
+            self.obs.on_event(
+                "checkpoint",
+                at,
+                pe.name,
+                {"cost_s": cost, "forced": forced, "completion": completion},
+            )
         return completion
 
     def _handle_restart(self, heap, ctx: Context, crash: CrashEvent, when: float) -> float:
@@ -616,17 +710,30 @@ class Engine:
         pe.busy_until = max(pe.busy_until, when)
         completion = when
         replayed = 0
-        for message in mgr.replay_log(pe):
-            # Already logged — do not re-log; a second crash before the
-            # next checkpoint replays the same prefix again.
-            replayed += _payload_tuples(message.payload)
-            completion = self._serve(heap, ctx, pe, message, completion)
+        # Replays are re-executions of already-traced deliveries; the
+        # flag keeps them from appending duplicate hops to live spans.
+        self._replaying = True
+        try:
+            for message in mgr.replay_log(pe):
+                # Already logged — do not re-log; a second crash before the
+                # next checkpoint replays the same prefix again.
+                replayed += _payload_tuples(message.payload)
+                completion = self._serve(heap, ctx, pe, message, completion)
+        finally:
+            self._replaying = False
         for message in mgr.drain_held(pe):
             if mgr.log_is_full(pe):
                 self._checkpoint_pe(pe, completion, forced=True)
             mgr.log_delivery(pe, message)
             completion = self._serve(heap, ctx, pe, message, completion)
         mgr.on_recovered(pe, completion, replayed)
+        if self.obs is not None:
+            self.obs.on_event(
+                "restart",
+                when,
+                pe.name,
+                {"caught_up": completion, "replayed": replayed},
+            )
         self._records.append(
             Record(
                 "pe_recovered",
@@ -664,6 +771,7 @@ class Engine:
                 ctx._emissions = []
                 ctx._records = []
                 ctx._charged = None
+                ctx._obs_overhead = 0.0
                 pe.operator.flush(ctx)
                 mgr = self.recovery_manager
                 dedup = mgr is not None and mgr.protects(pe)
@@ -729,7 +837,12 @@ class Engine:
                     "default",
                     message.origin_time,
                     dict(message.marks),
+                    trace=message.trace,
                 )
+                if self.obs is not None:
+                    # Queue-depth gauge: dispatched but not yet served.
+                    # A broadcast span shares one trace across targets.
+                    pe.pending += 1
                 heapq.heappush(
                     heap,
                     (arrival, next(self._seq), _DELIVERY, (pe, delivered)),
@@ -750,10 +863,16 @@ class Engine:
         ctx._emissions = []
         ctx._records = []
         ctx._charged = None
+        ctx._obs_overhead = 0.0
 
         t0 = time.perf_counter()
         pe.operator.process(message.payload, ctx)
-        measured = (time.perf_counter() - t0) * self.time_scale
+        elapsed = time.perf_counter() - t0
+        if ctx._obs_overhead:
+            # Overhead isolation: time spent inside observe_* callbacks
+            # is instrumentation, not operator work — never charge it.
+            elapsed = max(0.0, elapsed - ctx._obs_overhead)
+        measured = elapsed * self.time_scale
         service = ctx._charged if ctx._charged is not None else measured
 
         completion = start + service
@@ -765,6 +884,18 @@ class Engine:
         pe.wait_max = max(pe.wait_max, wait)
         if core_index is not None:
             self._node_cores[pe.node][core_index] = completion
+
+        obs = self.obs
+        if obs is not None:
+            tuples = _payload_tuples(message.payload)
+            obs.telemetry.on_serve(
+                pe.name, pe.component, start, service, pe.pending, tuples
+            )
+            trace = message.trace
+            if trace is not None and not self._replaying:
+                trace.add_hop(
+                    pe.name, pe.component, arrival, start, completion, service, tuples
+                )
 
         mgr = self.recovery_manager
         dedup = mgr is not None and mgr.protects(pe)
@@ -793,6 +924,9 @@ class Engine:
                 stream,
                 origin if origin is not None else message.origin_time,
                 dict(message.marks),
+                # Emissions inherit the trace of the message that
+                # triggered them, extending the span downstream.
+                trace=message.trace,
             )
             self._dispatch(
                 heap, pe.component, pe.node, out, completion, sender=pe.name

@@ -53,6 +53,16 @@ class Summary:
         self.min = min(values)
         self.max = max(values)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form for BENCH.json / JSONL telemetry rows."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Summary(n={self.count}, mean={self.mean:.4g}, std={self.std:.4g}, "

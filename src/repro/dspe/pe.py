@@ -32,6 +32,7 @@ class ProcessingElement:
         "crashes",
         "downtime",
         "checkpoints",
+        "pending",
     )
 
     def __init__(self, component: str, index: int, node: int, operator: Operator) -> None:
@@ -52,6 +53,9 @@ class ProcessingElement:
         self.crashes = 0
         self.downtime = 0.0
         self.checkpoints = 0
+        #: Observability gauge: deliveries dispatched to this PE but not
+        #: yet served (maintained only when the run has an observer).
+        self.pending = 0
 
     @property
     def name(self) -> str:

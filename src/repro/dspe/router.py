@@ -109,6 +109,12 @@ class RouterOperator(Operator):
     def _flush_buffer(self, ctx) -> None:
         if not self._buffer:
             return
+        if ctx.observing:
+            ctx.observe_event(
+                "router_flush",
+                tuples=len(self._buffer),
+                opened=self._buffer_opened,
+            )
         ctx.emit(TupleBatch(self._buffer, self._buffer_origins))
         self._buffer = []
         self._buffer_origins = []

@@ -32,6 +32,7 @@ guarantees all parts of one merge meet on the same PE.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -88,6 +89,7 @@ class SPOConfig:
         faults=None,
         recovery=None,
         fault_seed: Optional[int] = None,
+        obs=None,
     ) -> None:
         if state_strategy not in ("rr", "dc"):
             raise ValueError("state_strategy must be 'rr' or 'dc'")
@@ -122,6 +124,10 @@ class SPOConfig:
         self.faults = faults
         self.recovery = recovery
         self.fault_seed = fault_seed
+        # Observability (repro.obs.Observer): forwarded to the Engine by
+        # run_spo like the fault knobs, so one config describes an
+        # instrumented run too.
+        self.obs = obs
 
     @property
     def two_stream(self) -> bool:
@@ -340,8 +346,21 @@ class PredicateOperator(Operator):
 
     def _process_one(self, t: StreamTuple, ctx) -> None:
         ctx.mark("joiner")
-        ctx.emit(self._partial_for(t), stream="partial")
-        self._insert(t)
+        if ctx.observing:
+            # Operator-cost split (probe vs. insert): timestamps bracket
+            # the real work; the observe calls themselves are excluded
+            # from the charged service by the engine's overhead ledger.
+            t0 = time.perf_counter()
+            partial = self._partial_for(t)
+            t1 = time.perf_counter()
+            self._insert(t)
+            t2 = time.perf_counter()
+            ctx.emit(partial, stream="partial")
+            ctx.observe_cost("mutable_probe", t1 - t0)
+            ctx.observe_cost("mutable_insert", t2 - t1)
+        else:
+            ctx.emit(self._partial_for(t), stream="partial")
+            self._insert(t)
         if self.clock.advance(t):
             self._merge(ctx)
 
@@ -362,9 +381,21 @@ class PredicateOperator(Operator):
             return
         ctx.mark("joiner")
         entries = []
-        for t in batch.tuples:
-            entries.append(self._partial_for(t))
-            self._insert(t)
+        if ctx.observing:
+            probe_s = insert_s = 0.0
+            for t in batch.tuples:
+                t0 = time.perf_counter()
+                entries.append(self._partial_for(t))
+                t1 = time.perf_counter()
+                self._insert(t)
+                probe_s += t1 - t0
+                insert_s += time.perf_counter() - t1
+            ctx.observe_cost("mutable_probe", probe_s)
+            ctx.observe_cost("mutable_insert", insert_s)
+        else:
+            for t in batch.tuples:
+                entries.append(self._partial_for(t))
+                self._insert(t)
         self.clock = lookahead
         ctx.emit(PartialBatchMsg(self.pred_idx, entries), stream="partial")
         if fired and fired[-1]:
@@ -407,6 +438,8 @@ class PredicateOperator(Operator):
         own.insert(t.values[self._own_field(own_side)], t.tid)
 
     def _merge(self, ctx) -> None:
+        observing = ctx.observing
+        t0 = time.perf_counter() if observing else 0.0
         merge_id = self._merge_id
         self._merge_id += 1
         left_run = self.windows["left"].drain_run()
@@ -421,6 +454,11 @@ class PredicateOperator(Operator):
             lr = compute_offset_array(left_run.values, right_run.values)
             rl = compute_offset_array(right_run.values, left_run.values)
             ctx.emit(OffsetMsg(merge_id, self.pred_idx, lr, rl), stream="merge")
+        if observing:
+            ctx.observe_cost("merge", time.perf_counter() - t0)
+            ctx.observe_event(
+                "merge", merge_id=merge_id, stage="predicate", pred=self.pred_idx
+            )
 
 
 # ----------------------------------------------------------------------
@@ -627,6 +665,14 @@ class POJoinOperator(Operator):
     def setup(self, ctx) -> None:
         self._pe_index = ctx.pe_index
         self._num_pes = ctx.num_pes
+        if ctx.observing:
+            # Cache syncs fire inside this PE's own reads, so the shared
+            # context's current PE is always this one when the hook runs.
+            self._cache_client.on_sync = (
+                lambda as_of, evicted, size: ctx.observe_event(
+                    "cache_sync", as_of=as_of, evicted=evicted, keys=size
+                )
+            )
 
     # -- merge part bookkeeping -----------------------------------------
     def _parts_needed(self) -> int:
@@ -652,6 +698,10 @@ class POJoinOperator(Operator):
             # PE is occupied for the schedule's makespan, not the serial
             # sum of per-batch costs.
             ctx.charge(makespan)
+            if ctx.observing:
+                # The makespan IS this PE's charged service, so it is
+                # also what the cost split reports for the probe phase.
+                ctx.observe_cost("immutable_probe", makespan)
             self._advance_clock(payload)
             return
         if isinstance(payload, TupleBatch):
@@ -697,6 +747,8 @@ class POJoinOperator(Operator):
             total_makespan += self._probe_run(run, ctx)
         if probed_any:
             ctx.charge(total_makespan)
+            if ctx.observing:
+                ctx.observe_cost("immutable_probe", total_makespan)
 
     def _probe_run(self, run: List[StreamTuple], ctx) -> float:
         flags = [self.config.probe_is_left(t) for t in run]
@@ -767,6 +819,8 @@ class POJoinOperator(Operator):
             self._drain_queue(ctx)
 
     def _build_batch(self, merge_id: int, parts: Dict[str, object], ctx) -> None:
+        observing = ctx.observing
+        t0 = time.perf_counter() if observing else 0.0
         left_perm: PermMsg = parts["perm_left"]  # type: ignore[assignment]
         left = MergeSide(
             left_perm.runs, left_perm.permutation, sorted(left_perm.runs[0].tids)
@@ -786,6 +840,9 @@ class POJoinOperator(Operator):
                 offsets[(idx, "rl")] = off.rl
         merge_batch = MergeBatch(merge_id, left, right, offsets)
         ctx.record("merge_built", {"merge_id": merge_id, "pe": self._pe_index})
+        if observing:
+            ctx.observe_cost("merge", time.perf_counter() - t0)
+            ctx.observe_event("merge", merge_id=merge_id, stage="pojoin")
         if merge_id >= self._clock.epoch:
             # Parts outran the broadcast: hold the batch until this PE's
             # clock passes the merge boundary.

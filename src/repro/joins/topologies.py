@@ -349,6 +349,20 @@ class SPOJoinerOperator(Operator):
             num_threads=num_threads,
         )
 
+    def setup(self, ctx) -> None:
+        if ctx.observing:
+            # Expose the local join's operator-cost split (mutable vs.
+            # immutable probe, insert, merge) through the observer; merge
+            # phases also land in the event log.  setup() runs again
+            # after a crash-restart, reattaching the hook to the fresh
+            # operator instance.
+            def hook(category, seconds, **fields):
+                ctx.observe_cost(category, seconds, **fields)
+                if category == "merge":
+                    ctx.observe_event("merge", stage="local_spo", **fields)
+
+            self.join.phase_hook = hook
+
     def process(self, payload, ctx) -> None:
         ctx.mark("joiner")
         if isinstance(payload, TupleBatch):
@@ -374,7 +388,11 @@ class SPOJoinerOperator(Operator):
         return checkpoint_join(self.join)
 
     def restore_state(self, state) -> None:
+        # Restore runs after setup() on a restart; carry the observer
+        # hook over to the restored join instance.
+        hook = self.join.phase_hook
         self.join = restore_join(self.query, state)
+        self.join.phase_hook = hook
 
 
 class HashJoinerOperator(Operator, _SideRouting):

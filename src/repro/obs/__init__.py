@@ -1,0 +1,160 @@
+"""Observability for the simulated DSPE: tracing, telemetry, events.
+
+The engine takes an optional :class:`Observer` (``Engine(..., obs=...)``
+or ``run_topology(..., obs=...)``).  When absent, instrumentation is
+compiled down to a handful of ``is None`` checks — no allocation, no
+callbacks, no timestamping — so a plain run pays nothing.  When present,
+three collectors fill up as the simulation runs:
+
+* :class:`~repro.obs.trace.Tracer` — every Nth spout delivery gets a
+  :class:`~repro.obs.trace.TraceSpan` that rides the message chain and
+  records per-hop enqueue/dequeue/service/network timestamps;
+* :class:`~repro.obs.telemetry.Telemetry` — per-PE, per-tick series of
+  queue depth, service time, busy fraction, and the insert/probe/merge
+  cost split reported by the join operators;
+* :class:`~repro.obs.events.EventLog` — merges, checkpoints,
+  crash/restart pairs, router flushes, and cache syncs as ordered point
+  events.
+
+**Overhead isolation** — the simulator's fidelity mechanism is charging
+the measured wall clock of operator code as simulated service time, so
+observer callbacks must never leak into the charge.  Two rules enforce
+that: the engine subtracts the time spent inside ``ctx.observe_*``
+callbacks (accumulated in ``ctx._obs_overhead``) from the measured
+service before charging it, and hop/serve recording happens *after* the
+service charge is fixed.  A tier-1 test asserts run fingerprints are
+bit-identical with an observer attached and without.
+
+:meth:`Observer.export_jsonl` flattens everything into one simulated-
+time-ordered JSONL file (the ``--trace-out`` format); see
+``docs/architecture.md`` for the line schema and the metrics glossary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .events import Event, EventLog
+from .telemetry import Telemetry
+from .trace import TraceHop, TraceSpan, Tracer, reconcile_spans
+
+__all__ = [
+    "ObsConfig",
+    "Observer",
+    "Event",
+    "EventLog",
+    "Telemetry",
+    "TraceHop",
+    "TraceSpan",
+    "Tracer",
+    "reconcile_spans",
+]
+
+
+class ObsConfig:
+    """Tuning knobs for an :class:`Observer`.
+
+    ``trace_sample_every=1`` traces every tuple (bench/test scale);
+    production-scale runs would raise it.  ``tick_interval`` is the
+    telemetry bucket width in simulated seconds.
+    """
+
+    __slots__ = ("trace_sample_every", "tick_interval", "max_spans", "max_events")
+
+    def __init__(
+        self,
+        trace_sample_every: int = 1,
+        tick_interval: float = 0.05,
+        max_spans: int = 100_000,
+        max_events: int = 1_000_000,
+    ) -> None:
+        if trace_sample_every < 1:
+            raise ValueError("trace_sample_every must be >= 1")
+        if tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        self.trace_sample_every = trace_sample_every
+        self.tick_interval = tick_interval
+        self.max_spans = max_spans
+        self.max_events = max_events
+
+
+class Observer:
+    """The bundle of collectors one simulated run writes into."""
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config if config is not None else ObsConfig()
+        self.tracer = Tracer(
+            sample_every=self.config.trace_sample_every,
+            max_spans=self.config.max_spans,
+        )
+        self.telemetry = Telemetry(tick_interval=self.config.tick_interval)
+        self.events = EventLog(max_events=self.config.max_events)
+
+    # -- hooks called from the engine / operators ----------------------
+    def on_operator_cost(
+        self,
+        pe: str,
+        at: float,
+        category: str,
+        seconds: float,
+        fields: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.telemetry.on_cost(pe, at, category, seconds)
+
+    def on_event(
+        self,
+        kind: str,
+        at: float,
+        pe: Optional[str] = None,
+        fields: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.events.append(kind, at, pe, fields)
+
+    # -- export --------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Compact digest for ``BENCH.json`` telemetry entries."""
+        return {
+            "trace": self.tracer.summary(),
+            "telemetry": self.telemetry.summary(),
+            "events": self.events.counts(),
+            "reconciliation": reconcile_spans(self.tracer.spans),
+        }
+
+    def export_jsonl(
+        self, path: str, meta: Optional[Dict[str, object]] = None
+    ) -> int:
+        """Write one simulated-time-ordered JSONL file; returns line count.
+
+        Line kinds: ``meta`` (first line, run context + counts), then
+        ``event`` / ``telemetry`` / ``trace`` lines sorted by their
+        ``at`` timestamp (a trace line's ``at`` is its span origin).
+        """
+        lines: List[Dict[str, object]] = []
+        for event in self.events.ordered():
+            row = event.to_dict()
+            lines.append({"kind": "event", "at": row.pop("at"), **row})
+        for row in self.telemetry.rows():
+            lines.append({"kind": "telemetry", "at": row.pop("tick_start"), **row})
+        for span in self.tracer.spans:
+            if not span.hops:
+                continue
+            row = span.to_dict()
+            lines.append({"kind": "trace", "at": row.pop("origin"), **row})
+        lines.sort(key=lambda r: r["at"])
+        header: Dict[str, object] = {
+            "kind": "meta",
+            "at": 0.0,
+            "tick_interval_s": self.telemetry.tick_interval,
+            "trace_sample_every": self.tracer.sample_every,
+            "spans": len(self.tracer.spans),
+            "events": len(self.events),
+            "lines": len(lines),
+        }
+        if meta:
+            header.update(meta)
+        with open(path, "w") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for row in lines:
+                fh.write(json.dumps(row) + "\n")
+        return len(lines) + 1

@@ -1,0 +1,80 @@
+"""Ordered event log for discrete happenings in a simulated run.
+
+Merges, checkpoints, crashes/restarts, router flushes, and cache syncs
+are point events, not time series; this log keeps them in one place with
+a global sequence number so the JSONL export can interleave them with
+trace spans and telemetry ticks in simulated-time order even when two
+events share a timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+class Event:
+    """One point event: what happened, when, and on which PE."""
+
+    __slots__ = ("kind", "at", "pe", "seq", "fields")
+
+    def __init__(
+        self,
+        kind: str,
+        at: float,
+        pe: Optional[str],
+        seq: int,
+        fields: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.kind = kind
+        self.at = at
+        self.pe = pe
+        self.seq = seq
+        self.fields = fields if fields is not None else {}
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"event": self.kind, "at": self.at}
+        if self.pe is not None:
+            out["pe"] = self.pe
+        out.update(self.fields)
+        return out
+
+
+class EventLog:
+    """Append-only, bounded log of :class:`Event` objects."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self._events: List[Event] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def append(
+        self,
+        kind: str,
+        at: float,
+        pe: Optional[str] = None,
+        fields: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(Event(kind, at, pe, len(self._events), fields))
+
+    def ordered(self) -> List[Event]:
+        """Events sorted by (simulated time, append order)."""
+        return sorted(self._events, key=lambda e: (e.at, e.seq))
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

@@ -1,0 +1,166 @@
+"""Per-PE time series sampled on simulated-time ticks.
+
+The engine reports every completed service to :meth:`Telemetry.on_serve`;
+operators report phase costs (insert vs. probe vs. merge — the paper's
+operator-cost split) through ``ctx.observe_cost``.  Both land in per-PE
+buckets keyed by ``int(start // tick_interval)``, yielding a time series
+of queue depth, service time, busy fraction, and per-category cost
+without the engine ever walking the PE set on a timer.
+
+A service that spans several ticks is charged entirely to the tick in
+which it *started*, so a tick's ``busy_fraction`` can exceed 1.0 when a
+single message cost more than one tick — deliberate: it flags the PE
+and tick where time was lost instead of smearing the spike.
+
+Cost categories mix two unit conventions on purpose: predicate-side
+phases report measured wall seconds (what the engine charges those PEs),
+while the PO-Join probe reports the simulated makespan of Algorithm 4's
+thread pool (what *that* PE charges via ``ctx.charge``).  Either way a
+category's total is the amount of simulated service attributed to the
+activity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["Telemetry"]
+
+
+class _Bucket:
+    """Accumulators for one PE within one tick."""
+
+    __slots__ = (
+        "messages",
+        "tuples",
+        "service_s",
+        "queue_depth_sum",
+        "queue_depth_max",
+        "costs",
+    )
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.tuples = 0
+        self.service_s = 0.0
+        self.queue_depth_sum = 0
+        self.queue_depth_max = 0
+        self.costs: Dict[str, float] = {}
+
+
+class Telemetry:
+    """Tick-bucketed per-PE series, exposed on ``RunResult.telemetry``."""
+
+    def __init__(self, tick_interval: float = 0.05) -> None:
+        if tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        self.tick_interval = tick_interval
+        self._series: Dict[str, Dict[int, _Bucket]] = {}
+        self._components: Dict[str, str] = {}
+
+    # -- ingestion (engine-facing) -------------------------------------
+    def _bucket(self, pe: str, at: float) -> _Bucket:
+        ticks = self._series.setdefault(pe, {})
+        tick = int(at // self.tick_interval)
+        bucket = ticks.get(tick)
+        if bucket is None:
+            bucket = ticks[tick] = _Bucket()
+        return bucket
+
+    def on_serve(
+        self,
+        pe: str,
+        component: str,
+        start: float,
+        service: float,
+        queue_depth: int,
+        tuples: int = 1,
+    ) -> None:
+        """Record one completed service (called by the engine)."""
+        self._components[pe] = component
+        bucket = self._bucket(pe, start)
+        bucket.messages += 1
+        bucket.tuples += tuples
+        bucket.service_s += service
+        bucket.queue_depth_sum += queue_depth
+        if queue_depth > bucket.queue_depth_max:
+            bucket.queue_depth_max = queue_depth
+
+    def on_cost(self, pe: str, at: float, category: str, seconds: float) -> None:
+        """Attribute ``seconds`` of work to ``category`` (probe/insert/merge)."""
+        bucket = self._bucket(pe, at)
+        bucket.costs[category] = bucket.costs.get(category, 0.0) + seconds
+
+    # -- queries -------------------------------------------------------
+    def pe_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def series_of(self, pe: str) -> List[Dict[str, object]]:
+        """The PE's tick series, ordered by tick start time."""
+        ticks = self._series.get(pe, {})
+        component = self._components.get(pe, pe)
+        out: List[Dict[str, object]] = []
+        for tick in sorted(ticks):
+            bucket = ticks[tick]
+            depth_mean = (
+                bucket.queue_depth_sum / bucket.messages if bucket.messages else 0.0
+            )
+            out.append(
+                {
+                    "pe": pe,
+                    "component": component,
+                    "tick": tick,
+                    "tick_start": tick * self.tick_interval,
+                    "messages": bucket.messages,
+                    "tuples": bucket.tuples,
+                    "service_s": bucket.service_s,
+                    "busy_fraction": bucket.service_s / self.tick_interval,
+                    "queue_depth_mean": depth_mean,
+                    "queue_depth_max": bucket.queue_depth_max,
+                    "costs": dict(bucket.costs),
+                }
+            )
+        return out
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All PEs' tick rows, ordered by (tick start, PE name)."""
+        rows = [row for pe in self.pe_names() for row in self.series_of(pe)]
+        rows.sort(key=lambda r: (r["tick_start"], r["pe"]))
+        return rows
+
+    def summary(self) -> Dict[str, object]:
+        """Per-PE totals plus a global cost-category breakdown."""
+        per_pe: Dict[str, Dict[str, object]] = {}
+        categories: Dict[str, float] = {}
+        for pe in self.pe_names():
+            ticks = self._series[pe]
+            messages = sum(b.messages for b in ticks.values())
+            tuples = sum(b.tuples for b in ticks.values())
+            service = sum(b.service_s for b in ticks.values())
+            depth_max = max((b.queue_depth_max for b in ticks.values()), default=0)
+            depth_sum = sum(b.queue_depth_sum for b in ticks.values())
+            costs: Dict[str, float] = {}
+            for bucket in ticks.values():
+                for category, seconds in bucket.costs.items():
+                    costs[category] = costs.get(category, 0.0) + seconds
+                    categories[category] = categories.get(category, 0.0) + seconds
+            # Active span: first tick start to last tick end.
+            first = min(ticks)
+            last = max(ticks)
+            horizon = (last - first + 1) * self.tick_interval
+            per_pe[pe] = {
+                "component": self._components.get(pe, pe),
+                "ticks": len(ticks),
+                "messages": messages,
+                "tuples": tuples,
+                "service_s": service,
+                "busy_fraction": service / horizon if horizon > 0 else 0.0,
+                "queue_depth_mean": depth_sum / messages if messages else 0.0,
+                "queue_depth_max": depth_max,
+                "costs": costs,
+            }
+        return {
+            "tick_interval_s": self.tick_interval,
+            "pes": per_pe,
+            "cost_categories_s": categories,
+        }

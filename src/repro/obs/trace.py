@@ -1,0 +1,207 @@
+"""Span-based tuple tracing through the simulated topology.
+
+A sampled tuple picks up a :class:`TraceSpan` when its spout delivery
+enters the engine; the span then rides the :class:`~repro.dspe.engine.Message`
+chain spout -> router -> joiner -> sink.  Every PE that serves a traced
+message appends a :class:`TraceHop` recording the four timestamps of the
+queueing model — enqueue (arrival), dequeue (service start), completion,
+and the charged service time — so a finished span decomposes the tuple's
+end-to-end latency into per-stage network, queue, and service slices.
+
+Hops are appended in service order.  On a linear topology (one consumer
+per stage, parallelism 1) the slices telescope exactly::
+
+    end_to_end = sum(network_i + queue_i + service_i)
+
+which is what ``python -m repro.bench trace`` asserts when it prints the
+per-stage waterfall.  On branching topologies (broadcast groupings,
+parallelism > 1) one span collects hops from every branch, so the sum of
+slices exceeds the critical path; :func:`reconcile_spans` is only a
+telescoping check for linear chains.
+
+A span follows the *message chain*: an operator's emissions inherit the
+trace of the message that triggered them.  A router that buffers a traced
+tuple and flushes it from a later message therefore hands the downstream
+hops to the later tuple's span — trace with ``batch_size=1`` when exact
+per-tuple waterfalls matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["TraceHop", "TraceSpan", "Tracer", "reconcile_spans"]
+
+
+class TraceHop:
+    """One PE's service of a traced message."""
+
+    __slots__ = ("pe", "component", "arrival", "start", "completion", "service", "tuples")
+
+    def __init__(
+        self,
+        pe: str,
+        component: str,
+        arrival: float,
+        start: float,
+        completion: float,
+        service: float,
+        tuples: int = 1,
+    ) -> None:
+        self.pe = pe
+        self.component = component
+        self.arrival = arrival
+        self.start = start
+        self.completion = completion
+        self.service = service
+        self.tuples = tuples
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent enqueued before service began."""
+        return self.start - self.arrival
+
+
+class TraceSpan:
+    """The full path of one sampled tuple through the topology."""
+
+    __slots__ = ("trace_id", "origin_time", "hops")
+
+    def __init__(self, trace_id: int, origin_time: float) -> None:
+        self.trace_id = trace_id
+        self.origin_time = origin_time
+        self.hops: List[TraceHop] = []
+
+    def add_hop(
+        self,
+        pe: str,
+        component: str,
+        arrival: float,
+        start: float,
+        completion: float,
+        service: float,
+        tuples: int = 1,
+    ) -> None:
+        self.hops.append(
+            TraceHop(pe, component, arrival, start, completion, service, tuples)
+        )
+
+    @property
+    def end_time(self) -> float:
+        """Completion time of the last hop (the sink's, on a chain)."""
+        if not self.hops:
+            return self.origin_time
+        return max(hop.completion for hop in self.hops)
+
+    @property
+    def event_latency(self) -> float:
+        """End-to-end latency: last completion minus spout origin time."""
+        return self.end_time - self.origin_time
+
+    def stages(self) -> List[Dict[str, object]]:
+        """Per-hop latency slices: network, queue, and service seconds.
+
+        The network slice of hop ``i`` is its arrival minus the previous
+        hop's completion (minus the span origin for the first hop) — the
+        link delay the engine charged for that edge.
+        """
+        out: List[Dict[str, object]] = []
+        prev_completion = self.origin_time
+        for hop in self.hops:
+            out.append(
+                {
+                    "pe": hop.pe,
+                    "component": hop.component,
+                    "network_s": hop.arrival - prev_completion,
+                    "queue_s": hop.queue_wait,
+                    "service_s": hop.service,
+                    "tuples": hop.tuples,
+                }
+            )
+            prev_completion = hop.completion
+        return out
+
+    def stage_total(self) -> float:
+        """Sum of all network + queue + service slices.
+
+        Equals :attr:`event_latency` exactly on a linear hop chain (the
+        slices telescope); exceeds it when the span branched.
+        """
+        total = 0.0
+        prev_completion = self.origin_time
+        for hop in self.hops:
+            total += (hop.arrival - prev_completion) + hop.queue_wait + hop.service
+            prev_completion = hop.completion
+        return total
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "origin": self.origin_time,
+            "end": self.end_time,
+            "end_to_end_s": self.event_latency,
+            "stage_total_s": self.stage_total(),
+            "hops": self.stages(),
+        }
+
+
+class Tracer:
+    """Deterministic every-Nth sampler of spout deliveries.
+
+    Sampling is by delivery count, not randomness, so two runs over the
+    same stream trace the same tuples — a requirement for comparing
+    traces across the tracing-on/off fingerprint check.
+    """
+
+    def __init__(self, sample_every: int = 1, max_spans: int = 100_000) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.sample_every = sample_every
+        self.max_spans = max_spans
+        self.spans: List[TraceSpan] = []
+        self.offered = 0
+        self.skipped = 0
+
+    def maybe_start(self, origin_time: float) -> Optional[TraceSpan]:
+        """Start a span for this spout delivery if it falls on the grid."""
+        self.offered += 1
+        if (self.offered - 1) % self.sample_every or len(self.spans) >= self.max_spans:
+            self.skipped += 1
+            return None
+        span = TraceSpan(len(self.spans), origin_time)
+        self.spans.append(span)
+        return span
+
+    def summary(self) -> Dict[str, object]:
+        spans = [s for s in self.spans if s.hops]
+        latencies = sorted(s.event_latency for s in spans)
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        return {
+            "sampled": len(self.spans),
+            "offered": self.offered,
+            "sample_every": self.sample_every,
+            "completed": len(spans),
+            "mean_end_to_end_s": mean,
+            "max_end_to_end_s": latencies[-1] if latencies else 0.0,
+        }
+
+
+def reconcile_spans(spans: List[TraceSpan]) -> Dict[str, float]:
+    """Compare per-stage latency sums against end-to-end latencies.
+
+    Returns the two totals and their relative error.  On linear chains
+    the slices telescope, so the error is 0 up to float rounding; the
+    bench ``trace`` experiment asserts it stays under 1%.
+    """
+    finished = [s for s in spans if s.hops]
+    stage = sum(s.stage_total() for s in finished)
+    e2e = sum(s.event_latency for s in finished)
+    error = abs(stage - e2e) / e2e if e2e > 0 else 0.0
+    return {
+        "spans": float(len(finished)),
+        "stage_total_s": stage,
+        "end_to_end_s": e2e,
+        "relative_error": error,
+    }

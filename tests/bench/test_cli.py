@@ -91,3 +91,53 @@ class TestCLI:
     def test_invalid_checkpoint_interval_rejected(self):
         with pytest.raises(SystemExit):
             main(["recovery", "--checkpoint-interval", "0"])
+
+    def test_trace_experiment_reconciles_and_exports(self, capsys, tmp_path):
+        import json
+
+        trace_file = tmp_path / "trace.jsonl"
+        json_file = tmp_path / "bench_trace.json"
+        assert main(
+            ["trace", "--trace-out", str(trace_file),
+             "--json-out", str(json_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "latency waterfall" in out
+        assert "Trace reconciliation" in out
+
+        lines = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+        ]
+        assert lines[0]["kind"] == "meta"
+        times = [line["at"] for line in lines[1:]]
+        assert times == sorted(times)
+        # The acceptance bound: per-stage sums reconcile with the
+        # end-to-end latency summary within 1%.
+        spans = [line for line in lines if line["kind"] == "trace"]
+        assert spans
+        stage = sum(s["stage_total_s"] for s in spans)
+        e2e = sum(s["end_to_end_s"] for s in spans)
+        assert abs(stage - e2e) / e2e <= 0.01
+
+        payload = json.loads(json_file.read_text())["trace"]
+        assert payload["reconciliation"]["relative_error"] <= 0.01
+        assert payload["telemetry"]["trace"]["completed"] > 0
+
+    def test_report_experiment(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-PE telemetry" in out
+        assert "Event log" in out
+
+    def test_recovery_trace_out_written(self, capsys, tmp_path):
+        import json
+
+        trace_file = tmp_path / "chaos.jsonl"
+        assert main(["recovery", "--trace-out", str(trace_file)]) == 0
+        capsys.readouterr()
+        lines = trace_file.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["experiment"] == "recovery"
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "event" in kinds

@@ -9,6 +9,7 @@ from typing import List
 import pytest
 
 from repro.core import JoinType, Op, QuerySpec, StreamTuple, WindowSpec, make_tuple
+from repro.core.window import MergePolicy
 
 ALL_OPS = [Op.LT, Op.GT, Op.LE, Op.GE, Op.EQ, Op.NE]
 INEQ_OPS = [Op.LT, Op.GT, Op.LE, Op.GE]
@@ -62,9 +63,9 @@ class ReferenceWindowJoin:
     def __init__(self, query: QuerySpec, window: WindowSpec, sub_intervals: int = 1):
         self.query = query
         self.window = window
-        self.delta = window.slide / sub_intervals
-        total = max(1, round(window.length / self.delta))
-        self.max_batches = max(1, total - sub_intervals)
+        policy = MergePolicy(window, sub_intervals)
+        self.delta = policy.delta
+        self.max_batches = policy.max_batches
         self.mutable: List[StreamTuple] = []
         self.batches: deque = deque()
         self._counter = 0.0

@@ -1,5 +1,7 @@
 """Query specs, tuples, windows, and merge policies."""
 
+import warnings
+
 import pytest
 
 from repro.core import (
@@ -113,3 +115,48 @@ class TestMergePolicy:
     def test_rejects_bad_sub_intervals(self):
         with pytest.raises(ValueError):
             MergePolicy(WindowSpec.count(10, 5), sub_intervals=0)
+
+
+class TestNonDivisibleWindows:
+    def test_divisible_specs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            WindowSpec.count(1000, 200)
+            WindowSpec.time(60.0, 10.0)
+
+    def test_float_ratio_within_tolerance_is_divisible(self):
+        # 1.0 / 0.2 = 4.999999999999999 — divisible in intent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            w = WindowSpec.time(1.0, 0.2)
+        assert w.num_slides == 5
+
+    def test_non_divisible_spec_warns(self):
+        with pytest.warns(UserWarning, match="not an integral multiple"):
+            WindowSpec.count(49, 12)
+
+    def test_num_slides_uses_ceiling(self):
+        with pytest.warns(UserWarning):
+            w = WindowSpec.count(49, 12)
+        # round(49/12) = 4 used to drop the partial trailing slide.
+        assert w.num_slides == 5
+
+    def test_banker_rounding_regression(self):
+        # 10 / 4 = 2.5: round() banker's-rounds to 2, ceiling gives 3.
+        with pytest.warns(UserWarning):
+            w = WindowSpec.count(10, 4)
+        assert w.num_slides == 3
+
+    def test_max_batches_uses_ceiling(self):
+        with pytest.warns(UserWarning):
+            window = WindowSpec.count(10, 4)
+        policy = MergePolicy(window)
+        # ceil(10/4) = 3 intervals minus the mutable one.
+        assert policy.max_batches == 2
+
+    def test_max_batches_with_sub_intervals_non_divisible(self):
+        with pytest.warns(UserWarning):
+            window = WindowSpec.count(49, 12)
+        policy = MergePolicy(window, sub_intervals=4)
+        # delta = 3; ceil(49/3) = 17 intervals minus 4 mutable.
+        assert policy.max_batches == 13

@@ -1,6 +1,8 @@
 """Distributed cache staleness and window-state management strategies."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dspe import (
     CachedStateManager,
@@ -119,3 +121,154 @@ class TestStateManagers:
     def test_rejects_zero_pes(self):
         with pytest.raises(ValueError):
             RoundRobinStateManager(0)
+
+
+class TestTombstones:
+    def test_delete_is_versioned(self):
+        cache = DistributedCache()
+        cache.put("k", 1, at_time=0.0)
+        cache.delete("k", at_time=1.0)
+        # As-of reads before the deletion still see the old value.
+        assert cache.get_as_of("k", 0.5) == 1
+        assert cache.get_as_of("k", 2.0) is None
+        assert cache.latest("k") is None
+
+    def test_snapshot_excludes_tombstones_and_future_keys(self):
+        cache = DistributedCache()
+        cache.put("a", 1, at_time=0.0)
+        cache.put("b", 2, at_time=0.0)
+        cache.delete("b", at_time=1.0)
+        cache.put("c", 3, at_time=5.0)
+        assert cache.snapshot_as_of(2.0) == {"a": 1}
+
+
+class TestClientEviction:
+    def test_refresh_evicts_deleted_keys(self):
+        # Regression: _refresh used to only overwrite keys still present
+        # in the cache, so a deleted key was served stale forever.
+        cache = DistributedCache()
+        client = CacheClient(cache, sync_interval=1.0)
+        cache.put("gone", 1, at_time=0.0)
+        cache.put("kept", 2, at_time=0.0)
+        assert client.read("gone", 0.0) == 1
+        cache.delete("gone", at_time=0.5)
+        # Stale inside the sync interval — bounded staleness, not a bug.
+        assert client.read("gone", 0.9) == 1
+        # Evicted at the next boundary.
+        assert client.read("gone", 1.2) is None
+        assert client.read("kept", 1.3) == 2
+        assert client.evictions == 1
+
+    def test_on_sync_callback_reports_evictions(self):
+        calls = []
+        cache = DistributedCache()
+        client = CacheClient(
+            cache, sync_interval=1.0, on_sync=lambda *a: calls.append(a)
+        )
+        cache.put("k", 1, at_time=0.0)
+        client.read("k", 0.0)
+        cache.delete("k", at_time=0.5)
+        client.read("k", 1.5)
+        assert calls == [(0.0, 0, 1), (1.0, 1, 0)]
+
+
+class TestRetentionFloor:
+    def test_trim_keeps_partition_clamped_version(self):
+        # Regression: trimming used to keep only the newest half of a
+        # key's history, so a reader clamped to a long partition's start
+        # found nothing at all (None) instead of the partition-start
+        # state.
+        cache = DistributedCache(history_limit=8)
+        cache.put("k", "early", at_time=1.0)
+        cache.partitions = [(2.0, 500.0)]
+        for i in range(100):
+            cache.put("k", i, at_time=3.0 + i)
+        assert cache.get_as_of("k", 10.0) == "early"
+
+    def test_trim_keeps_client_sync_version(self):
+        cache = DistributedCache(history_limit=8)
+        client = CacheClient(cache, sync_interval=100.0)
+        cache.put("k", "synced", at_time=0.0)
+        assert client.read("k", 0.0) == "synced"
+        for i in range(50):
+            cache.put("k", i, at_time=1.0 + i)
+        # The client's boundary is still 0.0; the version it synced must
+        # survive trimming so a re-read as of that boundary agrees.
+        assert cache.get_as_of("k", 0.0) == "synced"
+        assert client.read("k", 50.0) == "synced"
+
+    def test_trim_still_bounds_history_without_laggards(self):
+        cache = DistributedCache(history_limit=10)
+        for i in range(100):
+            cache.put("k", i, at_time=float(i))
+        assert cache.trims > 0
+        assert cache.latest("k") == 99
+
+    def test_retention_floor_sources(self):
+        cache = DistributedCache()
+        assert cache.retention_floor(0.0) is None
+        cache.partitions = [(3.0, 10.0)]
+        assert cache.retention_floor(5.0) == 3.0
+        # Healed partitions stop pinning history.
+        assert cache.retention_floor(11.0) is None
+        client = CacheClient(cache, sync_interval=1.0)
+        # An unsynced client contributes no floor.
+        assert cache.retention_floor(11.0) is None
+        cache.put("k", 1, at_time=0.0)
+        client.read("k", 2.0)
+        assert cache.retention_floor(11.0) == 2.0
+
+
+class TestStalenessProperty:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.booleans(),
+            ),
+            min_size=2,
+            max_size=40,
+        ),
+        sync_interval=st.floats(min_value=0.05, max_value=3.0),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_read_never_newer_than_sync_nor_older_than_retention(
+        self, ops, sync_interval
+    ):
+        """Reads honor both staleness bounds (Section 4.2).
+
+        A client read is (a) never newer than its last sync boundary and
+        (b) never older than the retention guarantee: it is exactly the
+        newest value written at or before that boundary.  Values are the
+        write times themselves so both bounds are directly checkable.
+        """
+        cache = DistributedCache()
+        client = CacheClient(cache, sync_interval=sync_interval)
+        written = []
+        # Reference model: a refresh snapshots the writes *visible at
+        # the refresh moment*; a write landing after a sync at the same
+        # boundary stays invisible until the next boundary.
+        model_sync = float("-inf")
+        model_value = None
+        for t, is_write in sorted(set(ops)):
+            if is_write:
+                cache.put("k", t, at_time=t)
+                written.append(t)
+            else:
+                boundary = (t // sync_interval) * sync_interval
+                if boundary > model_sync:
+                    model_sync = boundary
+                    model_value = max(
+                        (w for w in written if w <= boundary), default=None
+                    )
+                value = client.read("k", t)
+                assert client.last_sync == model_sync
+                assert value == model_value
+                if value is not None:
+                    # Never newer than the last sync boundary.
+                    assert value <= client.last_sync

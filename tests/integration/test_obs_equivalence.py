@@ -1,0 +1,147 @@
+"""Observability must not perturb results: fingerprints match on/off.
+
+The simulator charges measured wall clock as service time, so the
+observability layer's own work (timestamping, span bookkeeping, event
+appends) must be kept out of the charge.  These tests run each topology
+twice — bare and with an :class:`~repro.obs.Observer` attached — and
+assert the result fingerprints are bit-identical (tier-1 acceptance for
+the observability layer), then check the collectors actually filled up.
+"""
+
+import random
+
+import pytest
+
+from repro.core import WindowSpec
+from repro.dspe import FaultConfig, RecoveryConfig
+from repro.dspe.router import RawTuple
+from repro.joins import (
+    SPOConfig,
+    build_chain_topology,
+    build_nlj_topology,
+    build_spo_local_topology,
+    run_spo,
+    run_topology,
+)
+from repro.obs import ObsConfig, Observer, reconcile_spans
+from repro.workloads import q3
+
+
+def _source(n, seed, streams=("T",), hi=8):
+    rng = random.Random(seed)
+    return [
+        RawTuple(
+            rng.choice(streams),
+            (rng.randint(0, hi), rng.randint(0, hi)),
+            i * 0.001,
+        )
+        for i in range(n)
+    ]
+
+
+def _stream(raws):
+    return ((raw.event_time, raw) for raw in raws)
+
+
+WINDOW = WindowSpec.count(40, 10)
+
+
+def _builders():
+    return {
+        "chain": lambda raws: build_chain_topology(
+            _stream(raws), q3(), WINDOW
+        ),
+        "nlj": lambda raws: build_nlj_topology(_stream(raws), q3(), WINDOW),
+        "local_spo": lambda raws: build_spo_local_topology(
+            _stream(raws), q3(), WINDOW, batch_size=4
+        ),
+    }
+
+
+class TestFingerprintEquivalence:
+    @pytest.mark.parametrize("name", sorted(_builders()))
+    def test_tracing_does_not_change_results(self, name):
+        raws = _source(150, seed=11)
+        build = _builders()[name]
+        bare = run_topology(build(raws))
+        obs = Observer(ObsConfig(tick_interval=0.01))
+        traced = run_topology(build(raws), obs=obs)
+        assert traced.result_fingerprint() == bare.result_fingerprint()
+        # The observer really was live, not silently detached.
+        assert obs.tracer.offered == len(raws)
+        assert obs.telemetry.pe_names()
+
+    def test_distributed_spo_with_dc_strategy(self):
+        raws = _source(120, seed=12)
+        bare = run_spo(
+            _stream(raws), SPOConfig(q3(), WINDOW, state_strategy="dc")
+        )
+        obs = Observer(ObsConfig(tick_interval=0.01))
+        traced = run_spo(
+            _stream(raws),
+            SPOConfig(q3(), WINDOW, state_strategy="dc", obs=obs),
+        )
+        assert traced.result_fingerprint() == bare.result_fingerprint()
+        counts = obs.events.counts()
+        assert counts.get("merge", 0) > 0
+        assert counts.get("cache_sync", 0) > 0
+        # Operator phases showed up in the cost split.
+        categories = obs.telemetry.summary()["cost_categories_s"]
+        assert "mutable_probe" in categories
+        assert "immutable_probe" in categories
+
+    def test_chaos_run_with_observer_matches_bare_baseline(self):
+        raws = _source(200, seed=13)
+        horizon = raws[-1].event_time * 0.8
+
+        def build():
+            return build_spo_local_topology(
+                _stream(raws), q3(), WINDOW, batch_size=8
+            )
+
+        base_fp = run_topology(build()).result_fingerprint()
+        obs = Observer(ObsConfig(tick_interval=0.01))
+        res = run_topology(
+            build(),
+            faults=FaultConfig(crash_rate=6.0, horizon=horizon),
+            recovery=RecoveryConfig(checkpoint_interval=0.02),
+            fault_seed=42,
+            obs=obs,
+        )
+        assert res.recovery.crashes > 0
+        assert res.result_fingerprint() == base_fp
+        counts = obs.events.counts()
+        assert counts.get("crash", 0) == res.recovery.crashes
+        assert counts.get("restart", 0) == res.recovery.crashes
+        assert counts.get("checkpoint", 0) == res.recovery.checkpoints
+
+
+class TestRunResultWiring:
+    def test_telemetry_none_when_disabled(self):
+        result = run_topology(_builders()["local_spo"](_source(50, seed=14)))
+        assert result.telemetry is None
+        assert result.obs is None
+
+    def test_telemetry_exposed_when_enabled(self):
+        obs = Observer()
+        result = run_topology(
+            _builders()["local_spo"](_source(50, seed=14)), obs=obs
+        )
+        assert result.telemetry is obs.telemetry
+        assert result.obs is obs
+
+
+class TestReconciliation:
+    def test_linear_chain_reconciles_within_one_percent(self):
+        # batch_size=1 keeps router -> joiner linear, so per-stage
+        # slices must telescope into end-to-end latency (the bench
+        # ``trace`` experiment's acceptance bound).
+        raws = _source(200, seed=15)
+        obs = Observer(ObsConfig(tick_interval=0.01))
+        run_topology(
+            build_spo_local_topology(_stream(raws), q3(), WINDOW),
+            obs=obs,
+        )
+        rec = reconcile_spans(obs.tracer.spans)
+        assert rec["spans"] == len(raws)
+        assert rec["relative_error"] <= 0.01

@@ -1,0 +1,85 @@
+"""Unit tests for the event log and the JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs import EventLog, ObsConfig, Observer
+
+
+class TestEventLog:
+    def test_ordered_by_time_then_sequence(self):
+        log = EventLog()
+        log.append("merge", 2.0)
+        log.append("crash", 1.0, pe="joiner[0]")
+        log.append("restart", 1.0, pe="joiner[0]")
+        kinds = [e.kind for e in log.ordered()]
+        assert kinds == ["crash", "restart", "merge"]
+
+    def test_counts_and_of_kind(self):
+        log = EventLog()
+        log.append("merge", 0.1)
+        log.append("merge", 0.2)
+        log.append("checkpoint", 0.3)
+        assert log.counts() == {"merge": 2, "checkpoint": 1}
+        assert len(log.of_kind("merge")) == 2
+
+    def test_bounded_with_drop_counter(self):
+        log = EventLog(max_events=2)
+        for i in range(5):
+            log.append("e", float(i))
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_to_dict_flattens_fields(self):
+        log = EventLog()
+        log.append("cache_sync", 0.5, pe="pojoin[1]", fields={"evicted": 3})
+        (event,) = log.ordered()
+        d = event.to_dict()
+        assert d == {"event": "cache_sync", "at": 0.5, "pe": "pojoin[1]",
+                     "evicted": 3}
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+
+
+class TestExportJsonl:
+    def _observer_with_data(self):
+        obs = Observer(ObsConfig(tick_interval=0.1))
+        obs.on_event("merge", 0.25, pe="joiner[0]", fields={"merge_id": 0})
+        obs.on_event("checkpoint", 0.05, pe="joiner[0]")
+        obs.telemetry.on_serve("joiner[0]", "joiner", 0.12, 0.01, 1)
+        span = obs.tracer.maybe_start(0.0)
+        span.add_hop("joiner[0]", "joiner", 0.01, 0.01, 0.02, 0.01)
+        return obs
+
+    def test_export_is_time_ordered_jsonl(self, tmp_path):
+        obs = self._observer_with_data()
+        path = tmp_path / "trace.jsonl"
+        written = obs.export_jsonl(str(path), meta={"experiment": "unit"})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert written == len(lines)
+        assert lines[0]["kind"] == "meta"
+        assert lines[0]["experiment"] == "unit"
+        assert lines[0]["lines"] == len(lines) - 1
+        times = [line["at"] for line in lines[1:]]
+        assert times == sorted(times)
+        kinds = {line["kind"] for line in lines[1:]}
+        assert kinds == {"event", "telemetry", "trace"}
+
+    def test_unfinished_spans_not_exported(self, tmp_path):
+        obs = Observer()
+        obs.tracer.maybe_start(0.0)  # never gets a hop
+        path = tmp_path / "trace.jsonl"
+        obs.export_jsonl(str(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["meta"]
+
+    def test_summary_shape(self):
+        obs = self._observer_with_data()
+        summary = obs.summary()
+        assert summary["trace"]["completed"] == 1
+        assert summary["events"] == {"merge": 1, "checkpoint": 1}
+        assert "joiner[0]" in summary["telemetry"]["pes"]
+        assert summary["reconciliation"]["spans"] == 1

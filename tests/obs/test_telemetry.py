@@ -1,0 +1,75 @@
+"""Unit tests for tick-bucketed per-PE telemetry."""
+
+import pytest
+
+from repro.obs import Telemetry
+
+
+class TestBucketing:
+    def test_services_land_in_start_tick(self):
+        tel = Telemetry(tick_interval=0.1)
+        tel.on_serve("pe", "joiner", start=0.05, service=0.01, queue_depth=2)
+        tel.on_serve("pe", "joiner", start=0.25, service=0.02, queue_depth=0)
+        rows = tel.series_of("pe")
+        assert [row["tick"] for row in rows] == [0, 2]
+        assert rows[0]["service_s"] == pytest.approx(0.01)
+        assert rows[1]["service_s"] == pytest.approx(0.02)
+
+    def test_multi_tick_service_charged_to_start(self):
+        # A 0.35s service starting in tick 0 stays in tick 0; its busy
+        # fraction exceeds 1.0 to flag the spike rather than smear it.
+        tel = Telemetry(tick_interval=0.1)
+        tel.on_serve("pe", "joiner", start=0.02, service=0.35, queue_depth=1)
+        (row,) = tel.series_of("pe")
+        assert row["tick"] == 0
+        assert row["busy_fraction"] == pytest.approx(3.5)
+
+    def test_queue_depth_stats(self):
+        tel = Telemetry(tick_interval=1.0)
+        for depth in (0, 4, 2):
+            tel.on_serve("pe", "j", start=0.5, service=0.0, queue_depth=depth)
+        (row,) = tel.series_of("pe")
+        assert row["queue_depth_mean"] == pytest.approx(2.0)
+        assert row["queue_depth_max"] == 4
+
+    def test_cost_categories_accumulate(self):
+        tel = Telemetry(tick_interval=1.0)
+        tel.on_cost("pe", 0.1, "mutable_probe", 0.02)
+        tel.on_cost("pe", 0.2, "mutable_probe", 0.03)
+        tel.on_cost("pe", 0.3, "merge", 0.05)
+        (row,) = tel.series_of("pe")
+        assert row["costs"]["mutable_probe"] == pytest.approx(0.05)
+        assert row["costs"]["merge"] == pytest.approx(0.05)
+
+    def test_rejects_bad_tick_interval(self):
+        with pytest.raises(ValueError):
+            Telemetry(tick_interval=0.0)
+
+
+class TestRowsAndSummary:
+    def test_rows_ordered_by_time_then_pe(self):
+        tel = Telemetry(tick_interval=0.1)
+        tel.on_serve("b", "j", start=0.0, service=0.0, queue_depth=0)
+        tel.on_serve("a", "j", start=0.0, service=0.0, queue_depth=0)
+        tel.on_serve("a", "j", start=0.15, service=0.0, queue_depth=0)
+        keys = [(row["tick_start"], row["pe"]) for row in tel.rows()]
+        assert keys == sorted(keys)
+
+    def test_summary_totals(self):
+        tel = Telemetry(tick_interval=0.1)
+        tel.on_serve("pe", "joiner", 0.0, 0.04, 1, tuples=8)
+        tel.on_serve("pe", "joiner", 0.15, 0.06, 3, tuples=8)
+        tel.on_cost("pe", 0.0, "merge", 0.01)
+        summary = tel.summary()
+        row = summary["pes"]["pe"]
+        assert row["messages"] == 2
+        assert row["tuples"] == 16
+        assert row["service_s"] == pytest.approx(0.10)
+        # Active horizon is ticks 0..1 -> 0.2s of which 0.1s busy.
+        assert row["busy_fraction"] == pytest.approx(0.5)
+        assert summary["cost_categories_s"]["merge"] == pytest.approx(0.01)
+
+    def test_empty_summary(self):
+        summary = Telemetry().summary()
+        assert summary["pes"] == {}
+        assert summary["cost_categories_s"] == {}

@@ -1,0 +1,104 @@
+"""Unit tests for span-based tuple tracing."""
+
+import pytest
+
+from repro.obs import TraceSpan, Tracer, reconcile_spans
+
+
+class TestTracer:
+    def test_samples_every_delivery_by_default(self):
+        tracer = Tracer()
+        spans = [tracer.maybe_start(float(i)) for i in range(5)]
+        assert all(span is not None for span in spans)
+        assert tracer.offered == 5
+        assert tracer.skipped == 0
+
+    def test_every_nth_sampling_is_deterministic(self):
+        tracer = Tracer(sample_every=3)
+        spans = [tracer.maybe_start(float(i)) for i in range(9)]
+        sampled = [i for i, span in enumerate(spans) if span is not None]
+        assert sampled == [0, 3, 6]
+        assert tracer.skipped == 6
+
+    def test_span_cap(self):
+        tracer = Tracer(max_spans=2)
+        spans = [tracer.maybe_start(float(i)) for i in range(4)]
+        assert sum(span is not None for span in spans) == 2
+
+    def test_trace_ids_are_dense(self):
+        tracer = Tracer(sample_every=2)
+        spans = [tracer.maybe_start(float(i)) for i in range(6)]
+        ids = [span.trace_id for span in spans if span is not None]
+        assert ids == [0, 1, 2]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestTraceSpan:
+    def _linear_span(self):
+        # origin 0.0 -> router (net .01, queue .02, svc .03, done .06)
+        #            -> joiner (net .04, queue .05, svc .06, done .21)
+        span = TraceSpan(0, 0.0)
+        span.add_hop("router[0]", "router", 0.01, 0.03, 0.06, 0.03)
+        span.add_hop("joiner[0]", "joiner", 0.10, 0.15, 0.21, 0.06)
+        return span
+
+    def test_end_to_end_latency(self):
+        span = self._linear_span()
+        assert span.end_time == pytest.approx(0.21)
+        assert span.event_latency == pytest.approx(0.21)
+
+    def test_stage_slices(self):
+        stages = self._linear_span().stages()
+        assert [s["component"] for s in stages] == ["router", "joiner"]
+        assert stages[0]["network_s"] == pytest.approx(0.01)
+        assert stages[0]["queue_s"] == pytest.approx(0.02)
+        assert stages[0]["service_s"] == pytest.approx(0.03)
+        # Second hop's network slice is measured from the first's completion.
+        assert stages[1]["network_s"] == pytest.approx(0.04)
+
+    def test_stage_total_telescopes_on_linear_chain(self):
+        span = self._linear_span()
+        assert span.stage_total() == pytest.approx(span.event_latency)
+
+    def test_empty_span_latency_zero(self):
+        span = TraceSpan(0, 1.5)
+        assert span.event_latency == 0.0
+
+    def test_to_dict_roundtrips_totals(self):
+        d = self._linear_span().to_dict()
+        assert d["stage_total_s"] == pytest.approx(d["end_to_end_s"])
+        assert len(d["hops"]) == 2
+
+
+class TestReconcile:
+    def test_linear_spans_reconcile_exactly(self):
+        spans = []
+        for i in range(3):
+            span = TraceSpan(i, 0.0)
+            span.add_hop("a", "a", 0.1, 0.2, 0.3, 0.1)
+            span.add_hop("b", "b", 0.4, 0.4, 0.5, 0.1)
+            spans.append(span)
+        rec = reconcile_spans(spans)
+        assert rec["spans"] == 3
+        assert rec["relative_error"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_unfinished_spans_excluded(self):
+        rec = reconcile_spans([TraceSpan(0, 0.0)])
+        assert rec["spans"] == 0
+        assert rec["relative_error"] == 0.0
+
+    def test_branching_span_breaks_telescoping(self):
+        # Two hops both fed directly from the origin (a broadcast), the
+        # slow branch finishing after the fast one: the slices no longer
+        # telescope into the critical path.
+        span = TraceSpan(0, 0.0)
+        span.add_hop("slow", "slow", 0.0, 0.0, 0.5, 0.5)
+        span.add_hop("fast", "fast", 0.0, 0.0, 0.1, 0.1)
+        rec = reconcile_spans([span])
+        assert rec["end_to_end_s"] == pytest.approx(0.5)
+        assert rec["relative_error"] > 0.01
