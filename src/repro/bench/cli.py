@@ -364,6 +364,169 @@ def _recovery(args) -> None:
     )
 
 
+def _overload(args) -> None:
+    """Overload protection: block vs shed vs degrade at 0.6x/1x/2x rates."""
+    from ..dspe import FlowConfig
+
+    query = q3()
+    window = WindowSpec.count(300, 60)
+    n = args.tuples or 900
+    raws = q3_stream(n, seed=11)
+    capacity = args.queue_capacity
+
+    def build(degrade=False):
+        # Source timestamps are reassigned per offered rate below; the
+        # raw tuples' own event_time only rides along in result records.
+        return build_spo_local_topology(
+            (pair for pair in source),
+            query,
+            window,
+            batch_size=1,
+            degrade_under_pressure=degrade,
+        )
+
+    # Calibrate the joiner's service rate from an uncontended run: all
+    # offered rates are expressed as multiples of what the joiner can
+    # actually sustain on this machine, so the 2x point is 2x overload
+    # regardless of host speed.
+    source = [(i * 1e-9, raw) for i, raw in enumerate(raws)]
+    calib = run_topology(build())
+    joiner = calib.pes_of("joiner")[0]
+    mu = joiner.processed / joiner.busy_time if joiner.busy_time > 0 else 1e6
+    base_fp = calib.result_fingerprint()
+
+    factors = [0.6, 1.0, 2.0]
+    if args.source_rate and args.source_rate not in factors:
+        factors.append(args.source_rate)
+    policies = [args.policy] if args.policy else ["block", "shed", "degrade"]
+
+    table = ResultTable(
+        f"Overload sweep, Q3 (joiner rate {mu:.0f} tps, capacity {capacity})",
+        [
+            "policy",
+            "offered (x)",
+            "results",
+            "shed",
+            "p99 wait (ms)",
+            "throughput (tps)",
+            "blocked (s)",
+            "hwm",
+        ],
+    )
+    rows = []
+    p99_at_2x: Dict[str, float] = {}
+    for policy in policies:
+        for factor in sorted(factors):
+            rate = factor * mu
+            source = [(i / rate, raw) for i, raw in enumerate(raws)]
+            flow = FlowConfig(queue_capacity=capacity, policy=policy)
+            obs = Observer(ObsConfig()) if args.trace_out else None
+            res = run_topology(
+                build(degrade=(policy == "degrade")),
+                flow=flow,
+                obs=obs,
+            )
+            results = len(res.records_named("result"))
+            metrics = res.flow.metrics
+            shed = metrics.total_shed_tuples()
+            p99 = metrics.wait_percentile(joiner.name, 99)
+            throughput = results / res.sim_end if res.sim_end > 0 else 0.0
+            hwm = metrics.high_watermarks.get(joiner.name, 0)
+            table.add_row(
+                policy,
+                factor,
+                results,
+                shed,
+                p99 * 1e3,
+                throughput,
+                metrics.total_blocked_s(),
+                hwm,
+            )
+            rows.append(
+                {
+                    "policy": policy,
+                    "offered_factor": factor,
+                    "offered_rate_tps": rate,
+                    "results": results,
+                    "shed_tuples": shed,
+                    "shed_records": len(res.records_named("shed")),
+                    "p99_joiner_wait_s": p99,
+                    "achieved_tps": throughput,
+                    "blocked_s": metrics.total_blocked_s(),
+                    "blocks": metrics.total_blocks(),
+                    "joiner_high_watermark": hwm,
+                    "queue_full_events": sum(
+                        metrics.queue_full_events.values()
+                    ),
+                    "result_identical_to_uncontended": (
+                        res.result_fingerprint() == base_fp
+                    ),
+                }
+            )
+            if factor >= 2.0:
+                p99_at_2x[policy] = p99
+                if policy == "block" and (shed or results != n):
+                    raise SystemExit(
+                        f"block policy violated at {factor}x: "
+                        f"shed={shed}, results={results}/{n}"
+                    )
+                if policy == "shed" and (results + shed != n or shed == 0):
+                    raise SystemExit(
+                        f"shed accounting violated at {factor}x: "
+                        f"results={results} + shed={shed} != {n}"
+                    )
+            if obs is not None:
+                lines = obs.export_jsonl(
+                    args.trace_out,
+                    meta={
+                        "experiment": "overload",
+                        "policy": policy,
+                        "offered_factor": factor,
+                    },
+                )
+                print(f"wrote {lines} JSONL lines to {args.trace_out}")
+    table.show()
+    if "degrade" in p99_at_2x and "block" in p99_at_2x:
+        if p99_at_2x["degrade"] >= p99_at_2x["block"]:
+            # Unlike the shed/block invariants this is a wall-clock
+            # comparison between two separately timed runs, so a noisy
+            # host can flip it; warn rather than fail, and gate the
+            # committed BENCH.json entry on the ordering instead.
+            print(
+                "WARNING: degrade p99 "
+                f"({p99_at_2x['degrade']:.4f}s) did not beat block "
+                f"({p99_at_2x['block']:.4f}s) at 2x overload on this run"
+            )
+    # The knee: the largest offered rate whose achieved throughput still
+    # tracks it (within 10%) — past the knee the curve flattens (block),
+    # drops tuples (shed), or holds only by degrading answers (degrade).
+    knee = {}
+    for policy in policies:
+        sustained = [
+            r["offered_factor"]
+            for r in rows
+            if r["policy"] == policy
+            and r["results"] == n
+            and r["achieved_tps"] >= 0.9 * r["offered_rate_tps"]
+        ]
+        knee[policy] = max(sustained) if sustained else None
+    _write_json(
+        args,
+        "overload",
+        {
+            "experiment": "overload",
+            "query": "q3_self_join",
+            "window": {"size": 300, "slide": 60, "kind": "count"},
+            "stream_tuples": n,
+            "queue_capacity": capacity,
+            "joiner_service_rate_tps": mu,
+            "sustainable_knee_factor": knee,
+            "p99_wait_at_2x_s": p99_at_2x,
+            "results": rows,
+        },
+    )
+
+
 def _write_json(args, key: str, payload) -> None:
     """Merge one experiment's payload under ``key`` in ``--json-out``.
 
@@ -398,6 +561,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "equijoin": _equijoin,
     "batching": _batching,
     "recovery": _recovery,
+    "overload": _overload,
     "trace": _trace,
     "report": _report,
 }
@@ -458,6 +622,32 @@ def main(argv=None) -> int:
         default=42,
         help="recovery experiment: seed for the fault plan and loss RNG",
     )
+    parser.add_argument(
+        "--source-rate",
+        type=float,
+        default=None,
+        help="overload experiment: add this offered-rate factor (multiple "
+        "of the calibrated joiner service rate) to the 0.6/1.0/2.0 sweep",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=24,
+        help="overload experiment: bounded PE queue capacity (messages)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=["block", "shed", "degrade"],
+        default=None,
+        help="overload experiment: run only this overload policy "
+        "(default: all three)",
+    )
+    parser.add_argument(
+        "--tuples",
+        type=int,
+        default=None,
+        help="overload experiment: stream length (default 900)",
+    )
     args = parser.parse_args(argv)
     if args.batch_size is not None and args.batch_size < 1:
         parser.error("--batch-size must be >= 1")
@@ -465,6 +655,12 @@ def main(argv=None) -> int:
         parser.error("--crash-rate must be non-negative")
     if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
         parser.error("--checkpoint-interval must be positive")
+    if args.source_rate is not None and args.source_rate <= 0:
+        parser.error("--source-rate must be positive")
+    if args.queue_capacity < 1:
+        parser.error("--queue-capacity must be >= 1")
+    if args.tuples is not None and args.tuples < 1:
+        parser.error("--tuples must be >= 1")
 
     if args.list:
         for name, fn in sorted(EXPERIMENTS.items()):

@@ -89,6 +89,8 @@ def checkpoint(join: SPOJoin) -> Dict[str, Any]:
         "merge_counter": join._merge_counter,
         "next_batch_id": join._next_batch_id,
         "next_merge_time": join._next_merge_time,
+        "degraded": join.degraded,
+        "deferred_merges": join.deferred_merges,
         "expired_batches": join.immutable.expired_batches,
         "mutable": {
             "left": _component_tuples(join.mutable_left),
@@ -108,6 +110,8 @@ def checkpoint(join: SPOJoin) -> Dict[str, Any]:
             "expired_batches": join.stats.expired_batches,
             "mutable_matches": join.stats.mutable_matches,
             "immutable_matches": join.stats.immutable_matches,
+            "degraded_tuples": join.stats.degraded_tuples,
+            "deferred_merges": join.stats.deferred_merges,
         },
     }
     return state
@@ -189,6 +193,10 @@ def restore(query: QuerySpec, state: Dict[str, Any]) -> SPOJoin:
     join._merge_counter = state["merge_counter"]
     join._next_batch_id = state["next_batch_id"]
     join._next_merge_time = state["next_merge_time"]
+    # Absent in snapshots written before overload degradation existed;
+    # those were all taken with degradation off.
+    join.degraded = state.get("degraded", False)
+    join.deferred_merges = state.get("deferred_merges", 0)
     stats = state["stats"]
     join.stats.tuples_processed = stats["tuples_processed"]
     join.stats.matches_emitted = stats["matches_emitted"]
@@ -196,4 +204,6 @@ def restore(query: QuerySpec, state: Dict[str, Any]) -> SPOJoin:
     join.stats.expired_batches = stats["expired_batches"]
     join.stats.mutable_matches = stats["mutable_matches"]
     join.stats.immutable_matches = stats["immutable_matches"]
+    join.stats.degraded_tuples = stats.get("degraded_tuples", 0)
+    join.stats.deferred_merges = stats.get("deferred_merges", 0)
     return join

@@ -48,6 +48,8 @@ class JoinStats:
         "expired_batches",
         "mutable_matches",
         "immutable_matches",
+        "degraded_tuples",
+        "deferred_merges",
     )
 
     def __init__(self) -> None:
@@ -57,6 +59,12 @@ class JoinStats:
         self.expired_batches = 0
         self.mutable_matches = 0
         self.immutable_matches = 0
+        #: Tuples answered from the mutable component only (degraded
+        #: mode skipped their immutable probe).
+        self.degraded_tuples = 0
+        #: Merge-clock firings deferred while degraded (cumulative; the
+        #: pending count lives on ``SPOJoin.deferred_merges``).
+        self.deferred_merges = 0
 
 
 class SPOJoin:
@@ -128,6 +136,15 @@ class SPOJoin:
         self._merge_counter = 0.0
         self._next_batch_id = 0
         self._next_merge_time: Optional[float] = None
+        #: Graceful degradation (overload pressure, see repro.dspe.flow):
+        #: while degraded the join answers from the mutable component
+        #: only (no immutable probes) and defers merges past the delta
+        #: threshold, trading merge stalls and immutable-match
+        #: completeness for bounded per-tuple latency.  Deferred merge
+        #: firings are counted in ``deferred_merges`` and collapsed into
+        #: one catch-up merge when degradation ends.
+        self.degraded = False
+        self.deferred_merges = 0
         #: Observability hook: when set, called as ``hook(category,
         #: seconds, **fields)`` with the operator-cost split the paper's
         #: breakdowns use — ``mutable_probe`` / ``immutable_probe`` /
@@ -169,12 +186,20 @@ class SPOJoin:
         matches.extend(mutable_matches)
         self.stats.mutable_matches += len(mutable_matches)
 
-        # ... and against every immutable PO-Join batch.
-        outcome = self.immutable.probe_all(t, probe_is_left, self.num_threads)
-        if hook is not None:
-            hook("immutable_probe", outcome.makespan)
-        matches.extend(outcome.matches)
-        self.stats.immutable_matches += len(outcome.matches)
+        # ... and against every immutable PO-Join batch.  Degraded mode
+        # answers from the mutable tier only: the immutable probe is the
+        # per-tuple cost that scales with window size, so shedding it
+        # bounds service time while the queue is saturated.
+        if not self.degraded:
+            outcome = self.immutable.probe_all(
+                t, probe_is_left, self.num_threads
+            )
+            if hook is not None:
+                hook("immutable_probe", outcome.makespan)
+            matches.extend(outcome.matches)
+            self.stats.immutable_matches += len(outcome.matches)
+        else:
+            self.stats.degraded_tuples += 1
 
         # (3) insert into its own stream's mutable index structures.
         own = self.mutable_left
@@ -214,7 +239,7 @@ class SPOJoin:
             j, fired = self._scan_boundary(tuples, i)
             self._process_subbatch(tuples[i:j], pairs)
             if fired:
-                self.merge()
+                self._merge_or_defer()
             i = j
         return pairs
 
@@ -256,10 +281,17 @@ class SPOJoin:
             # report it under one combined category rather than a split
             # the code cannot honestly measure.
             hook("mutable_probe_insert", time.perf_counter() - t0)
-        outcome = self.immutable.probe_all_batch(sub, flags, self.num_threads)
-        if hook is not None:
-            hook("immutable_probe", outcome.makespan)
-        for t, mut, imm in zip(sub, mutable_rows, outcome.per_probe):
+        if not self.degraded:
+            outcome = self.immutable.probe_all_batch(
+                sub, flags, self.num_threads
+            )
+            if hook is not None:
+                hook("immutable_probe", outcome.makespan)
+            immutable_rows: Sequence[List[int]] = outcome.per_probe
+        else:
+            self.stats.degraded_tuples += len(sub)
+            immutable_rows = [[] for __ in sub]
+        for t, mut, imm in zip(sub, mutable_rows, immutable_rows):
             self.stats.mutable_matches += len(mut)
             self.stats.immutable_matches += len(imm)
             self.stats.tuples_processed += 1
@@ -335,17 +367,41 @@ class SPOJoin:
         return self.mutable_right
 
     # ------------------------------------------------------------------
+    def set_degraded(self, flag: bool) -> None:
+        """Enter or leave overload-degraded mode.
+
+        Entering stops immutable probes and merge firings.  Leaving with
+        merge firings pending collapses them into a *single* catch-up
+        merge — the deferred firings all wanted to freeze the same
+        accumulated mutable window, so one merge restores the two-tier
+        invariant without replaying each missed interval.
+        """
+        if flag == self.degraded:
+            return
+        self.degraded = flag
+        if not flag and self.deferred_merges:
+            self.deferred_merges = 0
+            self.merge()
+
+    def _merge_or_defer(self) -> None:
+        """Fire the merge clock, unless degraded (then count the firing)."""
+        if self.degraded:
+            self.deferred_merges += 1
+            self.stats.deferred_merges += 1
+            return
+        self.merge()
+
     def _advance_merge_clock(self, t: StreamTuple) -> None:
         if self.window.kind is WindowKind.COUNT:
             self._merge_counter += 1
             if self._merge_counter >= self.policy.delta:
-                self.merge()
+                self._merge_or_defer()
                 self._merge_counter = 0
         else:
             if self._next_merge_time is None:
                 self._next_merge_time = t.event_time + self.policy.delta
             elif t.event_time >= self._next_merge_time:
-                self.merge()
+                self._merge_or_defer()
                 self._next_merge_time += self.policy.delta
 
     def merge(self) -> Optional[POJoinBatch]:

@@ -9,6 +9,7 @@ cluster experiments.
 from .cache import CacheClient, DistributedCache
 from .engine import Context, Engine, Message, Record, RunResult, TupleBatch
 from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
+from .flow import DeadLetter, FlowConfig, FlowController, FlowMetrics, RetryPolicy
 from .metrics import (
     LatencyCollector,
     RecoveryMetrics,
@@ -52,6 +53,11 @@ __all__ = [
     "RecoveryConfig",
     "RecoveryManager",
     "RecoveryMetrics",
+    "FlowConfig",
+    "FlowController",
+    "FlowMetrics",
+    "RetryPolicy",
+    "DeadLetter",
     "LatencyCollector",
     "ThroughputCollector",
     "Summary",

@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..obs import Observer
 from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
+from .flow import FlowConfig, FlowController
 from .pe import ProcessingElement
 from .recovery import RecoveryConfig, RecoveryManager
 from .topology import Topology
@@ -84,9 +85,13 @@ class Message:
     this delivery was sampled, it holds the tuple's
     :class:`~repro.obs.trace.TraceSpan`, which downstream emissions
     inherit.  It stays ``None`` (and costs one slot) otherwise.
+
+    ``attempts`` counts failed service attempts of this exact envelope
+    (poison-tuple retries, see :mod:`repro.dspe.flow`); redeliveries
+    reuse the envelope so the count survives requeueing.
     """
 
-    __slots__ = ("payload", "stream", "origin_time", "marks", "trace")
+    __slots__ = ("payload", "stream", "origin_time", "marks", "trace", "attempts")
 
     def __init__(
         self,
@@ -101,6 +106,7 @@ class Message:
         self.origin_time = origin_time
         self.marks = marks if marks is not None else {}
         self.trace = trace
+        self.attempts = 0
 
 
 class Record:
@@ -148,6 +154,8 @@ class Context:
         #: current service; the engine subtracts this from the measured
         #: service time so instrumentation never inflates the charge.
         self._obs_overhead = 0.0
+        #: Overload signal of the serving PE (set by the flow layer).
+        self._pressure = False
 
     # -- emission -------------------------------------------------------
     def emit(self, payload, stream: str = "default") -> None:
@@ -213,6 +221,17 @@ class Context:
         self._obs_overhead += time.perf_counter() - t0
 
     @property
+    def pressure(self) -> bool:
+        """True while the serving PE's queue is above its pressure mark.
+
+        Only the ``degrade`` flow policy is expected to act on this —
+        the SPO joiner defers merges and answers from the mutable
+        component while pressured — but the signal is maintained for
+        every managed queue.  Always False without a flow layer.
+        """
+        return self._pressure
+
+    @property
     def num_pes(self) -> int:
         assert self.pe is not None
         return self._engine.parallelism_of(self.pe.component)
@@ -242,6 +261,10 @@ class RunResult:
         fault_plan: Optional[FaultPlan] = None,
         telemetry=None,
         obs: Optional[Observer] = None,
+        flow=None,
+        redeliveries: int = 0,
+        duplicates_dropped: int = 0,
+        redeliveries_exhausted: int = 0,
     ) -> None:
         self.records = records
         self.pes = pes
@@ -258,6 +281,20 @@ class RunResult:
         #: The full :class:`~repro.obs.Observer` (tracer + telemetry +
         #: event log) when one was attached, else None.
         self.obs = obs
+        #: The :class:`~repro.dspe.flow.FlowController` (config, metrics,
+        #: dead-letter log) when the run had a flow layer, else None.
+        self.flow = flow
+        #: At-least-once ingestion counters: scheduled redeliveries,
+        #: duplicate copies dropped by offset dedup, and tuples whose
+        #: redelivery budget (``max_redeliveries``) ran out.
+        self.redeliveries = redeliveries
+        self.duplicates_dropped = duplicates_dropped
+        self.redeliveries_exhausted = redeliveries_exhausted
+
+    @property
+    def dead_letters(self):
+        """Quarantined messages; empty without a flow layer."""
+        return self.flow.dead_letters if self.flow is not None else []
 
     def records_named(self, name: str) -> List[Record]:
         return [r for r in self.records if r.name == name]
@@ -300,6 +337,7 @@ _DELIVERY = 1
 _FAULT = 2
 _RESTART = 3
 _CHECKPOINT = 4
+_SERVICE = 5
 
 
 def _payload_tuples(payload) -> int:
@@ -307,6 +345,17 @@ def _payload_tuples(payload) -> int:
     if isinstance(payload, TupleBatch):
         return len(payload)
     return 1
+
+
+def _payload_key(payload) -> object:
+    """Stable identity of a delivery for dead-letter / retry accounting."""
+    tid = getattr(payload, "tid", None)
+    if tid is not None:
+        return tid
+    if isinstance(payload, TupleBatch) and payload.tuples:
+        first = payload.tuples[0]
+        return getattr(first, "tid", repr(first))
+    return repr(payload)[:80]
 
 
 class Engine:
@@ -344,6 +393,16 @@ class Engine:
         all instrumentation at the cost of a per-serve ``is None``
         check; charged service times are identical either way (the
         overhead-isolation rule — see :mod:`repro.obs`).
+    flow:
+        A :class:`~repro.dspe.flow.FlowConfig` switching managed PEs to
+        bounded queues with an overload policy (``block`` backpressure /
+        ``shed`` / ``degrade``) plus poison-tuple retry + dead-letter
+        quarantine.  ``None`` (the default) keeps the legacy unbounded
+        eager-serve path, fingerprint-identical to the seed engine.
+    max_redeliveries:
+        Budget of at-least-once redeliveries per source offset; an
+        offset exhausting it is dropped with a ``redelivery_exhausted``
+        record instead of retrying forever.
     """
 
     def __init__(
@@ -362,6 +421,8 @@ class Engine:
         recovery: Optional[RecoveryConfig] = None,
         fault_seed: Optional[int] = None,
         obs: Optional[Observer] = None,
+        flow: Optional[FlowConfig] = None,
+        max_redeliveries: int = 100,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
@@ -369,6 +430,8 @@ class Engine:
             raise ValueError("cores_per_node must be >= 1")
         if not 0.0 <= spout_loss_rate < 0.5:
             raise ValueError("spout_loss_rate must be in [0, 0.5)")
+        if max_redeliveries < 0:
+            raise ValueError("max_redeliveries must be >= 0")
         topology.validate()
         self.topology = topology
         self.num_nodes = num_nodes
@@ -397,6 +460,21 @@ class Engine:
         self._loss_rng = random.Random(loss_seed)
         self.redeliveries = 0
         self.duplicates_dropped = 0
+        # Redelivery hardening: at most this many redeliveries per source
+        # offset; an offset that exhausts the budget is dropped (counted,
+        # dead-lettered when a flow layer is attached) instead of
+        # retrying forever.  With a flow layer the retry delay follows
+        # its backoff policy; without one it stays the fixed timeout.
+        self.max_redeliveries = max_redeliveries
+        self.redeliveries_exhausted = 0
+        self._redelivery_attempts: Dict[Tuple[str, int], int] = {}
+
+        # Overload protection (repro.dspe.flow): None keeps the legacy
+        # eager-serve path byte-for-byte; a FlowConfig switches managed
+        # PEs to explicit bounded queues driven by _SERVICE events.
+        self.flow_ctl: Optional[FlowController] = (
+            FlowController(flow) if flow is not None else None
+        )
 
         # Observability (see repro.obs): None means every hook reduces
         # to an attribute check, keeping plain runs unobserved and free.
@@ -405,6 +483,11 @@ class Engine:
 
         self._pes: Dict[str, List[ProcessingElement]] = {}
         self._build_pes()
+        if self.flow_ctl is not None:
+            for name, instances in self._pes.items():
+                if self.flow_ctl.manages(name):
+                    for pe in instances:
+                        self.flow_ctl.register(pe)
         self._records: List[Record] = []
         self._seq = itertools.count()
         # Per-link FIFO floor: newest arrival per (sender, receiver PE).
@@ -473,6 +556,11 @@ class Engine:
         wall_start = time.perf_counter()
         heap: List[Tuple[float, int, int, object]] = []
         ctx = Context(self)
+        fc = self.flow_ctl
+        # Credit-based backpressure reaches the source itself: under the
+        # ``block`` and ``degrade`` policies the spout pulls the next
+        # tuple only once the current one was admitted downstream.
+        throttle = fc is not None and fc.config.throttles
 
         # Prime the PEs.
         for instances in self._pes.values():
@@ -526,33 +614,57 @@ class Engine:
                 is_retry = origin is not None
                 if not is_retry:
                     origin = when
-                    # Keep the stream flowing regardless of this event's fate.
-                    self._push_spout_event(
-                        heap, name, spout_iters[name], spout_offsets[name]
-                    )
+                    if not throttle:
+                        # Keep the stream flowing regardless of this
+                        # event's fate.  Under backpressure the next pull
+                        # instead waits for this delivery's admission.
+                        self._push_spout_event(
+                            heap, name, spout_iters[name], spout_offsets[name]
+                        )
                 sim_end = max(sim_end, when)
+                # In throttle mode the spout is strictly sequential: each
+                # handled first-delivery pulls the next tuple, floored at
+                # the current clock so admission delays propagate.
+                advance = throttle and not is_retry
                 if offset in delivered[name]:
                     # Offset tracking at the consumer: a redelivered copy
                     # of an already-processed tuple is dropped.
                     self.duplicates_dropped += 1
+                    if advance:
+                        self._push_spout_event(
+                            heap,
+                            name,
+                            spout_iters[name],
+                            spout_offsets[name],
+                            floor=when,
+                        )
                     continue
                 if self.spout_loss_rate:
                     roll = self._loss_rng.random()
-                    retry = (
-                        when + self.redelivery_timeout,
-                        next(self._seq),
-                        _SPOUT,
-                        (name, offset, payload, origin),
-                    )
                     if roll < self.spout_loss_rate:
-                        # Lost in flight: redeliver after the ack timeout.
-                        self.redeliveries += 1
-                        heapq.heappush(heap, retry)
+                        # Lost in flight: redeliver after the (backoff)
+                        # timeout — unless the offset's budget ran out,
+                        # in which case the tuple is dropped for good.
+                        if not self._schedule_redelivery(
+                            heap, when, name, offset, payload, origin
+                        ):
+                            self._drop_exhausted(name, offset, payload, when)
+                        if advance:
+                            self._push_spout_event(
+                                heap,
+                                name,
+                                spout_iters[name],
+                                spout_offsets[name],
+                                floor=when,
+                            )
                         continue
                     if roll < 1.5 * self.spout_loss_rate:
-                        # Ack lost: the copy arrives AND a redelivery fires.
-                        self.redeliveries += 1
-                        heapq.heappush(heap, retry)
+                        # Ack lost: the copy arrives AND a redelivery
+                        # fires (skipped silently on an exhausted budget;
+                        # this copy is about to be processed anyway).
+                        self._schedule_redelivery(
+                            heap, when, name, offset, payload, origin
+                        )
                 delivered[name].add(offset)
                 # Latency accounting starts at the original emission, so a
                 # redelivered tuple carries its redelivery delay.
@@ -561,7 +673,22 @@ class Engine:
                     # Sampling is per accepted delivery (post-dedup), so
                     # the traced population is the processed tuples.
                     message.trace = self.obs.tracer.maybe_start(origin)
-                self._dispatch(heap, name, None, message, when)
+                if advance:
+                    def resume(grant_time, name=name):
+                        self._push_spout_event(
+                            heap,
+                            name,
+                            spout_iters[name],
+                            spout_offsets[name],
+                            floor=grant_time,
+                        )
+
+                    if self._dispatch(
+                        heap, name, None, message, when, resume=resume
+                    ):
+                        resume(when)
+                else:
+                    self._dispatch(heap, name, None, message, when)
                 continue
             if kind == _FAULT:
                 crash: CrashEvent = data
@@ -572,6 +699,13 @@ class Engine:
                     continue
                 pe.down = True
                 mgr.on_crash(pe, when, crash.restart_delay)
+                if fc is not None:
+                    # A managed queue does not survive the crash: its
+                    # contents move to the recovery layer's held buffer
+                    # (at-least-once redelivery) and, under ``block``,
+                    # the freed credits resume parked senders so the
+                    # upstream is not deadlocked on a dead PE.
+                    self._flow_crash(heap, pe, when)
                 if self.obs is not None:
                     self.obs.on_event(
                         "crash",
@@ -623,16 +757,32 @@ class Engine:
                         ),
                     )
                 continue
+            if kind == _SERVICE:
+                completion = self._flow_service(heap, ctx, data, when)
+                sim_end = max(sim_end, completion)
+                continue
             pe, message = data
             if self.obs is not None:
                 # Leaves the in-flight set now even if held below: held
                 # messages are tracked by the recovery layer, not the
                 # queue-depth gauge.
                 pe.pending -= 1
+            flow_st = fc.state_of(pe) if fc is not None else None
             if pe.down:
+                if flow_st is not None and throttle:
+                    # The message moves to the recovery layer's held
+                    # buffer, not this queue: free the sender's credit.
+                    flow_st.outstanding -= 1
+                    self._flow_grant(heap, pe, flow_st, when)
                 # At-least-once delivery: buffer for redelivery once the
                 # PE is back up.
                 self.recovery_manager.hold(pe, message)
+                continue
+            if flow_st is not None:
+                # Managed queue: the delivery is admitted (or shed) now
+                # and served by a later _SERVICE event.
+                self._flow_arrival(heap, pe, flow_st, message, when)
+                sim_end = max(sim_end, when)
                 continue
             if mgr is not None and mgr.protects(pe):
                 if mgr.log_is_full(pe):
@@ -650,6 +800,8 @@ class Engine:
 
         wall = time.perf_counter() - wall_start
         all_pes = [pe for group in self._pes.values() for pe in group]
+        if fc is not None:
+            fc.finalize()
         return RunResult(
             self._records,
             all_pes,
@@ -660,6 +812,10 @@ class Engine:
             fault_plan=self.fault_plan,
             telemetry=self.obs.telemetry if self.obs is not None else None,
             obs=self.obs,
+            flow=fc,
+            redeliveries=self.redeliveries,
+            duplicates_dropped=self.duplicates_dropped,
+            redeliveries_exhausted=self.redeliveries_exhausted,
         )
 
     # ------------------------------------------------------------------
@@ -795,12 +951,21 @@ class Engine:
 
     # ------------------------------------------------------------------
     def _push_spout_event(
-        self, heap, name: str, it: Iterator, offsets: Iterator[int]
+        self,
+        heap,
+        name: str,
+        it: Iterator,
+        offsets: Iterator[int],
+        floor: float = 0.0,
     ) -> None:
         try:
             event_time, payload = next(it)
         except StopIteration:
             return
+        # Backpressure throttling: a spout behind the source's nominal
+        # schedule emits at the admission clock, never in the past.
+        if event_time < floor:
+            event_time = floor
         # The trailing None marks a first delivery; retries carry the
         # original emission time there instead.
         heapq.heappush(
@@ -813,6 +978,317 @@ class Engine:
             ),
         )
 
+    def _schedule_redelivery(
+        self, heap, when: float, name: str, offset: int, payload, origin: float
+    ) -> bool:
+        """Schedule an at-least-once redelivery of a source offset.
+
+        Returns False (scheduling nothing) once the offset's budget of
+        ``max_redeliveries`` is spent.  With a flow layer attached the
+        delay follows its capped-exponential-backoff retry policy;
+        without one it is the legacy fixed ``redelivery_timeout``.
+        """
+        key = (name, offset)
+        attempts = self._redelivery_attempts.get(key, 0) + 1
+        if attempts > self.max_redeliveries:
+            return False
+        self._redelivery_attempts[key] = attempts
+        if self.flow_ctl is not None:
+            delay = self.flow_ctl.retry_delay(attempts, self.redelivery_timeout)
+        else:
+            delay = self.redelivery_timeout
+        self.redeliveries += 1
+        heapq.heappush(
+            heap,
+            (when + delay, next(self._seq), _SPOUT, (name, offset, payload, origin)),
+        )
+        return True
+
+    def _drop_exhausted(
+        self, name: str, offset: int, payload, when: float
+    ) -> None:
+        """A lost tuple ran out of redeliveries: it is gone for good.
+
+        The loss is never silent — it is counted, recorded, and (with a
+        flow layer) dead-lettered, so completeness stays quantified.
+        """
+        self.redeliveries_exhausted += 1
+        key = _payload_key(payload)
+        if self.flow_ctl is not None:
+            self.flow_ctl.quarantine(
+                f"source:{name}",
+                key,
+                self.max_redeliveries,
+                "redelivery budget exhausted",
+                when,
+                payload,
+                _payload_tuples(payload),
+            )
+        if self.obs is not None:
+            self.obs.on_event(
+                "redelivery_exhausted",
+                when,
+                None,
+                {"source": name, "offset": offset, "key": key},
+            )
+        self._records.append(
+            Record(
+                "redelivery_exhausted",
+                {"source": name, "offset": offset, "key": key},
+                when,
+                when,
+                {},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Flow control (bounded queues; see repro.dspe.flow)
+    # ------------------------------------------------------------------
+    def _schedule_service(
+        self, heap, pe: ProcessingElement, st, at: float
+    ) -> None:
+        st.scheduled += 1
+        heapq.heappush(heap, (at, next(self._seq), _SERVICE, pe))
+
+    def _flow_arrival(
+        self, heap, pe: ProcessingElement, st, message: Message, when: float
+    ) -> None:
+        """Admit one delivery into a managed PE's queue (or shed it)."""
+        fc = self.flow_ctl
+        cfg = fc.config
+        cap = cfg.queue_capacity
+        if cfg.policy == "shed" and cap is not None and len(st.queue) >= cap:
+            if cfg.drop == "newest":
+                victim = message
+            else:
+                __, victim = st.queue.popleft()
+                st.queue.append((when, message))
+            tuples = _payload_tuples(victim.payload)
+            fc.metrics.record_shed(pe.name, tuples)
+            if self.obs is not None:
+                self.obs.on_event(
+                    "shed",
+                    when,
+                    pe.name,
+                    {
+                        "drop": cfg.drop,
+                        "tuples": tuples,
+                        "key": _payload_key(victim.payload),
+                    },
+                )
+            self._records.append(
+                Record(
+                    "shed",
+                    {
+                        "pe": pe.name,
+                        "drop": cfg.drop,
+                        "tuples": tuples,
+                        "at": when,
+                    },
+                    when,
+                    when,
+                    {},
+                )
+            )
+            if victim is message:
+                return
+        else:
+            st.queue.append((when, message))
+        depth = len(st.queue)
+        if depth > st.high_watermark:
+            st.high_watermark = depth
+        if cap is not None and depth >= cap and not st.pressured:
+            # Rising edge of the pressure latch (cleared at the release
+            # depth as the queue drains — hysteresis avoids flapping).
+            st.pressured = True
+            fc.metrics.record_queue_full(pe.name)
+            if self.obs is not None:
+                self.obs.on_event(
+                    "queue_full",
+                    when,
+                    pe.name,
+                    {"depth": depth, "capacity": cap, "policy": cfg.policy},
+                )
+        if st.scheduled == 0 and st.blocked == 0:
+            self._schedule_service(heap, pe, st, max(when, pe.busy_until))
+
+    def _flow_service(self, heap, ctx: Context, pe: ProcessingElement, when: float) -> float:
+        """Serve the head of a managed PE's queue (a _SERVICE event)."""
+        fc = self.flow_ctl
+        st = fc.state_of(pe)
+        st.scheduled -= 1
+        if pe.down or st.blocked or not st.queue:
+            # Stale tick: the queue moved to the recovery layer on a
+            # crash, the PE is output-blocked (its resume reschedules),
+            # or a previous tick already drained the queue.
+            return when
+        arrival, message = st.queue.popleft()
+        cfg = fc.config
+        if cfg.throttles:
+            # The popped slot frees one credit for parked senders.
+            st.outstanding -= 1
+            self._flow_grant(heap, pe, st, when)
+        if st.pressured and len(st.queue) <= cfg.release_depth:
+            st.pressured = False
+        mgr = self.recovery_manager
+        if mgr is not None and mgr.protects(pe):
+            if mgr.log_is_full(pe):
+                self._checkpoint_pe(pe, when, forced=True)
+            mgr.log_delivery(pe, message)
+        completion = self._serve(heap, ctx, pe, message, arrival, flow_st=st)
+        if st.queue and st.blocked == 0:
+            self._schedule_service(heap, pe, st, completion)
+        return completion
+
+    def _flow_send(
+        self, heap, sender_key: str, src_node, units, idx: int, at: float, resume
+    ) -> bool:
+        """Deliver dispatch units in order, parking at the first full
+        ``block``-policy target.  Returns True when every unit was sent;
+        False parks ``(units, idx, resume)`` on the target's waiter list
+        (``resume`` fires once the remaining units are all delivered).
+        """
+        fc = self.flow_ctl
+        cfg = fc.config
+        block = cfg.throttles
+        while idx < len(units):
+            pe, msg = units[idx]
+            st = fc.state_of(pe) if block else None
+            if (
+                st is not None
+                and not pe.down
+                and st.outstanding >= cfg.queue_capacity
+            ):
+                fc.metrics.record_block(sender_key)
+                if self.obs is not None:
+                    self.obs.on_event(
+                        "backpressure_on", at, pe.name, {"sender": sender_key}
+                    )
+                st.waiters.append((sender_key, src_node, units, idx, resume, at))
+                return False
+            if st is not None:
+                st.outstanding += 1
+            self._send_unit(heap, sender_key, src_node, pe, msg, at)
+            idx += 1
+        return True
+
+    def _flow_grant(self, heap, pe: ProcessingElement, st, at: float) -> None:
+        """Hand freed credits to parked senders (``block`` policy)."""
+        fc = self.flow_ctl
+        cap = fc.config.queue_capacity
+        while st.waiters and st.outstanding < cap:
+            sender_key, src_node, units, idx, resume, since = st.waiters.popleft()
+            st.outstanding += 1
+            fc.metrics.record_unblock(sender_key, at - since)
+            if self.obs is not None:
+                self.obs.on_event(
+                    "backpressure_off",
+                    at,
+                    pe.name,
+                    {"sender": sender_key, "stalled_s": at - since},
+                )
+            self._send_unit(heap, sender_key, src_node, pe, units[idx][1], at)
+            if self._flow_send(heap, sender_key, src_node, units, idx + 1, at, resume):
+                if resume is not None:
+                    resume(at)
+
+    def _flow_crash(self, heap, pe: ProcessingElement, when: float) -> None:
+        """Migrate a crashed managed queue to the recovery held buffer."""
+        fc = self.flow_ctl
+        st = fc.state_of(pe)
+        if st is None:
+            return
+        mgr = self.recovery_manager
+        queued = len(st.queue)
+        for __, message in st.queue:
+            mgr.hold(pe, message)
+        st.queue.clear()
+        st.pressured = False
+        cfg = fc.config
+        if cfg.throttles and queued:
+            st.outstanding -= queued
+            self._flow_grant(heap, pe, st, when)
+
+    def _handle_poison(
+        self, heap, pe: ProcessingElement, message: Message, at: float, exc
+    ) -> None:
+        """A service attempt raised: retry with backoff or quarantine."""
+        fc = self.flow_ctl
+        retry = fc.config.retry
+        message.attempts += 1
+        key = _payload_key(message.payload)
+        if message.attempts >= retry.max_attempts:
+            tuples = _payload_tuples(message.payload)
+            fc.quarantine(
+                pe.name, key, message.attempts, repr(exc), at, message.payload, tuples
+            )
+            if self.obs is not None:
+                self.obs.on_event(
+                    "quarantine",
+                    at,
+                    pe.name,
+                    {"key": key, "attempts": message.attempts, "error": repr(exc)},
+                )
+            self._records.append(
+                Record(
+                    "quarantined",
+                    {
+                        "pe": pe.name,
+                        "key": key,
+                        "attempts": message.attempts,
+                        "error": repr(exc),
+                        "tuples": tuples,
+                    },
+                    at,
+                    at,
+                    {},
+                )
+            )
+            return
+        fc.metrics.retries += 1
+        delay = fc.retry_delay(message.attempts, self.redelivery_timeout)
+        st = fc.state_of(pe)
+        cfg = fc.config
+        if st is not None and cfg.throttles:
+            # The retry re-enters the queue with no sender to debit, so
+            # it borrows a credit (transiently exceeding capacity) that
+            # is repaid when it is popped for its next attempt.
+            st.outstanding += 1
+        if self.obs is not None:
+            pe.pending += 1
+            self.obs.on_event(
+                "retry",
+                at,
+                pe.name,
+                {"key": key, "attempt": message.attempts, "delay_s": delay},
+            )
+        heapq.heappush(
+            heap, (at + delay, next(self._seq), _DELIVERY, (pe, message))
+        )
+
+    def _send_unit(
+        self,
+        heap,
+        sender_key: str,
+        src_node: Optional[int],
+        pe: ProcessingElement,
+        message: Message,
+        at: float,
+    ) -> None:
+        """Put one delivery on the wire towards ``pe`` at time ``at``."""
+        arrival = at + self._delay(src_node, pe.node, at)
+        link = (sender_key, pe.name)
+        arrival = max(arrival, self._link_arrivals.get(link, 0.0))
+        self._link_arrivals[link] = arrival
+        if self.obs is not None:
+            # Queue-depth gauge: dispatched but not yet served.
+            # A broadcast span shares one trace across targets.
+            pe.pending += 1
+        heapq.heappush(
+            heap,
+            (arrival, next(self._seq), _DELIVERY, (pe, message)),
+        )
+
     def _dispatch(
         self,
         heap,
@@ -821,35 +1297,59 @@ class Engine:
         message: Message,
         at: float,
         sender: Optional[str] = None,
-    ) -> None:
-        """Route one emission to every subscribed bolt."""
+        resume=None,
+    ) -> bool:
+        """Route one emission to every subscribed bolt.
+
+        Returns False when the flow layer parked part of the fan-out on
+        a full ``block``-policy queue — the parked units are delivered
+        as credits free, and ``resume`` (if given) fires once the last
+        one is on the wire.  Always True without a flow layer.
+        """
         sender_key = sender if sender is not None else source
+        if self.flow_ctl is None:
+            for bolt, grouping in self.topology.consumers_of(
+                source, message.stream
+            ):
+                instances = self._pes[bolt.name]
+                for target in grouping.targets(message.payload, len(instances)):
+                    pe = instances[target]
+                    delivered = Message(
+                        message.payload,
+                        "default",
+                        message.origin_time,
+                        dict(message.marks),
+                        trace=message.trace,
+                    )
+                    self._send_unit(heap, sender_key, src_node, pe, delivered, at)
+            return True
+        units = []
         for bolt, grouping in self.topology.consumers_of(source, message.stream):
             instances = self._pes[bolt.name]
             for target in grouping.targets(message.payload, len(instances)):
                 pe = instances[target]
-                arrival = at + self._delay(src_node, pe.node, at)
-                link = (sender_key, pe.name)
-                arrival = max(arrival, self._link_arrivals.get(link, 0.0))
-                self._link_arrivals[link] = arrival
-                delivered = Message(
-                    message.payload,
-                    "default",
-                    message.origin_time,
-                    dict(message.marks),
-                    trace=message.trace,
+                units.append(
+                    (
+                        pe,
+                        Message(
+                            message.payload,
+                            "default",
+                            message.origin_time,
+                            dict(message.marks),
+                            trace=message.trace,
+                        ),
+                    )
                 )
-                if self.obs is not None:
-                    # Queue-depth gauge: dispatched but not yet served.
-                    # A broadcast span shares one trace across targets.
-                    pe.pending += 1
-                heapq.heappush(
-                    heap,
-                    (arrival, next(self._seq), _DELIVERY, (pe, delivered)),
-                )
+        return self._flow_send(heap, sender_key, src_node, units, 0, at, resume)
 
     def _serve(
-        self, heap, ctx: Context, pe: ProcessingElement, message: Message, arrival: float
+        self,
+        heap,
+        ctx: Context,
+        pe: ProcessingElement,
+        message: Message,
+        arrival: float,
+        flow_st=None,
     ) -> float:
         start = max(arrival, pe.busy_until)
         core_index = None
@@ -864,10 +1364,29 @@ class Engine:
         ctx._records = []
         ctx._charged = None
         ctx._obs_overhead = 0.0
+        ctx._pressure = flow_st.pressured if flow_st is not None else False
 
         t0 = time.perf_counter()
-        pe.operator.process(message.payload, ctx)
+        if self.flow_ctl is None:
+            pe.operator.process(message.payload, ctx)
+            failure = None
+        else:
+            # Poison hardening: a raising operator must not take the run
+            # (or the PE) down — the failed attempt is charged like any
+            # service, its partial effects are discarded, and the
+            # message is retried with backoff or quarantined.
+            try:
+                pe.operator.process(message.payload, ctx)
+                failure = None
+            except Exception as exc:
+                failure = exc
         elapsed = time.perf_counter() - t0
+        if failure is not None:
+            # Atomicity: a failed attempt contributes no records or
+            # emissions; its measured wall time is still service.
+            ctx._emissions = []
+            ctx._records = []
+            ctx._charged = None
         if ctx._obs_overhead:
             # Overhead isolation: time spent inside observe_* callbacks
             # is instrumentation, not operator work — never charge it.
@@ -882,6 +1401,8 @@ class Engine:
         wait = start - arrival
         pe.wait_time += wait
         pe.wait_max = max(pe.wait_max, wait)
+        if flow_st is not None:
+            self.flow_ctl.metrics.record_wait(pe.name, wait)
         if core_index is not None:
             self._node_cores[pe.node][core_index] = completion
 
@@ -896,6 +1417,10 @@ class Engine:
                 trace.add_hop(
                     pe.name, pe.component, arrival, start, completion, service, tuples
                 )
+
+        if failure is not None:
+            self._handle_poison(heap, pe, message, completion, failure)
+            return completion
 
         mgr = self.recovery_manager
         dedup = mgr is not None and mgr.protects(pe)
@@ -914,6 +1439,21 @@ class Engine:
                     dict(message.marks),
                 )
             )
+        resume = None
+        if flow_st is not None:
+            def resume(grant_time, pe=pe, st=flow_st):
+                # One blocked emission resolved; once all are, the PE
+                # resumes serving its own queue — this is how
+                # backpressure propagates upstream hop by hop.
+                st.blocked -= 1
+                if (
+                    st.blocked == 0
+                    and st.queue
+                    and st.scheduled == 0
+                    and not pe.down
+                ):
+                    self._schedule_service(heap, pe, st, grant_time)
+
         for stream, payload in ctx._emissions:
             # A payload carrying its own origin_time (a TupleBatch whose
             # oldest tuple predates the triggering message) overrides the
@@ -928,7 +1468,15 @@ class Engine:
                 # triggered them, extending the span downstream.
                 trace=message.trace,
             )
-            self._dispatch(
-                heap, pe.component, pe.node, out, completion, sender=pe.name
+            sent = self._dispatch(
+                heap,
+                pe.component,
+                pe.node,
+                out,
+                completion,
+                sender=pe.name,
+                resume=resume,
             )
+            if not sent and flow_st is not None:
+                flow_st.blocked += 1
         return completion

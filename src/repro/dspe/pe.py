@@ -33,6 +33,8 @@ class ProcessingElement:
         "downtime",
         "checkpoints",
         "pending",
+        "capacity",
+        "queue_peak",
     )
 
     def __init__(self, component: str, index: int, node: int, operator: Operator) -> None:
@@ -56,19 +58,35 @@ class ProcessingElement:
         #: Observability gauge: deliveries dispatched to this PE but not
         #: yet served (maintained only when the run has an observer).
         self.pending = 0
+        #: Flow control (repro.dspe.flow): queue bound when this PE's
+        #: queue is managed (None = unbounded), and the peak queue depth
+        #: observed over the run (the high watermark).
+        self.capacity = None
+        self.queue_peak = 0
 
     @property
     def name(self) -> str:
         return f"{self.component}[{self.index}]"
 
     def utilization(self, horizon: float) -> float:
-        """Fraction of the simulated horizon this PE spent serving."""
+        """Fraction of the simulated horizon this PE spent serving.
+
+        0.0 for a PE that never did any work (zero messages processed
+        and no checkpoint overhead charged) or for an empty horizon —
+        an idle PE must report idle, not garbage from a 0/0 ratio.
+        """
         if horizon <= 0:
+            return 0.0
+        if self.processed == 0 and self.busy_time == 0.0:
             return 0.0
         return min(1.0, self.busy_time / horizon)
 
     def mean_wait(self) -> float:
-        """Average queueing delay per processed message."""
+        """Average queueing delay per processed message.
+
+        0.0 when the PE processed nothing — the mean of an empty sample
+        is reported as idle, never a division error or a stale ratio.
+        """
         if self.processed == 0:
             return 0.0
         return self.wait_time / self.processed

@@ -90,6 +90,7 @@ class SPOConfig:
         recovery=None,
         fault_seed: Optional[int] = None,
         obs=None,
+        flow=None,
     ) -> None:
         if state_strategy not in ("rr", "dc"):
             raise ValueError("state_strategy must be 'rr' or 'dc'")
@@ -128,6 +129,10 @@ class SPOConfig:
         # run_spo like the fault knobs, so one config describes an
         # instrumented run too.
         self.obs = obs
+        # Overload protection (repro.dspe.flow.FlowConfig): bounded PE
+        # queues with block/shed/degrade policies, forwarded like the
+        # fault knobs.
+        self.flow = flow
 
     @property
     def two_stream(self) -> bool:

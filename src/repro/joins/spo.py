@@ -148,13 +148,13 @@ def run_spo(
 ) -> RunResult:
     """Build and run the distributed SPO-Join; returns the run result.
 
-    The config's ``faults``/``recovery``/``fault_seed``/``obs`` are
-    forwarded to the engine (explicit ``engine_kwargs`` win), and any
+    The config's ``faults``/``recovery``/``fault_seed``/``obs``/``flow``
+    are forwarded to the engine (explicit ``engine_kwargs`` win), and any
     cache-partition windows of the resulting fault plan are mirrored into
     ``config.cache.partitions`` so stale reads line up with the schedule.
     """
     topo = build_spo_topology(source, config, logical_pes)
-    for knob in ("faults", "recovery", "fault_seed", "obs"):
+    for knob in ("faults", "recovery", "fault_seed", "obs", "flow"):
         value = getattr(config, knob, None)
         if value is not None:
             engine_kwargs.setdefault(knob, value)

@@ -335,8 +335,14 @@ class SPOJoinerOperator(Operator):
         left_stream: str = "R",
         right_stream: str = "S",
         num_threads: int = 1,
+        degrade_under_pressure: bool = False,
     ) -> None:
         self.query = query
+        #: When True the joiner follows the engine's backpressure signal
+        #: (``ctx.pressure``, set by a ``policy="degrade"`` flow config):
+        #: under pressure the join answers from the mutable tier only
+        #: and defers merges; on release it catches up with one merge.
+        self.degrade_under_pressure = degrade_under_pressure
         self.join = SPOJoin(
             query,
             window,
@@ -365,6 +371,15 @@ class SPOJoinerOperator(Operator):
 
     def process(self, payload, ctx) -> None:
         ctx.mark("joiner")
+        if self.degrade_under_pressure and ctx.pressure != self.join.degraded:
+            pending = self.join.deferred_merges
+            self.join.set_degraded(ctx.pressure)
+            if ctx.observing:
+                if ctx.pressure:
+                    ctx.observe_event("degrade_on")
+                else:
+                    ctx.observe_event("degrade_off", caught_up=pending)
+        degraded = self.join.degraded
         if isinstance(payload, TupleBatch):
             tuples = list(payload.tuples)
             pairs = self.join.process_many(tuples)
@@ -375,14 +390,17 @@ class SPOJoinerOperator(Operator):
         for tid, match in pairs:
             by_tid.setdefault(tid, []).append(match)
         for t in tuples:
-            ctx.record(
-                "result",
-                {
-                    "tid": t.tid,
-                    "matches": sorted(by_tid.get(t.tid, ())),
-                    "event_time": t.event_time,
-                },
-            )
+            entry = {
+                "tid": t.tid,
+                "matches": sorted(by_tid.get(t.tid, ())),
+                "event_time": t.event_time,
+            }
+            if degraded:
+                # Mark partial answers (immutable probes were skipped) so
+                # downstream consumers can distinguish them; the payload
+                # shape under normal operation is unchanged.
+                entry["degraded"] = True
+            ctx.record("result", entry)
 
     def snapshot_state(self):
         return checkpoint_join(self.join)

@@ -130,6 +130,77 @@ class TestCLI:
         assert "Per-PE telemetry" in out
         assert "Event log" in out
 
+    def test_overload_experiment(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "bench_overload.json"
+        assert main(
+            ["overload", "--tuples", "400", "--queue-capacity", "16",
+             "--json-out", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Overload sweep" in out
+
+        payload = json.loads(out_file.read_text())["overload"]
+        assert payload["queue_capacity"] == 16
+        rows = payload["results"]
+        assert {r["policy"] for r in rows} == {"block", "shed", "degrade"}
+        at_2x = {r["policy"]: r for r in rows if r["offered_factor"] == 2.0}
+        # The deterministic half of the acceptance triangle at 2x
+        # overload: block and degrade lose nothing, shed accounts for
+        # every tuple (the timing-sensitive p99 ordering is asserted
+        # against the committed BENCH.json artifact instead).
+        assert at_2x["block"]["shed_tuples"] == 0
+        assert at_2x["block"]["results"] == 400
+        assert at_2x["degrade"]["shed_tuples"] == 0
+        assert at_2x["degrade"]["results"] == 400
+        assert at_2x["shed"]["shed_tuples"] > 0
+        assert (
+            at_2x["shed"]["results"] + at_2x["shed"]["shed_tuples"] == 400
+        )
+        assert set(payload["sustainable_knee_factor"]) == {
+            "block", "shed", "degrade",
+        }
+
+    def test_committed_overload_entry_meets_acceptance(self):
+        # The acceptance triangle is demonstrated by the committed
+        # BENCH.json entry: zero loss under block, exact shed
+        # accounting, and degrade's p99 joiner queueing delay below
+        # block's at 2x overload.
+        import json
+        import pathlib
+
+        bench = pathlib.Path(__file__).parents[2] / "BENCH.json"
+        payload = json.loads(bench.read_text())["overload"]
+        n = payload["stream_tuples"]
+        at_2x = {
+            r["policy"]: r
+            for r in payload["results"]
+            if r["offered_factor"] == 2.0
+        }
+        assert at_2x["block"]["shed_tuples"] == 0
+        assert at_2x["block"]["results"] == n
+        assert at_2x["shed"]["shed_tuples"] > 0
+        assert at_2x["shed"]["results"] + at_2x["shed"]["shed_tuples"] == n
+        assert (
+            at_2x["degrade"]["p99_joiner_wait_s"]
+            < at_2x["block"]["p99_joiner_wait_s"]
+        )
+
+    def test_overload_single_policy(self, capsys):
+        assert main(["overload", "--tuples", "300", "--policy", "shed"]) == 0
+        out = capsys.readouterr().out
+        assert "shed" in out
+        assert "block " not in out
+
+    def test_invalid_overload_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["overload", "--queue-capacity", "0"])
+        with pytest.raises(SystemExit):
+            main(["overload", "--source-rate", "0"])
+        with pytest.raises(SystemExit):
+            main(["overload", "--tuples", "0"])
+
     def test_recovery_trace_out_written(self, capsys, tmp_path):
         import json
 

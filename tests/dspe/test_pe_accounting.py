@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dspe import Engine, Grouping, Operator, Topology
+from repro.dspe import Engine, Grouping, Operator, ProcessingElement, Topology
 
 
 class FixedCost(Operator):
@@ -50,6 +50,35 @@ class TestWaitAccounting:
         pe = result.pes_of("work")[0]
         assert pe.utilization(result.sim_end) == pytest.approx(1.0, rel=0.05)
         assert pe.utilization(0) == 0.0
+
+
+class TestZeroProcessedGuards:
+    """Direct-unit guards: a PE that served nothing reports idle."""
+
+    def _pe(self):
+        return ProcessingElement("work", 0, 0, FixedCost(0.01))
+
+    def test_mean_wait_zero_when_nothing_processed(self):
+        pe = self._pe()
+        assert pe.mean_wait() == 0.0
+        # Even with stale accumulated wait (e.g. from held redeliveries
+        # that never got served), processed == 0 must yield 0.0, not a
+        # division error or a garbage ratio.
+        pe.wait_time = 1.5
+        assert pe.mean_wait() == 0.0
+
+    def test_utilization_zero_when_nothing_processed(self):
+        pe = self._pe()
+        assert pe.utilization(10.0) == 0.0
+        assert pe.utilization(0.0) == 0.0
+        assert pe.utilization(-1.0) == 0.0
+
+    def test_utilization_counts_busy_time_without_messages(self):
+        # Checkpoint overhead charges busy_time without bumping
+        # processed; that time is real occupancy, not idleness.
+        pe = self._pe()
+        pe.busy_time = 0.5
+        assert pe.utilization(10.0) == pytest.approx(0.05)
 
 
 class TestCoreContention:

@@ -5,6 +5,7 @@ import pytest
 from repro.core import QuerySpec, WindowSpec
 from repro.dspe import (
     Engine,
+    FlowConfig,
     Grouping,
     Operator,
     RawTuple,
@@ -104,3 +105,57 @@ class TestBatchingRouter:
     def test_invalid_batch_size_rejected(self):
         with pytest.raises(ValueError):
             RouterOperator(batch_size=0)
+
+    def test_flush_timeout_zero_with_arrivals_at_time_zero(self):
+        # Every tuple arrives at simulated time 0: a zero timeout means
+        # the age test (now - opened >= 0) fires on each arrival even
+        # though both terms are 0.0, so no batch holds more than one.
+        raws = [RawTuple("T", (float(i),), 0.0) for i in range(6)]
+        outs = self._run(raws, batch_size=100, flush_timeout=0.0)
+        assert [len(b) for b in outs] == [1] * 6
+
+    def test_buffer_opened_at_time_zero_is_not_treated_as_unset(self):
+        # A buffer opened at sim time 0.0 is a real open buffer: with a
+        # generous timeout nothing flushes early and the tail flush
+        # emits one full batch (an ``if opened:`` truthiness bug would
+        # re-open the buffer and split it).
+        raws = [RawTuple("T", (float(i),), 0.0) for i in range(6)]
+        outs = self._run(raws, batch_size=100, flush_timeout=10.0)
+        assert [len(b) for b in outs] == [6]
+
+
+class SlowSink(Operator):
+    def process(self, payload, ctx):
+        ctx.charge(0.01)
+        ctx.record("out", payload)
+
+
+class TestRouterUnderBackpressure:
+    def test_cut_fn_batches_survive_full_downstream_queue(self):
+        # The sink's queue (capacity 1, block policy) fills immediately;
+        # credit-based backpressure stalls the router mid-stream.  cut_fn
+        # boundaries must still close batches at exactly every third
+        # tuple and every batch must eventually be delivered, in order.
+        raws = [RawTuple("T", (float(i),), 0.0) for i in range(9)]
+        topo = Topology()
+        topo.add_spout("src", ((r.event_time, r) for r in raws))
+        topo.add_bolt(
+            "router",
+            lambda: RouterOperator(
+                batch_size=100, cut_fn=lambda t: t.tid % 3 == 2
+            ),
+            inputs=[("src", Grouping.shuffle())],
+        )
+        topo.add_bolt(
+            "sink", SlowSink, inputs=[("router", Grouping.broadcast())]
+        )
+        result = Engine(
+            topo, flow=FlowConfig(queue_capacity=1, policy="block")
+        ).run()
+        outs = [r.payload for r in result.records_named("out")]
+        assert [len(b) for b in outs] == [3, 3, 3]
+        assert [t.tid for b in outs for t in b] == list(range(9))
+        # The stall was real: at least one sender blocked on the full
+        # queue, and nothing was shed.
+        assert result.flow.metrics.total_blocks() > 0
+        assert result.flow.metrics.total_shed_tuples() == 0
