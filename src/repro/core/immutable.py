@@ -18,11 +18,25 @@ paths are interchangeable, which the equivalence property tests assert.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from .tuples import StreamTuple
 
-__all__ = ["ImmutableBatch", "scalar_probe_batch"]
+__all__ = [
+    "ImmutableBatch",
+    "ImmutableBackend",
+    "scalar_probe_batch",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]
 
 
 @runtime_checkable
@@ -70,3 +84,104 @@ def scalar_probe_batch(
     and by tests as the ground truth the vectorized paths must match.
     """
     return [batch.probe(t, flag) for t, flag in zip(probes, flags)]
+
+
+# ----------------------------------------------------------------------
+# Immutable-backend registry
+# ----------------------------------------------------------------------
+@runtime_checkable
+class ImmutableBackend(Protocol):
+    """A pluggable engine for the immutable tier.
+
+    A backend is a named factory-of-factories: ``batch_factory(**options)``
+    returns the ``(query, merge_batch) -> ImmutableBatch`` callable that
+    :class:`~repro.core.spojoin.SPOJoin` invokes at every merge.  Two
+    implementations ship: ``"memory"`` — the paper's in-memory PO-Join
+    arrays (default, and the fingerprint reference) — and ``"sql"`` — an
+    embedded SQL database answering interval probes with indexed range
+    queries, trading probe latency for larger-than-memory windows.
+    """
+
+    name: str
+
+    def batch_factory(
+        self, **options
+    ) -> Callable[..., ImmutableBatch]:
+        """Build the per-merge batch constructor for this backend."""
+        ...
+
+
+_BACKENDS: Dict[str, ImmutableBackend] = {}
+
+
+def register_backend(backend: ImmutableBackend) -> ImmutableBackend:
+    """Register (or replace) a backend under ``backend.name``."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ImmutableBackend:
+    """Look up a registered backend; raises ``KeyError`` with the known
+    names when ``name`` is not registered."""
+    _ensure_builtin_backends()
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown immutable backend {name!r}; "
+            f"registered: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def backend_names() -> List[str]:
+    """Names of all registered backends."""
+    _ensure_builtin_backends()
+    return sorted(_BACKENDS)
+
+
+class _CallableBackend:
+    """Adapter turning a plain factory-of-factories into a backend."""
+
+    __slots__ = ("name", "_make")
+
+    def __init__(self, name: str, make: Callable[..., Callable]) -> None:
+        self.name = name
+        self._make = make
+
+    def batch_factory(self, **options) -> Callable[..., ImmutableBatch]:
+        return self._make(**options)
+
+
+def _ensure_builtin_backends() -> None:
+    """Populate the registry lazily (avoids import cycles: the concrete
+    batches import this module for the protocol)."""
+    if _BACKENDS:
+        return
+
+    def memory_factory(use_offsets: bool = True, **__):
+        from .pojoin_numpy import VectorPOJoinBatch
+
+        def factory(query, merge_batch):
+            return VectorPOJoinBatch(query, merge_batch, use_offsets=use_offsets)
+
+        return factory
+
+    def scalar_factory(use_offsets: bool = True, **__):
+        from .pojoin import POJoinBatch
+
+        def factory(query, merge_batch):
+            return POJoinBatch(query, merge_batch, use_offsets=use_offsets)
+
+        return factory
+
+    def sql_factory(use_offsets: bool = True, **options):
+        from .backend_sql import SQLImmutableBatch
+
+        def factory(query, merge_batch):
+            return SQLImmutableBatch(query, merge_batch, **options)
+
+        return factory
+
+    register_backend(_CallableBackend("memory", memory_factory))
+    register_backend(_CallableBackend("po_scalar", scalar_factory))
+    register_backend(_CallableBackend("sql", sql_factory))

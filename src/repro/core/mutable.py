@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..indexes.bptree import BPlusTree
+from .arena import ArenaSlice, TupleArena, column_of, tids_of
 from .bitset import BitSet
 from .pojoin_numpy import batch_probe_intervals
 from .predicates import Predicate
@@ -70,6 +71,11 @@ class MutableComponent:
         ]
         self._arrival: List[int] = []  # slot -> tid, in router order
         self._slots: Dict[int, int] = {}  # tid -> slot
+        #: Columnar shadow of the window, slot-aligned with ``_arrival``.
+        #: The batched evaluator sorts its field columns instead of
+        #: scanning tree leaves, and checkpoints read exact payloads
+        #: (all fields, event times) from it.
+        self.arena = TupleArena()
 
     # ------------------------------------------------------------------
     def _own_field(self, pred: Predicate) -> int:
@@ -104,10 +110,40 @@ class MutableComponent:
         slot = len(self._arrival)
         self._arrival.append(t.tid)
         self._slots[t.tid] = slot
+        self.arena.append_tuple(t)
         payload = slot if self.evaluator == "bit" else t.tid
         for pred, tree in zip(self.query.predicates, self.trees):
             tree.insert(t.values[self._own_field(pred)], payload)
         return slot
+
+    def insert_many(self, probes: Sequence[StreamTuple]) -> None:
+        """Bulk :meth:`insert`, preserving arrival (slot) order.
+
+        Arena-backed batches copy straight between columns — one
+        vectorised copy per field — and feed the trees from column
+        values, never materialising per-tuple views.
+        """
+        if not isinstance(probes, ArenaSlice):
+            for t in probes:
+                self.insert(t)
+            return
+        start_slot = len(self._arrival)
+        tids = probes.tids_list()
+        self._arrival.extend(tids)
+        for i, tid in enumerate(tids):
+            self._slots[tid] = start_slot + i
+        self.arena.extend_slice(probes)
+        bit = self.evaluator == "bit"
+        for pred, tree in zip(self.query.predicates, self.trees):
+            # .tolist() keeps the trees (and everything drained from
+            # them) on pure-Python floats.
+            col = probes.field_values(self._own_field(pred)).tolist()
+            if bit:
+                for i, v in enumerate(col):
+                    tree.insert(v, start_slot + i)
+            else:
+                for tid, v in zip(tids, col):
+                    tree.insert(v, tid)
 
     # ------------------------------------------------------------------
     # Per-predicate probing (what one predicate PE computes)
@@ -211,21 +247,21 @@ class MutableComponent:
     ) -> None:
         n = len(self._arrival)
         g = len(idx)
+        if isinstance(probes, ArenaSlice):
+            group: Sequence[StreamTuple] = probes.take(idx)
+        else:
+            group = [probes[j] for j in idx]
         cur = np.zeros((g, n), dtype=bool)
         row = np.empty(n, dtype=bool)
-        for pred_pos, (pred, tree) in enumerate(
-            zip(self.query.predicates, self.trees)
-        ):
-            values = np.empty(n, dtype=np.float64)
-            slots = np.empty(n, dtype=np.int64)
-            for k, (value, slot) in enumerate(tree.items()):
-                values[k] = value
-                slots[k] = slot
-            pvals = np.fromiter(
-                (probes[j].values[pred.probing_field(flag)] for j in idx),
-                np.float64,
-                g,
-            )
+        for pred_pos, pred in enumerate(self.query.predicates):
+            # Stable argsort over the arena column reproduces the
+            # B+-tree's (value, slot) leaf order — duplicate keys tie-
+            # break by insertion payload, which for the bit evaluator is
+            # the slot — without a per-entry Python scan of the leaves.
+            col = self.arena.field(self._own_field(pred))
+            slots = np.argsort(col, kind="stable")
+            values = col[slots]
+            pvals = column_of(group, pred.probing_field(flag))
             pairs = batch_probe_intervals(pred, pvals, values, flag)
             for j in range(g):
                 if pred_pos == 0:
@@ -239,14 +275,16 @@ class MutableComponent:
                         target[slots[lo:hi]] = True
                 if pred_pos > 0:
                     cur[j] &= row
-        arrival = self._arrival
+        tid_col = self.arena.tid_column()
         self_join = self.query.is_self_join
+        probe_tids = tids_of(group) if self_join else None
         for j, out_idx in enumerate(idx):
-            probe = probes[out_idx]
             hit = np.nonzero(cur[j, : bounds[out_idx]])[0]
-            tids = [arrival[slot] for slot in hit]
+            tids = tid_col[hit].tolist()
             if self_join:
-                tids = [tid for tid in tids if tid != probe.tid]
+                assert probe_tids is not None
+                ptid = probe_tids[j]
+                tids = [tid for tid in tids if tid != ptid]
             results[out_idx] = tids
 
     def intersect(self, partials: Sequence[PartialResult]) -> List[int]:
@@ -285,7 +323,21 @@ class MutableComponent:
 
         arrival = self._arrival
         runs = []
-        for tree in self.trees:
+        tid_col = self.arena.tid_column()
+        for pred, tree in zip(self.query.predicates, self.trees):
+            if self.evaluator == "bit" and len(arrival) > 0:
+                # Columnar extraction: stable argsort over the arena
+                # column equals the leaf order (ties break by slot =
+                # arrival), and the numpy arrays are cached on the run
+                # so the vectorised immutable probe is copy-free.
+                col = self.arena.field(self._own_field(pred))
+                order = np.argsort(col, kind="stable")
+                values_arr = col[order]
+                tids_arr = tid_col[order]
+                run = SortedRun(values_arr.tolist(), tids_arr.tolist())
+                run.cache_arrays(values_arr, tids_arr)
+                runs.append(run)
+                continue
             if self.evaluator == "bit":
                 entries = ((value, arrival[slot]) for value, slot in tree.items())
             else:
@@ -294,6 +346,7 @@ class MutableComponent:
         self.trees = [BPlusTree(self.order) for __ in self.query.predicates]
         self._arrival = []
         self._slots = {}
+        self.arena = TupleArena(num_fields=self.arena.num_fields)
         return runs
 
     def tids(self) -> List[int]:
@@ -304,3 +357,12 @@ class MutableComponent:
     def memory_bits(self) -> int:
         """Sum of the field indexes' footprints (Equation 1's I_M)."""
         return sum(tree.memory_bits() for tree in self.trees)
+
+    def payload_bits(self) -> int:
+        """Columnar payload storage held by the window arena.
+
+        Kept separate from :meth:`memory_bits` so Equation 1's
+        index-footprint accounting (and every figure built on it) is
+        unchanged by the columnar refactor.
+        """
+        return self.arena.memory_bits()

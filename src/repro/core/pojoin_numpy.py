@@ -29,6 +29,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .arena import ArenaSlice, column_of
 from .merge import MergeBatch, MergeSide
 from .predicates import BandPredicate, Op
 from .query import QuerySpec
@@ -51,7 +52,15 @@ def batch_probe_intervals(
     interval.  Shared by the immutable ``probe_batch`` and the mutable
     component's batched evaluation.
     """
+    probe_values = np.asarray(probe_values, dtype=np.float64)
+    stored_sorted = np.asarray(stored_sorted, dtype=np.float64)
     n = len(stored_sorted)
+    if len(probe_values) == 0:
+        # Zero-length probe batch: one well-formed empty interval pair,
+        # so callers that iterate (lo, hi) pairs see no probes rather
+        # than a broadcasting error.
+        empty = np.zeros(0, dtype=np.int64)
+        return [(empty, empty)]
     if isinstance(pred, BandPredicate):
         lo_vals = probe_values - pred.width
         hi_vals = probe_values + pred.width
@@ -87,8 +96,12 @@ class _VectorSide:
 
     def __init__(self, side: MergeSide) -> None:
         self.merge_side = side
-        self.values = [np.asarray(run.values, dtype=np.float64) for run in side.runs]
-        self.tids = [np.asarray(run.tids, dtype=np.int64) for run in side.runs]
+        # Shared (not copied) with the runs' cached columns: the merge
+        # path pre-caches the argsorted arena columns on each run, so
+        # linking a batch is copy-free and the columns are stored — and
+        # accounted — exactly once.
+        self.values = [run.values_array() for run in side.runs]
+        self.tids = [run.tids_array() for run in side.runs]
         self.permutation = (
             np.asarray(side.permutation, dtype=np.int64)
             if side.permutation is not None
@@ -236,13 +249,16 @@ class VectorPOJoinBatch:
             stored = self._stored(flag)
             if stored.size == 0:
                 continue
-            group = [probes[j] for j in indices]
+            if isinstance(probes, ArenaSlice):
+                group: Sequence[StreamTuple] = probes.take(indices)
+            else:
+                group = [probes[j] for j in indices]
             self._probe_group(group, flag, stored, results, indices)
         return results
 
     def _probe_group(
         self,
-        group: List[StreamTuple],
+        group: Sequence[StreamTuple],
         flag: bool,
         stored: _VectorSide,
         results: List[List[int]],
@@ -252,9 +268,7 @@ class VectorPOJoinBatch:
         if len(preds) == 1:
             pred = preds[0]
             field = pred.probing_field(flag)
-            pvals = np.fromiter(
-                (t.values[field] for t in group), np.float64, len(group)
-            )
+            pvals = column_of(group, field)
             bounds = batch_probe_intervals(pred, pvals, stored.values[0], flag)
             tids0 = stored.tids[0]
             for j, out_idx in enumerate(indices):
@@ -269,8 +283,8 @@ class VectorPOJoinBatch:
         p1, p2 = preds[:2]
         assert stored.permutation is not None
         f1, f2 = p1.probing_field(flag), p2.probing_field(flag)
-        v1 = np.fromiter((t.values[f1] for t in group), np.float64, len(group))
-        v2 = np.fromiter((t.values[f2] for t in group), np.float64, len(group))
+        v1 = column_of(group, f1)
+        v2 = column_of(group, f2)
         b1 = batch_probe_intervals(p1, v1, stored.values[0], flag)
         b2 = batch_probe_intervals(p2, v2, stored.values[1], flag)
         perm = stored.permutation

@@ -25,10 +25,10 @@ from __future__ import annotations
 import time
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from .arena import ArenaSlice, flags_of, tids_of
 from .merge import build_merge_batch_from_runs
 from .mutable import MutableComponent
 from .pojoin import POJoinBatch, POJoinList
-from .pojoin_numpy import VectorPOJoinBatch
 from .query import QuerySpec
 from .tuples import StreamTuple
 from .window import MergePolicy, WindowKind, WindowSpec
@@ -36,6 +36,13 @@ from .window import MergePolicy, WindowKind, WindowSpec
 __all__ = ["SPOJoin", "JoinStats"]
 
 Pair = Tuple[int, int]
+
+
+def _take(tuples: Sequence[StreamTuple], idx: List[int]):
+    """Positional subset, zero-copy for arena slices."""
+    if isinstance(tuples, ArenaSlice):
+        return tuples.take(idx)
+    return [tuples[i] for i in idx]
 
 
 class JoinStats:
@@ -100,6 +107,8 @@ class SPOJoin:
         right_stream: str = "S",
         num_threads: int = 1,
         batch_factory=None,
+        backend: Optional[str] = None,
+        backend_options: Optional[dict] = None,
     ) -> None:
         self.query = query
         self.window = window
@@ -123,12 +132,23 @@ class SPOJoin:
             )
         # batch_factory lets baselines (e.g. the CSS-tree immutable join,
         # or the pure-python scalar POJoinBatch) reuse this two-tier
-        # skeleton with a different frozen structure.  The default is the
-        # numpy-vectorized batch, whose probe_batch carries the
-        # batch-first hot path.
+        # skeleton with a different frozen structure.  The default comes
+        # from the immutable-backend registry: "memory" is the
+        # numpy-vectorized PO-Join batch, whose probe_batch carries the
+        # batch-first hot path; "sql" answers probes with indexed range
+        # queries in an embedded database.
+        if batch_factory is not None and backend is not None:
+            raise ValueError("pass either batch_factory or backend, not both")
+        self.backend = backend if backend is not None else "memory"
+        self.backend_options = dict(backend_options or {})
         if batch_factory is None:
-            def batch_factory(q, mb):
-                return VectorPOJoinBatch(q, mb, use_offsets=use_offsets)
+            from .immutable import get_backend
+
+            batch_factory = get_backend(self.backend).batch_factory(
+                use_offsets=use_offsets, **self.backend_options
+            )
+        else:
+            self.backend = "custom"
         self.batch_factory = batch_factory
         self.immutable = POJoinList(query, max_batches=self.policy.max_batches)
 
@@ -260,11 +280,16 @@ class SPOJoin:
                     self._merge_counter = 0
                     return k + 1, True
             return len(tuples), False
+        if isinstance(tuples, ArenaSlice):
+            # Columnar batches scan the event-time column directly.
+            times: Sequence[float] = tuples.event_time_values()
+        else:
+            times = [t.event_time for t in tuples]
         for k in range(start, len(tuples)):
-            t = tuples[k]
+            event_time = float(times[k])
             if self._next_merge_time is None:
-                self._next_merge_time = t.event_time + self.policy.delta
-            elif t.event_time >= self._next_merge_time:
+                self._next_merge_time = event_time + self.policy.delta
+            elif event_time >= self._next_merge_time:
                 self._next_merge_time += self.policy.delta
                 return k + 1, True
         return len(tuples), False
@@ -272,7 +297,10 @@ class SPOJoin:
     def _process_subbatch(
         self, sub: Sequence[StreamTuple], pairs: List[Pair]
     ) -> None:
-        flags = [self._probe_is_left(t) for t in sub]
+        if not self.is_two_stream:
+            flags = [True] * len(sub)
+        else:
+            flags = flags_of(sub, self.left_stream)
         hook = self.phase_hook
         t0 = time.perf_counter() if hook is not None else 0.0
         mutable_rows = self._mutable_batch(sub, flags)
@@ -291,13 +319,13 @@ class SPOJoin:
         else:
             self.stats.degraded_tuples += len(sub)
             immutable_rows = [[] for __ in sub]
-        for t, mut, imm in zip(sub, mutable_rows, immutable_rows):
+        for tid, mut, imm in zip(tids_of(sub), mutable_rows, immutable_rows):
             self.stats.mutable_matches += len(mut)
             self.stats.immutable_matches += len(imm)
             self.stats.tuples_processed += 1
             self.stats.matches_emitted += len(mut) + len(imm)
-            pairs.extend((t.tid, m) for m in mut)
-            pairs.extend((t.tid, m) for m in imm)
+            pairs.extend((tid, m) for m in mut)
+            pairs.extend((tid, m) for m in imm)
 
     def _mutable_batch(
         self, sub: Sequence[StreamTuple], flags: List[bool]
@@ -321,8 +349,7 @@ class SPOJoin:
             window = self.mutable_left
             pre = len(window)
             bounds = [pre + i for i in range(len(sub))]
-            for t in sub:
-                window.insert(t)
+            window.insert_many(sub)
             return window.evaluate_batch(sub, flags, bounds)
         assert self.mutable_right is not None
         bounds: List[int] = []
@@ -335,18 +362,19 @@ class SPOJoin:
             else:
                 bounds.append(pre_left + seen_left)
                 seen_right += 1
-        for t, flag in zip(sub, flags):
-            self._own_of(flag).insert(t)
+        left_idx = [i for i, f in enumerate(flags) if f]
+        right_idx = [i for i, f in enumerate(flags) if not f]
+        self.mutable_left.insert_many(_take(sub, left_idx))
+        self.mutable_right.insert_many(_take(sub, right_idx))
         results: List[List[int]] = [[] for __ in sub]
-        for window, flag_value in (
-            (self.mutable_right, True),
-            (self.mutable_left, False),
+        for window, flag_value, idx in (
+            (self.mutable_right, True, left_idx),
+            (self.mutable_left, False, right_idx),
         ):
-            idx = [i for i, f in enumerate(flags) if f == flag_value]
             if not idx:
                 continue
             rows = window.evaluate_batch(
-                [sub[i] for i in idx],
+                _take(sub, idx),
                 [flag_value] * len(idx),
                 [bounds[i] for i in idx],
             )

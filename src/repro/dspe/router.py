@@ -23,11 +23,43 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ..core.arena import ArenaSlice, TupleArena
 from ..core.tuples import StreamTuple
 from .engine import TupleBatch
 from .topology import Operator
 
-__all__ = ["RouterOperator", "RawTuple"]
+__all__ = ["RouterOperator", "RawTuple", "ArenaBatch"]
+
+
+class ArenaBatch(TupleBatch):
+    """A :class:`TupleBatch` whose payload is a zero-copy arena slice.
+
+    The columnar router stamps raw tuples straight into a per-batch
+    :class:`~repro.core.arena.TupleArena`, so the batch travels
+    spout → router → probe as column arrays; ``tuples`` materialises
+    lightweight :class:`~repro.core.arena.ArenaTuple` views lazily (and
+    caches them), keeping every object-path consumer working unchanged.
+    """
+
+    __slots__ = ("slice",)
+
+    def __init__(self, arena_slice: ArenaSlice, origin_times=None) -> None:
+        # Deliberately does NOT call TupleBatch.__init__: the parent's
+        # ``tuples`` slot is shadowed by the property below.
+        self.slice = arena_slice
+        self.origin_times = (
+            list(origin_times) if origin_times is not None else None
+        )
+
+    @property
+    def tuples(self):  # type: ignore[override]
+        return self.slice.tuples
+
+    def __len__(self) -> int:
+        return len(self.slice)
+
+    def __iter__(self):
+        return iter(self.slice)
 
 
 class RawTuple:
@@ -68,6 +100,7 @@ class RouterOperator(Operator):
         batch_size: int = 1,
         flush_timeout: Optional[float] = None,
         cut_fn: Optional[Callable[[StreamTuple], bool]] = None,
+        columnar: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -75,48 +108,78 @@ class RouterOperator(Operator):
         self.batch_size = batch_size
         self.flush_timeout = flush_timeout
         self._cut_fn = cut_fn
+        #: With batching, stamp tuples into a per-batch columnar arena
+        #: and emit :class:`ArenaBatch` slices (the zero-copy data
+        #: plane).  ``columnar=False`` restores the boxed-object path.
+        self.columnar = columnar
         self._buffer: List[StreamTuple] = []
+        self._arena: Optional[TupleArena] = None
         self._buffer_origins: List[float] = []
         self._buffer_opened: Optional[float] = None
 
+    def _buffered(self) -> int:
+        if self._arena is not None:
+            return self._arena.size
+        return len(self._buffer)
+
     def process(self, payload, ctx) -> None:
         raw: RawTuple = payload
-        tuple_ = StreamTuple(
-            self._next_tid, raw.stream, raw.values, raw.event_time
-        )
-        self._next_tid += 1
-        self._on_stamped(tuple_, ctx)
         if self.batch_size == 1:
+            tuple_ = StreamTuple(
+                self._next_tid, raw.stream, raw.values, raw.event_time
+            )
+            self._next_tid += 1
+            self._on_stamped(tuple_, ctx)
             ctx.emit(tuple_)
             return
         if (
             self.flush_timeout is not None
-            and self._buffer
+            and self._buffered()
             and ctx.now - self._buffer_opened >= self.flush_timeout
         ):
             self._flush_buffer(ctx)
-        if not self._buffer:
+        if not self._buffered():
             self._buffer_opened = ctx.now
-        self._buffer.append(tuple_)
+        if self.columnar:
+            if self._arena is None:
+                self._arena = TupleArena(capacity=self.batch_size)
+            slot = self._arena.append(
+                self._next_tid, raw.stream, raw.values, raw.event_time
+            )
+            tuple_ = self._arena.view(slot)
+        else:
+            tuple_ = StreamTuple(
+                self._next_tid, raw.stream, raw.values, raw.event_time
+            )
+            self._buffer.append(tuple_)
+        self._next_tid += 1
+        self._on_stamped(tuple_, ctx)
         self._buffer_origins.append(ctx.origin_time)
         cut = self._cut_fn(tuple_) if self._cut_fn is not None else False
-        if cut or len(self._buffer) >= self.batch_size:
+        if cut or self._buffered() >= self.batch_size:
             self._flush_buffer(ctx)
 
     def _on_stamped(self, tuple_: StreamTuple, ctx) -> None:
         """Subclass hook: runs once per stamped tuple, before buffering."""
 
     def _flush_buffer(self, ctx) -> None:
-        if not self._buffer:
+        if not self._buffered():
             return
         if ctx.observing:
             ctx.observe_event(
                 "router_flush",
-                tuples=len(self._buffer),
+                tuples=self._buffered(),
                 opened=self._buffer_opened,
             )
-        ctx.emit(TupleBatch(self._buffer, self._buffer_origins))
-        self._buffer = []
+        if self._arena is not None:
+            # The arena belongs to the emitted batch; a fresh one is
+            # opened for the next batch, so memory is reclaimed with
+            # the batch instead of accumulating for the whole stream.
+            ctx.emit(ArenaBatch(self._arena.slice(), self._buffer_origins))
+            self._arena = None
+        else:
+            ctx.emit(TupleBatch(self._buffer, self._buffer_origins))
+            self._buffer = []
         self._buffer_origins = []
         self._buffer_opened = None
 

@@ -27,13 +27,18 @@ class SortedRun:
     so duplicates have a deterministic order matching the B+-tree's.
     """
 
-    __slots__ = ("values", "tids")
+    __slots__ = ("values", "tids", "_values_arr", "_tids_arr")
 
     def __init__(self, values: Sequence[float], tids: Sequence[int]) -> None:
         if len(values) != len(tids):
             raise ValueError("values and tids must be the same length")
         self.values: List[float] = list(values)
         self.tids: List[int] = list(tids)
+        # Lazily-built (or merge-time-cached) numpy mirrors of the two
+        # columns; the canonical storage stays pure-Python lists so
+        # nothing downstream ever sees numpy scalar types.
+        self._values_arr = None
+        self._tids_arr = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +88,31 @@ class SortedRun:
     def positions_of_tids(self) -> dict:
         """Map tuple id -> position; used by permutation computation."""
         return {tid: pos for pos, tid in enumerate(self.tids)}
+
+    # ------------------------------------------------------------------
+    # Columnar access
+    # ------------------------------------------------------------------
+    def cache_arrays(self, values_arr, tids_arr) -> None:
+        """Attach ready-made numpy columns (the merge path has them for
+        free from the arena argsort), so vectorised probing is copy-free."""
+        self._values_arr = values_arr
+        self._tids_arr = tids_arr
+
+    def values_array(self):
+        """float64 column of values (built once, then shared)."""
+        if self._values_arr is None:
+            import numpy as np
+
+            self._values_arr = np.asarray(self.values, dtype=np.float64)
+        return self._values_arr
+
+    def tids_array(self):
+        """int64 column of tuple ids (built once, then shared)."""
+        if self._tids_arr is None:
+            import numpy as np
+
+            self._tids_arr = np.asarray(self.tids, dtype=np.int64)
+        return self._tids_arr
 
     # ------------------------------------------------------------------
     # Accounting

@@ -83,27 +83,44 @@ def make_spo_join(
     sub_intervals: int = 1,
     use_offsets: bool = True,
     num_threads: int = 1,
+    backend_options: Optional[Dict] = None,
 ) -> SPOJoin:
     """Build SPO-Join or one of its component ablations.
 
     ``mutable`` selects the partial-result representation (``"bit"`` /
-    ``"hash"``); ``immutable`` selects the frozen structure (``"po"`` /
-    ``"po_vec"`` — the numpy-vectorized default, ``"po_scalar"`` — the
-    pure-python batch for ablations, ``"css_bit"``, ``"css_hash"``).
+    ``"hash"``); ``immutable`` selects the frozen structure: ``"po"`` /
+    ``"po_vec"`` — the numpy-vectorized default (the registry's
+    ``"memory"`` backend), ``"po_scalar"`` — the pure-python batch for
+    ablations, ``"sql"`` — the embedded-SQL backend (``backend_options``
+    e.g. ``{"spill": True}`` for a disk-backed window), ``"css_bit"``,
+    ``"css_hash"``.
     """
-    from ..core.pojoin import POJoinBatch
-    from ..core.pojoin_numpy import VectorPOJoinBatch
-
+    # Registry-backed variants restore from checkpoints under the same
+    # backend; the CSS baselines stay custom factories.
+    backend_by_variant = {
+        "po": "memory",
+        "po_vec": "memory",
+        "po_scalar": "po_scalar",
+        "sql": "sql",
+    }
+    if immutable in backend_by_variant:
+        return SPOJoin(
+            query,
+            window,
+            sub_intervals=sub_intervals,
+            evaluator=mutable,
+            use_offsets=use_offsets,
+            num_threads=num_threads,
+            backend=backend_by_variant[immutable],
+            backend_options=backend_options,
+        )
     factories: Dict[str, Optional[Callable]] = {
-        "po": lambda q, mb: VectorPOJoinBatch(q, mb, use_offsets=use_offsets),
-        "po_vec": lambda q, mb: VectorPOJoinBatch(q, mb, use_offsets=use_offsets),
-        "po_scalar": lambda q, mb: POJoinBatch(q, mb, use_offsets=use_offsets),
         "css_bit": lambda q, mb: CSSImmutableBatch(q, mb, intersect="bit"),
         "css_hash": lambda q, mb: CSSImmutableBatch(q, mb, intersect="hash"),
     }
     if immutable not in factories:
         raise ValueError(f"unknown immutable variant {immutable!r}")
-    join = SPOJoin(
+    return SPOJoin(
         query,
         window,
         sub_intervals=sub_intervals,
@@ -112,7 +129,6 @@ def make_spo_join(
         num_threads=num_threads,
         batch_factory=factories[immutable],
     )
-    return join
 
 
 # ----------------------------------------------------------------------

@@ -38,9 +38,9 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.bitset import BitSet
 from ..core.iejoin import compute_offset_array, compute_permutation
+from ..core.immutable import get_backend
 from ..core.merge import MergeBatch, MergeSide
 from ..core.pojoin import POJoinList
-from ..core.pojoin_numpy import VectorPOJoinBatch
 from ..core.query import QuerySpec
 from ..core.tuples import StreamTuple
 from ..core.window import MergePolicy, WindowKind, WindowSpec
@@ -78,6 +78,8 @@ class SPOConfig:
         num_pojoin_pes: int = 1,
         use_offsets: bool = True,
         batch_factory=None,
+        immutable_backend: Optional[str] = None,
+        backend_options: Optional[dict] = None,
         state_strategy: str = "rr",
         cache_sync_interval: float = 0.05,
         left_stream: str = "R",
@@ -102,9 +104,23 @@ class SPOConfig:
         self.evaluator = evaluator
         self.num_pojoin_pes = num_pojoin_pes
         self.use_offsets = use_offsets
+        # Immutable-tier engine: an explicit batch_factory wins;
+        # otherwise the named backend ("memory" default) is resolved
+        # through the registry in repro.core.immutable.
+        if batch_factory is not None and immutable_backend is not None:
+            raise ValueError(
+                "pass either batch_factory or immutable_backend, not both"
+            )
+        self.immutable_backend = (
+            immutable_backend if immutable_backend is not None else "memory"
+        )
+        self.backend_options = dict(backend_options or {})
         if batch_factory is None:
-            def batch_factory(q, mb):
-                return VectorPOJoinBatch(q, mb, use_offsets=use_offsets)
+            batch_factory = get_backend(self.immutable_backend).batch_factory(
+                use_offsets=use_offsets, **self.backend_options
+            )
+        else:
+            self.immutable_backend = "custom"
         self.batch_factory = batch_factory
         self.state_strategy = state_strategy
         self.cache = DistributedCache()

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..core.arena import event_times_of, tids_of
 from ..core.checkpoint import checkpoint as checkpoint_join
 from ..core.checkpoint import restore as restore_join
 from ..core.query import QuerySpec
@@ -336,6 +337,8 @@ class SPOJoinerOperator(Operator):
         right_stream: str = "S",
         num_threads: int = 1,
         degrade_under_pressure: bool = False,
+        immutable_backend: str = "memory",
+        backend_options: Optional[Dict] = None,
     ) -> None:
         self.query = query
         #: When True the joiner follows the engine's backpressure signal
@@ -353,6 +356,8 @@ class SPOJoinerOperator(Operator):
             left_stream=left_stream,
             right_stream=right_stream,
             num_threads=num_threads,
+            backend=immutable_backend,
+            backend_options=backend_options,
         )
 
     def setup(self, ctx) -> None:
@@ -381,7 +386,11 @@ class SPOJoinerOperator(Operator):
                     ctx.observe_event("degrade_off", caught_up=pending)
         degraded = self.join.degraded
         if isinstance(payload, TupleBatch):
-            tuples = list(payload.tuples)
+            # ArenaBatch payloads expose their zero-copy slice; the join
+            # then consumes column views all the way down.
+            tuples = getattr(payload, "slice", None)
+            if tuples is None:
+                tuples = list(payload.tuples)
             pairs = self.join.process_many(tuples)
         else:
             tuples = [payload]
@@ -389,11 +398,11 @@ class SPOJoinerOperator(Operator):
         by_tid: Dict[int, List[int]] = {}
         for tid, match in pairs:
             by_tid.setdefault(tid, []).append(match)
-        for t in tuples:
+        for tid, event_time in zip(tids_of(tuples), event_times_of(tuples)):
             entry = {
-                "tid": t.tid,
-                "matches": sorted(by_tid.get(t.tid, ())),
-                "event_time": t.event_time,
+                "tid": tid,
+                "matches": sorted(by_tid.get(tid, ())),
+                "event_time": event_time,
             }
             if degraded:
                 # Mark partial answers (immutable probes were skipped) so
@@ -472,12 +481,12 @@ class HashJoinerOperator(Operator, _SideRouting):
 # ----------------------------------------------------------------------
 # Topology builders
 # ----------------------------------------------------------------------
-def _base(source, batch_size: int = 1) -> Topology:
+def _base(source, batch_size: int = 1, columnar: bool = True) -> Topology:
     topo = Topology()
     topo.add_spout("source", source)
     topo.add_bolt(
         "router",
-        lambda: RouterOperator(batch_size=batch_size),
+        lambda: RouterOperator(batch_size=batch_size, columnar=columnar),
         parallelism=1,
         inputs=[("source", Grouping.shuffle())],
     )
@@ -524,14 +533,16 @@ def build_spo_local_topology(
     query: QuerySpec,
     window: WindowSpec,
     batch_size: int = 1,
+    columnar: bool = True,
     **join_kwargs,
 ) -> Topology:
     """Router + one checkpointable SPO joiner PE (the chaos-test shape).
 
     ``join_kwargs`` forward to :class:`SPOJoinerOperator` (sub_intervals,
-    evaluator, bptree_order, ...).
+    evaluator, immutable_backend, bptree_order, ...); ``columnar``
+    selects the router's data plane (arena slices vs boxed tuples).
     """
-    topo = _base(source, batch_size)
+    topo = _base(source, batch_size, columnar)
     topo.add_bolt(
         "joiner",
         lambda: SPOJoinerOperator(query, window, **join_kwargs),

@@ -1,0 +1,112 @@
+"""Memory accounting under the columnar data plane (satellite audit).
+
+The arena refactor shares storage in two places that used to copy:
+
+* each merged :class:`SortedRun` caches numpy mirrors of its columns,
+  and :class:`VectorPOJoinBatch` links those *same* arrays — the column
+  must therefore be accounted exactly once (by the run, Equation 2's
+  window payload), never again by the vector side;
+* the mutable component's arena shadows the tuples the field B+-trees
+  index; its payload is reported by ``payload_bits()``, kept out of
+  ``memory_bits()`` so Equation 1's index-footprint series (and every
+  figure built on it) is unchanged by the refactor.
+"""
+
+import numpy as np
+
+from repro.core import SPOJoin, WindowSpec
+from repro.core.arena import ArenaSlice
+from repro.core.pojoin_numpy import VectorPOJoinBatch
+
+from ..conftest import interleaved_rs, random_tuples
+
+
+def drive_past_merge(query, data, batch_size=16):
+    join = SPOJoin(query, WindowSpec.count(100, 20))
+    for i in range(0, len(data), batch_size):
+        join.process_many(ArenaSlice.of(data[i : i + batch_size]))
+    assert join.stats.merges > 0, "workload must trigger at least one merge"
+    return join
+
+
+class TestImmutableAccounting:
+    def test_vector_side_shares_run_columns(self, q3_query):
+        join = drive_past_merge(q3_query, random_tuples(200, seed=40))
+        batches = list(join.immutable.batches)
+        assert batches
+        for vec in batches:
+            assert isinstance(vec, VectorPOJoinBatch)
+            side = vec._left
+            for run, values, tids in zip(
+                side.merge_side.runs, side.values, side.tids
+            ):
+                # Identity, not equality: the vector side must link the
+                # run's cached columns, not rebuild them.
+                assert values is run.values_array()
+                assert tids is run.tids_array()
+                assert np.shares_memory(values, run.values_array())
+
+    def test_merge_time_cache_is_prefilled(self, q3_query):
+        join = drive_past_merge(q3_query, random_tuples(200, seed=41))
+        run = join.immutable.batches[0].batch.left.runs[0]
+        # The arena merge path caches the argsorted columns eagerly.
+        assert run._values_arr is not None
+        assert run._tids_arr is not None
+        # Cached arrays mirror the canonical python lists exactly.
+        assert run._values_arr.tolist() == run.values
+        assert run._tids_arr.tolist() == run.tids
+
+    def test_batch_memory_bits_counts_columns_once(self, q3_query):
+        join = drive_past_merge(q3_query, random_tuples(200, seed=42))
+        vec = join.immutable.batches[0]
+        merge = vec.batch
+        # Equation 2 accounting: value+tid words per run entry, plus the
+        # permutation array.  Linking the vector side must not add bits.
+        offset_bits = sum(64 * len(o) for o in merge.offsets.values())
+        expected = (
+            sum(2 * 64 * len(run) for run in merge.left.runs)
+            + 64 * len(merge.left.permutation)
+            + offset_bits
+        )
+        assert vec.memory_bits() == merge.memory_bits() == expected
+        assert vec.index_overhead_bits() == (
+            64 * len(merge.left.permutation) + offset_bits
+        )
+
+    def test_two_sided_accounting(self, q1_query):
+        join = drive_past_merge(q1_query, interleaved_rs(240, seed=43))
+        vec = join.immutable.batches[0]
+        merge = vec.batch
+        expected = (
+            merge.left.memory_bits()
+            + merge.right.memory_bits()
+            + sum(64 * len(o) for o in merge.offsets.values())
+        )
+        assert vec.memory_bits() == expected
+
+
+class TestMutableAccounting:
+    def test_arena_payload_separate_from_index_bits(self, q3_query):
+        join = SPOJoin(q3_query, WindowSpec.count(100, 20))
+        data = random_tuples(50, seed=44)
+        join.process_many(ArenaSlice.of(data))
+        window = join.mutable_left
+        # Equation 1's I_M: field-index footprint only.
+        assert window.memory_bits() == sum(
+            tree.memory_bits() for tree in window.trees
+        )
+        # The columnar payload is reported separately and matches the
+        # arena's live-row accounting: (tid + time + fields) * 64 * rows.
+        nf = window.arena.num_fields
+        assert window.payload_bits() == (2 + nf) * 64 * len(window.arena)
+        assert len(window.arena) == len(window)
+
+    def test_arena_resets_with_merge(self, q3_query):
+        join = drive_past_merge(q3_query, random_tuples(200, seed=45))
+        window = join.mutable_left
+        # After merges the arena holds only the still-mutable tail, so
+        # payload never grows with stream length.
+        assert len(window.arena) == len(window)
+        assert window.payload_bits() == (
+            (2 + window.arena.num_fields) * 64 * len(window)
+        )
