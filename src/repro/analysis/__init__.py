@@ -1,0 +1,39 @@
+"""Invariant linter: AST-based static analysis for the engine's contracts.
+
+Every correctness guarantee the reproduction makes — bit-identical
+fingerprints across batch sizes, backends, and chaos runs — rests on
+coding invariants that used to be enforced by review alone.  This
+package checks them by machine:
+
+========  ====================  =========================================
+Rule      Pragma                Contract
+========  ====================  =========================================
+REPRO001  allow-wallclock       no wall-clock reads in engine paths
+REPRO002  allow-unseeded-random all randomness from config-threaded seeds
+REPRO003  allow-set-iteration   no set iteration feeding ordered output
+REPRO004  allow-checkpoint-gap  checkpoint serialization is complete
+REPRO005  allow-numpy-scalar    no numpy scalars in repr/JSON paths
+REPRO006  allow-obs-direct      obs calls use the _obs_overhead pattern
+========  ====================  =========================================
+
+Run ``python -m repro.analysis src/repro`` (exit 0 = clean against the
+committed baseline) or ``--list-rules`` for details.  The package is
+stdlib-only so the CI gate needs no third-party installs.
+"""
+
+from .baseline import Baseline
+from .findings import Finding
+from .rules import ModuleInfo, Rule, all_rules, register_rule
+from .runner import AnalysisResult, analyze_paths, analyze_source
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "register_rule",
+]

@@ -1,0 +1,105 @@
+"""Committed baseline of accepted findings.
+
+The baseline records *deliberate exceptions* — findings reviewed by a
+human and accepted as part of the design — so the analyzer can gate CI
+on **new** findings only.  Identities are line-independent
+(``rule:path:scope:symbol``) with a count per identity, so unrelated
+edits do not invalidate the baseline, but adding a *second* violation
+of an already-baselined identity in the same scope still fails.
+
+Workflow::
+
+    python -m repro.analysis src/repro --write-baseline   # accept current
+    python -m repro.analysis src/repro                    # gate against it
+
+Prefer inline pragmas (``# repro: allow-wallclock``) for new deliberate
+exceptions: they are visible at the call site and reviewed with the
+code.  The baseline is for violations that cannot carry a pragma (e.g.
+generated files) or historical debt being burned down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Counter as CounterType
+from typing import Dict, List, Tuple
+from collections import Counter
+
+from .findings import Finding, sort_findings
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro-analysis-baseline.json"
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """Accepted finding identities with per-identity counts."""
+
+    def __init__(self, counts: Dict[str, int] | None = None) -> None:
+        self.counts: CounterType[str] = Counter(counts or {})
+
+    # -- persistence ----------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(payload.get("findings", {}))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Accepted invariant-analyzer findings; regenerate with "
+                "`python -m repro.analysis src/repro --write-baseline`. "
+                "Keep this file reviewed: every entry is a deliberate "
+                "exception to a REPRO rule."
+            ),
+            "findings": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.counts[finding.identity] += 1
+        return baseline
+
+    # -- matching -------------------------------------------------------
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split ``findings`` into (new, baselined).
+
+        Each baseline entry absorbs at most ``count`` findings of its
+        identity; extras are new.  Findings are considered in stable
+        report order so which duplicates surface as "new" is
+        deterministic.
+        """
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sort_findings(findings):
+            if remaining.get(finding.identity, 0) > 0:
+                remaining[finding.identity] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def stale_identities(self, findings: List[Finding]) -> List[str]:
+        """Baseline entries no longer matched by any current finding."""
+        present = Counter(f.identity for f in findings)
+        return sorted(
+            identity
+            for identity, count in self.counts.items()
+            if present.get(identity, 0) < count
+        )

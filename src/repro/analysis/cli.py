@@ -1,0 +1,201 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Exit status: 0 when no findings beyond the baseline (and no parse
+errors), 1 on new findings or parse errors, 2 on usage errors.
+
+Typical invocations::
+
+    python -m repro.analysis src/repro                 # gate (text)
+    python -m repro.analysis src/repro --format json   # machine output
+    python -m repro.analysis src/repro --write-baseline
+    python -m repro.analysis src/repro --select REPRO001,REPRO004
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .findings import findings_to_json
+from .rules import all_rules
+from .runner import analyze_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant linter enforcing the engine's "
+            "determinism, checkpoint, and accounting contracts "
+            "(REPRO001-REPRO006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the JSON report to FILE (any --format)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of accepted findings (default: "
+            f"{DEFAULT_BASELINE_NAME} next to the first analyzed path's "
+            "repo root, if present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (findings still print)",
+    )
+    return parser
+
+
+def _default_baseline(paths: List[str]) -> Optional[Path]:
+    """Find a committed baseline near the analyzed tree."""
+    for raw in paths:
+        probe = Path(raw).resolve()
+        for candidate in [probe, *probe.parents]:
+            baseline = candidate / DEFAULT_BASELINE_NAME
+            if baseline.exists():
+                return baseline
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = (
+                ", ".join(rule.include_dirs)
+                if rule.include_dirs
+                else "whole package"
+            )
+            exempt = (
+                f" (exempt: {', '.join(rule.exclude_dirs)})"
+                if rule.exclude_dirs
+                else ""
+            )
+            print(f"{rule.id}  allow-{rule.name}")
+            print(f"    {rule.description}")
+            print(f"    scope: {scope}{exempt}")
+        return 0
+
+    if args.select:
+        wanted = {token.strip() for token in args.select.split(",")}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.id in wanted]
+    if args.ignore:
+        dropped = {token.strip() for token in args.ignore.split(",")}
+        rules = [rule for rule in rules if rule.id not in dropped]
+
+    result = analyze_paths(args.paths, rules=rules)
+
+    baseline_path: Optional[Path]
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = _default_baseline(list(args.paths))
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        Baseline.from_findings(result.findings).save(target)
+        print(
+            f"wrote baseline with {len(result.findings)} finding(s) "
+            f"to {target}"
+        )
+        return 0
+
+    baseline = (
+        Baseline.load(baseline_path) if baseline_path is not None else Baseline()
+    )
+    new, baselined = baseline.partition(result.findings)
+    stale = baseline.stale_identities(result.findings)
+
+    report = {
+        "files_checked": result.files_checked,
+        "rules": [rule.id for rule in rules],
+        "findings": findings_to_json(new),
+        "baselined": len(baselined),
+        "stale_baseline_entries": stale,
+        "errors": result.errors,
+        "ok": not new and not result.errors,
+    }
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(report, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        for path, error in sorted(result.errors.items()):
+            print(f"{path}: PARSE ERROR {error}")
+        if not args.quiet:
+            summary = (
+                f"{result.files_checked} file(s), "
+                f"{len(new)} new finding(s), {len(baselined)} baselined"
+            )
+            if stale:
+                summary += (
+                    f"; {len(stale)} stale baseline entr"
+                    f"{'y' if len(stale) == 1 else 'ies'} "
+                    "(fixed or moved — regenerate with --write-baseline)"
+                )
+            print(summary)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Finding records produced by the invariant analyzer.
+
+A :class:`Finding` pins a rule violation to a source location and, for
+baseline matching, to a *stable identity* that survives unrelated edits:
+``(rule, path, scope, symbol)`` rather than a raw line number.  Two
+findings with the same identity are "the same violation" even if the
+file around them moved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+__all__ = ["Finding", "findings_to_json", "sort_findings"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Rule identifier, e.g. ``"REPRO001"``.
+    rule: str
+    #: Path of the offending file, relative to the analysis root.
+    path: str
+    #: 1-based source line of the violation.
+    line: int
+    #: 1-based source column of the violation.
+    col: int
+    #: Human-readable description of the violation.
+    message: str
+    #: Dotted enclosing scope (``Class.method`` or ``<module>``).
+    scope: str = "<module>"
+    #: The offending symbol/expression, normalized (e.g. ``time.time``).
+    symbol: str = ""
+
+    @property
+    def identity(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}:{self.path}:{self.scope}:{self.symbol}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["identity"] = self.identity
+        return out
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.scope}] {self.message}"
+        )
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: path, then line, then rule."""
+    return sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.symbol)
+    )
+
+
+def findings_to_json(findings: List[Finding]) -> List[Dict[str, Any]]:
+    return [f.to_dict() for f in sort_findings(findings)]

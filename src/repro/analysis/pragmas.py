@@ -1,0 +1,69 @@
+"""Inline pragma suppressions for the invariant analyzer.
+
+A violation is suppressed by a comment on the same logical line::
+
+    t0 = time.perf_counter()  # repro: allow-wallclock
+
+or, for constructs that span lines (a call whose arguments wrap), by a
+pragma on the line where the flagged expression *starts*.  Multiple
+allowances may be comma-separated::
+
+    # repro: allow-wallclock, allow-set-iteration
+
+The special allowance ``allow-all`` suppresses every rule on its line.
+Pragmas are parsed with :mod:`tokenize`, so strings containing the text
+``# repro:`` do not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["PragmaIndex", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<body>.+)$")
+_ALLOW_RE = re.compile(r"allow-(?P<name>[a-z0-9][a-z0-9-]*)")
+
+
+class PragmaIndex:
+    """Per-line allowances parsed from one source file."""
+
+    def __init__(self, allowances: Dict[int, Set[str]]) -> None:
+        self._by_line = allowances
+
+    def allows(self, line: int, name: str) -> bool:
+        """True when ``line`` carries ``allow-<name>`` (or ``allow-all``)."""
+        allowed = self._by_line.get(line)
+        if not allowed:
+            return False
+        return name in allowed or "all" in allowed
+
+    @property
+    def lines(self) -> Dict[int, Set[str]]:
+        return self._by_line
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Extract ``# repro: allow-*`` pragmas from ``source`` by line."""
+    allowances: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if not match:
+                continue
+            names = {
+                m.group("name") for m in _ALLOW_RE.finditer(match.group("body"))
+            }
+            if names:
+                allowances.setdefault(tok.start[0], set()).update(names)
+    except tokenize.TokenError:
+        # Unterminated constructs: fall back to no pragmas; the AST
+        # parse will report the syntax problem anyway.
+        pass
+    return PragmaIndex(allowances)

@@ -1,0 +1,156 @@
+"""Rule registry for the invariant analyzer.
+
+A rule is a class with a ``REPROnnn`` id, a pragma ``name`` (suppressed
+inline by ``# repro: allow-<name>``), a path scope, and a ``check``
+method that walks one module's AST and yields findings.  Rules register
+themselves at import time via :func:`register_rule`; the analyzer runs
+every registered rule whose scope includes the file.
+
+Adding a rule: subclass :class:`Rule` in a new module under
+``repro/analysis/rules/``, decorate with ``@register_rule``, import it
+from this package, and give it fixture tests under
+``tests/analysis/fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from ..findings import Finding
+from ..pragmas import PragmaIndex
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "rule_by_id",
+]
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One parsed source file handed to every applicable rule."""
+
+    #: Path as reported in findings (relative to the analysis root).
+    path: str
+    #: Path relative to the ``repro`` package (``core/spojoin.py``), or
+    #: None when the file is outside the package (fixtures, ad-hoc runs)
+    #: — rules treat out-of-package files as in scope so fixture tests
+    #: and one-off invocations exercise every rule.
+    pkgpath: Optional[str]
+    tree: ast.Module
+    source: str
+    pragmas: PragmaIndex
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleInfo":
+        from ..pragmas import parse_pragmas
+
+        tree = ast.parse(source, filename=path)
+        posix = PurePosixPath(path.replace("\\", "/"))
+        pkgpath: Optional[str] = None
+        parts = posix.parts
+        for i, part in enumerate(parts):
+            if part == "repro" and i + 1 < len(parts):
+                pkgpath = "/".join(parts[i + 1 :])
+                break
+        return cls(path, pkgpath, tree, source, parse_pragmas(source))
+
+    def in_dirs(self, dirs: Tuple[str, ...]) -> bool:
+        """True when the module sits under one of the package dirs."""
+        if self.pkgpath is None:
+            return True
+        return self.pkgpath.split("/", 1)[0] in dirs
+
+
+class Rule:
+    """Base class for one invariant check."""
+
+    id: str = ""
+    name: str = ""  # pragma: `# repro: allow-<name>`
+    description: str = ""
+    #: Top-level package dirs the rule applies to; None = whole package.
+    include_dirs: Optional[Tuple[str, ...]] = None
+    #: Top-level package dirs exempt even when included.
+    exclude_dirs: Tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if module.pkgpath is None:
+            return True
+        top = module.pkgpath.split("/", 1)[0]
+        if top in self.exclude_dirs:
+            return False
+        if self.include_dirs is None:
+            return True
+        return top in self.include_dirs
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by concrete rules -------------------------------
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        scope: str,
+        symbol: str,
+    ) -> Optional[Finding]:
+        """Build a finding unless a pragma on the node's line allows it."""
+        line = getattr(node, "lineno", 0)
+        if module.pragmas.allows(line, self.name):
+            return None
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            scope=scope,
+            symbol=symbol,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} needs an id and a name")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, in id order."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]()
+
+
+_LOADED = False
+
+
+def _load_builtin_rules() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import (  # noqa: F401
+        checkpoint,
+        numpy_leak,
+        obs_isolation,
+        randomness,
+        set_iteration,
+        wallclock,
+    )

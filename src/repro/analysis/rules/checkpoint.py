@@ -1,0 +1,266 @@
+"""REPRO004 — checkpoint completeness for checkpointable classes.
+
+The PR 2 bug class: an operator grows a new piece of mutable state, the
+checkpoint serializer is not updated, and a crash-restore silently
+resumes from a *partial* window — results stay plausible and only the
+chaos fingerprint cross-check catches it, late.
+
+This rule cross-checks, for every checkpointable class (declares
+``checkpointable = True`` or defines a serialization pair such as
+``snapshot_state``/``restore_state`` or ``to_state``/``from_state``):
+
+* the ``self.X`` attributes assigned in ``__init__``,
+* which of those are *mutated* after construction (reassigned,
+  aug-assigned, item-assigned, or targeted by a mutator method call
+  like ``.append``/``.add``/``.setdefault``) in methods other than
+  ``__init__``, ``setup``, and the restore method itself — ``setup``
+  re-runs on restart, so state established there needs no
+  serialization,
+
+and requires every mutated attribute to be visible in **both** the
+snapshot and the restore method: either referenced as ``self.X`` or
+named by a string key (``"x"`` / ``"_x"``).  Delegation counts — a
+snapshot that calls ``checkpoint(self.join)`` references ``self.join``.
+
+Suppress a deliberate exclusion (derived caches rebuilt on restore,
+observer plumbing) with ``# repro: allow-checkpoint-gap`` on the
+attribute's ``__init__`` assignment line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from . import ModuleInfo, Rule, register_rule
+from .common import dotted_name
+
+SNAPSHOT_NAMES = ("snapshot_state", "to_state", "checkpoint_state")
+RESTORE_NAMES = ("restore_state", "from_state", "restore_from_state")
+#: Methods whose assignments do not need serialization: construction,
+#: per-restart setup, and the restore path itself.
+EXEMPT_METHODS = {"__init__", "setup"} | set(RESTORE_NAMES)
+
+_MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "extend",
+    "extendleft",
+    "insert",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "update",
+    "setdefault",
+    "sort",
+    "reverse",
+    "rotate",
+}
+_MUTATOR_PREFIXES = ("insert", "push", "set_", "process", "advance", "record")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _root_self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when ``node`` is ``self.X`` under any subscript/attr chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        direct = _self_attr(node)
+        if direct is not None:
+            return direct
+        node = node.value
+    return None
+
+
+def _init_attrs(cls: ast.ClassDef) -> Dict[str, int]:
+    """Attr name -> line of its ``__init__`` assignment."""
+    out: Dict[str, int] = {}
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            for node in ast.walk(item):
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    name = _self_attr(target)
+                    if name is not None and name not in out:
+                        out[name] = node.lineno
+    return out
+
+
+def _mutated_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes mutated in non-exempt methods."""
+    mutated: Set[str] = set()
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name in EXEMPT_METHODS:
+            continue
+        for node in ast.walk(item):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    name = _root_self_attr(target)
+                    if name:
+                        mutated.add(name)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    name = _root_self_attr(target)
+                    if name:
+                        mutated.add(name)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                method = node.func.attr
+                if method in _MUTATOR_METHODS or method.startswith(
+                    _MUTATOR_PREFIXES
+                ):
+                    name = _root_self_attr(node.func.value)
+                    if name:
+                        mutated.add(name)
+    return mutated
+
+
+def _referenced_attrs(func: ast.FunctionDef) -> Tuple[Set[str], Set[str]]:
+    """(self.X references, string constants) inside ``func``."""
+    attrs: Set[str] = set()
+    strings: Set[str] = set()
+    for node in ast.walk(func):
+        name = _self_attr(node)
+        if name is not None:
+            attrs.add(name)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            strings.add(node.value)
+    return attrs, strings
+
+
+def _find_method(cls: ast.ClassDef, names) -> Optional[ast.FunctionDef]:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name in names:
+            # A body that only raises NotImplementedError is a
+            # non-checkpointable default, not a serializer.
+            if _only_raises(item):
+                return None
+            return item
+    return None
+
+
+def _only_raises(func: ast.FunctionDef) -> bool:
+    body = [
+        stmt
+        for stmt in func.body
+        if not isinstance(stmt, ast.Expr)
+        or not isinstance(stmt.value, ast.Constant)
+    ]
+    return len(body) == 1 and isinstance(body[0], ast.Raise)
+
+
+def _is_checkpointable(cls: ast.ClassDef) -> bool:
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "checkpointable"
+                    and isinstance(item.value, ast.Constant)
+                    and item.value.value is True
+                ):
+                    return True
+    return (
+        _find_method(cls, SNAPSHOT_NAMES) is not None
+        and _find_method(cls, RESTORE_NAMES) is not None
+    )
+
+
+def _covered(attr: str, attrs: Set[str], strings: Set[str]) -> bool:
+    return (
+        attr in attrs
+        or attr in strings
+        or attr.lstrip("_") in strings
+    )
+
+
+@register_rule
+class CheckpointCompletenessRule(Rule):
+    id = "REPRO004"
+    name = "checkpoint-gap"
+    description = (
+        "Mutable attribute of a checkpointable class missing from its "
+        "snapshot/restore serialization."
+    )
+    exclude_dirs = ("analysis",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_checkpointable(node):
+                continue
+            snapshot = _find_method(node, SNAPSHOT_NAMES)
+            restore = _find_method(node, RESTORE_NAMES)
+            if snapshot is None or restore is None:
+                finding = self.finding(
+                    module,
+                    node,
+                    f"class `{node.name}` is marked checkpointable but "
+                    "does not define both a snapshot method "
+                    f"({'/'.join(SNAPSHOT_NAMES)}) and a restore method "
+                    f"({'/'.join(RESTORE_NAMES)})",
+                    node.name,
+                    node.name,
+                )
+                if finding:
+                    yield finding
+                continue
+            init_attrs = _init_attrs(node)
+            mutated = _mutated_attrs(node)
+            snap_attrs, snap_strings = _referenced_attrs(snapshot)
+            rest_attrs, rest_strings = _referenced_attrs(restore)
+            for attr in sorted(mutated & set(init_attrs)):
+                in_snap = _covered(attr, snap_attrs, snap_strings)
+                in_rest = _covered(attr, rest_attrs, rest_strings)
+                if in_snap and in_rest:
+                    continue
+                missing: List[str] = []
+                if not in_snap:
+                    missing.append(snapshot.name)
+                if not in_rest:
+                    missing.append(restore.name)
+                # The pragma sits on the __init__ assignment line.
+                if module.pragmas.allows(init_attrs[attr], self.name):
+                    continue
+                anchor = ast.Constant(value=None)
+                anchor.lineno = init_attrs[attr]
+                anchor.col_offset = 0
+                finding = self.finding(
+                    module,
+                    anchor,
+                    f"`{node.name}.{attr}` is mutated after __init__ but "
+                    f"absent from {' and '.join(missing)}; a crash-restore "
+                    "would silently resume from partial state (the PR 2 "
+                    "bug class). Serialize it or mark the assignment "
+                    "`# repro: allow-checkpoint-gap`",
+                    node.name,
+                    f"{node.name}.{attr}",
+                )
+                if finding:
+                    yield finding

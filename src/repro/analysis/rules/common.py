@@ -1,0 +1,133 @@
+"""Shared AST helpers for invariant rules (stdlib-only)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+__all__ = [
+    "dotted_name",
+    "ImportMap",
+    "ScopedVisitor",
+    "walk_scoped",
+    "call_func_name",
+    "iter_functions",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if isinstance(node, ast.Call):
+        # ``a.b(...).c`` — resolve through the call for receiver checks.
+        inner = dotted_name(node.func)
+        if inner is not None and parts:
+            return inner + "()." + ".".join(reversed(parts))
+        return inner
+    return None
+
+
+class ImportMap:
+    """Local alias -> canonical dotted module/name map for one module.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter as pc`` maps ``pc -> time.perf_counter``.  Used to
+    normalize call sites before matching against banned names.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports are package-internal
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, dotted: Optional[str]) -> Optional[str]:
+        """Rewrite the head alias of ``dotted`` to its canonical form."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing ``Class.method`` scope."""
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+
+    @property
+    def scope(self) -> str:
+        return ".".join(self._stack) if self._stack else "<module>"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def _visit_func(self, node: AnyFunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+
+def walk_scoped(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, scope)`` for every node with its enclosing scope."""
+    out: List[Tuple[ast.AST, str]] = []
+
+    class _Collector(ScopedVisitor):
+        def generic_visit(self, node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                out.append((child, self.scope))
+            super().generic_visit(node)
+
+    collector = _Collector()
+    out.append((tree, "<module>"))
+    collector.visit(tree)
+    return iter(out)
+
+
+def call_func_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[AnyFunctionDef, str]]:
+    """Yield every (async) function with its enclosing scope name."""
+
+    results: List[Tuple[AnyFunctionDef, str]] = []
+
+    class _Finder(ScopedVisitor):
+        def _visit_func(self, node: AnyFunctionDef) -> None:
+            # Scope string names the *enclosing* scope, not the function.
+            results.append((node, self.scope))
+            super()._visit_func(node)
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+    _Finder().visit(tree)
+    return iter(results)

@@ -1,0 +1,136 @@
+"""REPRO006 — observability calls outside the overhead-isolation pattern.
+
+The observability layer's contract (PR 3) is that enabling it never
+changes charged service times or fingerprints.  That holds because all
+instrumentation emitted *inside a charged service window* goes through
+``ctx.observe_cost`` / ``ctx.observe_event``, whose own wall cost is
+accumulated into ``ctx._obs_overhead`` and subtracted from the charge.
+
+An operator that calls the observer sinks directly (``obs.on_event``,
+``tracer.maybe_start``, ``telemetry.on_serve``, ...) bypasses that
+isolation: its instrumentation cost lands in the charged service time
+and the "zero-overhead when disabled" property silently breaks.
+
+The rule flags direct observer-sink calls in engine/operator paths
+unless the enclosing function participates in the isolation pattern
+(it references ``_obs_overhead``) or it runs on the scheduler side of
+the engine, outside any charged window (methods of ``Engine`` in
+``dspe/engine.py``, where service charging has already been fixed).
+The ``obs/`` package itself — the sink implementation — is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..findings import Finding
+from . import ModuleInfo, Rule, register_rule
+from .common import AnyFunctionDef, ScopedVisitor, dotted_name
+
+#: Observer-sink method names (the Observer / Tracer / Telemetry API).
+SINK_METHODS = {
+    "on_event",
+    "on_operator_cost",
+    "on_serve",
+    "on_hop",
+    "on_tick",
+    "on_queue_depth",
+    "maybe_start",
+}
+#: Receiver chains that identify the observer object.
+_OBS_RECEIVER_PARTS = ("obs", "observer", "tracer", "telemetry")
+
+#: Classes whose methods run on the engine's scheduler side, outside any
+#: charged service window; direct sink calls there cannot distort
+#: charged time.
+SCHEDULER_CLASSES = ("Engine",)
+
+
+def _receiver_is_obs(node: ast.AST) -> bool:
+    name = dotted_name(node)
+    if name is None:
+        return False
+    parts = name.replace("().", ".").split(".")
+    return any(part.lstrip("_") in _OBS_RECEIVER_PARTS for part in parts)
+
+
+def _function_isolates(func: ast.AST) -> bool:
+    """True when the function references the ``_obs_overhead`` bracket."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and node.attr == "_obs_overhead":
+            return True
+        if isinstance(node, ast.Name) and node.id == "_obs_overhead":
+            return True
+    return False
+
+
+@register_rule
+class ObsIsolationRule(Rule):
+    id = "REPRO006"
+    name = "obs-direct"
+    description = (
+        "Direct observer-sink call in an engine/operator path outside "
+        "the _obs_overhead isolation pattern."
+    )
+    include_dirs = ("core", "joins", "dspe", "indexes")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        rule = self
+
+        class _Walker(ScopedVisitor):
+            def __init__(self) -> None:
+                super().__init__()
+                self._func_stack: List[ast.AST] = []
+                self._class_stack: List[str] = []
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self._class_stack.append(node.name)
+                super().visit_ClassDef(node)
+                self._class_stack.pop()
+
+            def _visit_func(self, node: AnyFunctionDef) -> None:
+                self._func_stack.append(node)
+                super()._visit_func(node)
+                self._func_stack.pop()
+
+            visit_FunctionDef = _visit_func
+            visit_AsyncFunctionDef = _visit_func
+
+            def visit_Call(self, node: ast.Call) -> None:
+                self._check(node)
+                self.generic_visit(node)
+
+            def _check(self, node: ast.Call) -> None:
+                if not isinstance(node.func, ast.Attribute):
+                    return
+                if node.func.attr not in SINK_METHODS:
+                    return
+                if not _receiver_is_obs(node.func.value):
+                    return
+                if self._class_stack and (
+                    self._class_stack[-1] in SCHEDULER_CLASSES
+                ):
+                    return
+                if self._func_stack and _function_isolates(
+                    self._func_stack[-1]
+                ):
+                    return
+                symbol = dotted_name(node.func) or node.func.attr
+                finding = rule.finding(
+                    module,
+                    node,
+                    f"direct observer-sink call `{symbol}(...)` inside a "
+                    "charged service path; route through "
+                    "ctx.observe_cost/ctx.observe_event (the "
+                    "_obs_overhead isolation pattern) so instrumentation "
+                    "cost never lands in charged service time",
+                    self.scope,
+                    symbol,
+                )
+                if finding:
+                    findings.append(finding)
+
+        _Walker().visit(module.tree)
+        return iter(findings)

@@ -1,0 +1,92 @@
+"""REPRO002 — unseeded randomness.
+
+Every random draw in the system must come from a generator whose seed
+is threaded through configuration (``FaultConfig.seed``, ``fault_seed``,
+workload generator seeds) — that is what makes chaos runs replayable
+and fingerprints comparable across machines.  The module-level
+``random.*`` functions and the legacy ``numpy.random.*`` global share
+hidden interpreter-wide state and are banned everywhere in the package;
+so are unseeded constructions (``random.Random()`` with no arguments,
+``np.random.default_rng()`` with no arguments, ``random.SystemRandom``).
+
+Seeded constructions — ``random.Random(seed)``,
+``np.random.default_rng(seed)`` — are the sanctioned replacements and
+pass the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from . import ModuleInfo, Rule, register_rule
+from .common import ImportMap, dotted_name, walk_scoped
+
+#: Constructors that are fine *with* an explicit seed argument.
+SEEDED_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+
+#: Never acceptable, seeded or not.
+ALWAYS_BANNED = {"random.SystemRandom", "os.urandom", "uuid.uuid4"}
+
+
+@register_rule
+class UnseededRandomnessRule(Rule):
+    id = "REPRO002"
+    name = "unseeded-random"
+    description = (
+        "Module-level / unseeded randomness; draw from a seeded "
+        "generator threaded through config instead."
+    )
+    exclude_dirs = ("analysis",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node, scope in walk_scoped(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.canonical(dotted_name(node.func))
+            if target is None:
+                continue
+            message = self._violation(target, node)
+            if message is None:
+                continue
+            finding = self.finding(module, node, message, scope, target)
+            if finding:
+                yield finding
+
+    def _violation(self, target: str, node: ast.Call) -> Optional[str]:
+        if target in ALWAYS_BANNED:
+            return (
+                f"`{target}` is inherently unseedable; all randomness "
+                "must replay from a configured seed"
+            )
+        if target in SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                return (
+                    f"`{target}()` constructed without a seed falls back "
+                    "to OS entropy; pass the config-threaded seed"
+                )
+            return None
+        head, _, rest = target.partition(".")
+        if head == "random" and rest and "." not in rest:
+            return (
+                f"module-level `random.{rest}()` uses hidden global "
+                "state; use a `random.Random(seed)` instance threaded "
+                "through config"
+            )
+        if target.startswith("numpy.random.") and target.count(".") == 2:
+            return (
+                f"legacy global `{target}()` uses hidden global state; "
+                "use `numpy.random.default_rng(seed)` threaded through "
+                "config"
+            )
+        return None

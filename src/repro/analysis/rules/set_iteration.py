@@ -1,0 +1,226 @@
+"""REPRO003 — unordered set iteration feeding ordered output.
+
+``set`` iteration order depends on insertion history and hash
+randomization; letting it reach emission order, a fingerprint, or a
+checkpoint payload makes two identical runs produce different bytes.
+The codebase's idiom is ``sorted(the_set)`` at every such boundary
+(match sets are tid sets; ordering them is cheap and total).
+
+The rule performs light, purely syntactic inference: expressions that
+are *definitely* sets (set literals/comprehensions, ``set(...)`` /
+``frozenset(...)`` calls, local names assigned from those in the same
+function, ``self``-attributes initialized to sets in ``__init__``) are
+flagged when consumed in an order-sensitive position — a ``for`` loop,
+a comprehension, ``list()`` / ``tuple()`` / ``enumerate()`` /
+``iter()``, ``str.join``, or unpacking.  Order-insensitive consumption
+(membership tests, ``len`` / ``min`` / ``max`` / ``sum`` / ``any`` /
+``all``, set algebra, ``sorted(...)``) passes.  Dict iteration is
+deterministic (insertion-ordered) in every supported interpreter and is
+not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Union
+
+from ..findings import Finding
+from . import ModuleInfo, Rule, register_rule
+from .common import AnyFunctionDef, ScopedVisitor, dotted_name
+
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted",
+    "len",
+    "min",
+    "max",
+    "sum",
+    "any",
+    "all",
+    "bool",
+    "set",
+    "frozenset",
+}
+_ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next", "reversed"}
+
+
+def _is_set_expr(node: ast.AST, known: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+    name = dotted_name(node)
+    return name is not None and name in known
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """Collects definite-set names, then flags ordered consumption."""
+
+    def __init__(
+        self,
+        rule: Rule,
+        module: ModuleInfo,
+        scope: str,
+        self_sets: Set[str],
+    ) -> None:
+        self.rule = rule
+        self.module = module
+        self.scope = scope
+        self.known: Set[str] = set(self_sets)
+        self.findings: List[Finding] = []
+
+    # -- inference ------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value, self.known):
+            for target in node.targets:
+                name = dotted_name(target)
+                if name:
+                    self.known.add(name)
+        else:
+            # Reassignment to a non-set value revokes the inference.
+            for target in node.targets:
+                name = dotted_name(target)
+                if name:
+                    self.known.discard(name)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        ann = dotted_name(node.annotation)
+        name = dotted_name(node.target)
+        if name and (
+            ann in ("set", "frozenset", "Set", "FrozenSet", "typing.Set")
+            or (node.value is not None and _is_set_expr(node.value, self.known))
+        ):
+            self.known.add(name)
+        self.generic_visit(node)
+
+    # -- consumption ----------------------------------------------------
+    def _flag(self, node: ast.AST, how: str) -> None:
+        symbol = dotted_name(node) or type(node).__name__
+        finding = self.rule.finding(
+            self.module,
+            node,
+            f"unordered set iteration ({how}) can leak hash/insertion "
+            "order into emitted results, fingerprints, or checkpoints; "
+            "wrap in `sorted(...)` at the boundary",
+            self.scope,
+            symbol,
+        )
+        if finding:
+            self.findings.append(finding)
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter, self.known):
+            self._flag(node.iter, "for-loop over a set")
+        self.generic_visit(node)
+
+    def _visit_comp(
+        self, node: Union[ast.ListComp, ast.GeneratorExp, ast.DictComp]
+    ) -> None:
+        for gen in node.generators:
+            if _is_set_expr(gen.iter, self.known):
+                self._flag(gen.iter, "comprehension over a set")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set stays unordered — fine.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name in _ORDERED_CONSUMERS and node.args:
+            if _is_set_expr(node.args[0], self.known):
+                self._flag(node.args[0], f"`{name}()` over a set")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and _is_set_expr(node.args[0], self.known)
+        ):
+            self._flag(node.args[0], "`str.join` over a set")
+        self.generic_visit(node)
+
+    def visit_Starred(self, node: ast.Starred) -> None:
+        if _is_set_expr(node.value, self.known):
+            self._flag(node.value, "unpacking a set")
+        self.generic_visit(node)
+
+
+def _init_self_sets(cls: ast.ClassDef) -> Set[str]:
+    """``self.X`` attributes initialized to sets in ``__init__``."""
+    out: Set[str] = set()
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            for node in ast.walk(item):
+                targets: Sequence[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if _is_set_expr(value, set()):
+                    for target in targets:
+                        name = dotted_name(target)
+                        if name and name.startswith("self."):
+                            out.add(name)
+    return out
+
+
+@register_rule
+class SetIterationRule(Rule):
+    id = "REPRO003"
+    name = "set-iteration"
+    description = (
+        "Iteration over an unordered set in an order-sensitive position."
+    )
+    exclude_dirs = ("bench", "analysis")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        findings: List[Finding] = []
+
+        class _Walker(ScopedVisitor):
+            def __init__(self) -> None:
+                super().__init__()
+                self._class_sets: List[Set[str]] = []
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self._class_sets.append(_init_self_sets(node))
+                super().visit_ClassDef(node)
+                self._class_sets.pop()
+
+            def _visit_func(self, node: AnyFunctionDef) -> None:
+                self._stack.append(node.name)
+                self_sets = self._class_sets[-1] if self._class_sets else set()
+                checker = _FunctionChecker(
+                    rule, module, self.scope, self_sets
+                )
+                for stmt in node.body:
+                    checker.visit(stmt)
+                findings.extend(checker.findings)
+                self._stack.pop()
+                # Do not recurse: _FunctionChecker handled nested defs'
+                # bodies with the enclosing function's inferences, which
+                # is the conservative choice for closures.
+
+            visit_FunctionDef = _visit_func
+            visit_AsyncFunctionDef = _visit_func
+
+        rule = self
+        walker = _Walker()
+        # Module-level statements outside any function.
+        top = _FunctionChecker(rule, module, "<module>", set())
+        for stmt in module.tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                walker.visit(stmt)
+            else:
+                top.visit(stmt)
+        findings.extend(top.findings)
+        return iter(findings)

@@ -1,0 +1,80 @@
+"""REPRO001 — wall-clock reads in determinism-critical paths.
+
+Engine, operator, and core code must be a pure function of the input
+stream and the seeded configuration: results, fingerprints, emission
+order, and checkpoint payloads may never depend on when the process
+ran.  Reading a clock (``time.time``, ``time.perf_counter``,
+``datetime.now``, ...) inside those paths is therefore banned.
+
+The bench harness (``bench/``) measures wall time by design and is
+allowlisted wholesale.  The engine's *deliberate* clock reads — service
+-cost measurement charged as simulated time and the ``_obs_overhead``
+isolation brackets — carry ``# repro: allow-wallclock`` pragmas at each
+site, so every clock read in the engine is a visible, reviewed
+decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from . import ModuleInfo, Rule, register_rule
+from .common import ImportMap, dotted_name, walk_scoped
+
+#: Canonical banned call targets (after import-alias normalization).
+BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "REPRO001"
+    name = "wallclock"
+    description = (
+        "Wall-clock read in a determinism-critical path; results must "
+        "be a pure function of the stream and the seeded config."
+    )
+    exclude_dirs = ("bench", "analysis")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node, scope in walk_scoped(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.canonical(dotted_name(node.func))
+            if target is None:
+                continue
+            # `from datetime import datetime` canonicalizes the head
+            # only; normalize `datetime.now` -> `datetime.datetime.now`.
+            if target in ("datetime.now", "datetime.utcnow", "datetime.today"):
+                target = "datetime." + target
+            if target in BANNED:
+                finding = self.finding(
+                    module,
+                    node,
+                    f"wall-clock read `{target}()` in an engine/operator "
+                    "path; thread simulated time or measured cost through "
+                    "instead (bench/ is allowlisted; deliberate "
+                    "cost-measurement sites take `# repro: allow-wallclock`)",
+                    scope,
+                    target,
+                )
+                if finding:
+                    yield finding

@@ -1,0 +1,98 @@
+"""File discovery and rule execution for the invariant analyzer."""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .findings import Finding, sort_findings
+from .rules import ModuleInfo, Rule, all_rules
+
+__all__ = ["AnalysisResult", "analyze_paths", "analyze_source", "discover"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    findings: List[Finding]
+    files_checked: int
+    #: Files that failed to parse: path -> error message.  Unparseable
+    #: files are reported, not silently skipped — a syntax error in an
+    #: engine path must not make the analyzer *pass*.
+    errors: Dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def discover(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.append(sub)
+        elif path.suffix == ".py":
+            out.append(path)
+    # De-duplicate while preserving sorted order.
+    seen: Set[str] = set()
+    unique: List[Path] = []
+    for path in out:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _relative(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Finding]:
+    """Run rules against one in-memory module (the fixture-test entry)."""
+    module = ModuleInfo.parse(path, source)
+    selected = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in selected:
+        if rule.applies_to(module):
+            findings.extend(rule.check(module))
+    return sort_findings(findings)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Iterable[Rule]] = None,
+    root: Optional[Path] = None,
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under ``paths`` with ``rules``."""
+    selected = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    errors: Dict[str, str] = {}
+    files = discover(paths)
+    for path in files:
+        relpath = _relative(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ModuleInfo.parse(relpath, source)
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            errors[relpath] = f"{type(exc).__name__}: {exc}"
+            continue
+        for rule in selected:
+            if rule.applies_to(module):
+                findings.extend(rule.check(module))
+    return AnalysisResult(sort_findings(findings), len(files), errors)

@@ -199,10 +199,10 @@ class SPOJoin:
             opposite = self.mutable_left
         assert opposite is not None
         hook = self.phase_hook
-        t0 = time.perf_counter() if hook is not None else 0.0
+        t0 = time.perf_counter() if hook is not None else 0.0  # repro: allow-wallclock
         mutable_matches = opposite.evaluate(t, probe_is_left)
         if hook is not None:
-            hook("mutable_probe", time.perf_counter() - t0)
+            hook("mutable_probe", time.perf_counter() - t0)  # repro: allow-wallclock
         matches.extend(mutable_matches)
         self.stats.mutable_matches += len(mutable_matches)
 
@@ -226,10 +226,10 @@ class SPOJoin:
         if self.is_two_stream and not probe_is_left:
             own = self.mutable_right
         assert own is not None
-        t1 = time.perf_counter() if hook is not None else 0.0
+        t1 = time.perf_counter() if hook is not None else 0.0  # repro: allow-wallclock
         own.insert(t)
         if hook is not None:
-            hook("mutable_insert", time.perf_counter() - t1)
+            hook("mutable_insert", time.perf_counter() - t1)  # repro: allow-wallclock
 
         # (4-12) merge-interval bookkeeping.
         self._advance_merge_clock(t)
@@ -302,13 +302,13 @@ class SPOJoin:
         else:
             flags = flags_of(sub, self.left_stream)
         hook = self.phase_hook
-        t0 = time.perf_counter() if hook is not None else 0.0
+        t0 = time.perf_counter() if hook is not None else 0.0  # repro: allow-wallclock
         mutable_rows = self._mutable_batch(sub, flags)
         if hook is not None:
             # The batched mutable pass interleaves probe and insert;
             # report it under one combined category rather than a split
             # the code cannot honestly measure.
-            hook("mutable_probe_insert", time.perf_counter() - t0)
+            hook("mutable_probe_insert", time.perf_counter() - t0)  # repro: allow-wallclock
         if not self.degraded:
             outcome = self.immutable.probe_all_batch(
                 sub, flags, self.num_threads
@@ -439,7 +439,7 @@ class SPOJoin:
         ):
             return None
         hook = self.phase_hook
-        t0 = time.perf_counter() if hook is not None else 0.0
+        t0 = time.perf_counter() if hook is not None else 0.0  # repro: allow-wallclock
         left_runs = self.mutable_left.drain_runs()
         right_runs = (
             self.mutable_right.drain_runs()
@@ -458,7 +458,7 @@ class SPOJoin:
         if hook is not None:
             hook(
                 "merge",
-                time.perf_counter() - t0,
+                time.perf_counter() - t0,  # repro: allow-wallclock
                 batch_id=merge_batch.batch_id,
             )
         return batch

@@ -205,20 +205,20 @@ class Context:
         obs = self._engine.obs
         if obs is None:
             return
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow-wallclock
         assert self.pe is not None
         obs.on_operator_cost(self.pe.name, self.now, category, seconds, fields or None)
-        self._obs_overhead += time.perf_counter() - t0
+        self._obs_overhead += time.perf_counter() - t0  # repro: allow-wallclock
 
     def observe_event(self, kind: str, **fields) -> None:
         """Append a point event (merge, cache sync, ...) to the event log."""
         obs = self._engine.obs
         if obs is None:
             return
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow-wallclock
         assert self.pe is not None
         obs.on_event(kind, self.now, self.pe.name, fields or None)
-        self._obs_overhead += time.perf_counter() - t0
+        self._obs_overhead += time.perf_counter() - t0  # repro: allow-wallclock
 
     @property
     def pressure(self) -> bool:
@@ -553,7 +553,7 @@ class Engine:
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
-        wall_start = time.perf_counter()
+        wall_start = time.perf_counter()  # repro: allow-wallclock
         heap: List[Tuple[float, int, int, object]] = []
         ctx = Context(self)
         fc = self.flow_ctl
@@ -798,7 +798,7 @@ class Engine:
                 ctx.pe = pe
                 pe.operator.teardown(ctx)
 
-        wall = time.perf_counter() - wall_start
+        wall = time.perf_counter() - wall_start  # repro: allow-wallclock
         all_pes = [pe for group in self._pes.values() for pe in group]
         if fc is not None:
             fc.finalize()
@@ -828,9 +828,9 @@ class Engine:
         ordinary service time, so checkpoint overhead competes with real
         work in throughput/latency metrics exactly like processing does.
         """
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow-wallclock
         snapshot = pe.operator.snapshot_state()
-        cost = (time.perf_counter() - t0) * self.time_scale
+        cost = (time.perf_counter() - t0) * self.time_scale  # repro: allow-wallclock
         start = max(at, pe.busy_until)
         completion = start + cost
         pe.busy_until = completion
@@ -1366,7 +1366,7 @@ class Engine:
         ctx._obs_overhead = 0.0
         ctx._pressure = flow_st.pressured if flow_st is not None else False
 
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow-wallclock
         if self.flow_ctl is None:
             pe.operator.process(message.payload, ctx)
             failure = None
@@ -1380,7 +1380,7 @@ class Engine:
                 failure = None
             except Exception as exc:
                 failure = exc
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0  # repro: allow-wallclock
         if failure is not None:
             # Atomicity: a failed attempt contributes no records or
             # emissions; its measured wall time is still service.

@@ -371,11 +371,11 @@ class PredicateOperator(Operator):
             # Operator-cost split (probe vs. insert): timestamps bracket
             # the real work; the observe calls themselves are excluded
             # from the charged service by the engine's overhead ledger.
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # repro: allow-wallclock
             partial = self._partial_for(t)
-            t1 = time.perf_counter()
+            t1 = time.perf_counter()  # repro: allow-wallclock
             self._insert(t)
-            t2 = time.perf_counter()
+            t2 = time.perf_counter()  # repro: allow-wallclock
             ctx.emit(partial, stream="partial")
             ctx.observe_cost("mutable_probe", t1 - t0)
             ctx.observe_cost("mutable_insert", t2 - t1)
@@ -405,12 +405,12 @@ class PredicateOperator(Operator):
         if ctx.observing:
             probe_s = insert_s = 0.0
             for t in batch.tuples:
-                t0 = time.perf_counter()
+                t0 = time.perf_counter()  # repro: allow-wallclock
                 entries.append(self._partial_for(t))
-                t1 = time.perf_counter()
+                t1 = time.perf_counter()  # repro: allow-wallclock
                 self._insert(t)
                 probe_s += t1 - t0
-                insert_s += time.perf_counter() - t1
+                insert_s += time.perf_counter() - t1  # repro: allow-wallclock
             ctx.observe_cost("mutable_probe", probe_s)
             ctx.observe_cost("mutable_insert", insert_s)
         else:
@@ -460,7 +460,7 @@ class PredicateOperator(Operator):
 
     def _merge(self, ctx) -> None:
         observing = ctx.observing
-        t0 = time.perf_counter() if observing else 0.0
+        t0 = time.perf_counter() if observing else 0.0  # repro: allow-wallclock
         merge_id = self._merge_id
         self._merge_id += 1
         left_run = self.windows["left"].drain_run()
@@ -476,7 +476,7 @@ class PredicateOperator(Operator):
             rl = compute_offset_array(right_run.values, left_run.values)
             ctx.emit(OffsetMsg(merge_id, self.pred_idx, lr, rl), stream="merge")
         if observing:
-            ctx.observe_cost("merge", time.perf_counter() - t0)
+            ctx.observe_cost("merge", time.perf_counter() - t0)  # repro: allow-wallclock
             ctx.observe_event(
                 "merge", merge_id=merge_id, stage="predicate", pred=self.pred_idx
             )
@@ -841,7 +841,7 @@ class POJoinOperator(Operator):
 
     def _build_batch(self, merge_id: int, parts: Dict[str, object], ctx) -> None:
         observing = ctx.observing
-        t0 = time.perf_counter() if observing else 0.0
+        t0 = time.perf_counter() if observing else 0.0  # repro: allow-wallclock
         left_perm: PermMsg = parts["perm_left"]  # type: ignore[assignment]
         left = MergeSide(
             left_perm.runs, left_perm.permutation, sorted(left_perm.runs[0].tids)
@@ -862,7 +862,7 @@ class POJoinOperator(Operator):
         merge_batch = MergeBatch(merge_id, left, right, offsets)
         ctx.record("merge_built", {"merge_id": merge_id, "pe": self._pe_index})
         if observing:
-            ctx.observe_cost("merge", time.perf_counter() - t0)
+            ctx.observe_cost("merge", time.perf_counter() - t0)  # repro: allow-wallclock
             ctx.observe_event("merge", merge_id=merge_id, stage="pojoin")
         if merge_id >= self._clock.epoch:
             # Parts outran the broadcast: hold the batch until this PE's

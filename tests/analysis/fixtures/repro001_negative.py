@@ -1,0 +1,22 @@
+"""REPRO001 negative fixture: no unflagged wall-clock reads.
+
+The deliberate measurement site carries the pragma; everything else
+threads simulated time through explicitly.
+"""
+import time
+
+
+def charge_service(now: float, cost: float) -> float:
+    # Simulated time arrives as data, never from the host clock.
+    return now + cost
+
+
+def measured_merge(observing: bool) -> float:
+    t0 = time.perf_counter() if observing else 0.0  # repro: allow-wallclock
+    spent = time.perf_counter() - t0  # repro: allow-wallclock
+    return spent
+
+
+def sleepless(duration: float) -> None:
+    # time.sleep is not a clock *read*; scheduling is the engine's job.
+    time.sleep(duration)

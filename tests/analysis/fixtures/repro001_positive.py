@@ -1,0 +1,19 @@
+"""REPRO001 positive fixture: wall-clock reads that must be flagged."""
+import time
+from time import perf_counter as pc
+from datetime import datetime
+import datetime as dt
+
+
+def charge_service():
+    start = time.time()  # flagged: absolute wall clock
+    t0 = time.perf_counter()  # flagged: duration clock in engine path
+    t1 = pc()  # flagged: aliased from-import
+    return start + t0 + t1
+
+
+def stamp_result(record):
+    record["at"] = datetime.now()  # flagged
+    record["day"] = dt.date.today()  # flagged
+    record["mono"] = time.monotonic()  # flagged
+    return record

@@ -1,0 +1,22 @@
+"""REPRO002 negative fixture: config-threaded seeded randomness only."""
+import random
+
+import numpy as np
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def make_np_rng(seed: int):
+    return np.random.default_rng(seed)
+
+
+def draw(rng: random.Random, items):
+    # Instance methods on a threaded generator are the sanctioned idiom.
+    rng.shuffle(items)
+    return rng.choice(items)
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    return int(rng.random() * lam)

@@ -1,0 +1,25 @@
+"""REPRO002 positive fixture: unseeded randomness that must be flagged."""
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # flagged: module-level global RNG
+
+
+def pick(items):
+    random.shuffle(items)  # flagged
+    return random.choice(items)  # flagged
+
+
+def make_generators():
+    a = random.Random()  # flagged: constructed without a seed
+    b = np.random.default_rng()  # flagged: no seed
+    c = np.random.rand(4)  # flagged: legacy global numpy RNG
+    d = random.SystemRandom()  # flagged: inherently unseedable
+    e = os.urandom(8)  # flagged
+    f = uuid.uuid4()  # flagged
+    return a, b, c, d, e, f

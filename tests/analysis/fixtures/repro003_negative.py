@@ -1,0 +1,42 @@
+"""REPRO003 negative fixture: sets used only order-insensitively."""
+
+
+def emit_matches(record, tids):
+    matched = set(tids)
+    for tid in sorted(matched):  # sorted boundary: deterministic
+        record.append(tid)
+    return record
+
+
+def membership(tids, probe):
+    seen = set(tids)
+    return probe in seen and len(seen) > 0
+
+
+def algebra(a_tids, b_tids):
+    combined = set(a_tids) & set(b_tids)
+    return sorted(combined or ())
+
+
+def aggregates(values):
+    distinct = {v * 2 for v in values}
+    return min(distinct), max(distinct), sum(distinct)
+
+
+def over_dict(mapping):
+    # Dict iteration is insertion-ordered and deterministic.
+    return [key for key in mapping]
+
+
+def deliberate(names):
+    return list(set(names))  # repro: allow-set-iteration
+
+
+class Window:
+    def __init__(self):
+        self._awaiting = set()
+
+    def drain(self, out):
+        for item in sorted(self._awaiting):
+            out.append(item)
+        self._awaiting.clear()

@@ -1,0 +1,36 @@
+"""REPRO003 positive fixture: ordered consumption of unordered sets."""
+
+
+def emit_matches(record, tids):
+    matched = set(tids)
+    for tid in matched:  # flagged: emission order from set order
+        record.append(tid)
+    return record
+
+
+def fingerprint_parts(values):
+    parts = [str(v) for v in {v * 2 for v in values}]  # flagged
+    return "|".join(parts)
+
+
+def join_directly(names):
+    return ",".join(set(names))  # flagged: str.join over a set
+
+
+def listify(tids):
+    return list(frozenset(tids))  # flagged: list() over a set
+
+
+def unpack(tids):
+    seen = set(tids)
+    return [*seen]  # flagged: unpacking a set
+
+
+class Window:
+    def __init__(self):
+        self._awaiting = set()
+
+    def drain(self, out):
+        for item in self._awaiting:  # flagged: attr set from __init__
+            out.append(item)
+        self._awaiting.clear()

@@ -1,0 +1,68 @@
+"""REPRO004 negative fixture: complete checkpoint serialization."""
+
+
+class CompleteJoiner:
+    checkpointable = True
+
+    def __init__(self, window):
+        self.window = window  # config: never mutated, needs no key
+        self._tuples_seen = 0
+        self._slides = []
+        self._pe_index = 0
+        # Derived cache, rebuilt lazily after restore; deliberate gap.
+        self._probe_cache = {}  # repro: allow-checkpoint-gap
+
+    def setup(self, ctx):
+        # Re-runs on restart: assignments here need no serialization.
+        self._pe_index = ctx.pe_index
+
+    def process(self, t):
+        self._tuples_seen += 1
+        self._slides.append(t)
+        self._probe_cache.clear()
+
+    def snapshot_state(self):
+        return {
+            "tuples_seen": self._tuples_seen,
+            "slides": list(self._slides),
+        }
+
+    def restore_state(self, state):
+        self._tuples_seen = state["tuples_seen"]
+        self._slides = list(state["slides"])
+
+
+class DelegatingJoiner:
+    """Serialization delegated to the wrapped operator's functions."""
+
+    checkpointable = True
+
+    def __init__(self, join):
+        self.join = join
+
+    def process(self, t):
+        self.join.insert(t)
+
+    def snapshot_state(self):
+        return _checkpoint(self.join)
+
+    def restore_state(self, state):
+        self.join = _restore(state)
+
+
+def _checkpoint(join):
+    return {"join": join}
+
+
+def _restore(state):
+    return state["join"]
+
+
+class NotCheckpointable:
+    """No checkpoint contract: mutation without serialization is fine."""
+
+    def __init__(self):
+        self._count = 0
+
+    def bump(self):
+        self._count += 1

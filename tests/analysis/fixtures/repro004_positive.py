@@ -1,0 +1,53 @@
+"""REPRO004 positive fixture: checkpointable classes with state gaps."""
+
+
+class LeakyJoiner:
+    """Grows ``_tuples_seen`` but never serializes it (the PR 2 bug)."""
+
+    checkpointable = True
+
+    def __init__(self, window):
+        self.window = window
+        self._tuples_seen = 0
+        self._slides = []
+
+    def process(self, t):
+        self._tuples_seen += 1  # mutated after __init__
+        self._slides.append(t)
+
+    def snapshot_state(self):
+        # _tuples_seen is missing: restore resumes mid-window at zero.
+        return {"slides": list(self._slides)}
+
+    def restore_state(self, state):
+        self._slides = list(state["slides"])
+
+
+class HalfRestored:
+    """Serializes a counter on snapshot but forgets it on restore."""
+
+    checkpointable = True
+
+    def __init__(self):
+        self._count = 0  # flagged: finding anchors at the init assignment
+
+    def bump(self):
+        self._count += 1
+
+    def snapshot_state(self):
+        return {"count": self._count}
+
+    def restore_state(self, state):
+        pass  # _count never restored
+
+
+class DeclaredButUnimplemented:
+    """Marked checkpointable without either serialization method."""
+
+    checkpointable = True
+
+    def __init__(self):
+        self._log = []
+
+    def record(self, entry):
+        self._log.append(entry)

@@ -1,0 +1,40 @@
+"""REPRO006 negative fixture: sanctioned observability patterns."""
+import time
+
+
+class CleanOperator:
+    """Routes instrumentation through the context's isolated API."""
+
+    def process(self, payload, ctx):
+        if ctx.observing:
+            ctx.observe_event("probe", stage="joiner")
+        result = payload * 2
+        ctx.observe_cost("probe", 0.01)
+        return result
+
+
+class Context:
+    """The isolation pattern itself: sink calls bracket _obs_overhead."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self._obs_overhead = 0.0
+
+    def observe_event(self, kind, **fields):
+        obs = self._engine.obs
+        if obs is None:
+            return
+        t0 = time.perf_counter()  # repro: allow-wallclock
+        obs.on_event(kind, 0.0, "pe", fields or None)
+        self._obs_overhead += time.perf_counter() - t0  # repro: allow-wallclock
+
+
+class Engine:
+    """Scheduler-side emission happens outside any charged window."""
+
+    def __init__(self, obs):
+        self.obs = obs
+
+    def run(self):
+        if self.obs is not None:
+            self.obs.on_event("run_start", 0.0, None, None)

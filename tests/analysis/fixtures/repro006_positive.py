@@ -1,0 +1,24 @@
+"""REPRO006 positive fixture: direct observer sinks in operator code."""
+
+
+class LeakyOperator:
+    """Charges its instrumentation cost to the service window."""
+
+    def __init__(self, obs):
+        self.obs = obs
+
+    def process(self, payload, ctx):
+        # Direct sink: instrumentation cost lands in charged service time.
+        self.obs.on_event("probe", 0.0, "joiner", None)  # flagged
+        result = payload * 2
+        self.obs.on_operator_cost("joiner", 0.0, "probe", 0.01, None)  # flagged
+        return result
+
+
+def trace_directly(message, engine):
+    message.trace = engine.obs.tracer.maybe_start("router")  # flagged
+    return message
+
+
+def serve_hook(telemetry, pe):
+    telemetry.on_serve(pe.name, 0.0, 0.01)  # flagged

@@ -1,0 +1,130 @@
+"""CLI behavior: exit codes, JSON output, baseline workflow, selection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+CLEAN = "def add(a, b):\n    return a + b\n"
+VIOLATION = "import time\n\ndef now():\n    return time.time()\n"
+PRAGMAED = (
+    "import time\n\ndef now():\n"
+    "    return time.time()  # repro: allow-wallclock\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "clean.py").write_text(CLEAN)
+    (tmp_path / "dirty.py").write_text(VIOLATION)
+    return tmp_path
+
+
+def test_exit_zero_on_clean_file(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    assert main([str(path), "--no-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s)" in out
+
+
+def test_exit_nonzero_on_violation(tree, capsys):
+    assert main([str(tree), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO001" in out and "dirty.py" in out
+
+
+def test_pragma_suppresses(tmp_path):
+    path = tmp_path / "ok.py"
+    path.write_text(PRAGMAED)
+    assert main([str(path), "--no-baseline"]) == 0
+
+
+def test_json_format(tree, capsys):
+    code = main([str(tree), "--format", "json", "--no-baseline"])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+    assert report["files_checked"] == 2
+    rules = {f["rule"] for f in report["findings"]}
+    assert rules == {"REPRO001"}
+    finding = report["findings"][0]
+    assert {"rule", "path", "line", "col", "message", "scope", "identity"} <= set(
+        finding
+    )
+
+
+def test_json_out_file(tree, tmp_path, capsys):
+    out_file = tmp_path / "report.json"
+    main([str(tree), "--no-baseline", "--json-out", str(out_file)])
+    report = json.loads(out_file.read_text())
+    assert report["findings"]
+
+
+def test_baseline_roundtrip(tree, capsys):
+    baseline = tree / "baseline.json"
+    # Accept current findings.
+    assert main([str(tree), "--write-baseline", "--baseline", str(baseline)]) == 0
+    # Gate passes against them.
+    assert main([str(tree), "--baseline", str(baseline)]) == 0
+    # A new violation still fails.
+    (tree / "dirty2.py").write_text(VIOLATION)
+    assert main([str(tree), "--baseline", str(baseline)]) == 1
+
+
+def test_baseline_reports_stale_entries(tree, capsys):
+    baseline = tree / "baseline.json"
+    main([str(tree), "--write-baseline", "--baseline", str(baseline)])
+    (tree / "dirty.py").write_text(CLEAN)  # fix the violation
+    assert main([str(tree), "--baseline", str(baseline)]) == 0
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_second_violation_of_same_identity_fails(tree):
+    baseline = tree / "baseline.json"
+    main([str(tree), "--write-baseline", "--baseline", str(baseline)])
+    # Same file, same scope, one *more* call of the same shape.
+    (tree / "dirty.py").write_text(
+        "import time\n\ndef now():\n"
+        "    return time.time() + time.time()\n"
+    )
+    assert main([str(tree), "--baseline", str(baseline)]) == 1
+
+
+def test_select_and_ignore(tree):
+    assert main([str(tree), "--no-baseline", "--select", "REPRO004"]) == 0
+    assert main([str(tree), "--no-baseline", "--ignore", "REPRO001"]) == 0
+    assert main([str(tree), "--no-baseline", "--select", "REPRO001"]) == 1
+
+
+def test_unknown_select_is_usage_error(tree):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tree), "--select", "REPRO999"])
+    assert excinfo.value.code == 2
+
+
+def test_parse_error_fails_the_gate(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    assert main([str(path), "--no-baseline"]) == 1
+    assert "PARSE ERROR" in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REPRO001", "REPRO006"):
+        assert rule_id in out
+
+
+def test_repo_tree_is_clean_against_committed_baseline():
+    """The acceptance gate: HEAD analyzes clean (pragmas + baseline)."""
+    import pathlib
+
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    target = repo / "src" / "repro"
+    baseline = repo / ".repro-analysis-baseline.json"
+    assert main([str(target), "--baseline", str(baseline), "--quiet"]) == 0

@@ -1,0 +1,80 @@
+"""Pragma parsing and baseline matching units."""
+
+from __future__ import annotations
+
+from repro.analysis import Finding
+from repro.analysis.baseline import Baseline
+from repro.analysis.pragmas import parse_pragmas
+
+
+def test_single_allowance():
+    index = parse_pragmas("x = 1  # repro: allow-wallclock\n")
+    assert index.allows(1, "wallclock")
+    assert not index.allows(1, "set-iteration")
+    assert not index.allows(2, "wallclock")
+
+
+def test_comma_separated_allowances():
+    index = parse_pragmas(
+        "x = 1  # repro: allow-wallclock, allow-set-iteration\n"
+    )
+    assert index.allows(1, "wallclock")
+    assert index.allows(1, "set-iteration")
+
+
+def test_allow_all():
+    index = parse_pragmas("x = 1  # repro: allow-all\n")
+    assert index.allows(1, "wallclock")
+    assert index.allows(1, "numpy-scalar")
+
+
+def test_pragma_in_string_is_ignored():
+    index = parse_pragmas('x = "# repro: allow-wallclock"\n')
+    assert not index.allows(1, "wallclock")
+
+
+def test_non_pragma_comments_ignored():
+    index = parse_pragmas("x = 1  # a normal comment\n")
+    assert index.lines == {}
+
+
+def _finding(identity_suffix: str = "a", line: int = 1) -> Finding:
+    return Finding(
+        rule="REPRO001",
+        path="pkg/mod.py",
+        line=line,
+        col=1,
+        message="m",
+        scope="f",
+        symbol=identity_suffix,
+    )
+
+
+def test_baseline_absorbs_exact_count():
+    findings = [_finding("a", 1), _finding("a", 9)]
+    baseline = Baseline.from_findings(findings)
+    new, baselined = baseline.partition(findings)
+    assert new == [] and len(baselined) == 2
+    # A third occurrence of the same identity is new.
+    new, baselined = baseline.partition(findings + [_finding("a", 20)])
+    assert len(new) == 1 and len(baselined) == 2
+
+
+def test_baseline_identity_ignores_lines():
+    baseline = Baseline.from_findings([_finding("a", 1)])
+    new, baselined = baseline.partition([_finding("a", 500)])
+    assert new == [] and len(baselined) == 1
+
+
+def test_baseline_save_load_roundtrip(tmp_path):
+    baseline = Baseline.from_findings([_finding("a"), _finding("b")])
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.counts == baseline.counts
+
+
+def test_stale_identities():
+    baseline = Baseline.from_findings([_finding("a"), _finding("b")])
+    stale = baseline.stale_identities([_finding("a")])
+    assert stale == [_finding("b").identity]
