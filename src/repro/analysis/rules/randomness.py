@@ -11,7 +11,11 @@ so are unseeded constructions (``random.Random()`` with no arguments,
 
 Seeded constructions — ``random.Random(seed)``,
 ``np.random.default_rng(seed)`` — are the sanctioned replacements and
-pass the rule.
+pass the rule.  A seed *expression* that derives from the process id or
+the wall clock (``os.getpid()``, ``time.time()``, …) is still flagged:
+those are the classic multiprocessing-worker bugs that make per-worker
+randomness unreplayable.  Worker entrypoints must spawn their generator
+from the run's root seed (:func:`repro.parallel.seeds.spawn_seed`).
 """
 
 from __future__ import annotations
@@ -37,6 +41,18 @@ SEEDED_CONSTRUCTORS = {
 #: Never acceptable, seeded or not.
 ALWAYS_BANNED = {"random.SystemRandom", "os.urandom", "uuid.uuid4"}
 
+#: Non-replayable seed sources: a generator seeded from one of these is
+#: as bad as unseeded (every fork / every run draws differently).
+VOLATILE_SEED_SOURCES = {
+    "os.getpid",
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
 
 @register_rule
 class UnseededRandomnessRule(Rule):
@@ -56,14 +72,16 @@ class UnseededRandomnessRule(Rule):
             target = imports.canonical(dotted_name(node.func))
             if target is None:
                 continue
-            message = self._violation(target, node)
+            message = self._violation(target, node, imports)
             if message is None:
                 continue
             finding = self.finding(module, node, message, scope, target)
             if finding:
                 yield finding
 
-    def _violation(self, target: str, node: ast.Call) -> Optional[str]:
+    def _violation(
+        self, target: str, node: ast.Call, imports: ImportMap
+    ) -> Optional[str]:
         if target in ALWAYS_BANNED:
             return (
                 f"`{target}` is inherently unseedable; all randomness "
@@ -74,6 +92,14 @@ class UnseededRandomnessRule(Rule):
                 return (
                     f"`{target}()` constructed without a seed falls back "
                     "to OS entropy; pass the config-threaded seed"
+                )
+            volatile = self._volatile_seed(node, imports)
+            if volatile is not None:
+                return (
+                    f"`{target}(...)` seeded from `{volatile}()` is not "
+                    "replayable (differs per process/run); spawn the "
+                    "seed from the run's root seed instead "
+                    "(repro.parallel.seeds.spawn_seed)"
                 )
             return None
         head, _, rest = target.partition(".")
@@ -89,4 +115,16 @@ class UnseededRandomnessRule(Rule):
                 "use `numpy.random.default_rng(seed)` threaded through "
                 "config"
             )
+        return None
+
+    @staticmethod
+    def _volatile_seed(node: ast.Call, imports: ImportMap) -> Optional[str]:
+        """Name of a pid/wall-clock call inside the seed args, if any."""
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            for sub in ast.walk(arg):
+                if not isinstance(sub, ast.Call):
+                    continue
+                inner = imports.canonical(dotted_name(sub.func))
+                if inner in VOLATILE_SEED_SOURCES:
+                    return inner
         return None

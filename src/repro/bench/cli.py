@@ -661,6 +661,161 @@ def _overload(args) -> None:
     )
 
 
+def _scaleup(args) -> None:
+    """Multicore scale-up: range-sharded SPO on real worker processes.
+
+    Two phases.  *Parity*: at small scale, every measured configuration
+    (simulated sharded and process-backed at each worker count, batch
+    sizes 1/7/64) must reproduce the simulated single-process reference
+    fingerprint bit for bit — a mismatch aborts with a non-zero exit, so
+    the timing numbers below can never belong to a wrong answer.
+    *Timing*: the Fig. 16/17-shaped self-join workload (high-correlation
+    Q3, count window with three merge intervals) runs under the parallel
+    executor with ``num_shards = num_workers``; range sharding plus the
+    per-shard second-predicate prefilter shrinks each shard's probe work,
+    which is where the wall-clock scale-up comes from.
+    """
+    from ..joins import build_spo_sharded_topology
+    from ..parallel import ParallelExecutor, reduce_sharded_result
+    from ..workloads import self_stream, timed
+
+    query = q3()
+    workers = [int(w) for w in (args.workers or "1,2,4").split(",")]
+    if any(w < 1 for w in workers):
+        raise SystemExit("--workers entries must be >= 1")
+
+    # -- parity gate ---------------------------------------------------
+    parity_n = 3000
+    parity_window = WindowSpec.count(1000, 250)
+
+    def parity_source():
+        return timed(
+            self_stream(parity_n, correlation=0.5, seed=2), rate=1000.0
+        )
+
+    parity_rows = []
+    table = ResultTable(
+        "Scale-up parity (fingerprint vs simulated reference)",
+        ["batch", "mode", "identical"],
+    )
+    for batch_size in (1, 7, 64):
+        ref_fp = run_topology(
+            build_spo_local_topology(
+                parity_source(), query, parity_window, batch_size=batch_size
+            )
+        ).result_fingerprint()
+        modes = []
+        sharded = build_spo_sharded_topology(
+            parity_source(), query, parity_window, 3, batch_size=batch_size
+        )
+        sim = run_topology(sharded)
+        reduce_sharded_result(sim)
+        modes.append(("simulated-sharded", sim.result_fingerprint()))
+        for num_workers in workers:
+            topo = build_spo_sharded_topology(
+                parity_source(), query, parity_window, 3, batch_size=batch_size
+            )
+            res = ParallelExecutor(topo, num_workers=num_workers).run()
+            reduce_sharded_result(res)
+            modes.append((f"workers={num_workers}", res.result_fingerprint()))
+        for mode, fingerprint in modes:
+            identical = fingerprint == ref_fp
+            table.add_row(batch_size, mode, identical)
+            parity_rows.append(
+                {
+                    "batch_size": batch_size,
+                    "mode": mode,
+                    "identical": identical,
+                }
+            )
+            if not identical:
+                raise SystemExit(
+                    f"scaleup parity violated: {mode} at batch_size="
+                    f"{batch_size} diverged from the simulated reference"
+                )
+    table.show()
+
+    # -- timing --------------------------------------------------------
+    n = args.tuples or 100_000
+    window = WindowSpec.count(n, n // 3)
+    batch_size = 256
+    correlation = 0.998
+
+    def source():
+        return timed(
+            self_stream(n, correlation=correlation, seed=1), rate=1000.0
+        )
+
+    ref = run_topology(
+        build_spo_local_topology(source(), query, window, batch_size=batch_size)
+    )
+    ref_fp = ref.result_fingerprint()
+    ref_results = len(ref.records_named("result"))
+    table = ResultTable(
+        f"Scale-up, Q3 self join, {n} tuples (num_shards = num_workers)",
+        ["workers", "wall s", "speedup vs 1", "results", "identical"],
+    )
+    rows = []
+    walls = {}
+    for num_workers in workers:
+        topo = build_spo_sharded_topology(
+            source(), query, window, num_workers, batch_size=batch_size
+        )
+        res = ParallelExecutor(topo, num_workers=num_workers).run()
+        reduce_sharded_result(res)
+        fingerprint = res.result_fingerprint()
+        identical = fingerprint == ref_fp
+        walls[num_workers] = res.wall_seconds
+        speedup = walls[workers[0]] / res.wall_seconds
+        results = len(res.records_named("result"))
+        table.add_row(
+            num_workers,
+            round(res.wall_seconds, 3),
+            round(speedup, 2),
+            results,
+            identical,
+        )
+        rows.append(
+            {
+                "workers": num_workers,
+                "num_shards": num_workers,
+                "wall_seconds": res.wall_seconds,
+                "speedup_vs_1": speedup,
+                "results": results,
+                "identical_to_simulated": identical,
+            }
+        )
+        if not identical:
+            raise SystemExit(
+                f"scaleup timing run at workers={num_workers} diverged "
+                "from the simulated reference fingerprint"
+            )
+    table.show()
+    if 1 in walls and 4 in walls:
+        speedup4 = walls[1] / walls[4]
+        print(f"4-worker speedup vs 1 worker: {speedup4:.2f}x")
+        if speedup4 < 1.5:
+            print(
+                "WARNING: 4-worker speedup below the 1.5x acceptance bar "
+                "on this run"
+            )
+    _write_json(
+        args,
+        "scaleup",
+        {
+            "experiment": "scaleup",
+            "query": "q3_self_join",
+            "stream_tuples": n,
+            "correlation": correlation,
+            "window": {"size": n, "slide": n // 3, "kind": "count"},
+            "batch_size": batch_size,
+            "reference_results": ref_results,
+            "parity": parity_rows,
+            "results": rows,
+        },
+    )
+
+
 def _write_json(args, key: str, payload) -> None:
     """Merge one experiment's payload under ``key`` in ``--json-out``.
 
@@ -697,6 +852,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "arena": _arena,
     "recovery": _recovery,
     "overload": _overload,
+    "scaleup": _scaleup,
     "trace": _trace,
     "report": _report,
 }
@@ -778,11 +934,17 @@ def main(argv=None) -> int:
         "(default: all three)",
     )
     parser.add_argument(
+        "--workers",
+        default=None,
+        help="scaleup experiment: comma-separated worker counts to "
+        "measure (default 1,2,4); num_shards tracks num_workers",
+    )
+    parser.add_argument(
         "--tuples",
         type=int,
         default=None,
-        help="overload/arena experiments: stream length "
-        "(defaults 900 / 2000)",
+        help="overload/arena/scaleup experiments: stream length "
+        "(defaults 900 / 2000 / 100000)",
     )
     args = parser.parse_args(argv)
     if args.batch_size is not None and args.batch_size < 1:

@@ -35,6 +35,20 @@ The module-level helper :func:`column_of` is the compatibility shim: it
 returns the zero-copy column when given an :class:`ArenaSlice` and falls
 back to ``np.fromiter`` over objects otherwise, so every call site works
 with both data planes during the migration.
+
+Wire format
+-----------
+Arena views assume a shared in-process arena, which breaks the moment a
+batch crosses a process boundary (the shared-nothing executor in
+:mod:`repro.parallel` ships router batches to worker processes over
+``multiprocessing`` queues).  :meth:`ArenaSlice.to_wire` serialises a
+slice as its raw column arrays plus the stream dictionary — never as
+per-tuple objects — and :meth:`ArenaSlice.from_wire` rebuilds a fresh
+single-owner arena around those columns without per-tuple appends.
+``__reduce__`` on :class:`ArenaSlice` / :class:`ArenaTuple` (and on
+:class:`~repro.dspe.router.ArenaBatch`) routes pickling through the wire
+helpers, so queue transport pays one vectorised gather per column and
+round-trips bit-identically.
 """
 
 from __future__ import annotations
@@ -208,6 +222,46 @@ class TupleArena:
         self.size = start + m
         return ArenaSlice(self, start, self.size)
 
+    @classmethod
+    def from_columns(
+        cls,
+        tids: np.ndarray,
+        event_times: np.ndarray,
+        fields: Optional[np.ndarray],
+        stream_names: List[str],
+        stream_codes: np.ndarray,
+    ) -> "TupleArena":
+        """Adopt ready-made column arrays as a full arena (wire decode).
+
+        The arrays are taken over as-is — no per-tuple appends, no
+        copies — so rebuilding a shipped batch costs O(columns), not
+        O(tuples).  Caller guarantees equal lengths and canonical dtypes
+        (as produced by :meth:`ArenaSlice.to_wire`).
+        """
+        n = len(tids)
+        if n == 0:
+            return cls(
+                num_fields=None if fields is None else int(fields.shape[0])
+            )
+        arena = cls.__new__(cls)
+        arena.num_fields = None if fields is None else int(fields.shape[0])
+        arena.size = n
+        arena._capacity = n
+        arena.tids = np.ascontiguousarray(tids, dtype=np.int64)
+        arena.event_times = np.ascontiguousarray(
+            event_times, dtype=np.float64
+        )
+        arena.fields = (
+            None
+            if fields is None
+            else np.ascontiguousarray(fields, dtype=np.float64)
+        )
+        arena.stream_names = list(stream_names)
+        arena.stream_codes = np.ascontiguousarray(
+            stream_codes, dtype=np.int8
+        )
+        return arena
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
@@ -307,6 +361,12 @@ class ArenaTuple(StreamTuple):
     def materialize(self) -> StreamTuple:
         """Copy out into a plain (arena-independent) ``StreamTuple``."""
         return StreamTuple(self.tid, self.stream, self.values, self.event_time)
+
+    def __reduce__(self):
+        # Ship as a one-row wire slice so an unpickled view is again an
+        # ArenaTuple (over its own tiny arena), never a boxed object.
+        wire = ArenaSlice(self.arena, self.slot, self.slot + 1).to_wire()
+        return (_tuple_from_wire, (wire,))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -439,9 +499,62 @@ class ArenaSlice:
             codes = self.arena.stream_codes[self.start : self.stop]
         return codes == code
 
+    # ------------------------------------------------------------------
+    # Wire format (cross-process transport)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """Serialise as detached column arrays plus the stream schema.
+
+        The result holds *copies* compacted to this slice's rows (one
+        vectorised gather per column for indexed slices), so it owns its
+        memory, never references the source arena, and materialises no
+        per-tuple objects.  Decode with :meth:`from_wire`.
+        """
+        arena = self.arena
+        if self.index is not None:
+            sel: Union[np.ndarray, slice] = self.index
+        else:
+            sel = slice(self.start, self.stop)
+        codes = np.array(arena.stream_codes[sel], dtype=np.int8)
+        fields = arena.fields
+        return {
+            "tids": np.array(arena.tids[sel], dtype=np.int64),
+            "event_times": np.array(
+                arena.event_times[sel], dtype=np.float64
+            ),
+            "fields": (
+                None if fields is None else np.array(fields[:, sel])
+            ),
+            "stream_names": list(arena.stream_names),
+            "stream_codes": codes,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ArenaSlice":
+        """Rebuild a slice (over a fresh single-owner arena) from
+        :meth:`to_wire` output.  Round-trips bit-identically: every
+        column compares equal element-wise with identical dtypes."""
+        arena = TupleArena.from_columns(
+            wire["tids"],
+            wire["event_times"],
+            wire["fields"],
+            wire["stream_names"],
+            wire["stream_codes"],
+        )
+        return cls(arena, 0, arena.size)
+
+    def __reduce__(self):
+        return (ArenaSlice.from_wire, (self.to_wire(),))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "indexed" if self.index is not None else "contiguous"
         return f"ArenaSlice(n={len(self)}, {kind})"
+
+
+def _tuple_from_wire(wire: dict) -> ArenaTuple:
+    """Unpickle hook for :class:`ArenaTuple` (one-row wire slice)."""
+    sl = ArenaSlice.from_wire(wire)
+    return ArenaTuple(sl.arena, 0)
 
 
 # ----------------------------------------------------------------------

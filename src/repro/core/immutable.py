@@ -158,11 +158,18 @@ def _ensure_builtin_backends() -> None:
     if _BACKENDS:
         return
 
-    def memory_factory(use_offsets: bool = True, **__):
+    def memory_factory(
+        use_offsets: bool = True, covered_shortcut: bool = False, **__
+    ):
         from .pojoin_numpy import VectorPOJoinBatch
 
         def factory(query, merge_batch):
-            return VectorPOJoinBatch(query, merge_batch, use_offsets=use_offsets)
+            return VectorPOJoinBatch(
+                query,
+                merge_batch,
+                use_offsets=use_offsets,
+                covered_shortcut=covered_shortcut,
+            )
 
         return factory
 

@@ -76,6 +76,14 @@ class MutableComponent:
         #: scanning tree leaves, and checkpoints read exact payloads
         #: (all fields, event times) from it.
         self.arena = TupleArena()
+        # Per-predicate incremental sorted runs: (values, slots, n) in
+        # the B+-tree's (value, slot) leaf order.  The window is append-
+        # only between merges, so each evaluation sorts only the suffix
+        # inserted since the last call and merges it in O(n) — instead
+        # of a full argsort per micro-batch.
+        self._sorted_cache: List[Optional[tuple]] = [
+            None for __ in query.predicates
+        ]
 
     # ------------------------------------------------------------------
     def _own_field(self, pred: Predicate) -> int:
@@ -144,6 +152,46 @@ class MutableComponent:
             else:
                 for tid, v in zip(tids, col):
                     tree.insert(v, tid)
+
+    # ------------------------------------------------------------------
+    def _sorted_run(self, pred_pos: int) -> tuple:
+        """``(values, slots)`` of the window in (value, slot) order.
+
+        Equals ``np.argsort(column, kind="stable")`` — the B+-tree leaf
+        order, duplicates tie-broken by slot — but maintained
+        incrementally: new slots always sort after equal old values
+        (their slots are larger), so the suffix inserted since the last
+        call merges into the cached run with one ``searchsorted`` and
+        two scatters.
+        """
+        n = len(self._arrival)
+        col = self.arena.field(self._own_field(self.query.predicates[pred_pos]))
+        cached = self._sorted_cache[pred_pos]
+        if cached is not None and cached[2] == n:
+            return cached[0], cached[1]
+        if cached is None or cached[2] == 0:
+            slots = np.argsort(col, kind="stable")
+            values = col[slots]
+        else:
+            old_values, old_slots, m = cached
+            order = np.argsort(col[m:], kind="stable")
+            new_values = col[m:][order]
+            new_slots = order + m
+            k = n - m
+            idx_new = (
+                np.searchsorted(old_values, new_values, side="right")
+                + np.arange(k)
+            )
+            values = np.empty(n, dtype=col.dtype)
+            slots = np.empty(n, dtype=old_slots.dtype)
+            old_mask = np.ones(n, dtype=bool)
+            old_mask[idx_new] = False
+            values[idx_new] = new_values
+            slots[idx_new] = new_slots
+            values[old_mask] = old_values
+            slots[old_mask] = old_slots
+        self._sorted_cache[pred_pos] = (values, slots, n)
+        return values, slots
 
     # ------------------------------------------------------------------
     # Per-predicate probing (what one predicate PE computes)
@@ -254,13 +302,11 @@ class MutableComponent:
         cur = np.zeros((g, n), dtype=bool)
         row = np.empty(n, dtype=bool)
         for pred_pos, pred in enumerate(self.query.predicates):
-            # Stable argsort over the arena column reproduces the
-            # B+-tree's (value, slot) leaf order — duplicate keys tie-
-            # break by insertion payload, which for the bit evaluator is
-            # the slot — without a per-entry Python scan of the leaves.
-            col = self.arena.field(self._own_field(pred))
-            slots = np.argsort(col, kind="stable")
-            values = col[slots]
+            # The incrementally maintained (value, slot) run reproduces
+            # the B+-tree's leaf order — duplicate keys tie-break by
+            # insertion payload, which for the bit evaluator is the slot
+            # — without a per-entry Python scan of the leaves.
+            values, slots = self._sorted_run(pred_pos)
             pvals = column_of(group, pred.probing_field(flag))
             pairs = batch_probe_intervals(pred, pvals, values, flag)
             for j in range(g):
@@ -324,15 +370,15 @@ class MutableComponent:
         arrival = self._arrival
         runs = []
         tid_col = self.arena.tid_column()
-        for pred, tree in zip(self.query.predicates, self.trees):
+        for pred_pos, (pred, tree) in enumerate(
+            zip(self.query.predicates, self.trees)
+        ):
             if self.evaluator == "bit" and len(arrival) > 0:
-                # Columnar extraction: stable argsort over the arena
-                # column equals the leaf order (ties break by slot =
-                # arrival), and the numpy arrays are cached on the run
-                # so the vectorised immutable probe is copy-free.
-                col = self.arena.field(self._own_field(pred))
-                order = np.argsort(col, kind="stable")
-                values_arr = col[order]
+                # Columnar extraction: the incremental (value, slot) run
+                # equals the leaf order (ties break by slot = arrival),
+                # and the numpy arrays are cached on the run so the
+                # vectorised immutable probe is copy-free.
+                values_arr, order = self._sorted_run(pred_pos)
                 tids_arr = tid_col[order]
                 run = SortedRun(values_arr.tolist(), tids_arr.tolist())
                 run.cache_arrays(values_arr, tids_arr)
@@ -347,6 +393,7 @@ class MutableComponent:
         self._arrival = []
         self._slots = {}
         self.arena = TupleArena(num_fields=self.arena.num_fields)
+        self._sorted_cache = [None for __ in self.query.predicates]
         return runs
 
     def tids(self) -> List[int]:

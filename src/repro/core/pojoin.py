@@ -274,6 +274,27 @@ class POJoinList:
         self.expired_batches += 1
         return self.batches.popleft()
 
+    def expire_before(self, batch_id: int) -> int:
+        """Expire every batch whose ``batch_id`` is below ``batch_id``.
+
+        Identifier-based expiry for externally clocked lists (the
+        range-sharded parallel path): a shard skips merges for intervals
+        in which it stored nothing, so its list can hold *fewer* batches
+        than the global window while batch identifiers stay globally
+        assigned.  Dropping by identifier instead of count keeps each
+        shard's retained set exactly the global window's retained
+        interval ids intersected with the shard's non-empty intervals.
+        Relies on ids being appended in increasing order (they are: the
+        merge clock hands them out monotonically).  Returns the number
+        of batches dropped.
+        """
+        dropped = 0
+        while self.batches and self.batches[0].batch_id < batch_id:
+            self.batches.popleft()
+            self.expired_batches += 1
+            dropped += 1
+        return dropped
+
     def __len__(self) -> int:
         return len(self.batches)
 

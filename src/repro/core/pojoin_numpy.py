@@ -21,6 +21,18 @@ across the batch, resetting only the touched region between probes.
 Results are bit-for-bit identical to the scalar batch (asserted by the
 test suite); throughput is typically several times higher in CPython,
 which is what a production deployment of this design would ship.
+
+The optional *covered-interval shortcut* (``covered_shortcut=True``)
+serves the range-sharded parallel path (:mod:`repro.parallel`): when a
+probe's first-predicate interval spans the whole stored run — the common
+case for every non-boundary shard, whose entire value range satisfies
+the predicate — the matches are exactly the second predicate's interval,
+read off the second sorted run in O(answer) time with no permutation
+scatter.  The match *set* is identical to the reference path but the
+match *order* within a probe's list may differ (second-run order instead
+of first-run order), so the shortcut is opt-in and stays off for the
+protocol-conformant default, which must equal the scalar probe
+element-wise.
 """
 
 from __future__ import annotations
@@ -120,14 +132,26 @@ class VectorPOJoinBatch:
     change the search path (results are identical either way).
     """
 
-    __slots__ = ("query", "batch", "use_offsets", "_left", "_right")
+    __slots__ = (
+        "query",
+        "batch",
+        "use_offsets",
+        "covered_shortcut",
+        "_left",
+        "_right",
+    )
 
     def __init__(
-        self, query: QuerySpec, batch: MergeBatch, use_offsets: bool = True
+        self,
+        query: QuerySpec,
+        batch: MergeBatch,
+        use_offsets: bool = True,
+        covered_shortcut: bool = False,
     ) -> None:
         self.query = query
         self.batch = batch
         self.use_offsets = use_offsets
+        self.covered_shortcut = covered_shortcut
         self._left = _VectorSide(batch.left)
         self._right = _VectorSide(batch.right) if batch.right is not None else None
 
@@ -289,6 +313,16 @@ class VectorPOJoinBatch:
         b2 = batch_probe_intervals(p2, v2, stored.values[1], flag)
         perm = stored.permutation
         tids0 = stored.tids[0]
+        if (
+            self.covered_shortcut
+            and len(preds) == 2
+            and len(b1) == 1
+            and len(b2) == 1
+        ):
+            self._probe_group_covered(
+                b1[0], b2[0], stored, tids0, perm, results, indices
+            )
+            return
         # One mask reused across the batch; only the scattered region is
         # reset between probes, so each probe costs O(|its intervals|).
         mask = np.zeros(stored.size, dtype=bool)
@@ -312,3 +346,47 @@ class VectorPOJoinBatch:
             if len(preds) > 2:
                 out = self._apply_residuals(group[j], flag, stored, out)
             results[out_idx] = out
+
+    def _probe_group_covered(
+        self,
+        b1: Tuple[np.ndarray, np.ndarray],
+        b2: Tuple[np.ndarray, np.ndarray],
+        stored: _VectorSide,
+        tids0: np.ndarray,
+        perm: np.ndarray,
+        results: List[List[int]],
+        indices: List[int],
+    ) -> None:
+        """Two-predicate probe group with the covered-interval shortcut.
+
+        A probe whose first-predicate interval is the whole run reads its
+        matches straight off the second sorted run (and symmetrically for
+        a whole-run second interval): both predicates reduce to one, so
+        the answer is one contiguous tid slice — O(answer), no scatter.
+        Partially covered probes (the boundary-shard case) fall back to
+        the permutation scatter, with the mask reset after each probe.
+        """
+        lo1_a, hi1_a = b1
+        lo2_a, hi2_a = b2
+        tids1 = stored.tids[1]
+        size = stored.size
+        mask: np.ndarray = None  # type: ignore[assignment]  # lazy
+        for j, out_idx in enumerate(indices):
+            lo1, hi1 = int(lo1_a[j]), int(hi1_a[j])
+            lo2, hi2 = int(lo2_a[j]), int(hi2_a[j])
+            if lo1 >= hi1 or lo2 >= hi2:
+                continue  # results[out_idx] stays []
+            if lo1 == 0 and hi1 == size:
+                results[out_idx] = tids1[lo2:hi2].tolist()
+                continue
+            if lo2 == 0 and hi2 == size:
+                results[out_idx] = tids0[lo1:hi1].tolist()
+                continue
+            if mask is None:
+                mask = np.zeros(size, dtype=bool)
+            region = perm[lo2:hi2]
+            mask[region] = True
+            hits = np.nonzero(mask[lo1:hi1])[0]
+            if hits.size:
+                results[out_idx] = tids0[lo1 + hits].tolist()
+            mask[region] = False

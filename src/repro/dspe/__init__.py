@@ -7,7 +7,15 @@ cluster experiments.
 """
 
 from .cache import CacheClient, DistributedCache
-from .engine import Context, Engine, Message, Record, RunResult, TupleBatch
+from .engine import (
+    Context,
+    Engine,
+    Executor,
+    Message,
+    Record,
+    RunResult,
+    TupleBatch,
+)
 from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
 from .flow import DeadLetter, FlowConfig, FlowController, FlowMetrics, RetryPolicy
 from .metrics import (
@@ -29,6 +37,7 @@ from .topology import Bolt, Operator, Spout, Topology
 __all__ = [
     "Context",
     "Engine",
+    "Executor",
     "Message",
     "Record",
     "RunResult",

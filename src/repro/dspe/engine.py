@@ -42,7 +42,15 @@ from .pe import ProcessingElement
 from .recovery import RecoveryConfig, RecoveryManager
 from .topology import Topology
 
-__all__ = ["Message", "Context", "Engine", "RunResult", "Record", "TupleBatch"]
+__all__ = [
+    "Message",
+    "Context",
+    "Executor",
+    "Engine",
+    "RunResult",
+    "Record",
+    "TupleBatch",
+]
 
 
 class TupleBatch:
@@ -358,7 +366,57 @@ def _payload_key(payload) -> object:
     return repr(payload)[:80]
 
 
-class Engine:
+class Executor:
+    """Common seam between topology executors.
+
+    A topology can run on the simulated single-process :class:`Engine`
+    (service-time accounting, simulated clock) or on a process-backed
+    executor (:class:`repro.parallel.ParallelExecutor`) that hosts leaf
+    PEs in real worker processes.  Both share the pieces that define
+    *what* a run computes — topology validation, PE bookkeeping, and the
+    routing rule — so results cannot drift between execution modes; only
+    *when/where* operators run differs.
+
+    Subclasses populate ``_pes`` (component name -> PE instances, or any
+    per-instance bookkeeping objects) and implement :meth:`run`.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        topology.validate()
+        self.topology = topology
+        self._pes: Dict[str, List[ProcessingElement]] = {}
+
+    def parallelism_of(self, component: str) -> int:
+        instances = self._pes.get(component)
+        if instances is not None:
+            return len(instances)
+        bolt = self.topology.bolts.get(component)
+        return bolt.parallelism if bolt is not None else 0
+
+    def pes_of(self, component: str) -> List[ProcessingElement]:
+        return list(self._pes.get(component, []))
+
+    def route_targets(
+        self, source: str, stream: str, payload
+    ) -> List[Tuple[str, int]]:
+        """``(component, pe_index)`` targets of one emission.
+
+        The single routing rule — subscription lookup plus grouping
+        fan-out — shared by every executor, so a payload reaches the
+        same logical PEs no matter which process hosts them.
+        """
+        targets: List[Tuple[str, int]] = []
+        for bolt, grouping in self.topology.consumers_of(source, stream):
+            num = self.parallelism_of(bolt.name)
+            for index in grouping.targets(payload, num):
+                targets.append((bolt.name, index))
+        return targets
+
+    def run(self) -> "RunResult":
+        raise NotImplementedError
+
+
+class Engine(Executor):
     """Runs a :class:`~repro.dspe.topology.Topology` to completion.
 
     Parameters
@@ -432,8 +490,7 @@ class Engine:
             raise ValueError("spout_loss_rate must be in [0, 0.5)")
         if max_redeliveries < 0:
             raise ValueError("max_redeliveries must be >= 0")
-        topology.validate()
-        self.topology = topology
+        super().__init__(topology)
         self.num_nodes = num_nodes
         self.net_delay_remote = net_delay_remote
         self.net_delay_local = net_delay_local
@@ -481,7 +538,6 @@ class Engine:
         self.obs = obs
         self._replaying = False
 
-        self._pes: Dict[str, List[ProcessingElement]] = {}
         self._build_pes()
         if self.flow_ctl is not None:
             for name, instances in self._pes.items():
@@ -535,12 +591,6 @@ class Engine:
                     ProcessingElement(bolt.name, index, next(node_cycle), operator)
                 )
             self._pes[bolt.name] = instances
-
-    def parallelism_of(self, component: str) -> int:
-        return len(self._pes.get(component, []))
-
-    def pes_of(self, component: str) -> List[ProcessingElement]:
-        return list(self._pes.get(component, []))
 
     def _delay(self, src_node: Optional[int], dst_node: int, at: float) -> float:
         if src_node is None or src_node == dst_node:
@@ -1308,38 +1358,36 @@ class Engine:
         """
         sender_key = sender if sender is not None else source
         if self.flow_ctl is None:
-            for bolt, grouping in self.topology.consumers_of(
-                source, message.stream
+            for component, target in self.route_targets(
+                source, message.stream, message.payload
             ):
-                instances = self._pes[bolt.name]
-                for target in grouping.targets(message.payload, len(instances)):
-                    pe = instances[target]
-                    delivered = Message(
+                pe = self._pes[component][target]
+                delivered = Message(
+                    message.payload,
+                    "default",
+                    message.origin_time,
+                    dict(message.marks),
+                    trace=message.trace,
+                )
+                self._send_unit(heap, sender_key, src_node, pe, delivered, at)
+            return True
+        units = []
+        for component, target in self.route_targets(
+            source, message.stream, message.payload
+        ):
+            pe = self._pes[component][target]
+            units.append(
+                (
+                    pe,
+                    Message(
                         message.payload,
                         "default",
                         message.origin_time,
                         dict(message.marks),
                         trace=message.trace,
-                    )
-                    self._send_unit(heap, sender_key, src_node, pe, delivered, at)
-            return True
-        units = []
-        for bolt, grouping in self.topology.consumers_of(source, message.stream):
-            instances = self._pes[bolt.name]
-            for target in grouping.targets(message.payload, len(instances)):
-                pe = instances[target]
-                units.append(
-                    (
-                        pe,
-                        Message(
-                            message.payload,
-                            "default",
-                            message.origin_time,
-                            dict(message.marks),
-                            trace=message.trace,
-                        ),
-                    )
+                    ),
                 )
+            )
         return self._flow_send(heap, sender_key, src_node, units, 0, at, resume)
 
     def _serve(

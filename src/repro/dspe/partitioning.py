@@ -6,14 +6,25 @@ results to the logical operator), **broadcast** (every PE — what fans a
 new tuple out to all PO-Join PEs), **round-robin** (load balancing — what
 distributes merged batches over PO-Join PEs), and **direct** (explicit
 target — what feeds the dedicated permutation PEs).
+
+:class:`RangeShards` adds *range* partitioning for the shared-nothing
+parallel path: the value domain of one field is cut into contiguous
+shards covering the whole real line, each owned by one processing
+element.  Stored tuples go to the shard owning their partition-field
+value; an inequality probe only has to visit the shards whose value
+range can intersect its satisfying interval — the pruning that makes
+range sharding cheaper than broadcast for order predicates (the PanJoin
+partition scheme).
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["Grouping"]
+import numpy as np
+
+__all__ = ["Grouping", "RangeShards"]
 
 
 def _stable_hash(key) -> int:
@@ -85,3 +96,113 @@ class Grouping:
             assert self.key_fn is not None
             return [int(self.key_fn(payload)) % num_pes]
         raise ValueError(f"unknown grouping kind {self.kind!r}")
+
+
+class RangeShards:
+    """Range partition of one value domain into ``num_shards`` shards.
+
+    Shard ``i`` owns the half-open value range ``[cut[i-1], cut[i])``
+    with ``cut[-1] = -inf`` and ``cut[num_shards-1] = +inf``, so the
+    shards tile the whole real line: every value has exactly one owner.
+    ``cuts`` are the ``num_shards - 1`` interior boundaries, ascending.
+    """
+
+    __slots__ = ("cuts", "num_shards")
+
+    def __init__(self, cuts: Sequence[float]) -> None:
+        inner = [float(c) for c in cuts]
+        if any(b <= a for a, b in zip(inner, inner[1:])):
+            raise ValueError("shard cuts must be strictly ascending")
+        self.cuts = np.asarray(inner, dtype=np.float64)
+        self.num_shards = len(inner) + 1
+
+    @classmethod
+    def uniform(
+        cls, num_shards: int, lo: float = 0.0, hi: float = 1.0
+    ) -> "RangeShards":
+        """Equal-width cuts over ``[lo, hi]`` (the synthetic workloads'
+        uniform value domain)."""
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        step = (hi - lo) / num_shards
+        return cls([lo + step * i for i in range(1, num_shards)])
+
+    @classmethod
+    def from_sample(
+        cls, values: Sequence[float], num_shards: int
+    ) -> "RangeShards":
+        """Quantile cuts balancing a sample across shards (skew-aware)."""
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if num_shards == 1:
+            return cls([])
+        arr = np.unique(np.asarray(values, dtype=np.float64))
+        if len(arr) < num_shards:
+            raise ValueError(
+                f"sample has {len(arr)} distinct values; "
+                f"cannot cut {num_shards} shards"
+            )
+        qs = [i / num_shards for i in range(1, num_shards)]
+        cuts = np.unique(np.quantile(arr, qs))
+        return cls(cuts.tolist())
+
+    # ------------------------------------------------------------------
+    def owner_of(self, values) -> np.ndarray:
+        """Owning shard index for each value (vectorised)."""
+        arr = np.asarray(values, dtype=np.float64)
+        return np.searchsorted(self.cuts, arr, side="right")
+
+    def probe_span(
+        self, pred, values, probe_is_left: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Inclusive shard-index span each probe must visit.
+
+        For each probe value, the shards whose ranges can intersect the
+        predicate's satisfying value interval(s)
+        (:meth:`~repro.core.predicates.Predicate.probe_bounds`).  The
+        span may over-approximate at open/closed boundaries — visiting
+        an extra shard is sound (its evaluation is exact, contributing
+        no false matches) — but never under-approximates, so no match
+        is lost.  Returns ``(lo, hi)`` arrays of shard indices,
+        ``lo <= hi`` always (every probe visits at least its boundary
+        shard).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        n = len(arr)
+        lo = np.zeros(n, dtype=np.int64)
+        hi = np.full(n, self.num_shards - 1, dtype=np.int64)
+        if self.num_shards == 1 or n == 0:
+            return lo, hi
+        bounds_list = [
+            pred.probe_bounds(float(v), probe_is_left) for v in arr[:1]
+        ]
+        # One representative call fixes the *shape* of the bound set
+        # (which ends are open) for this predicate/direction; the
+        # per-value endpoints are then computed vectorised.
+        shape = bounds_list[0]
+        if len(shape) == 1:
+            lo_v, hi_v = self._endpoint_arrays(pred, arr, probe_is_left)
+            if lo_v is not None:
+                lo = self.owner_of(lo_v)
+            if hi_v is not None:
+                hi = self.owner_of(hi_v)
+            return lo, hi
+        # Multi-interval predicates (e.g. NEQ): the union of intervals
+        # spans essentially the whole domain — fall back to all shards.
+        return lo, hi
+
+    def _endpoint_arrays(self, pred, arr: np.ndarray, probe_is_left: bool):
+        """Vectorised (lo, hi) value endpoints of the single satisfying
+        interval; ``None`` marks an unbounded end."""
+        from ..core.predicates import BandPredicate, Op
+
+        if isinstance(pred, BandPredicate):
+            return arr - pred.width, arr + pred.width
+        op = pred.op if probe_is_left else pred.op.flipped
+        if op in (Op.LT, Op.LE):
+            return arr, None
+        if op in (Op.GT, Op.GE):
+            return None, arr
+        if op is Op.EQ:
+            return arr, arr
+        return None, None

@@ -61,6 +61,19 @@ class ArenaBatch(TupleBatch):
     def __iter__(self):
         return iter(self.slice)
 
+    def __reduce__(self):
+        # Cross-process transport (repro.parallel) ships the raw column
+        # arrays via the slice's wire format; per-tuple views are never
+        # materialised on either side of the pipe.
+        return (
+            ArenaBatch._from_wire,
+            (self.slice.to_wire(), self.origin_times),
+        )
+
+    @staticmethod
+    def _from_wire(wire, origin_times) -> "ArenaBatch":
+        return ArenaBatch(ArenaSlice.from_wire(wire), origin_times)
+
 
 class RawTuple:
     """Source payload before the router stamps an identifier."""

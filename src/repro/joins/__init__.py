@@ -27,6 +27,7 @@ from .topologies import (
     build_hash_join_topology,
     build_nlj_topology,
     build_spo_local_topology,
+    build_spo_sharded_topology,
     run_topology,
 )
 
@@ -55,5 +56,6 @@ __all__ = [
     "build_nlj_topology",
     "build_hash_join_topology",
     "build_spo_local_topology",
+    "build_spo_sharded_topology",
     "run_topology",
 ]

@@ -31,7 +31,7 @@ from ..core.spojoin import SPOJoin
 from ..core.tuples import StreamTuple
 from ..core.window import WindowSpec
 from ..dspe.engine import Engine, RunResult, TupleBatch
-from ..dspe.partitioning import Grouping
+from ..dspe.partitioning import Grouping, RangeShards
 from ..dspe.router import RawTuple, RouterOperator
 from ..dspe.topology import Operator, Topology
 from ..indexes.bptree import BPlusTree
@@ -45,6 +45,7 @@ __all__ = [
     "build_nlj_topology",
     "build_hash_join_topology",
     "build_spo_local_topology",
+    "build_spo_sharded_topology",
     "run_topology",
 ]
 
@@ -548,6 +549,70 @@ def build_spo_local_topology(
         lambda: SPOJoinerOperator(query, window, **join_kwargs),
         parallelism=1,
         inputs=[("router", Grouping.broadcast())],
+    )
+    return topo
+
+
+def build_spo_sharded_topology(
+    source: Iterable[Tuple[float, RawTuple]],
+    query: QuerySpec,
+    window: WindowSpec,
+    num_shards: int,
+    batch_size: int = 1,
+    cuts: Optional[List[float]] = None,
+    sub_intervals: int = 1,
+    **join_kwargs,
+) -> Topology:
+    """Range-sharded SPO-Join: shard router + one joiner PE per shard.
+
+    The shared-nothing shape of the parallel subsystem: the router stamps
+    tuples, drives the global merge clock, and splits each micro-batch
+    into per-shard store/probe sub-batches; each joiner PE holds one
+    shard's mutable + immutable state.  Shard batches route directly to
+    their shard's PE; merge markers broadcast to all shards.  The shard
+    PEs are the topology's leaves, so under
+    :class:`~repro.parallel.ParallelExecutor` they become the worker
+    processes while the router stays in the parent.
+
+    ``cuts`` are the ``num_shards - 1`` interior range boundaries
+    (default: uniform over ``[0, 1]``, the synthetic workloads' value
+    domain); ``join_kwargs`` forward to
+    :class:`~repro.parallel.spo_shard.ShardSPOJoinOperator`.
+    """
+    from ..parallel.shards import ShardRouterOperator
+    from ..parallel.spo_shard import ShardSPOJoinOperator
+
+    shards = (
+        RangeShards(cuts) if cuts is not None else RangeShards.uniform(num_shards)
+    )
+    if shards.num_shards != num_shards:
+        raise ValueError(
+            f"cuts imply {shards.num_shards} shards, expected {num_shards}"
+        )
+    topo = Topology()
+    topo.add_spout("source", source)
+    topo.add_bolt(
+        "router",
+        lambda: ShardRouterOperator(
+            query,
+            window,
+            shards,
+            sub_intervals=sub_intervals,
+            batch_size=batch_size,
+        ),
+        parallelism=1,
+        inputs=[("source", Grouping.shuffle())],
+    )
+    topo.add_bolt(
+        "joiner",
+        lambda: ShardSPOJoinOperator(
+            query, window, sub_intervals=sub_intervals, **join_kwargs
+        ),
+        parallelism=num_shards,
+        input_streams=[
+            ("router", Grouping.direct(lambda b: b.shard), "shards"),
+            ("router", Grouping.broadcast(), "control"),
+        ],
     )
     return topo
 

@@ -1,0 +1,45 @@
+"""Shared-nothing multicore execution behind the simulator's API.
+
+The simulated engine (:mod:`repro.dspe.engine`) executes every
+processing element inside one Python process and *models* parallelism as
+service-time accounting.  This package provides the real thing: a
+:class:`~repro.parallel.executor.ParallelExecutor` that runs leaf
+processing elements as ``multiprocessing`` worker processes behind the
+same :class:`~repro.dspe.engine.Executor` seam, plus a range-sharded
+SPO-Join (:mod:`repro.parallel.spo_shard`) whose mutable and immutable
+state is partitioned across shard PEs — the shared-nothing layout of
+*Parallel Index-based Stream Join on a Multicore CPU* mapped onto the
+paper's two-tier design.
+
+Determinism contract: parallelism changes wall-clock, never results.
+Every topology run under the parallel executor produces records whose
+result fingerprint is bit-identical to the simulated single-process run,
+at every worker count and batch size; worker randomness derives from the
+run seed via :func:`~repro.parallel.seeds.spawn_seed`.
+"""
+
+from .executor import ParallelExecutor, WorkerCrash
+from .seeds import spawn_seed
+from .shards import ShardPrefilter, ShardRouterOperator, plan_shard_batches
+from .spo_shard import (
+    ShardSPOJoin,
+    ShardSPOJoinOperator,
+    merge_partial_records,
+    reduce_sharded_result,
+)
+from .wire import MergeMarker, ShardBatch
+
+__all__ = [
+    "ParallelExecutor",
+    "WorkerCrash",
+    "spawn_seed",
+    "ShardPrefilter",
+    "ShardRouterOperator",
+    "plan_shard_batches",
+    "ShardSPOJoin",
+    "ShardSPOJoinOperator",
+    "merge_partial_records",
+    "reduce_sharded_result",
+    "MergeMarker",
+    "ShardBatch",
+]

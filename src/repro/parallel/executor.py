@@ -1,0 +1,404 @@
+"""Shared-nothing multicore executor: leaf PEs as real worker processes.
+
+:class:`ParallelExecutor` runs the same :class:`~repro.dspe.topology.Topology`
+the simulated :class:`~repro.dspe.engine.Engine` runs, behind the same
+:class:`~repro.dspe.engine.Executor` seam — topology validation, PE
+bookkeeping, and :meth:`~repro.dspe.engine.Executor.route_targets` are
+shared, so a payload reaches the same logical PEs in both modes and
+result fingerprints are bit-identical by construction.
+
+Placement follows the shared-nothing split the paper's Storm deployment
+uses: *leaf* bolts (bolts no edge names as a source — the stateful
+joiners holding sharded mutable + immutable state) become remote PEs,
+assigned round-robin to ``num_workers`` OS processes; the spout and
+every routing/stamping bolt stay inline in the parent, which is the only
+place topology-order decisions (stamping, merge clock, shard planning)
+are made.  Each worker gets a private bounded FIFO queue, so every
+parent→PE link preserves emission order — the consistent-cut guarantee
+the shard merge protocol relies on — while a single shared reply queue
+carries record chunks back.
+
+Wire format: payloads cross process boundaries via their own pickle
+reducers — :class:`~repro.core.arena.ArenaSlice` ships as raw column
+buffers (``to_wire``/``from_wire``), never as per-tuple objects.
+
+Failure semantics: an operator exception inside a worker is shipped back
+as an ``("error", ...)`` reply and re-raised in the parent as
+:class:`WorkerCrash`; a worker that dies without replying (hard crash)
+is detected by liveness polling.  Either way the parent terminates and
+joins every worker before raising — no hangs, no zombies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import queue
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..dspe.engine import Executor, Record, RunResult
+from ..dspe.topology import Topology
+from .worker import worker_main
+
+__all__ = ["ParallelExecutor", "WorkerCrash"]
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process failed (operator error or hard death)."""
+
+    def __init__(
+        self,
+        worker_index: int,
+        pe_label: str,
+        message: str,
+        worker_traceback: str = "",
+    ) -> None:
+        super().__init__(
+            f"worker {worker_index} crashed in {pe_label}: {message}"
+        )
+        self.worker_index = worker_index
+        self.pe_label = pe_label
+        self.worker_traceback = worker_traceback
+
+
+class _InlineContext:
+    """Context for parent-hosted (non-leaf) PEs.
+
+    Mirrors the simulated :class:`~repro.dspe.engine.Context` surface,
+    minus the simulated clock: ``now`` is the driving spout's current
+    event time, service-time accounting is off (``charge`` is a no-op,
+    ``observing`` is False), and emissions are collected for the
+    executor's routing loop.
+    """
+
+    def __init__(self, executor: "ParallelExecutor") -> None:
+        self._executor = executor
+        self._component = ""
+        self._pe_index = 0
+        self._origin_time = 0.0
+        self.now = 0.0
+        self._emissions: List[Tuple[str, object]] = []
+
+    def _begin(self, component: str, pe_index: int, origin_time: float) -> None:
+        self._component = component
+        self._pe_index = pe_index
+        self._origin_time = origin_time
+        self.now = origin_time
+        self._emissions = []
+
+    def take_emissions(self) -> List[Tuple[str, object]]:
+        emissions = self._emissions
+        self._emissions = []
+        return emissions
+
+    # -- Context API ----------------------------------------------------
+    def emit(self, payload, stream: str = "default") -> None:
+        self._emissions.append((stream, payload))
+
+    def record(self, name: str, payload=None) -> None:
+        self._executor._inline_record(name, payload, self._origin_time)
+
+    def mark(self, name: str) -> None:
+        pass
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("charge must be non-negative")
+
+    @property
+    def observing(self) -> bool:
+        return False
+
+    def observe_cost(self, category: str, seconds: float, **fields) -> None:
+        pass
+
+    def observe_event(self, kind: str, **fields) -> None:
+        pass
+
+    @property
+    def pressure(self) -> bool:
+        return False
+
+    @property
+    def num_pes(self) -> int:
+        return self._executor.parallelism_of(self._component)
+
+    @property
+    def pe_index(self) -> int:
+        return self._pe_index
+
+    @property
+    def origin_time(self) -> float:
+        return self._origin_time
+
+
+class ParallelExecutor(Executor):
+    """Run a topology with leaf PEs hosted in ``num_workers`` processes.
+
+    Uses the ``fork`` start method, so operator factories (typically
+    closures) reach the workers through the process image and are never
+    pickled; only the messages themselves cross queues.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_workers: int,
+        seed: int = 0,
+        queue_capacity: int = 64,
+        record_chunk: int = 256,
+        poll_timeout: float = 0.05,
+        join_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(topology)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.seed = seed
+        self.queue_capacity = queue_capacity
+        self.record_chunk = record_chunk
+        self.poll_timeout = poll_timeout
+        self.join_timeout = join_timeout
+        sources = {
+            edge.source
+            for bolt in topology.bolts.values()
+            for edge in bolt.inputs
+        }
+        #: Bolts no edge consumes — their PEs run in worker processes.
+        self.remote_components = [
+            name for name in topology.bolts if name not in sources
+        ]
+        self.inline_components = [
+            name for name in topology.bolts if name in sources
+        ]
+        if not self.remote_components:
+            raise ValueError("topology has no leaf bolts to parallelize")
+        #: (component, pe_index) -> worker index, round-robin over the
+        #: deterministic (bolt declaration order, pe index) enumeration.
+        self.placement: Dict[Tuple[str, int], int] = {}
+        slot = 0
+        for name in self.remote_components:
+            for index in range(topology.bolts[name].parallelism):
+                self.placement[(name, index)] = slot % num_workers
+                slot += 1
+        # Per-run state.
+        self._inline_ops: Dict[str, List] = {}
+        self._ictx: Optional[_InlineContext] = None
+        self._records: List[Record] = []
+        self._remote_records: List[tuple] = []
+        self._in_qs: List = []
+        self._out_q = None
+        self._procs: List = []
+        self._done: Dict[int, dict] = {}
+        self._events = 0
+
+    # -- reply plumbing -------------------------------------------------
+    def _inline_record(self, name: str, payload, origin_time: float) -> None:
+        self._records.append(Record(name, payload, origin_time, origin_time, {}))
+
+    def _feed(self, worker_index: int, item) -> None:
+        """Put one item on a worker queue without deadlocking.
+
+        The worker may be blocked putting record chunks on the full
+        reply queue while we block putting work on its full input queue;
+        draining replies between put attempts breaks the cycle.
+        """
+        in_q = self._in_qs[worker_index]
+        while True:
+            try:
+                in_q.put(item, timeout=self.poll_timeout)
+                return
+            except queue.Full:
+                self._drain_replies(block=False)
+                self._check_alive()
+
+    def _drain_replies(self, block: bool) -> None:
+        while True:
+            try:
+                reply = self._out_q.get(
+                    timeout=self.poll_timeout if block else 0.0
+                )
+            except queue.Empty:
+                return
+            kind = reply[0]
+            if kind == "records":
+                self._remote_records.extend(reply[2])
+            elif kind == "done":
+                self._done[reply[1]] = reply[2]
+            elif kind == "error":
+                __, widx, label, message, tb = reply
+                raise WorkerCrash(widx, label, message, tb)
+            block = False  # at most one blocking get per call
+
+    def _check_alive(self) -> None:
+        for widx, proc in enumerate(self._procs):
+            if widx not in self._done and not proc.is_alive():
+                # Collect anything it sent before dying — if the crash
+                # was an operator exception, the error reply is queued
+                # and _drain_replies raises the detailed WorkerCrash.
+                self._drain_replies(block=False)
+                if widx in self._done:
+                    continue
+                raise WorkerCrash(
+                    widx,
+                    "?",
+                    f"worker process died (exitcode {proc.exitcode})",
+                )
+
+    # -- routing --------------------------------------------------------
+    def _deliver(
+        self, component: str, pe_index: int, payload, origin_time: float
+    ) -> None:
+        """Deliver to an inline PE (cascading its emissions) or a worker."""
+        worklist = [(component, pe_index, payload, origin_time)]
+        while worklist:
+            comp, idx, pay, origin = worklist.pop(0)
+            self._events += 1
+            if comp in self._inline_ops:
+                ctx = self._ictx
+                assert ctx is not None
+                ctx._begin(comp, idx, origin)
+                self._inline_ops[comp][idx].process(pay, ctx)
+                for stream, out in ctx.take_emissions():
+                    for tcomp, tidx in self.route_targets(comp, stream, out):
+                        worklist.append((tcomp, tidx, out, origin))
+            else:
+                self._feed(
+                    self.placement[(comp, idx)],
+                    ("msg", comp, idx, pay, origin),
+                )
+
+    def _flush_inline(self) -> None:
+        """Flush inline PEs until a full pass produces no emissions."""
+        ctx = self._ictx
+        assert ctx is not None
+        while True:
+            emitted = False
+            for comp in self.inline_components:
+                for idx, operator in enumerate(self._inline_ops[comp]):
+                    ctx._begin(comp, idx, ctx.now)
+                    operator.flush(ctx)
+                    for stream, out in ctx.take_emissions():
+                        emitted = True
+                        for tcomp, tidx in self.route_targets(comp, stream, out):
+                            self._deliver(tcomp, tidx, out, ctx.now)
+            if not emitted:
+                return
+
+    # -- driving --------------------------------------------------------
+    def _run_inline(self) -> None:
+        """Build inline PEs and push the spout streams through them."""
+        self._ictx = ctx = _InlineContext(self)
+        self._inline_ops = {
+            name: [
+                self.topology.bolts[name].factory()
+                for __ in range(self.topology.bolts[name].parallelism)
+            ]
+            for name in self.inline_components
+        }
+        for comp, ops in self._inline_ops.items():
+            for idx, operator in enumerate(ops):
+                ctx._begin(comp, idx, 0.0)
+                operator.setup(ctx)
+        # Merge spout streams by event time, stable on declaration order
+        # — the arrival order the simulated engine produces.  At most
+        # one heap entry per spout, so (event_time, order) never ties
+        # and payloads are never compared.
+        iters = []
+        heap: List[Tuple[float, int, object]] = []
+        for order, spout in enumerate(self.topology.spouts.values()):
+            iterator = iter(spout.source)
+            iters.append((spout.name, iterator))
+            first = next(iterator, None)
+            if first is not None:
+                heapq.heappush(heap, (first[0], order, first[1]))
+        while heap:
+            event_time, order, payload = heapq.heappop(heap)
+            name, iterator = iters[order]
+            for comp, idx in self.route_targets(name, "default", payload):
+                self._deliver(comp, idx, payload, event_time)
+            nxt = next(iterator, None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[0], order, nxt[1]))
+        self._flush_inline()
+        for comp, ops in self._inline_ops.items():
+            for idx, operator in enumerate(ops):
+                ctx._begin(comp, idx, ctx.now)
+                operator.teardown(ctx)
+
+    def run(self) -> RunResult:
+        wall_start = time.perf_counter()  # repro: allow-wallclock
+        mp = multiprocessing.get_context("fork")
+        num_pes_map = {
+            name: bolt.parallelism for name, bolt in self.topology.bolts.items()
+        }
+        assignments: List[List[Tuple[str, int, object]]] = [
+            [] for __ in range(self.num_workers)
+        ]
+        for (comp, idx), widx in self.placement.items():
+            assignments[widx].append((comp, idx, self.topology.bolts[comp].factory))
+        self._in_qs = [mp.Queue(self.queue_capacity) for __ in range(self.num_workers)]
+        self._out_q = mp.Queue()
+        self._procs = [
+            mp.Process(
+                target=worker_main,
+                args=(
+                    widx,
+                    assignments[widx],
+                    num_pes_map,
+                    self._in_qs[widx],
+                    self._out_q,
+                    self.seed,
+                    self.record_chunk,
+                ),
+                daemon=True,
+            )
+            for widx in range(self.num_workers)
+        ]
+        self._records = []
+        self._remote_records = []
+        self._done = {}
+        self._events = 0
+        try:
+            for proc in self._procs:
+                proc.start()
+            self._run_inline()
+            for widx in range(self.num_workers):
+                self._feed(widx, ("flush",))
+                self._feed(widx, ("stop",))
+            deadline = time.monotonic() + self.join_timeout  # repro: allow-wallclock
+            while len(self._done) < self.num_workers:
+                self._drain_replies(block=True)
+                self._check_alive()
+                if time.monotonic() > deadline:  # repro: allow-wallclock
+                    raise WorkerCrash(
+                        -1, "?", f"workers not done within {self.join_timeout}s"
+                    )
+            for proc in self._procs:
+                proc.join(self.join_timeout)
+        finally:
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in self._procs:
+                proc.join(self.join_timeout)
+            for q in [*self._in_qs, self._out_q]:
+                if q is not None:
+                    q.cancel_join_thread()
+                    q.close()
+        # Canonical record order: remote records sorted by their
+        # deterministic (component, pe_index, seq) tag, independent of
+        # how chunk arrivals from different workers interleaved.
+        self._remote_records.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
+        records = list(self._records)
+        for __, __, __, name, payload, origin_time, marks in self._remote_records:
+            records.append(Record(name, payload, origin_time, origin_time, marks))
+        wall = time.perf_counter() - wall_start  # repro: allow-wallclock
+        return RunResult(
+            records=records,
+            pes=[],
+            sim_end=0.0,
+            wall_seconds=wall,
+            events_processed=self._events,
+        )

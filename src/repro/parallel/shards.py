@@ -1,0 +1,262 @@
+"""Shard planning and the globally clocked shard router.
+
+:func:`plan_shard_batches` splits one stamped columnar micro-batch into
+per-shard :class:`~repro.parallel.wire.ShardBatch` sub-batches:
+
+* every tuple is *stored* by the shard owning its partition-field value
+  (the first predicate's stored field);
+* every tuple *probes* exactly the shards its first-predicate interval
+  can reach (:meth:`~repro.dspe.partitioning.RangeShards.probe_span`) —
+  the range-pruning that replaces the baseline broadcast.
+
+:class:`ShardRouterOperator` extends the stamping router with the
+*global merge clock*: it advances the reference implementation's
+merge-interval state per stamped tuple, cuts the micro-batch at every
+firing (so no sub-batch spans a boundary), and broadcasts a
+:class:`~repro.parallel.wire.MergeMarker` carrying the global interval
+id right after the interval's final batch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.arena import ArenaSlice, TupleArena
+from ..core.predicates import BandPredicate, Op, Predicate
+from ..core.query import QuerySpec
+from ..core.window import MergePolicy, WindowKind, WindowSpec
+from ..dspe.partitioning import RangeShards
+from ..dspe.router import RouterOperator
+from .wire import MergeMarker, ShardBatch
+
+__all__ = ["ShardPrefilter", "plan_shard_batches", "ShardRouterOperator"]
+
+
+class ShardPrefilter:
+    """Router-side mirror of each shard's second-predicate value range.
+
+    The router sees every store it routes, so it can maintain the same
+    monotone ``[lo, hi]`` range per shard that the shard joiner keeps for
+    its O(1) probe skip — and drop a hopeless probe *before* paying to
+    ship it.  The decision replicates the shard's own prefilter exactly
+    (same stores, same order, same conservative whole-batch update), so
+    a dropped probe is one the shard would have answered with ``[]``.
+
+    Each probe always keeps its *anchor* shard (the boundary shard of
+    its first-predicate span) so that every stamped tuple produces at
+    least one partial answer — the merge step's invariant.
+    """
+
+    __slots__ = ("pred", "lo", "hi")
+
+    def __init__(self, query: QuerySpec, shards: RangeShards) -> None:
+        self.pred: Optional[Predicate] = None
+        if len(query.predicates) == 2:
+            pred = query.predicates[1]
+            if isinstance(pred, BandPredicate) or pred.op in (
+                Op.LT,
+                Op.LE,
+                Op.GT,
+                Op.GE,
+                Op.EQ,
+            ):
+                self.pred = pred
+        self.lo = np.full(shards.num_shards, np.inf)
+        self.hi = np.full(shards.num_shards, -np.inf)
+
+    def note_stores(self, owner: np.ndarray, values: np.ndarray) -> None:
+        """Widen per-shard ranges with one batch of routed stores."""
+        if self.pred is None or not len(owner):
+            return
+        np.minimum.at(self.lo, owner, values)
+        np.maximum.at(self.hi, owner, values)
+
+    def keep(self, shard: int, probe_values: np.ndarray) -> np.ndarray:
+        """Boolean mask: can each probe still match inside ``shard``?"""
+        pred = self.pred
+        assert pred is not None
+        lo, hi = self.lo[shard], self.hi[shard]
+        if lo > hi:
+            return np.zeros(len(probe_values), dtype=bool)
+        if isinstance(pred, BandPredicate):
+            if pred.inclusive:
+                return (probe_values - pred.width <= hi) & (
+                    probe_values + pred.width >= lo
+                )
+            return (probe_values - pred.width < hi) & (
+                probe_values + pred.width > lo
+            )
+        if pred.op is Op.LT:  # needs stored > probe
+            return probe_values < hi
+        if pred.op is Op.LE:
+            return probe_values <= hi
+        if pred.op is Op.GT:  # needs stored < probe
+            return probe_values > lo
+        if pred.op is Op.GE:
+            return probe_values >= lo
+        return (probe_values >= lo) & (probe_values <= hi)  # EQ
+
+
+def plan_shard_batches(
+    batch: ArenaSlice,
+    shards: RangeShards,
+    query: QuerySpec,
+    prefilter: Optional[ShardPrefilter] = None,
+) -> List[ShardBatch]:
+    """Split a stamped batch into per-shard store/probe sub-batches.
+
+    Sub-batches preserve global arrival order; ``stores_before`` gives
+    each probe the number of same-shard stores that precede it, from
+    which the shard joiner reconstructs exact per-probe visibility.
+    Shards receiving neither stores nor probes are omitted.
+
+    With a ``prefilter``, probes that provably cannot match inside a
+    shard (second-predicate range skip) are not sent there — except to
+    their anchor shard, which every probe always visits so that it
+    yields at least one partial record.
+    """
+    pred = query.predicates[0]
+    store_values = batch.field_values(pred.right_field)
+    probe_values = batch.field_values(pred.left_field)
+    owner = shards.owner_of(store_values)
+    span_lo, span_hi = shards.probe_span(pred, probe_values, True)
+    filtering = prefilter is not None and prefilter.pred is not None
+    if filtering:
+        assert prefilter is not None
+        prefilter.note_stores(owner, batch.field_values(prefilter.pred.right_field))
+        anchor = np.clip(shards.owner_of(probe_values), span_lo, span_hi)
+        filter_values = batch.field_values(prefilter.pred.left_field)
+    out: List[ShardBatch] = []
+    for shard in range(shards.num_shards):
+        store_mask = owner == shard
+        visits = (span_lo <= shard) & (shard <= span_hi)
+        if filtering:
+            assert prefilter is not None
+            visits &= (anchor == shard) | prefilter.keep(shard, filter_values)
+        probe_pos = np.nonzero(visits)[0]
+        store_pos = np.nonzero(store_mask)[0]
+        if not len(probe_pos) and not len(store_pos):
+            continue
+        stores_seen = np.cumsum(store_mask)
+        before = stores_seen[probe_pos] - store_mask[probe_pos]
+        out.append(
+            ShardBatch(
+                shard,
+                batch.take(probe_pos),
+                batch.take(store_pos),
+                before.tolist(),
+            )
+        )
+    return out
+
+
+class ShardRouterOperator(RouterOperator):
+    """Stamping router + shard splitter + global merge clock.
+
+    Emits :class:`ShardBatch` payloads on the ``"shards"`` stream
+    (route with ``Grouping.direct(lambda b: b.shard)``) and
+    :class:`MergeMarker` on the ``"control"`` stream (route with
+    ``Grouping.broadcast()``).  Both executors deliver each
+    router→shard-PE link FIFO, so a marker always arrives after its
+    interval's batches — the consistent cut the exactness argument in
+    :mod:`repro.parallel.spo_shard` relies on.
+
+    The clock replicates :meth:`repro.core.spojoin.SPOJoin._scan_boundary`
+    tuple for tuple: COUNT windows fire when the counter reaches the
+    merge delta (the firing tuple closes the interval); TIME windows arm
+    on the first event and fire when an event time passes the deadline.
+    """
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        shards: RangeShards,
+        sub_intervals: int = 1,
+        start_tid: int = 0,
+        batch_size: int = 1,
+        flush_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            start_tid=start_tid,
+            batch_size=batch_size,
+            flush_timeout=flush_timeout,
+            cut_fn=None,
+            columnar=True,
+        )
+        self.query = query
+        self.window = window
+        self.shards = shards
+        self.prefilter = ShardPrefilter(query, shards)
+        self.policy = MergePolicy(window, sub_intervals)
+        self._merge_counter = 0.0
+        self._next_merge_time: Optional[float] = None
+        self._boundary_id = -1
+
+    # ------------------------------------------------------------------
+    def _advance_clock(self, tuple_) -> bool:
+        if self.window.kind is WindowKind.COUNT:
+            self._merge_counter += 1
+            if self._merge_counter >= self.policy.delta:
+                self._merge_counter = 0
+                return True
+            return False
+        event_time = tuple_.event_time
+        if self._next_merge_time is None:
+            self._next_merge_time = event_time + self.policy.delta
+            return False
+        if event_time >= self._next_merge_time:
+            self._next_merge_time += self.policy.delta
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def process(self, payload, ctx) -> None:
+        # Always the buffered columnar path (even at batch_size=1): the
+        # shard split needs the arena's column views.
+        raw = payload
+        if (
+            self.flush_timeout is not None
+            and self._buffered()
+            and ctx.now - self._buffer_opened >= self.flush_timeout
+        ):
+            self._flush_buffer(ctx)
+        if not self._buffered():
+            self._buffer_opened = ctx.now
+        if self._arena is None:
+            self._arena = TupleArena(capacity=self.batch_size)
+        slot = self._arena.append(
+            self._next_tid, raw.stream, raw.values, raw.event_time
+        )
+        tuple_ = self._arena.view(slot)
+        self._next_tid += 1
+        self._on_stamped(tuple_, ctx)
+        self._buffer_origins.append(ctx.origin_time)
+        fired = self._advance_clock(tuple_)
+        if fired or self._buffered() >= self.batch_size:
+            self._flush_buffer(ctx)
+        if fired:
+            # The marker closes the interval *including* the firing
+            # tuple, which the flush above has already shipped.
+            self._boundary_id += 1
+            ctx.emit(MergeMarker(self._boundary_id), stream="control")
+
+    def _flush_buffer(self, ctx) -> None:
+        if not self._buffered():
+            return
+        if ctx.observing:
+            ctx.observe_event(
+                "router_flush",
+                tuples=self._buffered(),
+                opened=self._buffer_opened,
+            )
+        assert self._arena is not None
+        for shard_batch in plan_shard_batches(
+            self._arena.slice(), self.shards, self.query, self.prefilter
+        ):
+            ctx.emit(shard_batch, stream="shards")
+        self._arena = None
+        self._buffer_origins = []
+        self._buffer_opened = None

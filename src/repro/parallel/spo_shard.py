@@ -1,0 +1,380 @@
+"""Range-sharded SPO-Join: shared-nothing state behind a global clock.
+
+One :class:`ShardSPOJoin` instance owns the mutable B+-trees and the
+immutable PO-Join list for a single value-range shard of the window
+(see :class:`~repro.dspe.partitioning.RangeShards`).  The shard router
+splits every stamped micro-batch into per-shard sub-batches (stored
+tuples go to their owner shard; probes visit only the shards their
+first-predicate interval can reach) and broadcasts a
+:class:`~repro.parallel.wire.MergeMarker` at every global
+merge-boundary firing, so all shards cut their merge intervals at the
+same global positions the single-process reference does.
+
+Exactness argument (the determinism contract):
+
+* *Visibility* — a probe's bound inside a sub-batch is
+  ``pre-batch window size + stores that arrived before it``, which is
+  precisely the reference's tuple-at-a-time bound restricted to this
+  shard; markers arrive FIFO after the interval's batches, so immutable
+  lists freeze at the same global positions.
+* *Completeness* — every stored tuple satisfying the first predicate
+  lies in a shard the probe visits (probe spans never
+  under-approximate), and shard evaluation applies all predicates
+  exactly, so the union of per-shard match sets over the visited shards
+  equals the reference match set; ownership is a partition, so the
+  union is disjoint.
+* *Expiry* — markers carry global interval ids; each shard merges its
+  (possibly empty) interval under the global id and drops ids that left
+  the window (:meth:`~repro.core.pojoin.POJoinList.expire_before`), so
+  the retained stored set is the reference's, intersected with the
+  shard.
+
+Each shard batch's partial match lists are recorded as one
+``partial_batch`` record; :func:`reduce_sharded_result` merges them into
+the canonical
+one-record-per-tuple ``result`` stream, after which fingerprints compare
+bit-identically with the simulated single-process run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.arena import ArenaSlice, column_of, event_times_of, tids_of
+from ..core.immutable import get_backend
+from ..core.merge import build_merge_batch_from_runs
+from ..core.mutable import MutableComponent
+from ..core.pojoin import POJoinList
+from ..core.predicates import BandPredicate, Op, Predicate
+from ..core.query import QuerySpec
+from ..core.spojoin import JoinStats
+from ..core.window import MergePolicy, WindowSpec
+from ..dspe.engine import Record, RunResult
+from ..dspe.topology import Operator
+from .wire import MergeMarker, ShardBatch
+
+__all__ = [
+    "ShardSPOJoin",
+    "ShardSPOJoinOperator",
+    "merge_partial_records",
+    "reduce_sharded_result",
+]
+
+
+class ShardSPOJoin:
+    """One shard's two-tier SPO state, clocked by global merge markers.
+
+    Unlike :class:`~repro.core.spojoin.SPOJoin` this class never fires
+    the merge clock itself: boundaries are injected via
+    :meth:`on_boundary` with globally assigned interval ids.  Self-join
+    queries only (one mutable window, probes always play the left
+    predicate role) — the scope of the range-sharded path.
+    """
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        sub_intervals: int = 1,
+        evaluator: str = "bit",
+        use_offsets: bool = True,
+        bptree_order: int = 64,
+        covered_shortcut: bool = True,
+    ) -> None:
+        if not query.is_self_join:
+            raise ValueError(
+                "range-sharded SPO-Join supports self-join queries only "
+                "(single mutable window); got a cross/two-stream query"
+            )
+        if evaluator != "bit":
+            raise ValueError(
+                "range-sharded SPO-Join requires the 'bit' evaluator "
+                "(slot-bounded batched evaluation)"
+            )
+        self.query = query
+        self.window = window
+        self.policy = MergePolicy(window, sub_intervals)
+        self.mutable = MutableComponent(
+            query, side="left", evaluator=evaluator, order=bptree_order
+        )
+        # Count-based expiry stays off: shards may skip empty intervals,
+        # so retention is by global interval id (expire_before).
+        self.immutable = POJoinList(query, max_batches=None)
+        self.batch_factory = get_backend("memory").batch_factory(
+            use_offsets=use_offsets, covered_shortcut=covered_shortcut
+        )
+        self.stats = JoinStats()
+        #: Probes skipped by the second-predicate min/max prefilter.
+        self.prefiltered_probes = 0
+        # Running value range of the second predicate's stored field over
+        # everything ever stored in this shard (monotone widening, so it
+        # over-approximates the live window — expiry can only make a skip
+        # *less* likely, never unsound).
+        self._filter_pred = self._build_prefilter()
+        self._f_lo = math.inf
+        self._f_hi = -math.inf
+
+    def _build_prefilter(self) -> Optional[Predicate]:
+        """The second predicate, if its shape supports range skipping.
+
+        The shard router prunes probe targets with the *first* predicate
+        (the partitioning dimension); within a visited shard the second
+        predicate can rule out a probe in O(1) against the shard's stored
+        value range.  Single-interval shapes only — NE's complement
+        intervals can never be empty.
+        """
+        if len(self.query.predicates) != 2:
+            return None
+        pred = self.query.predicates[1]
+        if isinstance(pred, BandPredicate):
+            return pred
+        if pred.op in (Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ):
+            return pred
+        return None
+
+    def _prefilter_positions(self, probes: Sequence) -> Optional[List[int]]:
+        """Positions of probes that may still match, or None for "all".
+
+        A probe survives iff the stored-value range ``[f_lo, f_hi]`` of
+        this shard can contain a second-predicate partner for it.  With
+        nothing ever stored the range is empty and nothing survives.
+        """
+        pred = self._filter_pred
+        if pred is None:
+            return None
+        if self._f_lo > self._f_hi:
+            return []
+        pvals = column_of(probes, pred.left_field)
+        if isinstance(pred, BandPredicate):
+            if pred.inclusive:
+                keep = (pvals - pred.width <= self._f_hi) & (
+                    pvals + pred.width >= self._f_lo
+                )
+            else:
+                keep = (pvals - pred.width < self._f_hi) & (
+                    pvals + pred.width > self._f_lo
+                )
+        elif pred.op is Op.LT:  # needs stored > probe
+            keep = pvals < self._f_hi
+        elif pred.op is Op.LE:
+            keep = pvals <= self._f_hi
+        elif pred.op is Op.GT:  # needs stored < probe
+            keep = pvals > self._f_lo
+        elif pred.op is Op.GE:
+            keep = pvals >= self._f_lo
+        else:  # EQ
+            keep = (pvals >= self._f_lo) & (pvals <= self._f_hi)
+        if keep.all():
+            return None
+        return np.nonzero(keep)[0].tolist()
+
+    # ------------------------------------------------------------------
+    def process_shard_batch(
+        self,
+        probes: Sequence,
+        stores: Sequence,
+        stores_before: Sequence[int],
+    ) -> List[Tuple[int, List[int], float]]:
+        """Insert this shard's stores, answer this shard's probes.
+
+        Returns ``(tid, partial matches, event_time)`` per probe.  The
+        sub-batch never spans a merge boundary (the router cuts there),
+        so the immutable list is frozen throughout and the mutable
+        window only grows; ``stores_before`` restores per-probe
+        visibility exactly as the reference's slot bounds do.
+        """
+        pre = len(self.mutable)
+        if len(stores):
+            self.mutable.insert_many(stores)
+            if self._filter_pred is not None:
+                vals = column_of(stores, self._filter_pred.right_field)
+                lo = float(vals.min())
+                hi = float(vals.max())
+                if lo < self._f_lo:
+                    self._f_lo = lo
+                if hi > self._f_hi:
+                    self._f_hi = hi
+        n = len(probes)
+        if not n:
+            return []
+        matches: List[List[int]] = [[] for __ in range(n)]
+        kept = self._prefilter_positions(probes)
+        if kept is None:
+            positions: Sequence[int] = range(n)
+            group = probes
+            bounds = [pre + c for c in stores_before]
+        else:
+            self.prefiltered_probes += n - len(kept)
+            positions = kept
+            if isinstance(probes, ArenaSlice):
+                group = probes.take(kept)
+            else:
+                group = [probes[i] for i in kept]
+            bounds = [pre + stores_before[i] for i in kept]
+        if len(bounds):
+            flags = [True] * len(bounds)
+            mutable_rows = self.mutable.evaluate_batch(group, flags, bounds)
+            outcome = self.immutable.probe_all_batch(group, flags)
+            for pos, mut, imm in zip(
+                positions, mutable_rows, outcome.per_probe
+            ):
+                self.stats.mutable_matches += len(mut)
+                self.stats.immutable_matches += len(imm)
+                matches[pos] = mut + imm
+        results: List[Tuple[int, List[int], float]] = []
+        for tid, event_time, found in zip(
+            tids_of(probes), event_times_of(probes), matches
+        ):
+            self.stats.tuples_processed += 1
+            self.stats.matches_emitted += len(found)
+            results.append((tid, found, event_time))
+        return results
+
+    def on_boundary(self, boundary_id: int) -> None:
+        """Close global merge interval ``boundary_id``.
+
+        Merges this shard's mutable window (if it stored anything this
+        interval) under the *global* interval id, then expires every
+        immutable batch whose id has left the sliding window — the
+        count-based retention of the reference expressed in id space.
+        """
+        if len(self.mutable):
+            left_runs = self.mutable.drain_runs()
+            merge_batch = build_merge_batch_from_runs(
+                boundary_id, self.query, left_runs, None
+            )
+            self.immutable.append(self.batch_factory(self.query, merge_batch))
+            self.stats.merges += 1
+        before = self.immutable.expired_batches
+        self.immutable.expire_before(
+            boundary_id - self.policy.max_batches + 1
+        )
+        self.stats.expired_batches += (
+            self.immutable.expired_batches - before
+        )
+
+    # ------------------------------------------------------------------
+    def mutable_size(self) -> int:
+        return len(self.mutable)
+
+    def immutable_size(self) -> int:
+        return self.immutable.total_tuples()
+
+    def memory_bits(self) -> int:
+        return self.mutable.memory_bits() + self.immutable.memory_bits()
+
+
+class ShardSPOJoinOperator(Operator):
+    """Joiner PE hosting one shard of the range-sharded SPO-Join.
+
+    Runs identically on the simulated engine and as a worker-process PE
+    under the parallel executor (the input protocol — shard batches
+    interleaved with merge markers on a FIFO link — is the same).
+    Emits one ``partial_batch`` record per shard sub-batch it answers.
+    """
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        window: WindowSpec,
+        sub_intervals: int = 1,
+        evaluator: str = "bit",
+        use_offsets: bool = True,
+        bptree_order: int = 64,
+        covered_shortcut: bool = True,
+    ) -> None:
+        self.join = ShardSPOJoin(
+            query,
+            window,
+            sub_intervals=sub_intervals,
+            evaluator=evaluator,
+            use_offsets=use_offsets,
+            bptree_order=bptree_order,
+            covered_shortcut=covered_shortcut,
+        )
+
+    def process(self, payload, ctx) -> None:
+        ctx.mark("joiner")
+        if isinstance(payload, MergeMarker):
+            self.join.on_boundary(payload.boundary_id)
+            if ctx.observing:
+                ctx.observe_event(
+                    "merge", stage="shard", boundary=payload.boundary_id
+                )
+            return
+        batch: ShardBatch = payload
+        results = self.join.process_shard_batch(
+            batch.probes, batch.stores, batch.stores_before
+        )
+        # One batched partial per shard sub-batch, not one record per
+        # probe: three parallel lists keep the per-probe overhead (and
+        # the pickling cost on the worker->parent wire) amortized.
+        ctx.record(
+            "partial_batch",
+            {
+                "tids": [tid for tid, __, __ in results],
+                "matches": [sorted(found) for __, found, __ in results],
+                "event_times": [et for __, __, et in results],
+            },
+        )
+
+
+def merge_partial_records(records: Sequence[Record]) -> List[Record]:
+    """Fold per-shard ``partial_batch`` records into canonical
+    ``result`` records (one per stamped tuple, sorted match union).
+
+    Non-partial records pass through unchanged; merged results are
+    appended in tid order, so the output is deterministic regardless of
+    shard count, worker count, or collection order.  Every stamped tuple
+    probes at least one shard, so exactly one ``result`` record per
+    tuple comes out — the same record shape and multiset the
+    single-process :class:`~repro.joins.topologies.SPOJoinerOperator`
+    produces.
+    """
+    merged: Dict[int, List] = {}
+    out: List[Record] = []
+    for record in records:
+        if record.name != "partial_batch":
+            out.append(record)
+            continue
+        payload = record.payload
+        for tid, matches, event_time in zip(
+            payload["tids"], payload["matches"], payload["event_times"]
+        ):
+            entry = merged.get(tid)
+            if entry is None:
+                merged[tid] = [set(matches), event_time, record]
+            else:
+                entry[0].update(matches)
+                # Keep the latest completion stamp: the result is "done"
+                # only once the last shard has answered.
+                if record.completion_time > entry[2].completion_time:
+                    entry[2] = record
+    for tid in sorted(merged):
+        matches, event_time, last = merged[tid]
+        out.append(
+            Record(
+                "result",
+                {
+                    "tid": tid,
+                    "matches": sorted(matches),
+                    "event_time": event_time,
+                },
+                last.completion_time,
+                last.origin_time,
+                dict(last.marks),
+            )
+        )
+    return out
+
+
+def reduce_sharded_result(result: RunResult) -> RunResult:
+    """Replace a sharded run's partial records with merged ``result``
+    records, in place; returns the same :class:`RunResult` for
+    chaining.  After reduction, ``result.result_fingerprint()`` is
+    directly comparable with a single-process run's."""
+    result.records = merge_partial_records(result.records)
+    return result

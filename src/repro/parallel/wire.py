@@ -1,0 +1,69 @@
+"""Wire-level message types of the range-sharded SPO topology.
+
+Both messages travel router → shard joiner, inside one process on the
+simulated engine or across a ``multiprocessing`` queue under the
+parallel executor.  :class:`ShardBatch` carries
+:class:`~repro.core.arena.ArenaSlice` views, so pickling goes through
+the arena wire format (raw column arrays, no per-tuple objects);
+:class:`MergeMarker` is a few ints.  Delivery is FIFO per
+(router, shard-PE) link on both executors, which is what makes the
+marker a consistent cut: every shard sees exactly the batches of merge
+interval ``k`` before the marker closing interval ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.arena import ArenaSlice
+
+__all__ = ["ShardBatch", "MergeMarker"]
+
+
+class ShardBatch:
+    """One shard's view of a router micro-batch.
+
+    ``probes`` and ``stores`` are subsets of the same stamped batch, in
+    global arrival order.  ``stores_before[i]`` is the number of
+    ``stores`` entries that arrived strictly before ``probes[i]`` — the
+    shard joiner adds its pre-batch window size to recover the exact
+    tuple-at-a-time visibility bound for each probe.
+    """
+
+    __slots__ = ("shard", "probes", "stores", "stores_before", "origin_time")
+
+    def __init__(
+        self,
+        shard: int,
+        probes: ArenaSlice,
+        stores: ArenaSlice,
+        stores_before: List[int],
+        origin_time: Optional[float] = None,
+    ) -> None:
+        self.shard = shard
+        self.probes = probes
+        self.stores = stores
+        self.stores_before = stores_before
+        self.origin_time = origin_time
+
+    def __len__(self) -> int:
+        return max(len(self.probes), len(self.stores))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardBatch(shard={self.shard}, probes={len(self.probes)}, "
+            f"stores={len(self.stores)})"
+        )
+
+
+class MergeMarker:
+    """Broadcast control message: global merge boundary ``boundary_id``
+    fired immediately after the batches already in flight."""
+
+    __slots__ = ("boundary_id",)
+
+    def __init__(self, boundary_id: int) -> None:
+        self.boundary_id = boundary_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MergeMarker(boundary_id={self.boundary_id})"

@@ -1,0 +1,226 @@
+"""Worker-process side of the shared-nothing executor.
+
+Each worker hosts a fixed set of leaf PEs (operator instances it builds
+itself after the fork), pulls ``("msg", component, pe_index, payload,
+origin_time)`` items off its private FIFO queue, and ships the records
+its operators produce back in chunks.  Leaf PEs may ``record`` and
+``mark`` but never ``emit`` — downstream routing lives in the parent —
+so a worker needs no topology knowledge at all.
+
+Determinism: records are tagged ``(component, pe_index, seq)`` with a
+per-PE sequence number, so the parent can order them canonically no
+matter how chunk arrivals from different workers interleave.  Worker
+randomness comes from :func:`~repro.parallel.seeds.spawn_seed` — the
+run's root seed spawned with the worker index — never from the wall
+clock or the OS.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["WorkerContext", "worker_main"]
+
+#: One shipped record: (component, pe_index, seq, name, payload,
+#: origin_time, marks).
+WireRecord = Tuple[str, int, int, str, object, float, Dict[str, float]]
+
+
+class WorkerContext:
+    """The :class:`~repro.dspe.engine.Context` surface for leaf PEs.
+
+    Remote PEs run outside the simulated clock: ``now`` is the origin
+    (event) time of the message being processed, ``observing`` is always
+    False (observers live in the parent process), ``charge`` is a no-op
+    (there is no service-time model to override), and ``emit`` raises —
+    a leaf PE has no consumers by definition, so an emission would be
+    silently dropped otherwise.
+    """
+
+    def __init__(
+        self,
+        worker_index: int,
+        num_pes_map: Dict[str, int],
+        rng: random.Random,
+    ) -> None:
+        self.worker_index = worker_index
+        self.rng = rng
+        self._num_pes_map = num_pes_map
+        self._component = ""
+        self._pe_index = 0
+        self._origin_time = 0.0
+        self._marks: Dict[str, float] = {}
+        self._records: List[Tuple[str, object]] = []
+        self.now = 0.0
+
+    # -- message framing (driven by worker_main) -----------------------
+    def _begin(self, component: str, pe_index: int, origin_time: float) -> None:
+        self._component = component
+        self._pe_index = pe_index
+        self._origin_time = origin_time
+        self._marks = {}
+        self._records = []
+        self.now = origin_time
+
+    # -- Context API ----------------------------------------------------
+    def emit(self, payload, stream: str = "default") -> None:
+        raise RuntimeError(
+            f"leaf PE {self._component}[{self._pe_index}] cannot emit: "
+            "worker-hosted PEs are topology leaves (their emissions "
+            "would have no consumer); record results instead"
+        )
+
+    def record(self, name: str, payload=None) -> None:
+        self._records.append((name, payload))
+
+    def mark(self, name: str) -> None:
+        self._marks.setdefault(name, self.now)
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("charge must be non-negative")
+
+    @property
+    def observing(self) -> bool:
+        return False
+
+    def observe_cost(self, category: str, seconds: float, **fields) -> None:
+        pass
+
+    def observe_event(self, kind: str, **fields) -> None:
+        pass
+
+    @property
+    def pressure(self) -> bool:
+        return False
+
+    @property
+    def num_pes(self) -> int:
+        return self._num_pes_map.get(self._component, 1)
+
+    @property
+    def pe_index(self) -> int:
+        return self._pe_index
+
+    @property
+    def origin_time(self) -> float:
+        return self._origin_time
+
+
+def worker_main(
+    worker_index: int,
+    assignments: List[Tuple[str, int, Callable]],
+    num_pes_map: Dict[str, int],
+    in_q,
+    out_q,
+    root_seed: int,
+    record_chunk: int,
+) -> None:
+    """Entry point of one worker process.
+
+    ``assignments`` is the list of ``(component, pe_index, factory)``
+    leaf PEs this worker hosts; with the ``fork`` start method the
+    factories are inherited through the process image, so they are never
+    pickled.  Protocol: consume ``("msg", component, pe_index, payload,
+    origin_time)`` / ``("flush",)`` / ``("stop",)``; produce
+    ``("records", worker_index, chunk)`` batches followed by one
+    ``("done", worker_index, stats)``, or ``("error", worker_index,
+    pe_label, message, traceback)`` on the first operator failure.
+    """
+    from .seeds import spawn_seed
+
+    rng = random.Random(spawn_seed(root_seed, "worker", worker_index))
+    ctx = WorkerContext(worker_index, num_pes_map, rng)
+    pending: List[WireRecord] = []
+    seqs: Dict[Tuple[str, int], int] = {}
+    messages = 0
+
+    def drain_records(final: bool = False) -> None:
+        if pending and (final or len(pending) >= record_chunk):
+            out_q.put(("records", worker_index, list(pending)))
+            pending.clear()
+
+    label: Optional[str] = None
+    try:
+        operators = {}
+        for component, pe_index, factory in assignments:
+            label = f"{component}[{pe_index}]"
+            operator = factory()
+            ctx._begin(component, pe_index, 0.0)
+            operator.setup(ctx)
+            operators[(component, pe_index)] = operator
+            seqs[(component, pe_index)] = 0
+        label = None
+        while True:
+            item = in_q.get()
+            kind = item[0]
+            if kind == "msg":
+                __, component, pe_index, payload, origin_time = item
+                key = (component, pe_index)
+                label = f"{component}[{pe_index}]"
+                operator = operators[key]
+                ctx._begin(component, pe_index, origin_time)
+                operator.process(payload, ctx)
+                messages += 1
+                if ctx._records:
+                    seq = seqs[key]
+                    for name, rec_payload in ctx._records:
+                        pending.append(
+                            (
+                                component,
+                                pe_index,
+                                seq,
+                                name,
+                                rec_payload,
+                                origin_time,
+                                dict(ctx._marks),
+                            )
+                        )
+                        seq += 1
+                    seqs[key] = seq
+                label = None
+                drain_records()
+            elif kind == "flush":
+                for (component, pe_index), operator in operators.items():
+                    label = f"{component}[{pe_index}]"
+                    ctx._begin(component, pe_index, ctx.now)
+                    operator.flush(ctx)
+                    if ctx._records:
+                        key = (component, pe_index)
+                        seq = seqs[key]
+                        for name, rec_payload in ctx._records:
+                            pending.append(
+                                (
+                                    component,
+                                    pe_index,
+                                    seq,
+                                    name,
+                                    rec_payload,
+                                    ctx.now,
+                                    dict(ctx._marks),
+                                )
+                            )
+                            seq += 1
+                        seqs[key] = seq
+                    label = None
+                drain_records()
+            elif kind == "stop":
+                break
+        for (component, pe_index), operator in operators.items():
+            ctx._begin(component, pe_index, ctx.now)
+            operator.teardown(ctx)
+        drain_records(final=True)
+        out_q.put(("done", worker_index, {"messages": messages}))
+    except BaseException as exc:  # ship the failure, then die quietly
+        drain_records(final=True)
+        out_q.put(
+            (
+                "error",
+                worker_index,
+                label or "?",
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            )
+        )

@@ -20,3 +20,17 @@ def draw(rng: random.Random, items):
 
 def poisson(rng: random.Random, lam: float) -> int:
     return int(rng.random() * lam)
+
+
+def spawn_seed(root_seed: int, *path) -> int:
+    import hashlib
+
+    digest = hashlib.sha256(repr((root_seed, path)).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def worker_entry(worker_index: int, root_seed: int):
+    # The sanctioned worker idiom: spawn the per-worker seed from the
+    # run's root seed, so every fork replays identically.
+    rng = random.Random(spawn_seed(root_seed, "worker", worker_index))
+    return rng.random()

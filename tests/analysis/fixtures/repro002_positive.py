@@ -23,3 +23,14 @@ def make_generators():
     e = os.urandom(8)  # flagged
     f = uuid.uuid4()  # flagged
     return a, b, c, d, e, f
+
+
+def worker_entry(worker_index, in_q, out_q):
+    # Multiprocessing worker entrypoints: pid/wall-clock-derived seeds
+    # differ per fork and per run, so they are as bad as no seed.
+    import time
+
+    g = random.Random(os.getpid())  # flagged: pid-derived seed
+    h = np.random.default_rng(int(time.time()))  # flagged: wall-clock seed
+    i = random.Random(worker_index ^ time.time_ns())  # flagged: wall-clock seed
+    return g, h, i
