@@ -816,6 +816,289 @@ def _scaleup(args) -> None:
     )
 
 
+def _skew(args) -> None:
+    """Skew knee: adaptive vs static range cuts under a hot-band workload.
+
+    Two phases.  *Parity*: on a drifting hot-band stream, the adaptive
+    topology (live cut swaps plus state migration) must reproduce the
+    simulated single-process reference fingerprint bit for bit at batch
+    sizes 1/7/64 and under the parallel executor at each worker count —
+    and the runs must contain at least one repartition with both a split
+    and a merge, so the gate exercises migration, not just routing.
+    *Knee*: a stationary hot band misaligned with the static uniform
+    cuts concentrates store and match work in one shard; offered rate
+    sweeps upward (multiples of the static bottleneck's calibrated
+    service rate) under bounded queues with the block policy, and the
+    knee is the highest offered rate each configuration sustains.
+    Adaptive repartitioning splits the hot band across shards, so its
+    knee sits well above the static one.
+    """
+    from ..dspe import FlowConfig
+    from ..joins import build_spo_sharded_topology
+    from ..parallel import BalanceConfig, ParallelExecutor, reduce_sharded_result
+    from ..workloads import skewed_self_stream, timed
+
+    query = q3()
+    window = WindowSpec.count(400, 100)
+    num_shards = 4
+    workers = [int(w) for w in (args.workers or "1,2,4").split(",")]
+    if any(w < 1 for w in workers):
+        raise SystemExit("--workers entries must be >= 1")
+
+    def balance():
+        return BalanceConfig(
+            imbalance_factor=1.3, min_live_tuples=300, cooldown_boundaries=2
+        )
+
+    # -- parity gate ---------------------------------------------------
+    # The hot band drifts downward through the run, so the tracker must
+    # issue repartitions (splits and merges) to follow it; the sizes are
+    # fixed because the tracker thresholds are tuned to them.
+    parity_n = 3000
+    parity_raws = skewed_self_stream(
+        parity_n,
+        hot_fraction=0.75,
+        hot_center=0.85,
+        hot_width=0.06,
+        drift=-0.5,
+        correlation=0.3,
+        seed=13,
+    )
+
+    def parity_topology(batch_size):
+        return build_spo_sharded_topology(
+            timed(parity_raws, rate=5000.0),
+            query,
+            window,
+            num_shards,
+            batch_size=batch_size,
+            balance=balance(),
+        )
+
+    parity_rows = []
+    repartition_stats = {"repartitions": 0, "splits": 0, "merges": 0}
+    table = ResultTable(
+        "Skew parity (adaptive fingerprint vs simulated reference)",
+        ["batch", "mode", "repartitions", "identical"],
+    )
+    for batch_size in (1, 7, 64):
+        ref_fp = run_topology(
+            build_spo_local_topology(
+                timed(parity_raws, rate=5000.0),
+                query,
+                window,
+                batch_size=batch_size,
+            )
+        ).result_fingerprint()
+        modes = []
+        sim = run_topology(parity_topology(batch_size))
+        decisions = [
+            r.payload for r in sim.records if r.name == "repartition"
+        ]
+        reduce_sharded_result(sim)
+        modes.append(("simulated-adaptive", sim.result_fingerprint()))
+        if batch_size == 7:
+            repartition_stats = {
+                "repartitions": len(decisions),
+                "splits": sum(d["splits"] for d in decisions),
+                "merges": sum(d["merges"] for d in decisions),
+            }
+            for num_workers in workers:
+                res = ParallelExecutor(
+                    parity_topology(batch_size), num_workers=num_workers
+                ).run()
+                reduce_sharded_result(res)
+                modes.append(
+                    (f"workers={num_workers}", res.result_fingerprint())
+                )
+        for mode, fingerprint in modes:
+            identical = fingerprint == ref_fp
+            table.add_row(batch_size, mode, len(decisions), identical)
+            parity_rows.append(
+                {
+                    "batch_size": batch_size,
+                    "mode": mode,
+                    "repartitions": len(decisions),
+                    "identical": identical,
+                }
+            )
+            if not identical:
+                raise SystemExit(
+                    f"skew parity violated: {mode} at batch_size="
+                    f"{batch_size} diverged from the simulated reference"
+                )
+        if not decisions:
+            raise SystemExit(
+                f"skew parity run at batch_size={batch_size} issued no "
+                "repartitions — the gate did not exercise migration"
+            )
+    table.show()
+    if not (repartition_stats["splits"] and repartition_stats["merges"]):
+        raise SystemExit(
+            "skew parity runs never exercised both a split and a merge: "
+            f"{repartition_stats}"
+        )
+
+    # -- knee sweep ----------------------------------------------------
+    n = args.tuples or 3000
+    capacity = 64  # large enough that burstiness never masks the knee
+    batch_size = 7
+    sweep_raws = skewed_self_stream(
+        n,
+        hot_fraction=0.9,
+        hot_center=0.85,
+        hot_width=0.03,
+        drift=0.0,
+        correlation=0.3,
+        seed=13,
+    )
+
+    def build(rate, adaptive):
+        source = ((i / rate, raw) for i, raw in enumerate(sweep_raws))
+        return build_spo_sharded_topology(
+            source,
+            query,
+            window,
+            num_shards,
+            batch_size=batch_size,
+            balance=balance() if adaptive else None,
+        )
+
+    # Calibrate each configuration's bottleneck from an uncontended run:
+    # the sustainable rate is bounded by the busiest shard, and the
+    # offered-rate sweep is expressed as multiples of the *static*
+    # bottleneck so both configurations face identical absolute rates.
+    bottleneck = {}
+    busy_profiles = {}
+    base_fp = None
+    for label in ("static", "adaptive"):
+        calib = run_topology(build(1e9, adaptive=(label == "adaptive")))
+        reduce_sharded_result(calib)
+        if base_fp is None:
+            base_fp = calib.result_fingerprint()
+        elif calib.result_fingerprint() != base_fp:
+            raise SystemExit(
+                "skew calibration: adaptive diverged from static cuts"
+            )
+        busy = {pe.name: pe.busy_time for pe in calib.pes_of("joiner")}
+        busy_profiles[label] = busy
+        bottleneck[label] = n / max(busy.values())
+    mu = bottleneck["static"]
+
+    factors = [0.6, 0.9, 1.3, 1.8, 2.5]
+    if args.source_rate and args.source_rate not in factors:
+        factors.append(args.source_rate)
+    table = ResultTable(
+        f"Skew knee sweep, Q3 hot band (static bottleneck {mu:.0f} tps, "
+        f"capacity {capacity})",
+        [
+            "cuts",
+            "offered (x)",
+            "offered (tps)",
+            "achieved (tps)",
+            "sustained",
+            "p99 wait (ms)",
+            "blocked (s)",
+        ],
+    )
+    rows = []
+    knee = {}
+    for label in ("static", "adaptive"):
+        sustained_rates = []
+        for factor in sorted(factors):
+            rate = factor * mu
+            # Sustaining a rate is an existence claim, so each point is
+            # best-of-3: one transient host stall must not turn a
+            # sustainable rate into a false knee.
+            achieved = p99 = blocked = 0.0
+            sustained = False
+            for __ in range(3):
+                flow = FlowConfig(queue_capacity=capacity, policy="block")
+                res = run_topology(
+                    build(rate, adaptive=(label == "adaptive")), flow=flow
+                )
+                reduce_sharded_result(res)
+                if res.result_fingerprint() != base_fp:
+                    raise SystemExit(
+                        f"skew sweep parity violated: {label} at {factor}x "
+                        "diverged under flow control"
+                    )
+                results = len(res.records_named("result"))
+                attempt = results / res.sim_end if res.sim_end > 0 else 0.0
+                metrics = res.flow.metrics
+                if attempt >= achieved or not achieved:
+                    achieved = attempt
+                    p99 = max(
+                        metrics.wait_percentile(pe.name, 99)
+                        for pe in res.pes_of("joiner")
+                    )
+                    blocked = metrics.total_blocked_s()
+                if results == n and achieved >= 0.9 * rate:
+                    sustained = True
+                    break
+            if sustained:
+                sustained_rates.append(rate)
+            table.add_row(
+                label,
+                factor,
+                round(rate),
+                round(achieved),
+                sustained,
+                round(p99 * 1e3, 1),
+                round(blocked, 2),
+            )
+            rows.append(
+                {
+                    "cuts": label,
+                    "offered_factor": factor,
+                    "offered_rate_tps": rate,
+                    "achieved_tps": achieved,
+                    "sustained": sustained,
+                    "p99_joiner_wait_s": p99,
+                    "blocked_s": blocked,
+                }
+            )
+        knee[label] = max(sustained_rates) if sustained_rates else None
+    table.show()
+    gain = (
+        knee["adaptive"] / knee["static"]
+        if knee["static"] and knee["adaptive"]
+        else None
+    )
+    print(
+        f"knee: static {knee['static'] or 0:.0f} tps, "
+        f"adaptive {knee['adaptive'] or 0:.0f} tps"
+        + (f" ({gain:.2f}x)" if gain else "")
+    )
+    if not knee["adaptive"] or (
+        knee["static"] and knee["adaptive"] <= knee["static"]
+    ):
+        print(
+            "WARNING: adaptive knee does not exceed the static knee "
+            "on this run"
+        )
+    _write_json(
+        args,
+        "skew",
+        {
+            "experiment": "skew",
+            "query": "q3_self_join",
+            "window": {"size": 400, "slide": 100, "kind": "count"},
+            "num_shards": num_shards,
+            "batch_size": batch_size,
+            "parity": parity_rows,
+            "parity_repartitions": repartition_stats,
+            "sweep_tuples": n,
+            "queue_capacity": capacity,
+            "bottleneck_tps": bottleneck,
+            "busy_seconds": busy_profiles,
+            "knee_tps": knee,
+            "knee_gain": gain,
+            "results": rows,
+        },
+    )
+
+
 def _write_json(args, key: str, payload) -> None:
     """Merge one experiment's payload under ``key`` in ``--json-out``.
 
@@ -853,6 +1136,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "recovery": _recovery,
     "overload": _overload,
     "scaleup": _scaleup,
+    "skew": _skew,
     "trace": _trace,
     "report": _report,
 }
@@ -917,8 +1201,9 @@ def main(argv=None) -> int:
         "--source-rate",
         type=float,
         default=None,
-        help="overload experiment: add this offered-rate factor (multiple "
-        "of the calibrated joiner service rate) to the 0.6/1.0/2.0 sweep",
+        help="overload/skew experiments: add this offered-rate factor "
+        "(multiple of the calibrated bottleneck service rate) to the "
+        "default sweep",
     )
     parser.add_argument(
         "--queue-capacity",
@@ -936,15 +1221,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workers",
         default=None,
-        help="scaleup experiment: comma-separated worker counts to "
-        "measure (default 1,2,4); num_shards tracks num_workers",
+        help="scaleup/skew experiments: comma-separated worker counts "
+        "(default 1,2,4); scaleup's num_shards tracks num_workers",
     )
     parser.add_argument(
         "--tuples",
         type=int,
         default=None,
-        help="overload/arena/scaleup experiments: stream length "
-        "(defaults 900 / 2000 / 100000)",
+        help="overload/arena/scaleup/skew experiments: stream length "
+        "(defaults 900 / 2000 / 100000 / 3000)",
     )
     args = parser.parse_args(argv)
     if args.batch_size is not None and args.batch_size < 1:

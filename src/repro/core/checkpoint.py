@@ -24,7 +24,7 @@ from .spojoin import SPOJoin
 from .tuples import StreamTuple
 from .window import WindowKind, WindowSpec
 
-__all__ = ["checkpoint", "restore"]
+__all__ = ["checkpoint", "restore", "batch_state", "batch_from_state"]
 
 _FORMAT_VERSION = 1
 
@@ -68,6 +68,22 @@ def _batch_from_state(state: Dict[str, Any]) -> MergeBatch:
     return MergeBatch(
         state["batch_id"], _side_from_state(state["left"]), right, offsets
     )
+
+
+def batch_state(batch: MergeBatch) -> Dict[str, Any]:
+    """Serialize one immutable merge batch as plain picklable data.
+
+    The unit of state migration: adaptive repartitioning ships whole
+    merge intervals (filtered to the rows a shard owns) between shard
+    PEs in this format, the same wire shape :func:`checkpoint` embeds
+    per batch.
+    """
+    return _batch_state(batch)
+
+
+def batch_from_state(state: Dict[str, Any]) -> MergeBatch:
+    """Inverse of :func:`batch_state`."""
+    return _batch_from_state(state)
 
 
 def checkpoint(join: SPOJoin) -> Dict[str, Any]:

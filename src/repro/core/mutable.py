@@ -121,7 +121,14 @@ class MutableComponent:
         self.arena.append_tuple(t)
         payload = slot if self.evaluator == "bit" else t.tid
         for pred, tree in zip(self.query.predicates, self.trees):
-            tree.insert(t.values[self._own_field(pred)], payload)
+            value = t.values[self._own_field(pred)]
+            # A NaN key can never satisfy a comparison, but inserting it
+            # would corrupt the tree's ordering invariant (descents
+            # compare against it and every comparison is false), sending
+            # later real keys to the wrong leaves.  Keep it out of the
+            # index; drain_runs re-attaches the NaN tail from the arena.
+            if value == value:
+                tree.insert(value, payload)
         return slot
 
     def insert_many(self, probes: Sequence[StreamTuple]) -> None:
@@ -148,10 +155,12 @@ class MutableComponent:
             col = probes.field_values(self._own_field(pred)).tolist()
             if bit:
                 for i, v in enumerate(col):
-                    tree.insert(v, start_slot + i)
+                    if v == v:  # NaN keys stay out of the index
+                        tree.insert(v, start_slot + i)
             else:
                 for tid, v in zip(tids, col):
-                    tree.insert(v, tid)
+                    if v == v:
+                        tree.insert(v, tid)
 
     # ------------------------------------------------------------------
     def _sorted_run(self, pred_pos: int) -> tuple:
@@ -210,17 +219,25 @@ class MutableComponent:
         value = probe.values[pred.probing_field(probe_is_left)]
         if self.evaluator == "bit":
             bits = BitSet(len(self._arrival))
+            if value != value:  # NaN probes match nothing
+                return bits
             buf = bits._bytes  # inlined hot loop: one O(1) flip per match
             for lo, hi, lo_inc, hi_inc in pred.probe_bounds(value, probe_is_left):
-                for __, slot in tree.range_search(lo, hi, lo_inc, hi_inc):
+                for stored, slot in tree.range_search(lo, hi, lo_inc, hi_inc):
+                    if stored != stored:  # NaN stored never matches
+                        continue
                     buf[slot >> 3] |= 1 << (slot & 7)
             return bits
         # The naive baseline of Section 2.4: a hash table of the result
         # set, keyed by tuple id and carrying the matched tuples' values —
         # the per-tuple hashing and boxing the paper calls expensive.
         matched: Dict[int, float] = {}
+        if value != value:
+            return matched
         for lo, hi, lo_inc, hi_inc in pred.probe_bounds(value, probe_is_left):
             for stored_value, tid in tree.range_search(lo, hi, lo_inc, hi_inc):
+                if stored_value != stored_value:
+                    continue
                 matched[tid] = stored_value
         return matched
 
@@ -388,7 +405,19 @@ class MutableComponent:
                 entries = ((value, arrival[slot]) for value, slot in tree.items())
             else:
                 entries = tree.items()
-            runs.append(SortedRun.from_sorted_entries(entries))
+            run = SortedRun.from_sorted_entries(entries)
+            if len(run) < len(arrival):
+                # NaN-keyed tuples are not indexed (see insert); the run
+                # must still carry them — positionally last, arrival
+                # order, exactly where a stable numpy sort places NaN —
+                # so per-run lengths and cross-run offsets stay aligned.
+                col = self.arena.field(self._own_field(pred))
+                for slot in range(len(arrival)):
+                    v = col[slot]
+                    if v != v:
+                        run.values.append(float(v))
+                        run.tids.append(arrival[slot])
+            runs.append(run)
         self.trees = [BPlusTree(self.order) for __ in self.query.predicates]
         self._arrival = []
         self._slots = {}

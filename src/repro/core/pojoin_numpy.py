@@ -37,7 +37,7 @@ element-wise.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,32 +73,46 @@ def batch_probe_intervals(
         # than a broadcasting error.
         empty = np.zeros(0, dtype=np.int64)
         return [(empty, empty)]
+    # Comparisons with NaN are false: NaN stored entries sort last and
+    # are clipped off every scan, and NaN probes get empty intervals.
+    if n and np.isnan(stored_sorted[-1]):
+        n = int(np.searchsorted(stored_sorted, np.inf, side="right"))
+    nan_probes: Optional[np.ndarray] = None
+    if np.isnan(probe_values).any():
+        nan_probes = np.isnan(probe_values)
+
+    def close(pairs: List[Tuple[np.ndarray, np.ndarray]]):
+        if nan_probes is not None:
+            for lo, hi in pairs:
+                hi[nan_probes] = lo[nan_probes]
+        return pairs
+
     if isinstance(pred, BandPredicate):
         lo_vals = probe_values - pred.width
         hi_vals = probe_values + pred.width
         if pred.inclusive:
-            lo = np.searchsorted(stored_sorted, lo_vals, side="left")
-            hi = np.searchsorted(stored_sorted, hi_vals, side="right")
+            lo = np.searchsorted(stored_sorted[:n], lo_vals, side="left")
+            hi = np.searchsorted(stored_sorted[:n], hi_vals, side="right")
         else:
-            lo = np.searchsorted(stored_sorted, lo_vals, side="right")
-            hi = np.searchsorted(stored_sorted, hi_vals, side="left")
-        return [(lo, hi)]
+            lo = np.searchsorted(stored_sorted[:n], lo_vals, side="right")
+            hi = np.searchsorted(stored_sorted[:n], hi_vals, side="left")
+        return close([(lo, hi)])
     op = pred.op if probe_is_left else pred.op.flipped
-    left = np.searchsorted(stored_sorted, probe_values, side="left")
-    right = np.searchsorted(stored_sorted, probe_values, side="right")
+    left = np.searchsorted(stored_sorted[:n], probe_values, side="left")
+    right = np.searchsorted(stored_sorted[:n], probe_values, side="right")
     full = np.full(len(probe_values), n, dtype=left.dtype)
     zero = np.zeros(len(probe_values), dtype=left.dtype)
     if op is Op.LT:
-        return [(right, full)]
+        return close([(right, full)])
     if op is Op.LE:
-        return [(left, full)]
+        return close([(left, full)])
     if op is Op.GT:
-        return [(zero, left)]
+        return close([(zero, left)])
     if op is Op.GE:
-        return [(zero, right)]
+        return close([(zero, right)])
     if op is Op.EQ:
-        return [(left, right)]
-    return [(zero, left), (right, full)]
+        return close([(left, right)])
+    return close([(zero, left), (right, full)])
 
 
 class _VectorSide:

@@ -79,22 +79,35 @@ def _intervals_for_op(
     ``stored`` is the sorted array being probed; the probe value sits on the
     *left* of the operator.  Callers that hold the probe on the right flip
     the operator first.
+
+    Comparisons with NaN are false: a NaN probe matches nothing, and NaN
+    stored entries — which sort *after* every number under the numpy
+    ordering the runs are built with — are clipped off the scan.
     """
     n = len(stored)
+    if probe != probe:
+        return []
+    while n and stored[n - 1] != stored[n - 1]:
+        n -= 1
     if op is Op.LT:  # stored > probe
-        return [(bisect_right(stored, probe), n)]
+        return [(bisect_right(stored, probe, 0, n), n)]
     if op is Op.LE:  # stored >= probe
-        return [(bisect_left(stored, probe), n)]
+        return [(bisect_left(stored, probe, 0, n), n)]
     if op is Op.GT:  # stored < probe
-        return [(0, bisect_left(stored, probe))]
+        return [(0, bisect_left(stored, probe, 0, n))]
     if op is Op.GE:  # stored <= probe
-        return [(0, bisect_right(stored, probe))]
+        return [(0, bisect_right(stored, probe, 0, n))]
     if op is Op.EQ:
-        return [(bisect_left(stored, probe), bisect_right(stored, probe))]
+        return [
+            (
+                bisect_left(stored, probe, 0, n),
+                bisect_right(stored, probe, 0, n),
+            )
+        ]
     # NE: complement of the equal range, as two intervals.
     return [
-        (0, bisect_left(stored, probe)),
-        (bisect_right(stored, probe), n),
+        (0, bisect_left(stored, probe, 0, n)),
+        (bisect_right(stored, probe, 0, n), n),
     ]
 
 
@@ -223,14 +236,19 @@ class BandPredicate(Predicate):
         probe_is_left: bool,
     ) -> List[Interval]:
         # Symmetric in its operands, so probe_is_left is irrelevant.
+        n = len(stored_sorted)
+        if probe_value != probe_value:
+            return []
+        while n and stored_sorted[n - 1] != stored_sorted[n - 1]:
+            n -= 1
         lo_val = probe_value - self.width
         hi_val = probe_value + self.width
         if self.inclusive:
-            lo = bisect_left(stored_sorted, lo_val)
-            hi = bisect_right(stored_sorted, hi_val)
+            lo = bisect_left(stored_sorted, lo_val, 0, n)
+            hi = bisect_right(stored_sorted, hi_val, 0, n)
         else:
-            lo = bisect_right(stored_sorted, lo_val)
-            hi = bisect_left(stored_sorted, hi_val)
+            lo = bisect_right(stored_sorted, lo_val, 0, n)
+            hi = bisect_left(stored_sorted, hi_val, 0, n)
         return [(lo, hi)]
 
     def probe_bounds(

@@ -38,6 +38,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..obs import Observer
 from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
 from .flow import FlowConfig, FlowController
+from .partitioning import Grouping
 from .pe import ProcessingElement
 from .recovery import RecoveryConfig, RecoveryManager
 from .topology import Topology
@@ -174,6 +175,21 @@ class Context:
     def record(self, name: str, payload=None) -> None:
         """Log a metric record stamped with this message's completion time."""
         self._records.append((name, payload))
+
+    # -- state migration ------------------------------------------------
+    def migrate_out(self, payload: dict) -> None:
+        """Hand exported shard state to the executor's migration board.
+
+        Part of adaptive repartitioning (:mod:`repro.parallel.balance`):
+        an affected shard joiner calls this while processing a
+        repartition marker; once every affected shard of the epoch has
+        deposited, the executor re-slices the state by the new cuts and
+        delivers each shard its ``MigrateIn``.  The deposit is immediate
+        (not an emission) — the board must be able to complete while
+        other deliveries are still in flight.
+        """
+        assert self.pe is not None
+        self._engine._migration_deposit(self.pe.component, payload)
 
     def mark(self, name: str) -> None:
         """Stamp the in-flight message (e.g. joiner entry time)."""
@@ -537,6 +553,16 @@ class Engine(Executor):
         # to an attribute check, keeping plain runs unobserved and free.
         self.obs = obs
         self._replaying = False
+        # During replay of a recovered PE's log, stateful out-edge
+        # groupings (round-robin) that were restored to the checkpoint
+        # must be dry-advanced so they resume the crash-time sequence
+        # even though the emissions themselves are not re-dispatched.
+        self._replay_routing = False
+        # Adaptive-repartition migration board: epoch -> collected shard
+        # exports.  Once every affected shard of an epoch has deposited,
+        # the exports are re-sliced by the new cuts and each shard gets
+        # its MigrateIn (see repro.parallel.balance).
+        self._migrations: Dict[int, Dict] = {}
 
         self._build_pes()
         if self.flow_ctl is not None:
@@ -869,6 +895,28 @@ class Engine(Executor):
         )
 
     # ------------------------------------------------------------------
+    def _rr_groupings_of(self, component: str) -> List[Grouping]:
+        """Stateful (round-robin) out-edge groupings of a component.
+
+        Only meaningful for parallelism-1 components: with multiple PEs
+        the counter interleaves emissions from all instances, so a
+        single instance's checkpoint cannot own it.  No component in the
+        repo fans *out* of a multi-instance bolt through round-robin;
+        returning nothing keeps such a topology on the pre-existing
+        (unprotected) behavior rather than corrupting shared state.
+        """
+        if self.parallelism_of(component) != 1:
+            return []
+        groupings: List[Grouping] = []
+        for bolt in self.topology.bolts.values():
+            for edge in bolt.inputs:
+                if (
+                    edge.source == component
+                    and edge.grouping.kind == Grouping.ROUND_ROBIN
+                ):
+                    groupings.append(edge.grouping)
+        return groupings
+
     def _checkpoint_pe(
         self, pe: ProcessingElement, at: float, forced: bool = False
     ) -> float:
@@ -881,6 +929,18 @@ class Engine(Executor):
         t0 = time.perf_counter()  # repro: allow-wallclock
         snapshot = pe.operator.snapshot_state()
         cost = (time.perf_counter() - t0) * self.time_scale  # repro: allow-wallclock
+        routing = self._rr_groupings_of(pe.component)
+        if routing:
+            # Round-robin out-edge counters are routing state owned by
+            # the engine, not the operator; they must be restored to the
+            # same cut as the operator snapshot or replayed emissions
+            # would resume the rotation from the wrong position.
+            snapshot = {
+                "__engine__": {
+                    "routing": [g.snapshot_state() for g in routing]
+                },
+                "operator": snapshot,
+            }
         start = max(at, pe.busy_until)
         completion = start + cost
         pe.busy_until = completion
@@ -910,8 +970,22 @@ class Engine(Executor):
         ctx.pe = pe
         operator.setup(ctx)
         snapshot = mgr.checkpoint_of(pe)
+        routing_state = None
+        if isinstance(snapshot, dict) and "__engine__" in snapshot:
+            routing_state = snapshot["__engine__"]["routing"]
+            snapshot = snapshot["operator"]
         if snapshot is not None:
             operator.restore_state(snapshot)
+        routing = self._rr_groupings_of(pe.component)
+        if routing:
+            if routing_state is not None:
+                for grouping, state in zip(routing, routing_state):
+                    grouping.restore_state(state)
+            else:
+                # Crash before any checkpoint: the replay log covers the
+                # whole history, so the rotation restarts from zero.
+                for grouping in routing:
+                    grouping.restore_state({"_rr_counter": 0})
         pe.down = False
         pe.busy_until = max(pe.busy_until, when)
         completion = when
@@ -919,6 +993,7 @@ class Engine(Executor):
         # Replays are re-executions of already-traced deliveries; the
         # flag keeps them from appending duplicate hops to live spans.
         self._replaying = True
+        self._replay_routing = bool(routing)
         try:
             for message in mgr.replay_log(pe):
                 # Already logged — do not re-log; a second crash before the
@@ -927,6 +1002,7 @@ class Engine(Executor):
                 completion = self._serve(heap, ctx, pe, message, completion)
         finally:
             self._replaying = False
+            self._replay_routing = False
         for message in mgr.drain_held(pe):
             if mgr.log_is_full(pe):
                 self._checkpoint_pe(pe, completion, forced=True)
@@ -1503,6 +1579,17 @@ class Engine(Executor):
                     self._schedule_service(heap, pe, st, grant_time)
 
         for stream, payload in ctx._emissions:
+            if self._replaying:
+                # Replayed deliveries' emissions were all dispatched (and
+                # delivered downstream) before the crash — re-dispatching
+                # them would double-deliver, since dedup exists only at
+                # the record layer.  Stateful routing still has to
+                # advance exactly as the original dispatch did, so the
+                # restored round-robin counters resume the crash-time
+                # sequence.
+                if self._replay_routing:
+                    self.route_targets(pe.component, stream, payload)
+                continue
             # A payload carrying its own origin_time (a TupleBatch whose
             # oldest tuple predates the triggering message) overrides the
             # envelope stamp, keeping batched latency conservative.
@@ -1527,4 +1614,52 @@ class Engine(Executor):
             )
             if not sent and flow_st is not None:
                 flow_st.blocked += 1
+        if self._migrations:
+            self._complete_migrations(heap, completion)
         return completion
+
+    # -- adaptive-repartition state migration ---------------------------
+    def _migration_deposit(self, component: str, blob: dict) -> None:
+        """Collect one affected shard's export for a repartition epoch."""
+        entry = self._migrations.setdefault(
+            blob["epoch"],
+            {
+                "component": component,
+                "affected": list(blob["affected"]),
+                "expected": blob["expected"],
+                "exports": {},
+            },
+        )
+        entry["exports"][blob["shard"]] = blob
+
+    def _complete_migrations(self, heap, at: float) -> None:
+        """Re-slice and deliver any epoch whose exports are all in.
+
+        Runs after the serve that deposited the final export, so the
+        MigrateIn deliveries are ordinary wire messages that arrive
+        after the exporting shards have finished their marker serves.
+        Shards buffer everything between export and MigrateIn, so the
+        relative order against in-flight batches is immaterial.
+        """
+        # Imported lazily: repro.parallel imports this module.
+        from ..parallel.spo_shard import reslice_exports
+        from ..parallel.wire import MigrateIn
+
+        ready = [
+            epoch
+            for epoch, entry in self._migrations.items()
+            if len(entry["exports"]) >= entry["expected"]
+        ]
+        for epoch in sorted(ready):
+            entry = self._migrations.pop(epoch)
+            assignments = reslice_exports(
+                [entry["exports"][s] for s in sorted(entry["exports"])]
+            )
+            for shard in entry["affected"]:
+                pe = self._pes[entry["component"]][shard]
+                msg = Message(
+                    MigrateIn(epoch, shard, assignments.get(shard, [])),
+                    "default",
+                    at,
+                )
+                self._send_unit(heap, "__migration__", None, pe, msg, at)

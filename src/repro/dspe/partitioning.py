@@ -79,6 +79,17 @@ class Grouping:
         return cls(cls.ROUND_ROBIN)
 
     # ------------------------------------------------------------------
+    # Routing state.  Round-robin is the one grouping whose decisions
+    # depend on mutable state; that state must travel with checkpoints
+    # (and be dry-advanced during replay) or post-restore routing
+    # diverges from the failure-free run.
+    def snapshot_state(self) -> dict:
+        return {"_rr_counter": self._rr_counter}
+
+    def restore_state(self, state: dict) -> None:
+        self._rr_counter = int(state["_rr_counter"])
+
+    # ------------------------------------------------------------------
     def targets(self, payload, num_pes: int) -> List[int]:
         """Downstream PE indices that must receive ``payload``."""
         if num_pes <= 0:
@@ -142,9 +153,66 @@ class RangeShards:
                 f"sample has {len(arr)} distinct values; "
                 f"cannot cut {num_shards} shards"
             )
-        qs = [i / num_shards for i in range(1, num_shards)]
-        cuts = np.unique(np.quantile(arr, qs))
-        return cls(cuts.tolist())
+        # Positional (index-based) quantiles over the *distinct* sorted
+        # sample.  Interpolated quantiles (``np.quantile``) can land two
+        # targets on the same value when the sample is duplicate-heavy,
+        # silently collapsing the cut set below ``num_shards - 1`` and
+        # starving the extra shard PEs.  Choosing strictly increasing
+        # indices into the distinct array guarantees exactly the
+        # requested count whenever the sample admits it (checked above).
+        m = num_shards - 1
+        cuts: List[float] = []
+        prev_idx = 0
+        for i in range(m):
+            target = int(round((i + 1) * len(arr) / num_shards))
+            idx = max(prev_idx + 1, min(target, len(arr) - 1 - (m - 1 - i)))
+            cuts.append(float(arr[idx]))
+            prev_idx = idx
+        return cls(cuts)
+
+    # ------------------------------------------------------------------
+    # Repartitioning.  A repartition keeps the shard *count* constant and
+    # moves the interior cuts; shards whose two bounding cuts are both
+    # unchanged keep exactly their tuple set.
+    def with_cuts(self, cuts: Sequence[float]) -> "RangeShards":
+        """A new partition with the same shard count and new cuts."""
+        out = RangeShards(cuts)
+        if out.num_shards != self.num_shards:
+            raise ValueError(
+                f"repartition must keep {self.num_shards} shards, "
+                f"got {out.num_shards}"
+            )
+        return out
+
+    def diff(self, new_cuts: Sequence[float]):
+        """Compare against a same-count replacement cut vector.
+
+        Returns ``(affected, splits, merges)``.  ``affected`` is the
+        sorted list of shard indices whose ownership range changes —
+        for every moved cut ``j``, shards ``j`` and ``j + 1``.  Any
+        tuple that changes owner has both its old and new owner in this
+        set (its value lies between the old and new position of some
+        cut ``j``, i.e. in shard ``j`` or ``j + 1`` under either
+        partition), so migration only ever touches affected shards.
+        ``splits`` counts old shards that a relocated cut now divides;
+        ``merges`` counts old cut values that disappeared (their two
+        neighbour ranges fuse and re-split elsewhere).
+        """
+        new = np.asarray([float(c) for c in new_cuts], dtype=np.float64)
+        if len(new) != len(self.cuts):
+            raise ValueError(
+                f"expected {len(self.cuts)} cuts, got {len(new)}"
+            )
+        changed = [j for j in range(len(new)) if new[j] != self.cuts[j]]
+        affected = sorted({s for j in changed for s in (j, j + 1)})
+        old_set = set(self.cuts.tolist())
+        added = [c for c in new.tolist() if c not in old_set]
+        dropped = [c for c in self.cuts.tolist() if c not in set(new.tolist())]
+        splits = len(
+            {int(np.searchsorted(self.cuts, c, side="right")) for c in added}
+        )
+        merges = len(dropped)
+        return affected, splits, merges
 
     # ------------------------------------------------------------------
     def owner_of(self, values) -> np.ndarray:

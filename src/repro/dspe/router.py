@@ -199,3 +199,70 @@ class RouterOperator(Operator):
     def flush(self, ctx) -> None:
         """End-of-stream hook: emit the partial tail batch, if any."""
         self._flush_buffer(ctx)
+
+    # -- recovery -------------------------------------------------------
+    #: The router is the topology's id authority: losing ``_next_tid``
+    #: (or a buffered partial batch) on a crash would re-stamp ids and
+    #: silently corrupt every downstream window.
+    checkpointable = True
+
+    def snapshot_state(self) -> dict:
+        if self._arena is not None:
+            arena = self._arena
+            num_fields = arena.num_fields or 0
+            times = arena.event_time_column().tolist()
+            buffered = [
+                {
+                    "tid": tid,
+                    "stream": arena.stream_of(i),
+                    "values": (
+                        arena.fields[:num_fields, i].tolist()
+                        if num_fields
+                        else []
+                    ),
+                    "event_time": times[i],
+                }
+                for i, tid in enumerate(arena.tid_column().tolist())
+            ]
+        else:
+            buffered = [
+                {
+                    "tid": t.tid,
+                    "stream": t.stream,
+                    "values": list(t.values),
+                    "event_time": t.event_time,
+                }
+                for t in self._buffer
+            ]
+        return {
+            "next_tid": self._next_tid,
+            "buffered": buffered,
+            "buffer_origins": list(self._buffer_origins),
+            "buffer_opened": self._buffer_opened,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._next_tid = int(state["next_tid"])
+        self._buffer = []
+        self._arena = None
+        self._buffer_origins = list(state["buffer_origins"])
+        self._buffer_opened = state["buffer_opened"]
+        for entry in state["buffered"]:
+            if self.columnar and self.batch_size > 1:
+                if self._arena is None:
+                    self._arena = TupleArena(capacity=self.batch_size)
+                self._arena.append(
+                    entry["tid"],
+                    entry["stream"],
+                    entry["values"],
+                    entry["event_time"],
+                )
+            else:
+                self._buffer.append(
+                    StreamTuple(
+                        entry["tid"],
+                        entry["stream"],
+                        entry["values"],
+                        entry["event_time"],
+                    )
+                )

@@ -297,18 +297,28 @@ class _FieldWindow:
     tuple id the result hash table is keyed by.
     """
 
-    __slots__ = ("tree", "arrival", "order", "use_slots")
+    __slots__ = ("tree", "arrival", "order", "use_slots", "_nan_slots")
 
     def __init__(self, order: int, use_slots: bool) -> None:
         self.order = order
         self.use_slots = use_slots
         self.tree = BPlusTree(order)
         self.arrival: List[int] = []
+        self._nan_slots: List[int] = []
 
     def insert(self, value: float, tid: int) -> None:
-        payload = len(self.arrival) if self.use_slots else tid
+        slot = len(self.arrival)
+        payload = slot if self.use_slots else tid
         self.arrival.append(tid)
-        self.tree.insert(value, payload)
+        # A NaN key can never satisfy a comparison, but inserting it
+        # would corrupt the tree's ordering invariant (every descent
+        # comparison against it is false), misplacing later real keys.
+        # The slot still counts — bit positions must track arrival order
+        # — so the key is parked and re-attached at drain time.
+        if value == value:
+            self.tree.insert(value, payload)
+        else:
+            self._nan_slots.append(slot)
 
     def drain_run(self) -> SortedRun:
         """Extract the sorted run (slot payloads mapped back to ids)."""
@@ -318,8 +328,15 @@ class _FieldWindow:
         else:
             entries = self.tree.items()
         run = SortedRun.from_sorted_entries(entries)
+        # NaN keys ride at the tail in arrival order — exactly where a
+        # stable sort places them — so the two predicates' runs of one
+        # merge stay the same length and permutation/offset arrays align.
+        for slot in self._nan_slots:
+            run.values.append(float("nan"))
+            run.tids.append(arrival[slot])
         self.tree = BPlusTree(self.order)
         self.arrival = []
+        self._nan_slots = []
         return run
 
 
@@ -426,24 +443,32 @@ class PredicateOperator(Operator):
         probe_is_left = self.config.probe_is_left(t)
         opposite = self.windows[self._opposite_side(t)]
         value = t.values[self.pred.probing_field(probe_is_left)]
+        # A NaN probe satisfies no comparison; skipping the tree walk also
+        # matters for correctness — probe_bounds would hand range_search
+        # NaN bounds, against which its stop condition never fires.
+        is_nan = value != value
         if self.config.evaluator == "bit":
             partial = BitSet(len(opposite.arrival))
-            buf = partial._bytes  # inlined O(1) flip per match
-            for lo, hi, lo_inc, hi_inc in self.pred.probe_bounds(
-                value, probe_is_left
-            ):
-                for __, slot in opposite.tree.range_search(lo, hi, lo_inc, hi_inc):
-                    buf[slot >> 3] |= 1 << (slot & 7)
+            if not is_nan:
+                buf = partial._bytes  # inlined O(1) flip per match
+                for lo, hi, lo_inc, hi_inc in self.pred.probe_bounds(
+                    value, probe_is_left
+                ):
+                    for __, slot in opposite.tree.range_search(
+                        lo, hi, lo_inc, hi_inc
+                    ):
+                        buf[slot >> 3] |= 1 << (slot & 7)
         else:
             # Naive baseline: a hash table of matched tuples (Section 2.4).
             partial = {}
-            for lo, hi, lo_inc, hi_inc in self.pred.probe_bounds(
-                value, probe_is_left
-            ):
-                for stored_value, tid in opposite.tree.range_search(
-                    lo, hi, lo_inc, hi_inc
+            if not is_nan:
+                for lo, hi, lo_inc, hi_inc in self.pred.probe_bounds(
+                    value, probe_is_left
                 ):
-                    partial[tid] = stored_value
+                    for stored_value, tid in opposite.tree.range_search(
+                        lo, hi, lo_inc, hi_inc
+                    ):
+                        partial[tid] = stored_value
         return PartialMsg(
             t.tid,
             self.pred_idx,

@@ -561,6 +561,7 @@ def build_spo_sharded_topology(
     batch_size: int = 1,
     cuts: Optional[List[float]] = None,
     sub_intervals: int = 1,
+    balance=None,
     **join_kwargs,
 ) -> Topology:
     """Range-sharded SPO-Join: shard router + one joiner PE per shard.
@@ -576,7 +577,9 @@ def build_spo_sharded_topology(
 
     ``cuts`` are the ``num_shards - 1`` interior range boundaries
     (default: uniform over ``[0, 1]``, the synthetic workloads' value
-    domain); ``join_kwargs`` forward to
+    domain); a :class:`~repro.parallel.balance.BalanceConfig` as
+    ``balance`` turns on skew-adaptive repartitioning with live state
+    migration; ``join_kwargs`` forward to
     :class:`~repro.parallel.spo_shard.ShardSPOJoinOperator`.
     """
     from ..parallel.shards import ShardRouterOperator
@@ -599,6 +602,7 @@ def build_spo_sharded_topology(
             shards,
             sub_intervals=sub_intervals,
             batch_size=batch_size,
+            balance=balance,
         ),
         parallelism=1,
         inputs=[("source", Grouping.shuffle())],

@@ -18,6 +18,7 @@ at every worker count and batch size; worker randomness derives from the
 run seed via :func:`~repro.parallel.seeds.spawn_seed`.
 """
 
+from .balance import BalanceConfig, RepartitionDecision, ShardLoadTracker
 from .executor import ParallelExecutor, WorkerCrash
 from .seeds import spawn_seed
 from .shards import ShardPrefilter, ShardRouterOperator, plan_shard_batches
@@ -26,10 +27,14 @@ from .spo_shard import (
     ShardSPOJoinOperator,
     merge_partial_records,
     reduce_sharded_result,
+    reslice_exports,
 )
-from .wire import MergeMarker, ShardBatch
+from .wire import MergeMarker, MigrateIn, RepartitionMarker, ShardBatch
 
 __all__ = [
+    "BalanceConfig",
+    "RepartitionDecision",
+    "ShardLoadTracker",
     "ParallelExecutor",
     "WorkerCrash",
     "spawn_seed",
@@ -40,6 +45,9 @@ __all__ = [
     "ShardSPOJoinOperator",
     "merge_partial_records",
     "reduce_sharded_result",
+    "reslice_exports",
     "MergeMarker",
+    "MigrateIn",
+    "RepartitionMarker",
     "ShardBatch",
 ]

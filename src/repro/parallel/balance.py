@@ -1,0 +1,255 @@
+"""Skew-adaptive shard load tracking and repartition decisions.
+
+Static range cuts are only as good as the sample they were drawn from:
+a hot key range (taxi hotspots, zipf bursts) pins one shard PE while
+the others idle — the regime PanJoin's partition-based adaptive scheme
+targets.  :class:`ShardLoadTracker` watches the per-shard store
+distribution the router already computes, and at merge-interval
+boundaries decides whether to move the cuts.  Decisions are **purely
+count-based and deterministic**: they depend only on the tuple values
+seen so far and the boundary sequence, never on wall-clock or queue
+timing, so a run makes identical repartition decisions at every batch
+size and worker count (the sampled store sequence per interval is the
+same regardless of how the router chunked it into micro-batches).
+Busy-fraction / queue-depth telemetry can be fed in via
+:meth:`ShardLoadTracker.note_load` — it is recorded for reporting but
+deliberately kept out of the trigger, which would otherwise make the
+cut sequence (and thus shard placement) timing-dependent.
+
+The tracker keeps, per *live* merge interval, the interval's store
+count plus a deterministic decimated sample of its partition-field
+values.  Because samples are raw values (not per-shard aggregates) the
+load estimate can be re-histogrammed under any candidate cut vector,
+so nothing needs re-homing when a repartition is applied, and expiry
+mirrors the joiners' id-based window expiry exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+import numpy as np
+
+from ..dspe.partitioning import RangeShards
+
+__all__ = ["BalanceConfig", "RepartitionDecision", "ShardLoadTracker"]
+
+
+class BalanceConfig:
+    """Tuning knobs for adaptive repartitioning.
+
+    ``imbalance_factor``: repartition when the estimated hottest-shard
+    share exceeds ``factor / num_shards`` of the live window.
+    ``min_live_tuples``: never repartition while the live window holds
+    fewer stores than this (early samples are noise).
+    ``sample_cap``: per-interval cap on retained sample values
+    (stride-decimated, deterministic).
+    ``cooldown_boundaries``: minimum number of merge boundaries between
+    consecutive repartitions — migration has a cost; let the new cuts
+    prove themselves before moving again.
+    ``snap_tolerance``: candidate cuts within this fraction of the live
+    domain span of an existing cut snap back to it, keeping unaffected
+    shards untouched (smaller migrations).
+    """
+
+    __slots__ = (
+        "imbalance_factor",
+        "min_live_tuples",
+        "sample_cap",
+        "cooldown_boundaries",
+        "snap_tolerance",
+    )
+
+    def __init__(
+        self,
+        imbalance_factor: float = 1.5,
+        min_live_tuples: int = 2000,
+        sample_cap: int = 512,
+        cooldown_boundaries: int = 2,
+        snap_tolerance: float = 0.05,
+    ) -> None:
+        if imbalance_factor <= 1.0:
+            raise ValueError("imbalance_factor must be > 1.0")
+        self.imbalance_factor = imbalance_factor
+        self.min_live_tuples = min_live_tuples
+        self.sample_cap = sample_cap
+        self.cooldown_boundaries = cooldown_boundaries
+        self.snap_tolerance = snap_tolerance
+
+
+class RepartitionDecision:
+    """One adopted cut change, reported by the tracker."""
+
+    __slots__ = ("new_cuts", "affected", "splits", "merges", "estimate")
+
+    def __init__(
+        self,
+        new_cuts: List[float],
+        affected: List[int],
+        splits: int,
+        merges: int,
+        estimate: List[float],
+    ) -> None:
+        self.new_cuts = new_cuts
+        self.affected = affected
+        self.splits = splits
+        self.merges = merges
+        self.estimate = estimate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RepartitionDecision(affected={self.affected}, "
+            f"splits={self.splits}, merges={self.merges})"
+        )
+
+
+class ShardLoadTracker:
+    """Per-interval store sampling + boundary-time repartition decisions."""
+
+    def __init__(
+        self,
+        shards: RangeShards,
+        max_batches: int,
+        config: Optional[BalanceConfig] = None,
+    ) -> None:
+        self.shards = shards
+        self.max_batches = max_batches
+        self.config = config or BalanceConfig()
+        # Live closed intervals: (interval_id, count, sample array).
+        self._intervals: Deque[Tuple[int, int, np.ndarray]] = deque()
+        self._cur_chunks: List[np.ndarray] = []
+        self._cur_count = 0
+        self._cooldown = 0
+        self.repartitions = 0
+        # Advisory telemetry (reporting only — see module docstring).
+        self.last_load: Dict[int, Tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------
+    def note_stores(self, values: np.ndarray) -> None:
+        """Record the partition-field values stored this micro-batch."""
+        if len(values):
+            self._cur_chunks.append(np.asarray(values, dtype=np.float64))
+            self._cur_count += len(values)
+
+    def note_load(
+        self, shard: int, busy_fraction: float, queue_depth: int
+    ) -> None:
+        """Advisory per-PE load signal; recorded, never a trigger."""
+        self.last_load[shard] = (busy_fraction, queue_depth)
+
+    # ------------------------------------------------------------------
+    def _close_interval(self, boundary_id: int) -> None:
+        if self._cur_chunks:
+            pooled = np.concatenate(self._cur_chunks)
+            pooled = pooled[~np.isnan(pooled)]
+        else:
+            pooled = np.empty(0, dtype=np.float64)
+        cap = self.config.sample_cap
+        if len(pooled) > cap:
+            stride = -(-len(pooled) // cap)  # ceil division
+            pooled = pooled[::stride]
+        self._intervals.append((boundary_id, self._cur_count, pooled))
+        self._cur_chunks = []
+        self._cur_count = 0
+        keep_from = boundary_id - self.max_batches + 1
+        while self._intervals and self._intervals[0][0] < keep_from:
+            self._intervals.popleft()
+
+    def _estimate(self) -> Tuple[np.ndarray, int]:
+        """Estimated live store count per shard under the current cuts."""
+        weights = np.zeros(self.shards.num_shards, dtype=np.float64)
+        total = 0
+        for __, count, sample in self._intervals:
+            total += count
+            if len(sample) == 0:
+                continue
+            owners = self.shards.owner_of(sample)
+            weights += np.bincount(
+                owners, minlength=self.shards.num_shards
+            ) * (count / len(sample))
+        return weights, total
+
+    def _weighted_cuts(self) -> Optional[List[float]]:
+        """Weighted-quantile cuts over the live samples, snapped to the
+        current cuts where close, strictly ascending or ``None``."""
+        values_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
+        for __, count, sample in self._intervals:
+            if len(sample) == 0:
+                continue
+            values_parts.append(sample)
+            weight_parts.append(
+                np.full(len(sample), count / len(sample), dtype=np.float64)
+            )
+        if not values_parts:
+            return None
+        values = np.concatenate(values_parts)
+        weights = np.concatenate(weight_parts)
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        weights = weights[order]
+        cum = np.cumsum(weights)
+        total = cum[-1]
+        span = float(values[-1] - values[0]) or 1.0
+        tol = self.config.snap_tolerance * span
+        old = self.shards.cuts
+        m = self.shards.num_shards - 1
+        cuts: List[float] = []
+        prev = -np.inf
+        for i in range(m):
+            target = total * (i + 1) / (m + 1)
+            idx = min(int(np.searchsorted(cum, target)), len(values) - 1)
+            cut = float(values[idx])
+            if abs(cut - float(old[i])) <= tol:
+                cut = float(old[i])
+            if cut <= prev:
+                pos = int(np.searchsorted(values, prev, side="right"))
+                if pos >= len(values):
+                    return None
+                cut = float(values[pos])
+                if cut <= prev:
+                    return None
+            cuts.append(cut)
+            prev = cut
+        return cuts
+
+    # ------------------------------------------------------------------
+    def on_boundary(self, boundary_id: int) -> Optional[RepartitionDecision]:
+        """Close interval ``boundary_id``; maybe decide a repartition.
+
+        Called by the router right after it fires the merge marker for
+        ``boundary_id`` — the consistent cut at which a decision can be
+        applied.  Returns ``None`` when the load is acceptably balanced
+        (or the tracker is cooling down / warming up).
+        """
+        self._close_interval(boundary_id)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        estimate, total = self._estimate()
+        if total < self.config.min_live_tuples:
+            return None
+        target = total / self.shards.num_shards
+        if float(estimate.max()) <= self.config.imbalance_factor * target:
+            return None
+        cuts = self._weighted_cuts()
+        if cuts is None:
+            return None
+        try:
+            self.shards.with_cuts(cuts)
+        except ValueError:
+            return None
+        affected, splits, merges = self.shards.diff(cuts)
+        if not affected:
+            return None
+        self._cooldown = self.config.cooldown_boundaries
+        return RepartitionDecision(
+            cuts, affected, splits, merges, estimate.tolist()
+        )
+
+    def apply(self, new_shards: RangeShards) -> None:
+        """Adopt the swapped-in partition (router calls this after the
+        atomic swap, so future estimates histogram under the new cuts)."""
+        self.shards = new_shards
+        self.repartitions += 1

@@ -39,6 +39,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dspe.engine import Executor, Record, RunResult
 from ..dspe.topology import Topology
+from .spo_shard import reslice_exports
+from .wire import MigrateIn, RepartitionMarker
 from .worker import worker_main
 
 __all__ = ["ParallelExecutor", "WorkerCrash"]
@@ -192,6 +194,11 @@ class ParallelExecutor(Executor):
         self._procs: List = []
         self._done: Dict[int, dict] = {}
         self._events = 0
+        # Adaptive-repartition migration: epochs announced by an inline
+        # router but not yet MigrateIn-delivered, and the per-epoch
+        # export board (see repro.parallel.balance).
+        self._migration_epochs: set = set()
+        self._migration_board: Dict[int, dict] = {}
 
     # -- reply plumbing -------------------------------------------------
     def _inline_record(self, name: str, payload, origin_time: float) -> None:
@@ -224,6 +231,8 @@ class ParallelExecutor(Executor):
             kind = reply[0]
             if kind == "records":
                 self._remote_records.extend(reply[2])
+            elif kind == "migrate":
+                self._migration_deposit(reply[2], reply[3])
             elif kind == "done":
                 self._done[reply[1]] = reply[2]
             elif kind == "error":
@@ -246,6 +255,45 @@ class ParallelExecutor(Executor):
                     f"worker process died (exitcode {proc.exitcode})",
                 )
 
+    def _migration_deposit(self, component: str, blob: dict) -> None:
+        """Collect one shard's export; complete the epoch when all are in.
+
+        Feeding each affected shard its MigrateIn over the same FIFO
+        queue that carried the repartition marker is order-safe: the
+        epoch completes only after *every* affected shard processed its
+        marker, so the marker is already consumed on every queue the
+        MigrateIn lands on.
+        """
+        epoch = blob["epoch"]
+        entry = self._migration_board.setdefault(
+            epoch,
+            {
+                "affected": list(blob["affected"]),
+                "expected": blob["expected"],
+                "exports": {},
+            },
+        )
+        entry["exports"][blob["shard"]] = blob
+        if len(entry["exports"]) < entry["expected"]:
+            return
+        del self._migration_board[epoch]
+        assignments = reslice_exports(
+            [entry["exports"][s] for s in sorted(entry["exports"])]
+        )
+        now = self._ictx.now if self._ictx is not None else 0.0
+        for shard in entry["affected"]:
+            self._feed(
+                self.placement[(component, shard)],
+                (
+                    "msg",
+                    component,
+                    shard,
+                    MigrateIn(epoch, shard, assignments.get(shard, [])),
+                    now,
+                ),
+            )
+        self._migration_epochs.discard(epoch)
+
     # -- routing --------------------------------------------------------
     def _deliver(
         self, component: str, pe_index: int, payload, origin_time: float
@@ -264,6 +312,10 @@ class ParallelExecutor(Executor):
                     for tcomp, tidx in self.route_targets(comp, stream, out):
                         worklist.append((tcomp, tidx, out, origin))
             else:
+                if isinstance(pay, RepartitionMarker):
+                    # Tracked so the run cannot reach end-of-stream
+                    # flush with an epoch's state still in transit.
+                    self._migration_epochs.add(pay.epoch)
                 self._feed(
                     self.placement[(comp, idx)],
                     ("msg", comp, idx, pay, origin),
@@ -360,10 +412,29 @@ class ParallelExecutor(Executor):
         self._remote_records = []
         self._done = {}
         self._events = 0
+        self._migration_epochs = set()
+        self._migration_board = {}
         try:
             for proc in self._procs:
                 proc.start()
             self._run_inline()
+            # End-of-stream barrier for in-flight state migrations: the
+            # flush below would find affected shards still holding back
+            # buffered batches (and raise), so wait for every announced
+            # epoch's exports to round-trip first.
+            migrate_deadline = (
+                time.monotonic() + self.join_timeout  # repro: allow-wallclock
+            )
+            while self._migration_epochs or self._migration_board:
+                self._drain_replies(block=True)
+                self._check_alive()
+                if time.monotonic() > migrate_deadline:  # repro: allow-wallclock
+                    raise WorkerCrash(
+                        -1,
+                        "?",
+                        "state migration not completed within "
+                        f"{self.join_timeout}s",
+                    )
             for widx in range(self.num_workers):
                 self._feed(widx, ("flush",))
                 self._feed(widx, ("stop",))

@@ -19,7 +19,8 @@ id right after the interval's final batch.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +30,8 @@ from ..core.query import QuerySpec
 from ..core.window import MergePolicy, WindowKind, WindowSpec
 from ..dspe.partitioning import RangeShards
 from ..dspe.router import RouterOperator
-from .wire import MergeMarker, ShardBatch
+from .balance import BalanceConfig, ShardLoadTracker
+from .wire import MergeMarker, RepartitionMarker, ShardBatch
 
 __all__ = ["ShardPrefilter", "plan_shard_batches", "ShardRouterOperator"]
 
@@ -37,19 +39,36 @@ __all__ = ["ShardPrefilter", "plan_shard_batches", "ShardRouterOperator"]
 class ShardPrefilter:
     """Router-side mirror of each shard's second-predicate value range.
 
-    The router sees every store it routes, so it can maintain the same
-    monotone ``[lo, hi]`` range per shard that the shard joiner keeps for
-    its O(1) probe skip — and drop a hopeless probe *before* paying to
-    ship it.  The decision replicates the shard's own prefilter exactly
-    (same stores, same order, same conservative whole-batch update), so
-    a dropped probe is one the shard would have answered with ``[]``.
+    The router sees every store it routes, so it can maintain per-shard
+    ``[lo, hi]`` bounds on the live second-predicate values — and drop a
+    hopeless probe *before* paying to ship it.  A dropped probe is one
+    the shard would have answered with ``[]``: the bounds always cover
+    every value the shard still holds.
+
+    Ranges are kept **per merge interval** and rebuilt at every
+    boundary: the closed interval's range joins a bounded history and
+    intervals the joiners have expired drop out, so the aggregate range
+    tracks the live window instead of widening monotonically forever
+    (which would silently decay the pruning win on long runs).  On a
+    repartition the affected shards' ranges are re-based to the union
+    over the affected set — tuple movement is closed within that set,
+    so the union covers every migrated value.
 
     Each probe always keeps its *anchor* shard (the boundary shard of
     its first-predicate span) so that every stamped tuple produces at
     least one partial answer — the merge step's invariant.
     """
 
-    __slots__ = ("pred", "lo", "hi")
+    __slots__ = (
+        "pred",
+        "num_shards",
+        "lo",
+        "hi",
+        "cur_lo",
+        "cur_hi",
+        "history",
+        "skipped",
+    )
 
     def __init__(self, query: QuerySpec, shards: RangeShards) -> None:
         self.pred: Optional[Predicate] = None
@@ -63,15 +82,71 @@ class ShardPrefilter:
                 Op.EQ,
             ):
                 self.pred = pred
-        self.lo = np.full(shards.num_shards, np.inf)
-        self.hi = np.full(shards.num_shards, -np.inf)
+        n = shards.num_shards
+        self.num_shards = n
+        # Aggregate live range (current interval ∪ history) — what keep()
+        # tests against.
+        self.lo = np.full(n, np.inf)
+        self.hi = np.full(n, -np.inf)
+        # Current (open) merge interval's range.
+        self.cur_lo = np.full(n, np.inf)
+        self.cur_hi = np.full(n, -np.inf)
+        # Closed intervals still inside the joiners' windows:
+        # (interval_id, lo array, hi array).
+        self.history: Deque[Tuple[int, np.ndarray, np.ndarray]] = deque()
+        # Probe shipments suppressed by the range skip (telemetry).
+        self.skipped = 0
 
     def note_stores(self, owner: np.ndarray, values: np.ndarray) -> None:
-        """Widen per-shard ranges with one batch of routed stores."""
+        """Widen current-interval and aggregate ranges with one batch."""
         if self.pred is None or not len(owner):
             return
+        # A NaN-valued store can never satisfy the filter predicate, so
+        # it must not enter the range — min/max would propagate the NaN
+        # and poison keep() into skipping every probe for the shard.
+        finite = ~np.isnan(values)
+        if not finite.all():
+            owner = owner[finite]
+            values = values[finite]
+            if not len(owner):
+                return
+        np.minimum.at(self.cur_lo, owner, values)
+        np.maximum.at(self.cur_hi, owner, values)
         np.minimum.at(self.lo, owner, values)
         np.maximum.at(self.hi, owner, values)
+
+    def _recompute_aggregate(self) -> None:
+        lo = self.cur_lo.copy()
+        hi = self.cur_hi.copy()
+        for __, h_lo, h_hi in self.history:
+            np.minimum(lo, h_lo, out=lo)
+            np.maximum(hi, h_hi, out=hi)
+        self.lo = lo
+        self.hi = hi
+
+    def on_boundary(self, boundary_id: int, keep_from: int) -> None:
+        """Close interval ``boundary_id``; expire intervals the shard
+        joiners just expired (ids below ``keep_from``)."""
+        if self.pred is None:
+            return
+        self.history.append((boundary_id, self.cur_lo, self.cur_hi))
+        self.cur_lo = np.full(self.num_shards, np.inf)
+        self.cur_hi = np.full(self.num_shards, -np.inf)
+        while self.history and self.history[0][0] < keep_from:
+            self.history.popleft()
+        self._recompute_aggregate()
+
+    def on_repartition(self, affected: List[int]) -> None:
+        """Re-base affected shards' ranges after a cut swap."""
+        if self.pred is None:
+            return
+        idx = np.asarray(affected, dtype=np.int64)
+        for lo, hi in [(self.cur_lo, self.cur_hi)] + [
+            (h_lo, h_hi) for __, h_lo, h_hi in self.history
+        ]:
+            lo[idx] = lo[idx].min()
+            hi[idx] = hi[idx].max()
+        self._recompute_aggregate()
 
     def keep(self, shard: int, probe_values: np.ndarray) -> np.ndarray:
         """Boolean mask: can each probe still match inside ``shard``?"""
@@ -134,7 +209,9 @@ def plan_shard_batches(
         visits = (span_lo <= shard) & (shard <= span_hi)
         if filtering:
             assert prefilter is not None
+            in_span = int(visits.sum())
             visits &= (anchor == shard) | prefilter.keep(shard, filter_values)
+            prefilter.skipped += in_span - int(visits.sum())
         probe_pos = np.nonzero(visits)[0]
         store_pos = np.nonzero(store_mask)[0]
         if not len(probe_pos) and not len(store_pos):
@@ -167,7 +244,22 @@ class ShardRouterOperator(RouterOperator):
     tuple for tuple: COUNT windows fire when the counter reaches the
     merge delta (the firing tuple closes the interval); TIME windows arm
     on the first event and fire when an event time passes the deadline.
+
+    With ``balance`` set the router becomes *adaptive*: a
+    :class:`~repro.parallel.balance.ShardLoadTracker` watches the store
+    distribution and, at merge boundaries, may swap in new range cuts.
+    The swap is atomic from the router's view — every batch flushed
+    after the :class:`RepartitionMarker` is planned under the new cuts —
+    and the marker follows the boundary's :class:`MergeMarker` on the
+    same FIFO control stream, so the affected joiners apply it at the
+    consistent cut where their mutable windows are empty.
     """
+
+    # The base stamping router checkpoints; the shard router's control
+    # plane (global merge clock, live cut swaps, in-flight migrations)
+    # is deliberately not crash-safe yet, and neither are the shard
+    # joiners — the sharded path runs without fault injection.
+    checkpointable = False
 
     def __init__(
         self,
@@ -178,6 +270,7 @@ class ShardRouterOperator(RouterOperator):
         start_tid: int = 0,
         batch_size: int = 1,
         flush_timeout: Optional[float] = None,
+        balance: Optional[BalanceConfig] = None,
     ) -> None:
         super().__init__(
             start_tid=start_tid,
@@ -191,9 +284,15 @@ class ShardRouterOperator(RouterOperator):
         self.shards = shards
         self.prefilter = ShardPrefilter(query, shards)
         self.policy = MergePolicy(window, sub_intervals)
+        self.tracker: Optional[ShardLoadTracker] = None
+        if balance is not None:
+            self.tracker = ShardLoadTracker(
+                shards, self.policy.max_batches, balance
+            )
         self._merge_counter = 0.0
         self._next_merge_time: Optional[float] = None
         self._boundary_id = -1
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     def _advance_clock(self, tuple_) -> bool:
@@ -242,6 +341,51 @@ class ShardRouterOperator(RouterOperator):
             # tuple, which the flush above has already shipped.
             self._boundary_id += 1
             ctx.emit(MergeMarker(self._boundary_id), stream="control")
+            keep_from = self._boundary_id - self.policy.max_batches + 1
+            self.prefilter.on_boundary(self._boundary_id, keep_from)
+            if self.tracker is not None:
+                decision = self.tracker.on_boundary(self._boundary_id)
+                if decision is not None:
+                    self._repartition(decision, ctx)
+
+    def _repartition(self, decision, ctx) -> None:
+        """Atomically swap in new cuts and tell the affected joiners.
+
+        The :class:`RepartitionMarker` rides the FIFO control stream
+        right behind this boundary's :class:`MergeMarker`, so every
+        affected joiner sees it exactly at the consistent cut; every
+        batch the router flushes afterwards is planned under the new
+        cuts, so nothing is ever routed under a mix of partitions.
+        """
+        assert self.tracker is not None
+        new_shards = self.shards.with_cuts(decision.new_cuts)
+        self._epoch += 1
+        ctx.emit(
+            RepartitionMarker(
+                self._epoch,
+                self._boundary_id,
+                decision.new_cuts,
+                decision.affected,
+                decision.splits,
+                decision.merges,
+            ),
+            stream="control",
+        )
+        self.shards = new_shards
+        self.tracker.apply(new_shards)
+        self.prefilter.on_repartition(decision.affected)
+        ctx.record(
+            "repartition",
+            {
+                "epoch": self._epoch,
+                "boundary_id": self._boundary_id,
+                "new_cuts": decision.new_cuts,
+                "affected": decision.affected,
+                "splits": decision.splits,
+                "merges": decision.merges,
+                "estimate": decision.estimate,
+            },
+        )
 
     def _flush_buffer(self, ctx) -> None:
         if not self._buffered():
@@ -253,8 +397,13 @@ class ShardRouterOperator(RouterOperator):
                 opened=self._buffer_opened,
             )
         assert self._arena is not None
+        batch = self._arena.slice()
+        if self.tracker is not None:
+            self.tracker.note_stores(
+                batch.field_values(self.query.predicates[0].right_field)
+            )
         for shard_batch in plan_shard_batches(
-            self._arena.slice(), self.shards, self.query, self.prefilter
+            batch, self.shards, self.query, self.prefilter
         ):
             ctx.emit(shard_batch, stream="shards")
         self._arena = None

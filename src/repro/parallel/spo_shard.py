@@ -44,8 +44,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.arena import ArenaSlice, column_of, event_times_of, tids_of
+from ..core.checkpoint import batch_from_state, batch_state
 from ..core.immutable import get_backend
-from ..core.merge import build_merge_batch_from_runs
+from ..core.merge import MergeBatch, _side_from_runs, build_merge_batch_from_runs
 from ..core.mutable import MutableComponent
 from ..core.pojoin import POJoinList
 from ..core.predicates import BandPredicate, Op, Predicate
@@ -53,14 +54,17 @@ from ..core.query import QuerySpec
 from ..core.spojoin import JoinStats
 from ..core.window import MergePolicy, WindowSpec
 from ..dspe.engine import Record, RunResult
+from ..dspe.partitioning import RangeShards
 from ..dspe.topology import Operator
-from .wire import MergeMarker, ShardBatch
+from ..indexes.sorted_run import SortedRun
+from .wire import MergeMarker, MigrateIn, RepartitionMarker, ShardBatch
 
 __all__ = [
     "ShardSPOJoin",
     "ShardSPOJoinOperator",
     "merge_partial_records",
     "reduce_sharded_result",
+    "reslice_exports",
 ]
 
 
@@ -109,10 +113,12 @@ class ShardSPOJoin:
         self.stats = JoinStats()
         #: Probes skipped by the second-predicate min/max prefilter.
         self.prefiltered_probes = 0
-        # Running value range of the second predicate's stored field over
-        # everything ever stored in this shard (monotone widening, so it
-        # over-approximates the live window — expiry can only make a skip
-        # *less* likely, never unsound).
+        # Live value range of the second predicate's stored field.  It
+        # widens incrementally within a merge interval (exact: nothing
+        # expires mid-interval) and is recomputed from the live
+        # immutable runs at every boundary, after expiry — so it tracks
+        # the window instead of widening monotonically forever, and it
+        # is rebuilt exactly after state migration.
         self._filter_pred = self._build_prefilter()
         self._f_lo = math.inf
         self._f_hi = -math.inf
@@ -191,12 +197,16 @@ class ShardSPOJoin:
             self.mutable.insert_many(stores)
             if self._filter_pred is not None:
                 vals = column_of(stores, self._filter_pred.right_field)
-                lo = float(vals.min())
-                hi = float(vals.max())
-                if lo < self._f_lo:
-                    self._f_lo = lo
-                if hi > self._f_hi:
-                    self._f_hi = hi
+                # NaN stores can never match; keep them out of the range
+                # (a NaN min/max would freeze or poison the bounds).
+                real = vals[~np.isnan(vals)]
+                if len(real):
+                    lo = float(real.min())
+                    hi = float(real.max())
+                    if lo < self._f_lo:
+                        self._f_lo = lo
+                    if hi > self._f_hi:
+                        self._f_hi = hi
         n = len(probes)
         if not n:
             return []
@@ -255,6 +265,61 @@ class ShardSPOJoin:
         self.stats.expired_batches += (
             self.immutable.expired_batches - before
         )
+        self._recompute_filter_range()
+
+    # ------------------------------------------------------------------
+    # State migration.  Only ever invoked at a merge boundary, where the
+    # mutable window is empty (``on_boundary`` drained it), so the
+    # shard's complete partitioned state is exactly its live immutable
+    # merge batches — self-contained (values + tids per sorted run) and
+    # already expressible in the checkpoint wire format.
+    def export_immutable(self) -> List[dict]:
+        """Serialize every live immutable batch as plain data."""
+        assert len(self.mutable) == 0, "export requires a drained window"
+        return [batch_state(batch.batch) for batch in self.immutable.batches]
+
+    def clear_immutable(self) -> None:
+        """Drop all immutable state (it now lives with the coordinator)."""
+        self.immutable.batches.clear()
+        self._recompute_filter_range()
+
+    def import_immutable(self, batch_states: Sequence[dict]) -> None:
+        """Adopt re-sliced immutable state, ascending by interval id."""
+        assert len(self.immutable) == 0, "import into a cleared shard only"
+        for state in sorted(batch_states, key=lambda s: s["batch_id"]):
+            merge_batch = batch_from_state(state)
+            self.immutable.append(self.batch_factory(self.query, merge_batch))
+        self._recompute_filter_range()
+
+    def _recompute_filter_range(self) -> None:
+        """Exact ``[f_lo, f_hi]`` over the live stored values.
+
+        Called with an empty mutable window (boundaries, migration), so
+        the live values are exactly the immutable runs; run 1 sorts by
+        the filter predicate's field, making min/max O(1) per batch.
+        """
+        if self._filter_pred is None:
+            return
+        lo = math.inf
+        hi = -math.inf
+        for batch in self.immutable.batches:
+            values = batch.batch.left.runs[1].values
+            if not len(values):
+                continue
+            v_lo, v_hi = float(values[0]), float(values[-1])
+            if math.isnan(v_lo) or math.isnan(v_hi):
+                # NaN stored values sort unpredictably (all comparisons
+                # are false) and can never match anything; take the real
+                # extrema so the range stays exact for real values.
+                arr = np.asarray(values, dtype=np.float64)
+                if np.isnan(arr).all():
+                    continue
+                v_lo = float(np.nanmin(arr))
+                v_hi = float(np.nanmax(arr))
+            lo = min(lo, v_lo)
+            hi = max(hi, v_hi)
+        self._f_lo = lo
+        self._f_hi = hi
 
     # ------------------------------------------------------------------
     def mutable_size(self) -> int:
@@ -274,6 +339,16 @@ class ShardSPOJoinOperator(Operator):
     under the parallel executor (the input protocol — shard batches
     interleaved with merge markers on a FIFO link — is the same).
     Emits one ``partial_batch`` record per shard sub-batch it answers.
+
+    Migration protocol (adaptive repartitioning): on a
+    :class:`RepartitionMarker` naming this shard as affected, the
+    joiner exports its immutable state via ``ctx.migrate_out`` (the
+    mutable window is empty — the boundary's merge marker, FIFO-ordered
+    just before, drained it), clears it, and *buffers* every subsequent
+    payload until the coordinator's :class:`MigrateIn` delivers the
+    re-sliced state this shard owns under the new cuts; the buffer then
+    replays in arrival order.  Unaffected shards are untouched — their
+    tuple sets are identical under both partitions.
     """
 
     def __init__(
@@ -295,9 +370,26 @@ class ShardSPOJoinOperator(Operator):
             bptree_order=bptree_order,
             covered_shortcut=covered_shortcut,
         )
+        self._migrating_epoch: Optional[int] = None
+        self._held: List = []
+        #: Completed migrations / tuples shipped out / tuples adopted.
+        self.migrations = 0
+        self.migrated_out = 0
+        self.migrated_in = 0
 
     def process(self, payload, ctx) -> None:
         ctx.mark("joiner")
+        if isinstance(payload, MigrateIn):
+            self._migrate_in(payload, ctx)
+            return
+        if self._migrating_epoch is not None:
+            # State is in flight; preserve arrival order until it lands.
+            self._held.append(payload)
+            return
+        if isinstance(payload, RepartitionMarker):
+            if ctx.pe_index in payload.affected:
+                self._migrate_out(payload, ctx)
+            return
         if isinstance(payload, MergeMarker):
             self.join.on_boundary(payload.boundary_id)
             if ctx.observing:
@@ -320,6 +412,57 @@ class ShardSPOJoinOperator(Operator):
                 "event_times": [et for __, __, et in results],
             },
         )
+
+    def _migrate_out(self, marker: RepartitionMarker, ctx) -> None:
+        states = self.join.export_immutable()
+        self.migrated_out += sum(
+            len(s["left"]["tids"]) for s in states
+        )
+        self.join.clear_immutable()
+        self._migrating_epoch = marker.epoch
+        ctx.migrate_out(
+            {
+                "epoch": marker.epoch,
+                "shard": ctx.pe_index,
+                "affected": list(marker.affected),
+                "expected": len(marker.affected),
+                "new_cuts": list(marker.new_cuts),
+                "batches": states,
+            }
+        )
+        if ctx.observing:
+            ctx.observe_event(
+                "migrate_out", epoch=marker.epoch, batches=len(states)
+            )
+
+    def _migrate_in(self, payload: MigrateIn, ctx) -> None:
+        if payload.epoch != self._migrating_epoch:
+            raise RuntimeError(
+                f"shard {ctx.pe_index} got MigrateIn epoch {payload.epoch} "
+                f"while migrating epoch {self._migrating_epoch}"
+            )
+        self.join.import_immutable(payload.batches)
+        self.migrated_in += sum(
+            len(s["left"]["tids"]) for s in payload.batches
+        )
+        self.migrations += 1
+        self._migrating_epoch = None
+        if ctx.observing:
+            ctx.observe_event(
+                "migrate_in", epoch=payload.epoch, batches=len(payload.batches)
+            )
+        # Replay everything that arrived while the state was in flight,
+        # in order.  A nested repartition inside the backlog re-enters
+        # the buffering path via process().
+        held, self._held = self._held, []
+        for pending in held:
+            self.process(pending, ctx)
+
+    def flush(self, ctx) -> None:
+        if self._migrating_epoch is not None or self._held:
+            raise RuntimeError(
+                "shard joiner flushed with a state migration in flight"
+            )
 
 
 def merge_partial_records(records: Sequence[Record]) -> List[Record]:
@@ -378,3 +521,86 @@ def reduce_sharded_result(result: RunResult) -> RunResult:
     directly comparable with a single-process run's."""
     result.records = merge_partial_records(result.records)
     return result
+
+
+def reslice_exports(exports: Sequence[dict]) -> Dict[int, List[dict]]:
+    """Re-slice affected shards' exported state by the new cuts.
+
+    ``exports`` holds one blob per affected shard (the payloads the
+    joiners passed to ``ctx.migrate_out`` for one epoch).  Per merge
+    interval, every fragment row is re-homed by its run-0 value — run 0
+    sorts by the partition field, and a sorted run is fully described by
+    its (values, tids) pairs, so filtering rows and merging the
+    per-shard fragments back into (value, tid) order reconstructs
+    exactly the interval state each shard would have built had the new
+    cuts applied from the start.  Tuple movement is closed within the
+    affected set (:meth:`RangeShards.diff`), which the re-homing
+    asserts.  Returns ``{shard: [batch states]}``, ascending by
+    ``batch_id``, with empty intervals omitted.
+    """
+    if not exports:
+        return {}
+    ref = exports[0]
+    shards = RangeShards(ref["new_cuts"])
+    affected = sorted(ref["affected"])
+    affected_arr = np.asarray(affected, dtype=np.int64)
+    by_interval: Dict[int, List[MergeBatch]] = {}
+    for blob in exports:
+        for state in blob["batches"]:
+            by_interval.setdefault(state["batch_id"], []).append(
+                batch_from_state(state)
+            )
+    out: Dict[int, List[dict]] = {shard: [] for shard in affected}
+    for batch_id in sorted(by_interval):
+        fragments = by_interval[batch_id]
+        num_runs = len(fragments[0].left.runs)
+        # (values, tids) pieces per target shard per run.
+        pieces: Dict[int, List[List[Tuple[np.ndarray, np.ndarray]]]] = {
+            shard: [[] for __ in range(num_runs)] for shard in affected
+        }
+        for fragment in fragments:
+            runs = fragment.left.runs
+            vals0 = np.asarray(runs[0].values, dtype=np.float64)
+            tids0 = np.asarray(runs[0].tids, dtype=np.int64)
+            owner = shards.owner_of(vals0)
+            if not bool(np.isin(owner, affected_arr).all()):
+                raise RuntimeError(
+                    "repartition moved a tuple outside the affected set"
+                )
+            for shard in affected:
+                mask = owner == shard
+                if not mask.any():
+                    continue
+                pieces[shard][0].append((vals0[mask], tids0[mask]))
+                owned = np.sort(tids0[mask])
+                for r in range(1, num_runs):
+                    run = fragment.left.runs[r]
+                    tids_r = np.asarray(run.tids, dtype=np.int64)
+                    keep = np.isin(tids_r, owned)
+                    pieces[shard][r].append(
+                        (
+                            np.asarray(run.values, dtype=np.float64)[keep],
+                            tids_r[keep],
+                        )
+                    )
+        for shard in affected:
+            if not pieces[shard][0]:
+                continue
+            runs_out: List[SortedRun] = []
+            for r in range(num_runs):
+                parts = pieces[shard][r]
+                vals = np.concatenate([p[0] for p in parts])
+                tids = np.concatenate([p[1] for p in parts])
+                # Fragments are each (value, tid)-sorted; a global
+                # stable lexsort restores the run invariant.
+                order = np.lexsort((tids, vals))
+                runs_out.append(
+                    SortedRun(
+                        vals[order].tolist(), tids[order].tolist()
+                    )
+                )
+            merge_batch = MergeBatch(
+                batch_id, _side_from_runs(runs_out), None, {}
+            )
+            out[shard].append(batch_state(merge_batch))
+    return out

@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from ..core.arena import ArenaSlice
 
-__all__ = ["ShardBatch", "MergeMarker"]
+__all__ = ["ShardBatch", "MergeMarker", "RepartitionMarker", "MigrateIn"]
 
 
 class ShardBatch:
@@ -67,3 +67,66 @@ class MergeMarker:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MergeMarker(boundary_id={self.boundary_id})"
+
+
+class RepartitionMarker:
+    """Broadcast control message: the router adopted new range cuts.
+
+    Emitted immediately *after* the :class:`MergeMarker` of the same
+    boundary, so every shard joiner processes it at the consistent cut
+    where its mutable window is empty (the marker drained it) and its
+    state is exactly the live immutable merge batches.  ``affected``
+    lists the shard indices whose ownership range changed; each of them
+    exports its immutable state for re-slicing and buffers subsequent
+    input until the matching :class:`MigrateIn` arrives.  Unaffected
+    shards keep working — their tuple sets are unchanged.
+    """
+
+    __slots__ = ("epoch", "boundary_id", "new_cuts", "affected", "splits", "merges")
+
+    def __init__(
+        self,
+        epoch: int,
+        boundary_id: int,
+        new_cuts: List[float],
+        affected: List[int],
+        splits: int = 0,
+        merges: int = 0,
+    ) -> None:
+        self.epoch = epoch
+        self.boundary_id = boundary_id
+        self.new_cuts = list(new_cuts)
+        self.affected = list(affected)
+        self.splits = splits
+        self.merges = merges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RepartitionMarker(epoch={self.epoch}, "
+            f"boundary_id={self.boundary_id}, affected={self.affected})"
+        )
+
+
+class MigrateIn:
+    """Coordinator → shard joiner: the re-sliced immutable state this
+    shard owns under the new cuts.
+
+    ``batches`` is a list of plain-data merge-batch states (the
+    ``core/checkpoint.py`` wire format), ascending by ``batch_id`` so
+    the importer rebuilds the immutable list in expiry order.  Sent to
+    *every* affected shard of the epoch — possibly with an empty list —
+    because receipt is also the signal to stop buffering and replay.
+    """
+
+    __slots__ = ("epoch", "shard", "batches")
+
+    def __init__(self, epoch: int, shard: int, batches: List[dict]) -> None:
+        self.epoch = epoch
+        self.shard = shard
+        self.batches = batches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MigrateIn(epoch={self.epoch}, shard={self.shard}, "
+            f"batches={len(self.batches)})"
+        )

@@ -44,10 +44,12 @@ class WorkerContext:
         worker_index: int,
         num_pes_map: Dict[str, int],
         rng: random.Random,
+        out_q=None,
     ) -> None:
         self.worker_index = worker_index
         self.rng = rng
         self._num_pes_map = num_pes_map
+        self._out_q = out_q
         self._component = ""
         self._pe_index = 0
         self._origin_time = 0.0
@@ -74,6 +76,22 @@ class WorkerContext:
 
     def record(self, name: str, payload=None) -> None:
         self._records.append((name, payload))
+
+    def migrate_out(self, payload: dict) -> None:
+        """Ship an adaptive-repartition state export to the parent.
+
+        Sent immediately (not via the record chunking) — the parent's
+        migration board must be able to complete an epoch while this
+        worker is still blocked on its input queue.
+        """
+        if self._out_q is None:
+            raise RuntimeError(
+                f"leaf PE {self._component}[{self._pe_index}] cannot "
+                "migrate: context has no reply queue"
+            )
+        self._out_q.put(
+            ("migrate", self.worker_index, self._component, payload)
+        )
 
     def mark(self, name: str) -> None:
         self._marks.setdefault(name, self.now)
@@ -132,7 +150,7 @@ def worker_main(
     from .seeds import spawn_seed
 
     rng = random.Random(spawn_seed(root_seed, "worker", worker_index))
-    ctx = WorkerContext(worker_index, num_pes_map, rng)
+    ctx = WorkerContext(worker_index, num_pes_map, rng, out_q)
     pending: List[WireRecord] = []
     seqs: Dict[Tuple[str, int], int] = {}
     messages = 0

@@ -10,6 +10,7 @@ from .synthetic import (
     interleave,
     self_stream,
     shift_for_selectivity,
+    skewed_self_stream,
     timed,
     zipf_equi_stream,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "datacenter_streams",
     "cross_stream",
     "self_stream",
+    "skewed_self_stream",
     "equi_stream",
     "interleave",
     "timed",

@@ -31,6 +31,7 @@ __all__ = [
     "shift_for_selectivity",
     "cross_stream",
     "self_stream",
+    "skewed_self_stream",
     "equi_stream",
     "interleave",
     "timed",
@@ -91,6 +92,52 @@ def self_stream(
     out = []
     for __ in range(n):
         base = rng.random()
+        noise = rng.random()
+        if correlation >= 0:
+            second = correlation * base + (1 - correlation) * noise
+        else:
+            second = (-correlation) * (1 - base) + (1 + correlation) * noise
+        out.append(RawTuple(stream, (base, second)))
+    return out
+
+
+def skewed_self_stream(
+    n: int,
+    stream: str = "T",
+    hot_fraction: float = 0.7,
+    hot_center: float = 0.8,
+    hot_width: float = 0.08,
+    drift: float = 0.0,
+    correlation: float = 0.0,
+    seed: int = 0,
+) -> List[RawTuple]:
+    """A self-join stream whose partition values pile into a hot band.
+
+    ``hot_fraction`` of the tuples draw their first (partition) field
+    from the narrow band ``hot_center ± hot_width/2`` and the rest
+    uniformly from ``[0, 1)`` — Zipf-style mass concentration expressed
+    in *value* space, the regime where static range cuts pin the shard
+    owning the band while its siblings idle.  ``drift`` moves the band
+    center linearly by that amount over the whole stream (the slow
+    distribution shift adaptive repartitioning must chase).  The second
+    field follows :func:`self_stream`'s correlation model, so join
+    semantics and match rates stay comparable.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    if hot_width <= 0:
+        raise ValueError("hot_width must be positive")
+    if not -1.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [-1, 1]")
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        center = hot_center + drift * (i / n if n else 0.0)
+        lo = min(max(center - hot_width / 2.0, 0.0), 1.0 - hot_width)
+        if rng.random() < hot_fraction:
+            base = lo + hot_width * rng.random()
+        else:
+            base = rng.random()
         noise = rng.random()
         if correlation >= 0:
             second = correlation * base + (1 - correlation) * noise

@@ -223,6 +223,25 @@ class TestCLI:
         ]
         assert speedup >= 2.0  # the committed arena-plane batching win
 
+    def test_committed_skew_entry_meets_acceptance(self):
+        # The committed BENCH.json entry demonstrates the adaptive
+        # acceptance bar: every parity run (including live split+merge
+        # migrations) bit-identical to the reference, and the adaptive
+        # sustained-rate knee above the static-cut knee on the hot-band
+        # sweep.
+        import json
+        import pathlib
+
+        bench = pathlib.Path(__file__).parents[2] / "BENCH.json"
+        payload = json.loads(bench.read_text())["skew"]
+        assert all(r["identical"] for r in payload["parity"])
+        assert all(r["repartitions"] >= 1 for r in payload["parity"])
+        stats = payload["parity_repartitions"]
+        assert stats["splits"] >= 1 and stats["merges"] >= 1
+        knees = payload["knee_tps"]
+        assert knees["adaptive"] > knees["static"]
+        assert payload["knee_gain"] > 1.0
+
     def test_overload_single_policy(self, capsys):
         assert main(["overload", "--tuples", "300", "--policy", "shed"]) == 0
         out = capsys.readouterr().out

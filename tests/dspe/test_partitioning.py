@@ -1,8 +1,12 @@
-"""Partitioning strategies: hash, broadcast, round-robin, direct."""
+"""Partitioning strategies: hash, broadcast, round-robin, direct —
+plus the range-shard partition behind the sharded SPO-Join."""
 
+import numpy as np
 import pytest
 
+from repro.core.predicates import BandPredicate, Op, Predicate
 from repro.dspe import Grouping
+from repro.dspe.partitioning import RangeShards
 
 
 class TestHash:
@@ -61,3 +65,176 @@ class TestDirect:
         g = Grouping("bogus")
         with pytest.raises(ValueError):
             g.targets("x", 2)
+
+
+class TestRoundRobinState:
+    """Round-robin rotation is operator state: it must survive a
+    snapshot/restore cycle so recovery replays the same placement."""
+
+    def test_snapshot_restore_resumes_rotation(self):
+        g = Grouping.round_robin()
+        for __ in range(5):
+            g.targets("x", 3)
+        snap = g.snapshot_state()
+        restored = Grouping.round_robin()
+        restored.restore_state(snap)
+        assert [restored.targets("x", 3)[0] for __ in range(4)] == [
+            g.targets("x", 3)[0] for __ in range(4)
+        ]
+
+    def test_restore_to_zero_resets(self):
+        g = Grouping.round_robin()
+        g.targets("x", 3)
+        g.restore_state({"_rr_counter": 0})
+        assert g.targets("x", 3) == [0]
+
+
+class TestRangeShardsConstruction:
+    def test_cuts_must_strictly_ascend(self):
+        with pytest.raises(ValueError):
+            RangeShards([0.5, 0.5])
+        with pytest.raises(ValueError):
+            RangeShards([0.7, 0.3])
+
+    def test_uniform(self):
+        shards = RangeShards.uniform(4)
+        assert shards.num_shards == 4
+        assert shards.cuts.tolist() == [0.25, 0.5, 0.75]
+        assert RangeShards.uniform(1).num_shards == 1
+
+    def test_with_cuts_keeps_shard_count(self):
+        shards = RangeShards.uniform(4)
+        assert shards.with_cuts([0.1, 0.2, 0.3]).num_shards == 4
+        with pytest.raises(ValueError):
+            shards.with_cuts([0.1, 0.2])
+
+
+class TestFromSample:
+    def test_duplicate_heavy_sample_keeps_shard_count(self):
+        # Regression: interpolated quantiles over this sample land three
+        # targets on 0.5 and collapse the cut set, silently starving
+        # shard PEs.  Positional cuts over the distinct values must
+        # yield exactly the requested count.
+        values = [0.5] * 97 + [0.1, 0.2, 0.9]
+        shards = RangeShards.from_sample(values, 4)
+        assert shards.num_shards == 4
+        cuts = shards.cuts.tolist()
+        assert len(cuts) == 3
+        assert all(b > a for a, b in zip(cuts, cuts[1:]))
+
+    def test_exactly_enough_distinct_values(self):
+        shards = RangeShards.from_sample([3.0, 1.0, 2.0, 1.0, 3.0], 3)
+        assert shards.num_shards == 3
+        assert shards.cuts.tolist() == [2.0, 3.0]
+
+    def test_too_few_distinct_values_raises(self):
+        with pytest.raises(ValueError):
+            RangeShards.from_sample([1.0] * 50 + [2.0] * 50, 3)
+
+    def test_single_shard_needs_no_cuts(self):
+        assert RangeShards.from_sample([1.0, 1.0], 1).num_shards == 1
+
+
+class TestDiff:
+    def test_unchanged_cuts(self):
+        shards = RangeShards.uniform(4)
+        assert shards.diff([0.25, 0.5, 0.75]) == ([], 0, 0)
+
+    def test_moved_cut_affects_both_neighbours(self):
+        shards = RangeShards.uniform(4)
+        affected, splits, merges = shards.diff([0.25, 0.6, 0.75])
+        assert affected == [1, 2]
+        assert splits == 1  # 0.6 divides old shard 2
+        assert merges == 1  # the 0.5 boundary disappeared
+
+    def test_wrong_cut_count_raises(self):
+        with pytest.raises(ValueError):
+            RangeShards.uniform(4).diff([0.5])
+
+
+class TestOwnerOf:
+    def test_cut_value_belongs_to_upper_shard(self):
+        shards = RangeShards([0.5])
+        assert shards.owner_of([0.5]).tolist() == [1]
+        assert shards.owner_of([np.nextafter(0.5, -np.inf)]).tolist() == [0]
+
+    def test_infinities(self):
+        shards = RangeShards.uniform(4)
+        assert shards.owner_of([-np.inf, np.inf]).tolist() == [0, 3]
+
+    def test_nan_has_a_consistent_owner(self):
+        # NaN partitions to the last shard (searchsorted order), so a
+        # NaN-keyed tuple has exactly one home — the anchor invariant
+        # the sharded join's per-probe accounting relies on.
+        shards = RangeShards.uniform(4)
+        assert shards.owner_of([np.nan]).tolist() == [3]
+
+    def test_single_shard_owns_everything(self):
+        shards = RangeShards.uniform(1)
+        values = [-np.inf, -5.0, 0.3, np.inf, np.nan]
+        assert shards.owner_of(values).tolist() == [0] * len(values)
+
+
+class TestProbeSpan:
+    def test_single_shard_full_span(self):
+        lo, hi = RangeShards.uniform(1).probe_span(
+            Predicate(0, Op.GT, 0), [0.1, 0.9]
+        )
+        assert lo.tolist() == [0, 0]
+        assert hi.tolist() == [0, 0]
+
+    def test_empty_probe_batch(self):
+        lo, hi = RangeShards.uniform(4).probe_span(Predicate(0, Op.GT, 0), [])
+        assert len(lo) == 0 and len(hi) == 0
+
+    def test_gt_spans_lower_shards(self):
+        # probe > stored: satisfying stored values lie below the probe.
+        shards = RangeShards.uniform(4)
+        lo, hi = shards.probe_span(Predicate(0, Op.GT, 0), [0.6])
+        assert (lo[0], hi[0]) == (0, 2)
+
+    def test_lt_spans_upper_shards(self):
+        shards = RangeShards.uniform(4)
+        lo, hi = shards.probe_span(Predicate(0, Op.LT, 0), [0.6])
+        assert (lo[0], hi[0]) == (2, 3)
+
+    def test_probe_exactly_at_cut_over_approximates_soundly(self):
+        # stored < 0.5 lives entirely in shards 0-1, but the span may
+        # include the cut's upper shard — sound (exact evaluation there
+        # adds no false matches), never an under-approximation.
+        shards = RangeShards.uniform(4)
+        lo, hi = shards.probe_span(Predicate(0, Op.GT, 0), [0.5])
+        assert lo[0] == 0
+        assert hi[0] >= 1
+
+    def test_eq_pins_one_shard(self):
+        shards = RangeShards.uniform(4)
+        lo, hi = shards.probe_span(Predicate(0, Op.EQ, 0), [0.6])
+        assert lo[0] == hi[0] == shards.owner_of([0.6])[0]
+
+    def test_band_spans_width_window(self):
+        shards = RangeShards.uniform(4)
+        lo, hi = shards.probe_span(BandPredicate(0, 0, width=0.1), [0.5])
+        assert (lo[0], hi[0]) == (1, 2)
+
+    def test_multi_interval_pred_falls_back_to_full_span(self):
+        shards = RangeShards.uniform(4)
+        lo, hi = shards.probe_span(Predicate(0, Op.NE, 0), [0.6])
+        assert (lo[0], hi[0]) == (0, 3)
+
+    def test_flipped_probe_role(self):
+        # Probe on the predicate's right side: LT flips to GT, so the
+        # span covers the lower shards.
+        shards = RangeShards.uniform(4)
+        lo, hi = shards.probe_span(
+            Predicate(0, Op.LT, 0), [0.6], probe_is_left=False
+        )
+        assert (lo[0], hi[0]) == (0, 2)
+
+    def test_span_never_inverts(self):
+        shards = RangeShards.uniform(4)
+        values = [-np.inf, 0.0, 0.25, 0.5, 0.99, np.inf, np.nan]
+        for op in (Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ, Op.NE):
+            lo, hi = shards.probe_span(Predicate(0, op, 0), values)
+            assert (lo <= hi).all()
+            assert (lo >= 0).all() and (hi < shards.num_shards).all()

@@ -14,7 +14,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import JoinType, Op, QuerySpec, WindowSpec
-from repro.dspe import FaultConfig, RecoveryConfig
+from repro.dspe import (
+    FaultConfig,
+    Grouping,
+    Operator,
+    RecoveryConfig,
+    RouterOperator,
+    Topology,
+)
 from repro.dspe.router import RawTuple
 from repro.joins import (
     SPOConfig,
@@ -240,6 +247,77 @@ class TestDelaySpikes:
         res = run_spo(source_of(raws), config)
         assert res.fault_plan.cache_partitions
         assert config.cache.partitions == res.fault_plan.cache_partitions
+
+
+class _TagWorker(Operator):
+    """Stateless sink that tags each routed tuple with its PE index.
+
+    Under a round-robin in-edge, its result multiset is a transcript of
+    the rotation: any drift in the router's ``_rr_counter`` across a
+    crash shows up as tuples landing on the wrong PE.
+    """
+
+    def process(self, payload, ctx) -> None:
+        ctx.record(
+            "result", {"tid": payload.tid, "matches": [ctx.pe_index]}
+        )
+
+
+class TestRoundRobinRouterChaos:
+    """Satellite: round-robin routing state survives a router crash.
+
+    The rr counter lives in the topology's Grouping, outside the
+    operator, so an operator-only checkpoint misses it; the engine
+    snapshots it alongside and dry-advances it through replay.  These
+    runs fail without both halves.
+    """
+
+    @staticmethod
+    def _build(raws):
+        topo = Topology("rr-router")
+        topo.add_spout("source", source_of(raws))
+        topo.add_bolt(
+            "router",
+            RouterOperator,
+            inputs=[("source", Grouping.shuffle())],
+        )
+        topo.add_bolt(
+            "worker",
+            _TagWorker,
+            parallelism=3,
+            inputs=[("router", Grouping.round_robin())],
+        )
+        return topo
+
+    def test_router_crash_preserves_rotation(self):
+        raws = make_raws(300, ["NYC"], seed=58)
+        baseline = run_topology(self._build(raws))
+        chaos = run_topology(
+            self._build(raws),
+            faults=FaultConfig(
+                crash_times=[("router", 0, 0.12), ("router", 0, 0.22)]
+            ),
+            recovery=RecoveryConfig(checkpoint_interval=0.05),
+            fault_seed=11,
+        )
+        assert chaos.recovery.crashes == 2
+        assert result_multiset(chaos) == result_multiset(baseline)
+        assert chaos.result_fingerprint() == baseline.result_fingerprint()
+
+    def test_router_crash_before_first_checkpoint(self):
+        # No checkpoint yet: the replay log covers the whole history and
+        # the rotation must restart from zero before dry-advancing.
+        raws = make_raws(200, ["NYC"], seed=59)
+        baseline = run_topology(self._build(raws))
+        chaos = run_topology(
+            self._build(raws),
+            faults=FaultConfig(crash_times=[("router", 0, 0.02)]),
+            recovery=RecoveryConfig(checkpoint_interval=0.5),
+            fault_seed=12,
+        )
+        assert chaos.recovery.crashes == 1
+        assert result_multiset(chaos) == result_multiset(baseline)
+        assert chaos.result_fingerprint() == baseline.result_fingerprint()
 
 
 class TestChaosProperty:

@@ -36,12 +36,13 @@ from repro.core.checkpoint import checkpoint as checkpoint_join
 from repro.core.spojoin import SPOJoin
 from repro.indexes.bptree import BPlusTree
 from repro.joins import topologies
+from repro.dspe import router as dspe_router
 from repro.dspe import topology as dspe_topology
 
 # ----------------------------------------------------------------------
 # Registry: every checkpointable operator class must have a driver.
 # ----------------------------------------------------------------------
-_SCAN_MODULES = (topologies, dspe_topology)
+_SCAN_MODULES = (topologies, dspe_topology, dspe_router)
 
 
 def checkpointable_classes():
@@ -70,10 +71,18 @@ def _make_spo(query, window):
     return topologies.SPOJoinerOperator(query, window, sub_intervals=2)
 
 
+def _make_router(query, window):
+    # A StreamTuple duck-types as the router's RawTuple input (stream /
+    # values / event_time); the router ignores the incoming tid and
+    # stamps its own.  batch_size > 1 exercises the buffered state.
+    return dspe_router.RouterOperator(batch_size=4)
+
+
 DRIVERS = {
     "ChainJoinerOperator": _make_chain,
     "NLJJoinerOperator": _make_nlj,
     "SPOJoinerOperator": _make_spo,
+    "RouterOperator": _make_router,
 }
 
 
@@ -149,6 +158,8 @@ class FakeCtx:
     pressure = False
     pe_index = 0
     num_pes = 1
+    now = 0.0
+    origin_time = 0.0
 
     def __init__(self):
         self.records = []

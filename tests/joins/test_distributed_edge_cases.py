@@ -80,6 +80,42 @@ class TestDegenerateInputs:
         for tid, exp in expected.items():
             assert got[tid] == exp, tid
 
+    @pytest.mark.parametrize("evaluator", ["bit", "hash"])
+    def test_nan_values_distributed(self, q3_query, evaluator):
+        # Regression: the predicate PEs' field windows used to index NaN
+        # keys (corrupting the B+-tree ordering, so drained runs reached
+        # the immutable tier mis-sorted) and NaN probe values were handed
+        # to range_search as bounds its stop condition never fires on —
+        # batch sizes 1 and 7 disagreed and both disagreed with the local
+        # SPOJoin.  NaN now matches nothing on either side, identically
+        # at every batch size.
+        rng = random.Random(63)
+        raws = []
+        for i in range(300):
+            values = [rng.random(), rng.random()]
+            if i % 11 == 0:
+                values[i % 2] = float("nan")
+            raws.append(RawTuple("NYC", tuple(values), i * 0.001))
+        window = WindowSpec.count(120, 30)
+        expected = local_reference(q3_query, raws, window)
+        per_batch = []
+        for batch_size in (1, 7):
+            res = run_spo(
+                ((raw.event_time, raw) for raw in raws),
+                SPOConfig(
+                    q3_query, window, num_pojoin_pes=1,
+                    evaluator=evaluator, batch_size=batch_size,
+                ),
+            )
+            per_batch.append(collect(res))
+        assert per_batch[0] == per_batch[1]
+        nan_tids = {i for i in range(300) if i % 11 == 0}
+        for tid, exp in expected.items():
+            assert per_batch[0][tid] == exp, tid
+            if tid in nan_tids:
+                assert not exp
+            assert not (per_batch[0][tid] & nan_tids), tid
+
     def test_more_pes_than_merges(self, q3_query):
         # 8 PO-Join PEs but only ~3 merges: most PEs never own a batch.
         rng = random.Random(62)

@@ -1,0 +1,260 @@
+"""Unit tests for adaptive repartitioning: the load tracker's decision
+rules and the coordinator's state re-slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import JoinType, Op, QuerySpec
+from repro.core.checkpoint import batch_from_state, batch_state
+from repro.core.merge import build_merge_batch_from_runs
+from repro.dspe.partitioning import RangeShards
+from repro.indexes.sorted_run import SortedRun
+from repro.parallel import BalanceConfig, ShardLoadTracker, reslice_exports
+
+
+def q3():
+    return QuerySpec.two_inequalities("Q3", JoinType.SELF, Op.GT, Op.LT)
+
+
+def make_tracker(**overrides):
+    config = dict(
+        imbalance_factor=1.3,
+        min_live_tuples=100,
+        sample_cap=512,
+        cooldown_boundaries=2,
+        snap_tolerance=0.05,
+    )
+    config.update(overrides)
+    return ShardLoadTracker(
+        RangeShards.uniform(4), max_batches=4, config=BalanceConfig(**config)
+    )
+
+
+class TestBalanceConfig:
+    def test_rejects_non_amplifying_factor(self):
+        with pytest.raises(ValueError):
+            BalanceConfig(imbalance_factor=1.0)
+
+
+class TestShardLoadTracker:
+    def test_balanced_load_never_triggers(self):
+        tracker = make_tracker()
+        rng = np.random.default_rng(0)
+        for boundary in range(6):
+            tracker.note_stores(rng.uniform(0.0, 1.0, 500))
+            assert tracker.on_boundary(boundary) is None
+
+    def test_skew_triggers_with_valid_cuts(self):
+        tracker = make_tracker()
+        rng = np.random.default_rng(1)
+        decision = None
+        for boundary in range(4):
+            hot = rng.uniform(0.8, 0.9, 400)
+            cold = rng.uniform(0.0, 1.0, 100)
+            tracker.note_stores(np.concatenate([hot, cold]))
+            decision = tracker.on_boundary(boundary)
+            if decision is not None:
+                break
+        assert decision is not None
+        assert decision.affected
+        assert len(decision.new_cuts) == 3
+        assert all(
+            b > a for a, b in zip(decision.new_cuts, decision.new_cuts[1:])
+        )
+        # The hottest shard under the old uniform cuts is shard 3
+        # ([0.75, inf)); the new cuts must move mass off it.
+        assert decision.estimate[3] == max(decision.estimate)
+
+    def test_warmup_floor_blocks_early_decisions(self):
+        tracker = make_tracker(min_live_tuples=10_000)
+        for boundary in range(5):
+            tracker.note_stores(np.full(500, 0.85))
+            assert tracker.on_boundary(boundary) is None
+
+    def test_cooldown_spaces_decisions(self):
+        tracker = make_tracker(cooldown_boundaries=3)
+        rng = np.random.default_rng(2)
+
+        def feed(boundary):
+            tracker.note_stores(
+                np.concatenate(
+                    [rng.uniform(0.8, 0.9, 400), rng.uniform(0.0, 1.0, 100)]
+                )
+            )
+            return tracker.on_boundary(boundary)
+
+        boundary = 0
+        first = None
+        while first is None:
+            first = feed(boundary)
+            boundary += 1
+        tracker.apply(tracker.shards.with_cuts(first.new_cuts))
+        # The next `cooldown_boundaries` boundaries stay quiet no matter
+        # how skewed the load still looks.
+        for __ in range(3):
+            assert feed(boundary) is None
+            boundary += 1
+
+    def test_snap_suppresses_near_noop_migrations(self):
+        # A 55/45 tilt across the old cut 0.5 trips a tight imbalance
+        # factor, but the weighted median (~0.455) is within the snap
+        # tolerance of the old cut — the candidate snaps back and no
+        # migration is decided.
+        tilt = np.concatenate(
+            [
+                np.linspace(0.0, 0.5, 550, endpoint=False),
+                np.linspace(0.5, 1.0, 450, endpoint=False),
+            ]
+        )
+
+        def decide(snap_tolerance):
+            tracker = ShardLoadTracker(
+                RangeShards.uniform(2),
+                max_batches=4,
+                config=BalanceConfig(
+                    imbalance_factor=1.05,
+                    min_live_tuples=100,
+                    snap_tolerance=snap_tolerance,
+                ),
+            )
+            tracker.note_stores(tilt)
+            return tracker.on_boundary(0)
+
+        assert decide(0.1) is None
+        # Same load with a tiny tolerance does migrate — proving the
+        # imbalance trigger fired and only the snap held it back.
+        decision = decide(1e-4)
+        assert decision is not None
+        assert decision.new_cuts[0] < 0.5
+
+    def test_window_expiry_forgets_old_intervals(self):
+        tracker = make_tracker()
+        # One heavily skewed interval followed by max_batches balanced
+        # ones: the skewed interval must age out of the estimate.
+        tracker.note_stores(np.full(5000, 0.9))
+        tracker.on_boundary(0)
+        rng = np.random.default_rng(4)
+        for boundary in range(1, 5):
+            tracker.note_stores(rng.uniform(0.0, 1.0, 500))
+            tracker.on_boundary(boundary)
+        estimate, total = tracker._estimate()
+        assert total == 4 * 500
+        assert estimate.max() < 1.3 * total / 4
+
+    def test_nan_samples_are_ignored(self):
+        tracker = make_tracker()
+        values = np.full(600, 0.9)
+        values[::3] = np.nan
+        tracker.note_stores(values)
+        decision = tracker.on_boundary(0)
+        if decision is not None:
+            assert not any(np.isnan(c) for c in decision.new_cuts)
+        for __, __, sample in tracker._intervals:
+            assert not np.isnan(sample).any()
+
+    def test_decisions_are_chunking_invariant(self):
+        """The same interval totals yield the same decision no matter
+        how the router chunked them into micro-batches."""
+        rng = np.random.default_rng(5)
+        stores = np.concatenate(
+            [rng.uniform(0.8, 0.9, 400), rng.uniform(0.0, 1.0, 100)]
+        )
+
+        def drive(chunk):
+            tracker = make_tracker()
+            out = []
+            for boundary in range(4):
+                for i in range(0, len(stores), chunk):
+                    tracker.note_stores(stores[i : i + chunk])
+                decision = tracker.on_boundary(boundary)
+                out.append(
+                    None if decision is None else decision.new_cuts
+                )
+                if decision is not None:
+                    tracker.apply(
+                        tracker.shards.with_cuts(decision.new_cuts)
+                    )
+            return out
+
+        assert drive(1) == drive(7) == drive(500)
+
+
+def _export(shard, affected, new_cuts, batches):
+    return {
+        "epoch": 1,
+        "shard": shard,
+        "affected": list(affected),
+        "expected": len(affected),
+        "new_cuts": list(new_cuts),
+        "batches": batches,
+    }
+
+
+def _batch(batch_id, rows):
+    """Build a batch state from (partition_value, filter_value, tid)."""
+    rows = sorted(rows)
+    run0 = SortedRun(
+        [v for v, __, __ in rows], [t for __, __, t in rows]
+    )
+    by_filter = sorted((f, t, v) for v, f, t in rows)
+    run1 = SortedRun(
+        [f for f, __, __ in by_filter], [t for __, t, __ in by_filter]
+    )
+    return batch_state(
+        build_merge_batch_from_runs(batch_id, q3(), [run0, run1], None)
+    )
+
+
+class TestResliceExports:
+    def test_reslice_rehomes_rows_by_new_cuts(self):
+        # Two affected shards under old cut 0.5; the new cut 0.7 moves
+        # [0.5, 0.7) rows from shard 1 into shard 0.
+        exports = [
+            _export(0, [0, 1], [0.7], [_batch(3, [(0.1, 0.9, 1), (0.4, 0.2, 2)])]),
+            _export(1, [0, 1], [0.7], [_batch(3, [(0.55, 0.5, 3), (0.9, 0.1, 4)])]),
+        ]
+        assignments = reslice_exports(exports)
+        shards = RangeShards([0.7])
+        assert sorted(assignments) == [0, 1]
+        shard0 = batch_from_state(assignments[0][0])
+        shard1 = batch_from_state(assignments[1][0])
+        assert shard0.left.runs[0].tids == [1, 2, 3]
+        assert shard1.left.runs[0].tids == [4]
+        for shard, batch in ((0, shard0), (1, shard1)):
+            run0 = batch.left.runs[0]
+            assert (shards.owner_of(run0.values) == shard).all()
+            # Run invariants survive the merge: sorted by value, and the
+            # filter run holds exactly the same tid set.
+            assert list(run0.values) == sorted(run0.values)
+            assert sorted(batch.left.runs[1].tids) == sorted(run0.tids)
+
+    def test_reslice_preserves_intervals_separately(self):
+        exports = [
+            _export(0, [0, 1], [0.3], [_batch(1, [(0.1, 0.5, 1)])]),
+            _export(
+                1,
+                [0, 1],
+                [0.3],
+                [_batch(1, [(0.6, 0.5, 2)]), _batch(2, [(0.2, 0.5, 3)])],
+            ),
+        ]
+        assignments = reslice_exports(exports)
+        assert [s["batch_id"] for s in assignments[0]] == [1, 2]
+        # Interval 1's surviving shard-1 row stays in interval 1.
+        assert [s["batch_id"] for s in assignments[1]] == [1]
+
+    def test_movement_outside_affected_set_raises(self):
+        # Row at 0.9 belongs to shard 2 under cuts [0.3, 0.7], but only
+        # shards {0, 1} claim to be affected — the closure proof is
+        # violated and the reslice must fail loudly.
+        exports = [
+            _export(0, [0, 1], [0.3, 0.7], [_batch(1, [(0.9, 0.5, 1)])]),
+            _export(1, [0, 1], [0.3, 0.7], []),
+        ]
+        with pytest.raises(RuntimeError):
+            reslice_exports(exports)
+
+    def test_empty_exports(self):
+        assert reslice_exports([]) == {}
