@@ -11,11 +11,13 @@ so are unseeded constructions (``random.Random()`` with no arguments,
 
 Seeded constructions — ``random.Random(seed)``,
 ``np.random.default_rng(seed)`` — are the sanctioned replacements and
-pass the rule.  A seed *expression* that derives from the process id or
-the wall clock (``os.getpid()``, ``time.time()``, …) is still flagged:
-those are the classic multiprocessing-worker bugs that make per-worker
-randomness unreplayable.  Worker entrypoints must spawn their generator
-from the run's root seed (:func:`repro.parallel.seeds.spawn_seed`).
+pass the rule.  A seed *expression* that derives from the process id,
+the wall clock, or interpreter identity (``os.getpid()``,
+``time.time()``, ``hash()`` — salted per interpreter —, ``id()``, …) is
+still flagged: those are the classic multiprocessing-worker bugs that
+make per-worker randomness unreplayable.  Worker entrypoints and
+supervisor respawn/jitter paths must spawn their generator from the
+run's root seed (:func:`repro.parallel.seeds.spawn_seed`).
 """
 
 from __future__ import annotations
@@ -51,6 +53,11 @@ VOLATILE_SEED_SOURCES = {
     "time.monotonic_ns",
     "time.perf_counter",
     "time.perf_counter_ns",
+    # Interpreter-identity builtins: str/bytes hash() is salted per
+    # process (PYTHONHASHSEED) and id() is an address — a respawn
+    # jitter seeded from either backs off differently every run.
+    "hash",
+    "id",
 }
 
 

@@ -1099,6 +1099,206 @@ def _skew(args) -> None:
     )
 
 
+def _chaos(args) -> None:
+    """Process chaos: injected worker kills/stalls vs failure-free runs.
+
+    For each worker count the sharded SPO topology runs under the
+    parallel executor with a seeded real-process fault plan: 0, 1, and 3
+    SIGKILLs per run (round-robin across workers, injection points drawn
+    from the fault seed), plus one hung-worker stall that must trip the
+    liveness timeout.  Every run — faulted or not — must reproduce the
+    simulated single-process reference fingerprint bit for bit, every
+    faulted run must report at least one supervised restart, and no
+    child process may outlive its run; any violation aborts with a
+    non-zero exit.  ``--kill-rate`` adds a Poisson plan row
+    (:class:`~repro.dspe.faults.ProcessFaultConfig`) on top of the
+    deterministic sweep.  The recovery overhead column is each faulted
+    run's wall clock relative to the failure-free run at the same worker
+    count.
+    """
+    import multiprocessing
+
+    from ..dspe import (
+        ProcessFaultConfig,
+        WorkerFaultEvent,
+        WorkerFaultPlan,
+        build_process_fault_plan,
+    )
+    from ..joins import build_spo_sharded_topology
+    from ..parallel import (
+        ParallelExecutor,
+        SupervisorConfig,
+        reduce_sharded_result,
+        spawn_seed,
+    )
+    from ..workloads import self_stream, timed
+
+    query = q3()
+    n = args.tuples or 3000
+    window = WindowSpec.count(1000, 250)
+    batch_size = 7
+    num_shards = 3
+    horizon = 64
+    workers = [int(w) for w in (args.workers or "1,2,4").split(",")]
+    if any(w < 1 for w in workers):
+        raise SystemExit("--workers entries must be >= 1")
+
+    def source():
+        return timed(self_stream(n, correlation=0.5, seed=2), rate=1000.0)
+
+    ref_fp = run_topology(
+        build_spo_local_topology(source(), query, window, batch_size=batch_size)
+    ).result_fingerprint()
+
+    def kill_plan(num_workers: int, kills: int) -> WorkerFaultPlan:
+        import random
+
+        rng = random.Random(
+            spawn_seed(args.fault_seed, "chaos", num_workers * 100 + kills)
+        )
+        events = [
+            WorkerFaultEvent(
+                worker=i % num_workers,
+                incarnation=i // num_workers,
+                at_message=rng.randint(1, horizon),
+                kind="kill",
+            )
+            for i in range(kills)
+        ]
+        return WorkerFaultPlan(events, seed=args.fault_seed)
+
+    def stall_plan(num_workers: int) -> WorkerFaultPlan:
+        import random
+
+        rng = random.Random(spawn_seed(args.fault_seed, "chaos-stall", num_workers))
+        return WorkerFaultPlan(
+            [
+                WorkerFaultEvent(
+                    worker=0,
+                    incarnation=0,
+                    at_message=rng.randint(1, horizon),
+                    kind="stall",
+                    stall_seconds=60.0,
+                )
+            ],
+            seed=args.fault_seed,
+        )
+
+    def supervision() -> SupervisorConfig:
+        return SupervisorConfig(
+            heartbeat_interval=0.1, liveness_timeout=1.5, max_restarts=8
+        )
+
+    table = ResultTable(
+        f"Parallel chaos, Q3 self join, {n} tuples "
+        "(fingerprint vs simulated reference)",
+        [
+            "workers",
+            "plan",
+            "wall s",
+            "overhead",
+            "restarts",
+            "replayed",
+            "identical",
+        ],
+    )
+    rows = []
+    for num_workers in workers:
+        plans = [(f"kills={k}", kill_plan(num_workers, k)) for k in (0, 1, 3)]
+        plans.append(("stall=1", stall_plan(num_workers)))
+        if args.kill_rate is not None:
+            config = ProcessFaultConfig(
+                kill_rate=args.kill_rate, horizon_messages=horizon
+            )
+            plans.append(
+                (
+                    f"poisson={args.kill_rate:g}",
+                    build_process_fault_plan(
+                        config, num_workers, args.fault_seed
+                    ),
+                )
+            )
+        clean_wall = None
+        for label, plan in plans:
+            faults = plan.kill_count() + plan.stall_count()
+            topo = build_spo_sharded_topology(
+                source(), query, window, num_shards, batch_size=batch_size
+            )
+            res = ParallelExecutor(
+                topo,
+                num_workers=num_workers,
+                supervisor=supervision(),
+                process_faults=plan if faults else None,
+            ).run()
+            reduce_sharded_result(res)
+            identical = res.result_fingerprint() == ref_fp
+            report = res.supervisor
+            leaked = multiprocessing.active_children()
+            if clean_wall is None:
+                clean_wall = res.wall_seconds
+            overhead = res.wall_seconds / clean_wall if clean_wall else None
+            table.add_row(
+                num_workers,
+                label,
+                round(res.wall_seconds, 3),
+                f"{overhead:.2f}x" if overhead is not None else "-",
+                report.restarts,
+                report.replayed_items,
+                identical,
+            )
+            rows.append(
+                {
+                    "workers": num_workers,
+                    "plan": label,
+                    "injected_kills": plan.kill_count(),
+                    "injected_stalls": plan.stall_count(),
+                    "plan_fingerprint": plan.fingerprint(),
+                    "wall_seconds": res.wall_seconds,
+                    "overhead_vs_clean": overhead,
+                    "restarts": report.restarts,
+                    "crashes": report.crashes,
+                    "stalls": report.stalls,
+                    "replayed_items": report.replayed_items,
+                    "checkpoints": report.checkpoints,
+                    "duplicates_dropped": report.duplicates_dropped,
+                    "divergent_records": report.divergent_records,
+                    "identical": identical,
+                    "leaked_children": len(leaked),
+                }
+            )
+            if not identical:
+                raise SystemExit(
+                    f"chaos parity violated: workers={num_workers} "
+                    f"plan={label} diverged from the simulated reference"
+                )
+            if faults and report.restarts == 0:
+                raise SystemExit(
+                    f"chaos plan {label} at workers={num_workers} injected "
+                    f"{faults} fault(s) but the supervisor reported zero "
+                    "restarts"
+                )
+            if leaked:
+                raise SystemExit(
+                    f"chaos run workers={num_workers} plan={label} leaked "
+                    f"{len(leaked)} child process(es)"
+                )
+    table.show()
+    _write_json(
+        args,
+        "chaos",
+        {
+            "experiment": "chaos",
+            "query": "q3_self_join",
+            "stream_tuples": n,
+            "window": {"size": 1000, "slide": 250, "kind": "count"},
+            "batch_size": batch_size,
+            "num_shards": num_shards,
+            "fault_seed": args.fault_seed,
+            "results": rows,
+        },
+    )
+
+
 def _write_json(args, key: str, payload) -> None:
     """Merge one experiment's payload under ``key`` in ``--json-out``.
 
@@ -1137,6 +1337,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "overload": _overload,
     "scaleup": _scaleup,
     "skew": _skew,
+    "chaos": _chaos,
     "trace": _trace,
     "report": _report,
 }
@@ -1221,8 +1422,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workers",
         default=None,
-        help="scaleup/skew experiments: comma-separated worker counts "
-        "(default 1,2,4); scaleup's num_shards tracks num_workers",
+        help="scaleup/skew/chaos experiments: comma-separated worker "
+        "counts (default 1,2,4); scaleup's num_shards tracks num_workers",
+    )
+    parser.add_argument(
+        "--kill-rate",
+        type=float,
+        default=None,
+        help="chaos experiment: add a Poisson fault-plan row with this "
+        "expected number of kills per worker (on top of the "
+        "deterministic 0/1/3-kill sweep)",
     )
     parser.add_argument(
         "--tuples",
@@ -1244,6 +1453,8 @@ def main(argv=None) -> int:
         parser.error("--queue-capacity must be >= 1")
     if args.tuples is not None and args.tuples < 1:
         parser.error("--tuples must be >= 1")
+    if args.kill_rate is not None and args.kill_rate < 0:
+        parser.error("--kill-rate must be non-negative")
 
     if args.list:
         for name, fn in sorted(EXPERIMENTS.items()):

@@ -24,7 +24,13 @@ from .spojoin import SPOJoin
 from .tuples import StreamTuple
 from .window import WindowKind, WindowSpec
 
-__all__ = ["checkpoint", "restore", "batch_state", "batch_from_state"]
+__all__ = [
+    "checkpoint",
+    "restore",
+    "batch_state",
+    "batch_from_state",
+    "component_tuples",
+]
 
 _FORMAT_VERSION = 1
 
@@ -111,9 +117,9 @@ def checkpoint(join: SPOJoin) -> Dict[str, Any]:
         "deferred_merges": join.deferred_merges,
         "expired_batches": join.immutable.expired_batches,
         "mutable": {
-            "left": _component_tuples(join.mutable_left),
+            "left": component_tuples(join.mutable_left),
             "right": (
-                _component_tuples(join.mutable_right)
+                component_tuples(join.mutable_right)
                 if join.mutable_right is not None
                 else None
             ),
@@ -135,14 +141,16 @@ def checkpoint(join: SPOJoin) -> Dict[str, Any]:
     return state
 
 
-def _component_tuples(component) -> List[Dict[str, Any]]:
+def component_tuples(component) -> List[Dict[str, Any]]:
     """Serialize a mutable component's tuples in arrival order.
 
     Reads the component's columnar arena directly, so the snapshot holds
     the *exact* payload of every windowed tuple — all fields (including
     ones no predicate references, which the historical tree-based
     reconstruction had to zero-fill), stream names, and event times —
-    still as plain JSON-serializable Python data.
+    still as plain JSON-serializable Python data.  Public because the
+    sharded operator's checkpoint (:mod:`repro.parallel.spo_shard`)
+    serializes its mutable window through the same path.
     """
     arena = component.arena
     tids = arena.tid_column().tolist()

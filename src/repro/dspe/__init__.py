@@ -16,7 +16,16 @@ from .engine import (
     RunResult,
     TupleBatch,
 )
-from .faults import CrashEvent, FaultConfig, FaultPlan, build_fault_plan
+from .faults import (
+    CrashEvent,
+    FaultConfig,
+    FaultPlan,
+    ProcessFaultConfig,
+    WorkerFaultEvent,
+    WorkerFaultPlan,
+    build_fault_plan,
+    build_process_fault_plan,
+)
 from .flow import DeadLetter, FlowConfig, FlowController, FlowMetrics, RetryPolicy
 from .metrics import (
     LatencyCollector,
@@ -27,7 +36,7 @@ from .metrics import (
     percentile,
     summarize,
 )
-from .recovery import RecoveryConfig, RecoveryManager
+from .recovery import RecoveryConfig, RecoveryManager, ReplayDeduper, ReplayLog
 from .partitioning import Grouping
 from .pe import ProcessingElement
 from .router import RawTuple, RouterOperator
@@ -59,8 +68,14 @@ __all__ = [
     "FaultConfig",
     "FaultPlan",
     "build_fault_plan",
+    "ProcessFaultConfig",
+    "WorkerFaultEvent",
+    "WorkerFaultPlan",
+    "build_process_fault_plan",
     "RecoveryConfig",
     "RecoveryManager",
+    "ReplayDeduper",
+    "ReplayLog",
     "RecoveryMetrics",
     "FlowConfig",
     "FlowController",

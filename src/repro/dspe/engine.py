@@ -289,6 +289,7 @@ class RunResult:
         redeliveries: int = 0,
         duplicates_dropped: int = 0,
         redeliveries_exhausted: int = 0,
+        supervisor=None,
     ) -> None:
         self.records = records
         self.pes = pes
@@ -314,6 +315,10 @@ class RunResult:
         self.redeliveries = redeliveries
         self.duplicates_dropped = duplicates_dropped
         self.redeliveries_exhausted = redeliveries_exhausted
+        #: :class:`~repro.parallel.supervisor.SupervisorReport` when the
+        #: run executed on the process substrate with supervision, else
+        #: None (simulated runs report recovery via ``recovery``).
+        self.supervisor = supervisor
 
     @property
     def dead_letters(self):
@@ -816,7 +821,7 @@ class Engine(Executor):
             if kind == _CHECKPOINT:
                 latest = when
                 for pe in mgr.protected_pes():
-                    if pe.down:
+                    if pe.down or not pe.operator.checkpoint_ready():
                         continue
                     latest = max(latest, self._checkpoint_pe(pe, when))
                 sim_end = max(sim_end, latest)
@@ -861,9 +866,12 @@ class Engine(Executor):
                 sim_end = max(sim_end, when)
                 continue
             if mgr is not None and mgr.protects(pe):
-                if mgr.log_is_full(pe):
+                if mgr.log_is_full(pe) and pe.operator.checkpoint_ready():
                     # Bounded replay buffer: force a checkpoint (which
                     # truncates the log) before accepting more work.
+                    # An operator mid-protocol (checkpoint_ready False)
+                    # defers the force; the log keeps growing until the
+                    # state is self-contained again.
                     self._checkpoint_pe(pe, when, forced=True)
                 mgr.log_delivery(pe, message)
             completion = self._serve(heap, ctx, pe, message, when)
@@ -1004,7 +1012,7 @@ class Engine(Executor):
             self._replaying = False
             self._replay_routing = False
         for message in mgr.drain_held(pe):
-            if mgr.log_is_full(pe):
+            if mgr.log_is_full(pe) and pe.operator.checkpoint_ready():
                 self._checkpoint_pe(pe, completion, forced=True)
             mgr.log_delivery(pe, message)
             completion = self._serve(heap, ctx, pe, message, completion)
@@ -1258,7 +1266,7 @@ class Engine(Executor):
             st.pressured = False
         mgr = self.recovery_manager
         if mgr is not None and mgr.protects(pe):
-            if mgr.log_is_full(pe):
+            if mgr.log_is_full(pe) and pe.operator.checkpoint_ready():
                 self._checkpoint_pe(pe, when, forced=True)
             mgr.log_delivery(pe, message)
         completion = self._serve(heap, ctx, pe, message, arrival, flow_st=st)

@@ -28,7 +28,16 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["CrashEvent", "FaultConfig", "FaultPlan", "build_fault_plan"]
+__all__ = [
+    "CrashEvent",
+    "FaultConfig",
+    "FaultPlan",
+    "build_fault_plan",
+    "WorkerFaultEvent",
+    "ProcessFaultConfig",
+    "WorkerFaultPlan",
+    "build_process_fault_plan",
+]
 
 
 class CrashEvent:
@@ -251,6 +260,229 @@ def build_fault_plan(
         )
 
     return FaultPlan(crashes, delay_spikes, cache_partitions, seed)
+
+
+# ---------------------------------------------------------------------------
+# Real-process fault plans (repro.parallel)
+# ---------------------------------------------------------------------------
+
+
+class WorkerFaultEvent:
+    """One scheduled fault inside a real worker process.
+
+    ``at_message`` counts data messages dequeued *within the given
+    incarnation* of the worker: incarnation 0 is the original spawn,
+    each supervisor respawn bumps it by one.  Counting per incarnation
+    (rather than globally) keeps successive kills for one worker
+    well-defined — after a respawn replays the log, the next event fires
+    relative to the fresh process, not an unknowable global offset.
+
+    ``kind`` is ``"kill"`` (SIGKILL self at the injection point, before
+    the message is processed, so the in-flight batch is lost and must be
+    replayed) or ``"stall"`` (sleep ``stall_seconds`` without replying,
+    exercising the supervisor's liveness-timeout path).
+    """
+
+    __slots__ = ("worker", "incarnation", "at_message", "kind", "stall_seconds")
+
+    def __init__(
+        self,
+        worker: int,
+        incarnation: int,
+        at_message: int,
+        kind: str = "kill",
+        stall_seconds: float = 0.0,
+    ) -> None:
+        if worker < 0:
+            raise ValueError("worker index must be non-negative")
+        if incarnation < 0:
+            raise ValueError("incarnation must be non-negative")
+        if at_message < 1:
+            raise ValueError("at_message counts from 1")
+        if kind not in ("kill", "stall"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if kind == "stall" and stall_seconds <= 0:
+            raise ValueError("stall events need a positive stall_seconds")
+        self.worker = worker
+        self.incarnation = incarnation
+        self.at_message = at_message
+        self.kind = kind
+        self.stall_seconds = stall_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerFaultEvent(w{self.worker}#{self.incarnation} "
+            f"@msg{self.at_message} {self.kind})"
+        )
+
+
+class ProcessFaultConfig:
+    """Chaos knobs for the real-process executor.
+
+    Parameters
+    ----------
+    kill_rate:
+        Expected SIGKILLs *per worker* over the run (Poisson-sampled
+        per worker).  A worker drawing k kills gets one per incarnation
+        ``0..k-1``, so every injected kill actually fires and the run
+        always terminates.
+    stall_rate:
+        Expected stalls per worker.  Stalls are scheduled in the
+        incarnations after a worker's kills so the two injectors
+        compose.
+    horizon_messages:
+        Injection points are drawn uniformly from
+        ``1..horizon_messages`` (message ordinal within the
+        incarnation).  Callers size this to roughly the per-worker
+        message count so faults land while data is flowing.
+    stall_seconds:
+        Sleep length of a stall event — set it well above the
+        supervisor's liveness timeout so the stall is detected rather
+        than ridden out.
+    workers:
+        Worker indices eligible for faults; ``None`` means all.
+    events:
+        Explicit :class:`WorkerFaultEvent` schedule.  When given it is
+        used verbatim and the rates are ignored — the chaos bench uses
+        this for guaranteed, stable fault placement.
+    seed:
+        Plan seed; ``None`` inherits the seed passed to
+        :func:`build_process_fault_plan`.
+    """
+
+    def __init__(
+        self,
+        kill_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        horizon_messages: int = 64,
+        stall_seconds: float = 30.0,
+        workers: Optional[Sequence[int]] = None,
+        events: Optional[Sequence[WorkerFaultEvent]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if kill_rate < 0 or stall_rate < 0:
+            raise ValueError("fault rates must be non-negative")
+        if horizon_messages < 1:
+            raise ValueError("horizon_messages must be >= 1")
+        if stall_seconds <= 0:
+            raise ValueError("stall_seconds must be positive")
+        self.kill_rate = kill_rate
+        self.stall_rate = stall_rate
+        self.horizon_messages = horizon_messages
+        self.stall_seconds = stall_seconds
+        self.workers = list(workers) if workers is not None else None
+        self.events = list(events) if events is not None else None
+        self.seed = seed
+
+
+class WorkerFaultPlan:
+    """A concrete per-worker, per-incarnation fault schedule.
+
+    The plan is built once in the parent and shipped (pickled) to each
+    worker, which consults :meth:`events_for` with its own index and
+    incarnation — no randomness is ever drawn inside a worker, so a
+    chaos run is reproducible from the single plan seed.
+    """
+
+    def __init__(self, events: List[WorkerFaultEvent], seed: int) -> None:
+        self.events = sorted(
+            events, key=lambda e: (e.worker, e.incarnation, e.at_message)
+        )
+        self.seed = seed
+        self._by_slot: Dict[Tuple[int, int], List[WorkerFaultEvent]] = {}
+        for event in self.events:
+            self._by_slot.setdefault(
+                (event.worker, event.incarnation), []
+            ).append(event)
+
+    def events_for(self, worker: int, incarnation: int) -> List[WorkerFaultEvent]:
+        return list(self._by_slot.get((worker, incarnation), []))
+
+    def kill_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "kill")
+
+    def stall_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "stall")
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of the plan (determinism tests)."""
+        return tuple(
+            (e.worker, e.incarnation, e.at_message, e.kind, e.stall_seconds)
+            for e in self.events
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerFaultPlan(kills={self.kill_count()}, "
+            f"stalls={self.stall_count()}, seed={self.seed})"
+        )
+
+
+def build_process_fault_plan(
+    config: ProcessFaultConfig, num_workers: int, seed: int
+) -> WorkerFaultPlan:
+    """Expand a :class:`ProcessFaultConfig` into a deterministic schedule.
+
+    The same ``(config, num_workers, seed)`` always yields the same
+    plan.  Workers are visited in index order and each consumes its own
+    draws, so adding a worker never perturbs the others' schedules
+    beyond the shared RNG stream.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if config.seed is not None:
+        seed = config.seed
+    rng = random.Random(seed)
+
+    if config.events is not None:
+        for event in config.events:
+            if event.worker >= num_workers:
+                raise ValueError(
+                    f"fault target worker {event.worker} out of range "
+                    f"(num_workers {num_workers})"
+                )
+        return WorkerFaultPlan(list(config.events), seed)
+
+    targets = (
+        sorted(set(config.workers))
+        if config.workers is not None
+        else list(range(num_workers))
+    )
+    events: List[WorkerFaultEvent] = []
+    for worker in targets:
+        if not 0 <= worker < num_workers:
+            raise ValueError(
+                f"fault target worker {worker} out of range "
+                f"(num_workers {num_workers})"
+            )
+        kills = _poisson(rng, config.kill_rate)
+        stalls = _poisson(rng, config.stall_rate)
+        incarnation = 0
+        for __ in range(kills):
+            events.append(
+                WorkerFaultEvent(
+                    worker,
+                    incarnation,
+                    rng.randint(1, config.horizon_messages),
+                    kind="kill",
+                )
+            )
+            incarnation += 1
+        # Stalls land in the incarnations after the kills: a stalled
+        # worker is killed and respawned by the supervisor, so each
+        # stall also consumes an incarnation.
+        for __ in range(stalls):
+            events.append(
+                WorkerFaultEvent(
+                    worker,
+                    incarnation,
+                    rng.randint(1, config.horizon_messages),
+                    kind="stall",
+                    stall_seconds=config.stall_seconds,
+                )
+            )
+            incarnation += 1
+    return WorkerFaultPlan(events, seed)
 
 
 def _check_target(component: str, index: int, parallelism: Dict[str, int]) -> None:

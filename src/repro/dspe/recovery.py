@@ -41,7 +41,109 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .metrics import RecoveryMetrics
 from .pe import ProcessingElement
 
-__all__ = ["RecoveryConfig", "RecoveryManager"]
+__all__ = ["RecoveryConfig", "RecoveryManager", "ReplayDeduper", "ReplayLog"]
+
+
+class ReplayDeduper:
+    """Result dedup shared by the simulated and process recovery layers.
+
+    Replaying post-checkpoint deliveries re-emits records the failed
+    unit already produced; the dedup key ``(scope, name, tid-or-repr)``
+    makes the second occurrence droppable.  Because replay is
+    deterministic, a duplicate's payload must match the first admission
+    byte for byte — a mismatch is counted as *divergent* and indicates
+    a recovery bug (wrong checkpoint restored, wrong replay order).
+
+    ``scope`` is whatever identifies the emitting unit: the PE name in
+    the simulator, ``(component, pe_index)`` under the process executor.
+    """
+
+    __slots__ = ("_seen", "admitted", "duplicates", "divergent")
+
+    def __init__(self) -> None:
+        # key -> payload digest of the first admission.
+        self._seen: Dict[Tuple[object, str, object], str] = {}
+        self.admitted = 0
+        self.duplicates = 0
+        self.divergent = 0
+
+    @staticmethod
+    def key_of(scope: object, name: str, payload: object) -> Tuple[object, str, object]:
+        if isinstance(payload, dict) and "tid" in payload:
+            return (scope, name, payload["tid"])
+        return (scope, name, repr(payload))
+
+    def admit(self, scope: object, name: str, payload: object) -> bool:
+        """True if this record is new; False if it is a replay duplicate."""
+        key = self.key_of(scope, name, payload)
+        digest = repr(payload)
+        first = self._seen.get(key)
+        if first is None:
+            self._seen[key] = digest
+            self.admitted += 1
+            return True
+        self.duplicates += 1
+        if first != digest:
+            self.divergent += 1
+        return False
+
+    def seed(self, scope: object, name: str, payload: object) -> None:
+        """Register an already-delivered record without counting it.
+
+        The process supervisor activates dedup lazily — only once a
+        worker actually restarts — and backfills the records collected
+        before that point through here.
+        """
+        key = self.key_of(scope, name, payload)
+        self._seen.setdefault(key, repr(payload))
+
+
+class ReplayLog:
+    """Bounded log of in-flight deliveries for one recoverable unit.
+
+    Mirrors the simulator's per-PE replay log (see
+    :class:`RecoveryManager`) for the process supervisor: every item fed
+    to a worker since its last acknowledged checkpoint is appended, and
+    a checkpoint ack truncates everything at or below the acknowledged
+    sequence number.  ``is_full`` tells the owner to *force* a
+    checkpoint before logging more — the log is a bounded replay
+    buffer, never an unbounded history.
+    """
+
+    __slots__ = ("capacity", "_items", "truncated_through")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("replay log capacity must be >= 1")
+        self.capacity = capacity
+        #: ``(seq, item)`` pairs in feed order.
+        self._items: List[Tuple[int, object]] = []
+        self.truncated_through = -1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def append(self, seq: int, item: object) -> None:
+        self._items.append((seq, item))
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop entries with sequence <= ``seq``; returns dropped count."""
+        before = len(self._items)
+        self._items = [(s, item) for s, item in self._items if s > seq]
+        self.truncated_through = max(self.truncated_through, seq)
+        return before - len(self._items)
+
+    def replay_items(self) -> List[Tuple[int, object]]:
+        """Entries to re-feed after a restart, in original feed order.
+
+        The log is kept: a second crash before the next checkpoint ack
+        replays them again.
+        """
+        return list(self._items)
 
 
 class RecoveryConfig:
@@ -107,9 +209,9 @@ class RecoveryManager:
         self.config = config
         self.metrics = RecoveryMetrics()
         self._states: Dict[str, _PEState] = {}
-        # Result dedup: (pe name, record name, tid-or-repr) -> payload
-        # digest of the first admission.
-        self._seen: Dict[Tuple[str, str, object], str] = {}
+        # Result dedup keyed on (pe name, record name, tid-or-repr);
+        # shared implementation with the process supervisor.
+        self._deduper = ReplayDeduper()
 
     # -- registration ---------------------------------------------------
     def register(self, pe: ProcessingElement) -> None:
@@ -196,15 +298,11 @@ class RecoveryManager:
         as divergent — replay is deterministic, so this only happens
         when recovery restored the wrong state.
         """
-        if isinstance(payload, dict) and "tid" in payload:
-            key = (pe.name, name, payload["tid"])
-        else:
-            key = (pe.name, name, repr(payload))
-        digest = repr(payload)
-        first = self._seen.get(key)
-        if first is None:
-            self._seen[key] = digest
+        divergent_before = self._deduper.divergent
+        if self._deduper.admit(pe.name, name, payload):
             self.metrics.record_admitted()
             return True
-        self.metrics.record_duplicate(divergent=first != digest)
+        self.metrics.record_duplicate(
+            divergent=self._deduper.divergent > divergent_before
+        )
         return False

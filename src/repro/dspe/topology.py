@@ -55,6 +55,17 @@ class Operator:
     def teardown(self, ctx) -> None:
         """Called once when the run drains."""
 
+    def checkpoint_ready(self) -> bool:
+        """Whether the operator can be snapshotted *right now*.
+
+        Operators with transient in-flight protocol state (e.g. a shard
+        joiner whose partitioned state is mid-migration) return False to
+        defer checkpoints until the state is self-contained again; the
+        recovery layers retry at the next opportunity.  Only consulted
+        when ``checkpointable`` is True.
+        """
+        return True
+
     def snapshot_state(self):
         """Plain-data (JSON-serializable) snapshot of operator state.
 

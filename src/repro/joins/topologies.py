@@ -20,6 +20,7 @@ SPO-Join so their records are directly comparable.
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
@@ -481,6 +482,11 @@ class HashJoinerOperator(Operator, _SideRouting):
 
 # ----------------------------------------------------------------------
 # Topology builders
+#
+# Leaf (joiner) factories are functools.partial objects, not lambdas:
+# the parallel executor pickles leaf factories into worker processes
+# under the "spawn"/"forkserver" start methods, and lambdas don't
+# pickle.  Parent-side bolts (routers) may keep closures.
 # ----------------------------------------------------------------------
 def _base(source, batch_size: int = 1, columnar: bool = True) -> Topology:
     topo = Topology()
@@ -504,7 +510,7 @@ def build_chain_topology(
     topo = _base(source, batch_size)
     topo.add_bolt(
         "joiner",
-        lambda: ChainJoinerOperator(query, window),
+        functools.partial(ChainJoinerOperator, query, window),
         parallelism=joiner_pes,
         inputs=[("router", Grouping.broadcast())],
     )
@@ -522,7 +528,7 @@ def build_nlj_topology(
     topo = _base(source, batch_size)
     topo.add_bolt(
         "joiner",
-        lambda: NLJJoinerOperator(query, window, mode=mode),
+        functools.partial(NLJJoinerOperator, query, window, mode=mode),
         parallelism=joiner_pes,
         inputs=[("router", Grouping.broadcast())],
     )
@@ -546,7 +552,7 @@ def build_spo_local_topology(
     topo = _base(source, batch_size, columnar)
     topo.add_bolt(
         "joiner",
-        lambda: SPOJoinerOperator(query, window, **join_kwargs),
+        functools.partial(SPOJoinerOperator, query, window, **join_kwargs),
         parallelism=1,
         inputs=[("router", Grouping.broadcast())],
     )
@@ -609,8 +615,12 @@ def build_spo_sharded_topology(
     )
     topo.add_bolt(
         "joiner",
-        lambda: ShardSPOJoinOperator(
-            query, window, sub_intervals=sub_intervals, **join_kwargs
+        functools.partial(
+            ShardSPOJoinOperator,
+            query,
+            window,
+            sub_intervals=sub_intervals,
+            **join_kwargs,
         ),
         parallelism=num_shards,
         input_streams=[
@@ -638,7 +648,7 @@ def build_hash_join_topology(
     topo = _base(source)
     topo.add_bolt(
         "joiner",
-        lambda: HashJoinerOperator(query, window),
+        functools.partial(HashJoinerOperator, query, window),
         parallelism=joiner_pes,
         inputs=[
             ("router", Grouping.hash_by(lambda t: t.values[pred.left_field]))

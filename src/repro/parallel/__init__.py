@@ -16,11 +16,20 @@ Every topology run under the parallel executor produces records whose
 result fingerprint is bit-identical to the simulated single-process run,
 at every worker count and batch size; worker randomness derives from the
 run seed via :func:`~repro.parallel.seeds.spawn_seed`.
+
+The contract survives real process failures: a
+:class:`~repro.parallel.supervisor.WorkerSupervisor` heartbeats every
+worker, ships merge-boundary state checkpoints to the parent, and on a
+crash or hang respawns the worker, restores its shard state, and
+replays the logged deliveries with exact deduplication — so a chaos run
+with injected SIGKILLs and stalls (:mod:`repro.dspe.faults`) still
+fingerprints identically to a failure-free one.
 """
 
 from .balance import BalanceConfig, RepartitionDecision, ShardLoadTracker
 from .executor import ParallelExecutor, WorkerCrash
 from .seeds import spawn_seed
+from .supervisor import SupervisorConfig, SupervisorReport, WorkerSupervisor
 from .shards import ShardPrefilter, ShardRouterOperator, plan_shard_batches
 from .spo_shard import (
     ShardSPOJoin,
@@ -38,6 +47,9 @@ __all__ = [
     "ParallelExecutor",
     "WorkerCrash",
     "spawn_seed",
+    "SupervisorConfig",
+    "SupervisorReport",
+    "WorkerSupervisor",
     "ShardPrefilter",
     "ShardRouterOperator",
     "plan_shard_batches",

@@ -22,32 +22,47 @@ Wire format: payloads cross process boundaries via their own pickle
 reducers — :class:`~repro.core.arena.ArenaSlice` ships as raw column
 buffers (``to_wire``/``from_wire``), never as per-tuple objects.
 
-Failure semantics: an operator exception inside a worker is shipped back
-as an ``("error", ...)`` reply and re-raised in the parent as
-:class:`WorkerCrash`; a worker that dies without replying (hard crash)
-is detected by liveness polling.  Either way the parent terminates and
-joins every worker before raising — no hangs, no zombies.
+Failure semantics (see :mod:`repro.parallel.supervisor`): an operator
+exception inside a worker is deterministic — it is shipped back as an
+``("error", ...)`` reply and re-raised in the parent as
+:class:`WorkerCrash`.  A worker that *dies* without an error reply, or
+stops answering heartbeats, is recovered by the
+:class:`~repro.parallel.supervisor.WorkerSupervisor`: respawned with
+capped backoff, restored from its last merge-boundary checkpoint, and
+re-fed the logged deliveries, with replayed records deduplicated so
+results stay bit-identical to a failure-free run.  Either way the
+parent drains, terminates, and joins every worker before returning —
+no hangs, no zombies.
+
+Start methods: ``fork`` (default) inherits operator factories through
+the process image; ``mp_context="spawn"`` pickles them instead, so
+factories must then be module-level callables — required for
+portability, and gives respawned workers a clean interpreter.
 """
 
 from __future__ import annotations
 
 import heapq
 import multiprocessing
-import queue
 import time
 from typing import Dict, List, Optional, Tuple
 
 from ..dspe.engine import Executor, Record, RunResult
+from ..dspe.faults import (
+    ProcessFaultConfig,
+    WorkerFaultPlan,
+    build_process_fault_plan,
+)
 from ..dspe.topology import Topology
 from .spo_shard import reslice_exports
+from .supervisor import SupervisorConfig, WorkerSupervisor
 from .wire import MigrateIn, RepartitionMarker
-from .worker import worker_main
 
 __all__ = ["ParallelExecutor", "WorkerCrash"]
 
 
 class WorkerCrash(RuntimeError):
-    """A worker process failed (operator error or hard death)."""
+    """A worker failed fatally (operator error or exhausted recovery)."""
 
     def __init__(
         self,
@@ -138,9 +153,15 @@ class _InlineContext:
 class ParallelExecutor(Executor):
     """Run a topology with leaf PEs hosted in ``num_workers`` processes.
 
-    Uses the ``fork`` start method, so operator factories (typically
-    closures) reach the workers through the process image and are never
-    pickled; only the messages themselves cross queues.
+    ``supervisor`` configures failure detection and recovery
+    (:class:`~repro.parallel.supervisor.SupervisorConfig`; a default one
+    is built when omitted).  ``process_faults`` injects a seeded chaos
+    plan into the workers — either a
+    :class:`~repro.dspe.faults.ProcessFaultConfig` (expanded
+    deterministically against this run's worker count and seed) or a
+    prebuilt :class:`~repro.dspe.faults.WorkerFaultPlan`.  ``obs``
+    receives ``worker_crash`` / ``worker_stall`` / ``worker_restart``
+    events via ``Observer.on_event``.
     """
 
     def __init__(
@@ -152,16 +173,28 @@ class ParallelExecutor(Executor):
         record_chunk: int = 256,
         poll_timeout: float = 0.05,
         join_timeout: float = 30.0,
+        mp_context: str = "fork",
+        supervisor: Optional[SupervisorConfig] = None,
+        process_faults=None,
+        obs=None,
     ) -> None:
         super().__init__(topology)
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if mp_context not in ("fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown mp_context {mp_context!r}")
         self.num_workers = num_workers
         self.seed = seed
         self.queue_capacity = queue_capacity
         self.record_chunk = record_chunk
         self.poll_timeout = poll_timeout
         self.join_timeout = join_timeout
+        self.mp_context = mp_context
+        self.supervisor_config = (
+            supervisor if supervisor is not None else SupervisorConfig()
+        )
+        self.process_faults = process_faults
+        self.obs = obs
         sources = {
             edge.source
             for bolt in topology.bolts.values()
@@ -188,11 +221,7 @@ class ParallelExecutor(Executor):
         self._inline_ops: Dict[str, List] = {}
         self._ictx: Optional[_InlineContext] = None
         self._records: List[Record] = []
-        self._remote_records: List[tuple] = []
-        self._in_qs: List = []
-        self._out_q = None
-        self._procs: List = []
-        self._done: Dict[int, dict] = {}
+        self._supervisor: Optional[WorkerSupervisor] = None
         self._events = 0
         # Adaptive-repartition migration: epochs announced by an inline
         # router but not yet MigrateIn-delivered, and the per-epoch
@@ -200,60 +229,33 @@ class ParallelExecutor(Executor):
         self._migration_epochs: set = set()
         self._migration_board: Dict[int, dict] = {}
 
+    @property
+    def _procs(self) -> List:
+        """Live worker process handles (diagnostics and tests)."""
+        if self._supervisor is None:
+            return []
+        return [state.proc for state in self._supervisor._workers]
+
     # -- reply plumbing -------------------------------------------------
     def _inline_record(self, name: str, payload, origin_time: float) -> None:
         self._records.append(Record(name, payload, origin_time, origin_time, {}))
 
-    def _feed(self, worker_index: int, item) -> None:
-        """Put one item on a worker queue without deadlocking.
+    def _on_worker_event(self, kind: str, widx: int, fields: dict) -> None:
+        if self.obs is not None:
+            self.obs.on_event(kind, 0.0, f"worker[{widx}]", fields)
 
-        The worker may be blocked putting record chunks on the full
-        reply queue while we block putting work on its full input queue;
-        draining replies between put attempts breaks the cycle.
-        """
-        in_q = self._in_qs[worker_index]
-        while True:
-            try:
-                in_q.put(item, timeout=self.poll_timeout)
-                return
-            except queue.Full:
-                self._drain_replies(block=False)
-                self._check_alive()
-
-    def _drain_replies(self, block: bool) -> None:
-        while True:
-            try:
-                reply = self._out_q.get(
-                    timeout=self.poll_timeout if block else 0.0
-                )
-            except queue.Empty:
-                return
-            kind = reply[0]
-            if kind == "records":
-                self._remote_records.extend(reply[2])
-            elif kind == "migrate":
-                self._migration_deposit(reply[2], reply[3])
-            elif kind == "done":
-                self._done[reply[1]] = reply[2]
-            elif kind == "error":
-                __, widx, label, message, tb = reply
-                raise WorkerCrash(widx, label, message, tb)
-            block = False  # at most one blocking get per call
-
-    def _check_alive(self) -> None:
-        for widx, proc in enumerate(self._procs):
-            if widx not in self._done and not proc.is_alive():
-                # Collect anything it sent before dying — if the crash
-                # was an operator exception, the error reply is queued
-                # and _drain_replies raises the detailed WorkerCrash.
-                self._drain_replies(block=False)
-                if widx in self._done:
-                    continue
-                raise WorkerCrash(
-                    widx,
-                    "?",
-                    f"worker process died (exitcode {proc.exitcode})",
-                )
+    def _resolve_fault_plan(self) -> Optional[WorkerFaultPlan]:
+        if self.process_faults is None:
+            return None
+        if isinstance(self.process_faults, WorkerFaultPlan):
+            return self.process_faults
+        if isinstance(self.process_faults, ProcessFaultConfig):
+            return build_process_fault_plan(
+                self.process_faults, self.num_workers, self.seed
+            )
+        raise TypeError(
+            "process_faults must be a ProcessFaultConfig or WorkerFaultPlan"
+        )
 
     def _migration_deposit(self, component: str, blob: dict) -> None:
         """Collect one shard's export; complete the epoch when all are in.
@@ -282,10 +284,9 @@ class ParallelExecutor(Executor):
         )
         now = self._ictx.now if self._ictx is not None else 0.0
         for shard in entry["affected"]:
-            self._feed(
+            self._supervisor.feed(
                 self.placement[(component, shard)],
                 (
-                    "msg",
                     component,
                     shard,
                     MigrateIn(epoch, shard, assignments.get(shard, [])),
@@ -316,9 +317,8 @@ class ParallelExecutor(Executor):
                     # Tracked so the run cannot reach end-of-stream
                     # flush with an epoch's state still in transit.
                     self._migration_epochs.add(pay.epoch)
-                self._feed(
-                    self.placement[(comp, idx)],
-                    ("msg", comp, idx, pay, origin),
+                self._supervisor.feed(
+                    self.placement[(comp, idx)], (comp, idx, pay, origin)
                 )
 
     def _flush_inline(self) -> None:
@@ -381,7 +381,7 @@ class ParallelExecutor(Executor):
 
     def run(self) -> RunResult:
         wall_start = time.perf_counter()  # repro: allow-wallclock
-        mp = multiprocessing.get_context("fork")
+        mp = multiprocessing.get_context(self.mp_context)
         num_pes_map = {
             name: bolt.parallelism for name, bolt in self.topology.bolts.items()
         }
@@ -390,33 +390,26 @@ class ParallelExecutor(Executor):
         ]
         for (comp, idx), widx in self.placement.items():
             assignments[widx].append((comp, idx, self.topology.bolts[comp].factory))
-        self._in_qs = [mp.Queue(self.queue_capacity) for __ in range(self.num_workers)]
-        self._out_q = mp.Queue()
-        self._procs = [
-            mp.Process(
-                target=worker_main,
-                args=(
-                    widx,
-                    assignments[widx],
-                    num_pes_map,
-                    self._in_qs[widx],
-                    self._out_q,
-                    self.seed,
-                    self.record_chunk,
-                ),
-                daemon=True,
-            )
-            for widx in range(self.num_workers)
-        ]
         self._records = []
-        self._remote_records = []
-        self._done = {}
         self._events = 0
         self._migration_epochs = set()
         self._migration_board = {}
+        self._supervisor = sup = WorkerSupervisor(
+            mp,
+            self.num_workers,
+            assignments,
+            num_pes_map,
+            self.seed,
+            self.record_chunk,
+            self.queue_capacity,
+            self.poll_timeout,
+            config=self.supervisor_config,
+            fault_plan=self._resolve_fault_plan(),
+            on_migrate=self._migration_deposit,
+            on_event=self._on_worker_event,
+        )
         try:
-            for proc in self._procs:
-                proc.start()
+            sup.start()
             self._run_inline()
             # End-of-stream barrier for in-flight state migrations: the
             # flush below would find affected shards still holding back
@@ -426,8 +419,7 @@ class ParallelExecutor(Executor):
                 time.monotonic() + self.join_timeout  # repro: allow-wallclock
             )
             while self._migration_epochs or self._migration_board:
-                self._drain_replies(block=True)
-                self._check_alive()
+                sup.pump(block=True)
                 if time.monotonic() > migrate_deadline:  # repro: allow-wallclock
                     raise WorkerCrash(
                         -1,
@@ -436,34 +428,26 @@ class ParallelExecutor(Executor):
                         f"{self.join_timeout}s",
                     )
             for widx in range(self.num_workers):
-                self._feed(widx, ("flush",))
-                self._feed(widx, ("stop",))
+                sup.finish(widx)
             deadline = time.monotonic() + self.join_timeout  # repro: allow-wallclock
-            while len(self._done) < self.num_workers:
-                self._drain_replies(block=True)
-                self._check_alive()
+            while not sup.all_done():
+                sup.pump(block=True)
                 if time.monotonic() > deadline:  # repro: allow-wallclock
                     raise WorkerCrash(
                         -1, "?", f"workers not done within {self.join_timeout}s"
                     )
-            for proc in self._procs:
-                proc.join(self.join_timeout)
+            for state in sup._workers:
+                state.proc.join(self.join_timeout)
         finally:
-            for proc in self._procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in self._procs:
-                proc.join(self.join_timeout)
-            for q in [*self._in_qs, self._out_q]:
-                if q is not None:
-                    q.cancel_join_thread()
-                    q.close()
+            sup.shutdown(self.join_timeout)
         # Canonical record order: remote records sorted by their
         # deterministic (component, pe_index, seq) tag, independent of
-        # how chunk arrivals from different workers interleaved.
-        self._remote_records.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
+        # how chunk arrivals from different workers interleaved — and,
+        # after recovery, independent of how many incarnations produced
+        # them (replayed duplicates were dropped by tag+digest).
+        remote = sorted(sup.records, key=lambda rec: (rec[0], rec[1], rec[2]))
         records = list(self._records)
-        for __, __, __, name, payload, origin_time, marks in self._remote_records:
+        for __, __, __, name, payload, origin_time, marks in remote:
             records.append(Record(name, payload, origin_time, origin_time, marks))
         wall = time.perf_counter() - wall_start  # repro: allow-wallclock
         return RunResult(
@@ -472,4 +456,5 @@ class ParallelExecutor(Executor):
             sim_end=0.0,
             wall_seconds=wall,
             events_processed=self._events,
+            supervisor=sup.report,
         )

@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.arena import ArenaSlice, column_of, event_times_of, tids_of
-from ..core.checkpoint import batch_from_state, batch_state
+from ..core.checkpoint import batch_from_state, batch_state, component_tuples
 from ..core.immutable import get_backend
 from ..core.merge import MergeBatch, _side_from_runs, build_merge_batch_from_runs
 from ..core.mutable import MutableComponent
@@ -52,6 +52,7 @@ from ..core.pojoin import POJoinList
 from ..core.predicates import BandPredicate, Op, Predicate
 from ..core.query import QuerySpec
 from ..core.spojoin import JoinStats
+from ..core.tuples import StreamTuple
 from ..core.window import MergePolicy, WindowSpec
 from ..dspe.engine import Record, RunResult
 from ..dspe.partitioning import RangeShards
@@ -322,6 +323,64 @@ class ShardSPOJoin:
         self._f_hi = hi
 
     # ------------------------------------------------------------------
+    # Checkpointing.  Unlike migration (boundary-only, immutable-only),
+    # a supervisor checkpoint can land between boundaries, so the
+    # snapshot also carries the live mutable window and the prefilter
+    # range — everything a fresh shard needs to continue bit-exactly.
+    def state(self) -> dict:
+        """Snapshot this shard's complete two-tier state as plain data."""
+        return {
+            "mutable": component_tuples(self.mutable),
+            "immutable": [
+                batch_state(batch.batch) for batch in self.immutable.batches
+            ],
+            "expired_batches": self.immutable.expired_batches,
+            "prefiltered_probes": self.prefiltered_probes,
+            "f_lo": self._f_lo,
+            "f_hi": self._f_hi,
+            "stats": {
+                "tuples_processed": self.stats.tuples_processed,
+                "matches_emitted": self.stats.matches_emitted,
+                "merges": self.stats.merges,
+                "expired_batches": self.stats.expired_batches,
+                "mutable_matches": self.stats.mutable_matches,
+                "immutable_matches": self.stats.immutable_matches,
+            },
+        }
+
+    def restore_from(self, state: dict) -> None:
+        """Rebuild from a :meth:`state` snapshot (fresh instance only)."""
+        assert len(self.mutable) == 0 and len(self.immutable) == 0, (
+            "restore_from requires a freshly constructed shard"
+        )
+        for entry in state["mutable"]:
+            self.mutable.insert(
+                StreamTuple(
+                    entry["tid"],
+                    entry["stream"],
+                    entry["values"],
+                    entry["event_time"],
+                )
+            )
+        for batch in state["immutable"]:
+            self.immutable.append(
+                self.batch_factory(self.query, batch_from_state(batch))
+            )
+        self.immutable.expired_batches = state["expired_batches"]
+        self.prefiltered_probes = state["prefiltered_probes"]
+        # The snapshot's range covers the mutable window too, so restore
+        # it verbatim instead of recomputing from the immutable runs.
+        self._f_lo = state["f_lo"]
+        self._f_hi = state["f_hi"]
+        stats = state["stats"]
+        self.stats.tuples_processed = stats["tuples_processed"]
+        self.stats.matches_emitted = stats["matches_emitted"]
+        self.stats.merges = stats["merges"]
+        self.stats.expired_batches = stats["expired_batches"]
+        self.stats.mutable_matches = stats["mutable_matches"]
+        self.stats.immutable_matches = stats["immutable_matches"]
+
+    # ------------------------------------------------------------------
     def mutable_size(self) -> int:
         return len(self.mutable)
 
@@ -349,7 +408,17 @@ class ShardSPOJoinOperator(Operator):
     re-sliced state this shard owns under the new cuts; the buffer then
     replays in arrival order.  Unaffected shards are untouched — their
     tuple sets are identical under both partitions.
+
+    Checkpointable: the worker supervisor snapshots the shard at merge
+    boundaries and after a crash restores a fresh instance from the
+    last snapshot plus a replay of the logged deliveries.
+    :meth:`checkpoint_ready` defers snapshots while a migration is in
+    flight — the shard's state is then split between the executor's
+    migration board and the held-payload buffer, and only becomes
+    self-contained again once ``MigrateIn`` lands.
     """
+
+    checkpointable = True
 
     def __init__(
         self,
@@ -463,6 +532,28 @@ class ShardSPOJoinOperator(Operator):
             raise RuntimeError(
                 "shard joiner flushed with a state migration in flight"
             )
+
+    def checkpoint_ready(self) -> bool:
+        return self._migrating_epoch is None and not self._held
+
+    def snapshot_state(self):
+        # Only called when checkpoint_ready(): self._migrating_epoch is
+        # None and self._held is empty, so the join owns all state.
+        assert self._migrating_epoch is None and not self._held
+        return {
+            "join": self.join.state(),
+            "migrations": self.migrations,
+            "migrated_out": self.migrated_out,
+            "migrated_in": self.migrated_in,
+        }
+
+    def restore_state(self, state) -> None:
+        self.join.restore_from(state["join"])
+        self._migrating_epoch = None
+        self._held = []
+        self.migrations = state["migrations"]
+        self.migrated_out = state["migrated_out"]
+        self.migrated_in = state["migrated_in"]
 
 
 def merge_partial_records(records: Sequence[Record]) -> List[Record]:

@@ -1,0 +1,680 @@
+"""Worker supervision and crash recovery for the shared-nothing executor.
+
+The simulated engine already has the full reliability stack — seeded
+faults, checkpoint/replay, result dedup (:mod:`repro.dspe.faults`,
+:mod:`repro.dspe.recovery`).  :class:`WorkerSupervisor` brings the same
+guarantees to the *real* process substrate: a worker process that dies
+or hangs is respawned and its shard state rebuilt, and the run's result
+multiset stays bit-identical to a failure-free run.
+
+The machinery, per worker:
+
+* **Liveness** — every reply refreshes the worker's liveness stamp.
+  After ``heartbeat_interval`` of silence the supervisor sends a
+  ``("ping", token)`` probe; a worker whose probe goes unanswered for
+  ``liveness_timeout`` is declared hung, killed, and recovered — so a
+  stalled worker costs one timeout interval, not the whole run.
+* **Checkpoints** — workers snapshot their hosted PEs at merge
+  boundaries (and on demand, when the replay log fills) and ship the
+  blob — per-PE ``snapshot_state`` plus record sequence counters — as a
+  ``("ckpt", ...)`` reply.  The acknowledged blob truncates the replay
+  log through the feed sequence it covers, which keeps recovery
+  possible from bounded memory (:class:`~repro.dspe.recovery.ReplayLog`).
+* **Replay log** — every data message is logged *before* it is put on
+  the worker queue, so the log always covers everything the worker
+  might have consumed.  On respawn the worker restores the last
+  checkpoint and the log entries after it are re-fed over a fresh
+  queue (the old queue may hold undelivered items out of order).
+* **Dedup** — replay re-produces records the dead incarnation already
+  shipped.  Record tags ``(component, pe_index, seq)`` are restored
+  from the checkpoint, so replayed records carry byte-identical tags;
+  a per-tag digest (:class:`~repro.dspe.recovery.ReplayDeduper`) drops
+  the second occurrence and counts any payload mismatch as divergent.
+  Dedup activates lazily on a worker's first restart — failure-free
+  runs never pay for it.  Duplicate migration-board deposits (a
+  replayed ``RepartitionMarker`` re-exports shard state) are dropped by
+  their ``(epoch, shard)`` identity the same way.
+* **Backoff** — respawns apply :class:`~repro.dspe.flow.RetryPolicy`
+  capped exponential backoff whose jitter RNG derives from
+  :func:`~repro.parallel.seeds.spawn_seed`, so chaos runs are
+  reproducible; after ``max_restarts`` consecutive failures of one
+  worker the supervisor gives up with a structured reason.
+
+Failure taxonomy: an *operator exception* (shipped as an ``("error",
+...)`` reply) is deterministic — respawning would crash it again — so
+it stays fatal, exactly as before.  *Process death* and *liveness
+expiry* are environmental and recoverable.  A spurious liveness kill of
+a merely-slow worker is safe: recovery is exact, so the results are
+unchanged either way.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dspe.faults import WorkerFaultPlan
+from ..dspe.flow import RetryPolicy
+from ..dspe.recovery import ReplayDeduper, ReplayLog
+from .seeds import spawn_seed
+from .worker import worker_main
+
+__all__ = ["SupervisorConfig", "SupervisorReport", "WorkerSupervisor"]
+
+
+class SupervisorConfig:
+    """Knobs of the worker supervision layer.
+
+    Parameters
+    ----------
+    heartbeat_interval:
+        Seconds of reply silence before a worker is pinged.
+    liveness_timeout:
+        Seconds an outstanding ping may go unanswered before the worker
+        is declared hung and recovered.  Must comfortably exceed the
+        worst single-message processing time — a spurious kill is
+        *correct* but wastes a respawn.
+    max_restarts:
+        Consecutive recoveries tolerated per worker before the
+        supervisor gives up and fails the run.
+    replay_capacity:
+        Replay-log entries per worker before a checkpoint is *forced*
+        (soft bound: a worker that cannot checkpoint keeps its full
+        history instead).
+    retry:
+        Backoff policy for respawns.  ``base=None`` uses
+        ``default_backoff``.  The policy's own seed is ignored — jitter
+        derives from the run seed via ``spawn_seed`` so two runs with
+        the same seed back off identically.
+    default_backoff:
+        Base delay handed to ``retry.delay`` when ``retry.base`` is
+        None.
+    """
+
+    def __init__(
+        self,
+        heartbeat_interval: float = 0.25,
+        liveness_timeout: float = 30.0,
+        max_restarts: int = 3,
+        replay_capacity: int = 4096,
+        retry: Optional[RetryPolicy] = None,
+        default_backoff: float = 0.01,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if liveness_timeout <= 0:
+            raise ValueError("liveness_timeout must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if default_backoff <= 0:
+            raise ValueError("default_backoff must be positive")
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = liveness_timeout
+        self.max_restarts = max_restarts
+        self.replay_capacity = replay_capacity
+        self.retry = retry if retry is not None else RetryPolicy(
+            base=None, factor=2.0, max_delay=0.5, jitter=0.25
+        )
+        self.default_backoff = default_backoff
+
+
+class SupervisorReport:
+    """Structured account of what supervision did during one run."""
+
+    __slots__ = (
+        "crashes",
+        "stalls",
+        "restarts",
+        "replayed_items",
+        "checkpoints",
+        "forced_checkpoint_requests",
+        "duplicates_dropped",
+        "divergent_records",
+        "duplicate_migrations",
+        "backoff_total_s",
+        "gave_up",
+        "per_worker",
+    )
+
+    def __init__(self) -> None:
+        self.crashes = 0
+        self.stalls = 0
+        self.restarts = 0
+        self.replayed_items = 0
+        self.checkpoints = 0
+        self.forced_checkpoint_requests = 0
+        self.duplicates_dropped = 0
+        self.divergent_records = 0
+        self.duplicate_migrations = 0
+        self.backoff_total_s = 0.0
+        #: Reason the supervisor abandoned recovery, or None.
+        self.gave_up: Optional[str] = None
+        #: worker index -> {"crashes", "stalls", "restarts"}.
+        self.per_worker: Dict[int, Dict[str, int]] = {}
+
+    def _worker(self, widx: int) -> Dict[str, int]:
+        return self.per_worker.setdefault(
+            widx, {"crashes": 0, "stalls": 0, "restarts": 0}
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "stalls": self.stalls,
+            "restarts": self.restarts,
+            "replayed_items": self.replayed_items,
+            "checkpoints": self.checkpoints,
+            "forced_checkpoint_requests": self.forced_checkpoint_requests,
+            "duplicates_dropped": self.duplicates_dropped,
+            "divergent_records": self.divergent_records,
+            "duplicate_migrations": self.duplicate_migrations,
+            "backoff_total_s": self.backoff_total_s,
+            "gave_up": self.gave_up,
+            "per_worker": {
+                str(widx): dict(stats)
+                for widx, stats in sorted(self.per_worker.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SupervisorReport(crashes={self.crashes}, "
+            f"stalls={self.stalls}, restarts={self.restarts}, "
+            f"replayed={self.replayed_items}, gave_up={self.gave_up!r})"
+        )
+
+
+class _WorkerState:
+    """Supervision bookkeeping for one worker slot."""
+
+    __slots__ = (
+        "proc",
+        "in_q",
+        "incarnation",
+        "log",
+        "next_seq",
+        "checkpoint",
+        "done",
+        "finish_stage",
+        "last_reply",
+        "ping_token",
+        "pending_ping",
+        "force_outstanding",
+        "can_checkpoint",
+        "consecutive_restarts",
+        "dedup_active",
+    )
+
+    def __init__(self) -> None:
+        self.proc = None
+        self.in_q = None
+        self.incarnation = 0
+        self.log: Optional[ReplayLog] = None
+        self.next_seq = 0
+        #: Last acknowledged checkpoint blob (restore payload).
+        self.checkpoint: Optional[dict] = None
+        self.done = False
+        #: 0 = streaming, 1 = flush sent, 2 = stop sent.
+        self.finish_stage = 0
+        self.last_reply = 0.0
+        self.ping_token = 0
+        #: (token, first_attempt, delivered) of the unanswered probe,
+        #: if any.  ``delivered`` is False while the worker's input
+        #: queue is too full to accept the ping; the probe still counts
+        #: toward liveness and the put is retried on every check.
+        self.pending_ping: Optional[Tuple[int, float, bool]] = None
+        self.force_outstanding = False
+        #: False once the worker replied that it cannot checkpoint.
+        self.can_checkpoint = True
+        self.consecutive_restarts = 0
+        self.dedup_active = False
+
+
+class WorkerSupervisor:
+    """Spawn, watch, and recover the executor's worker processes.
+
+    The executor drives it: :meth:`start` spawns the fleet,
+    :meth:`feed` logs-then-sends data messages, :meth:`pump` drains
+    replies and runs the liveness/recovery checks, :meth:`finish`
+    pushes flush/stop, and :meth:`shutdown` tears everything down
+    (drain before terminate, ``cancel_join_thread`` on every queue —
+    including abandoned pre-respawn queues — so teardown never hangs
+    or loses a late error traceback).
+
+    ``on_records``/``on_migrate`` are the executor's callbacks for
+    deduplicated record chunks and migration deposits; ``on_event``
+    receives ``worker_crash``/``worker_stall``/``worker_restart``
+    notifications for the observability layer.
+    """
+
+    def __init__(
+        self,
+        mp_ctx,
+        num_workers: int,
+        assignments: List[List[Tuple[str, int, object]]],
+        num_pes_map: Dict[str, int],
+        seed: int,
+        record_chunk: int,
+        queue_capacity: int,
+        poll_timeout: float,
+        config: Optional[SupervisorConfig] = None,
+        fault_plan: Optional[WorkerFaultPlan] = None,
+        on_records: Optional[Callable] = None,
+        on_migrate: Optional[Callable] = None,
+        on_event: Optional[Callable] = None,
+    ) -> None:
+        self.mp_ctx = mp_ctx
+        self.num_workers = num_workers
+        self.assignments = assignments
+        self.num_pes_map = num_pes_map
+        self.seed = seed
+        self.record_chunk = record_chunk
+        self.queue_capacity = queue_capacity
+        self.poll_timeout = poll_timeout
+        self.config = config if config is not None else SupervisorConfig()
+        self.fault_plan = fault_plan
+        self.on_records = on_records
+        self.on_migrate = on_migrate
+        self.on_event = on_event
+        self.report = SupervisorReport()
+        self.out_q = None
+        self._workers: List[_WorkerState] = []
+        #: Queues abandoned by respawns, closed at shutdown.
+        self._dead_qs: List = []
+        self._deduper = ReplayDeduper()
+        #: (epoch, shard) migration deposits already forwarded.
+        self._migrate_seen: set = set()
+        # Backoff jitter must be reproducible from the run seed — one
+        # RNG per worker, derived via spawn_seed, never the wall clock.
+        self._backoff_rngs = [
+            random.Random(spawn_seed(seed, "supervisor", widx))
+            for widx in range(num_workers)
+        ]
+        #: Records collected so far, as worker wire tuples
+        #: (component, pe_index, seq, name, payload, origin, marks).
+        self.records: List[tuple] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        self.out_q = self.mp_ctx.Queue()
+        now = time.monotonic()  # repro: allow-wallclock
+        for widx in range(self.num_workers):
+            state = _WorkerState()
+            state.log = ReplayLog(self.config.replay_capacity)
+            state.last_reply = now
+            self._workers.append(state)
+            self._spawn(widx)
+
+    def _fault_events(self, widx: int, incarnation: int):
+        if self.fault_plan is None:
+            return ()
+        return tuple(
+            (e.at_message, e.kind, e.stall_seconds)
+            for e in self.fault_plan.events_for(widx, incarnation)
+        )
+
+    def _spawn(self, widx: int) -> None:
+        state = self._workers[widx]
+        state.in_q = self.mp_ctx.Queue(self.queue_capacity)
+        state.proc = self.mp_ctx.Process(
+            target=worker_main,
+            args=(
+                widx,
+                self.assignments[widx],
+                self.num_pes_map,
+                state.in_q,
+                self.out_q,
+                self.seed,
+                self.record_chunk,
+                state.incarnation,
+                state.checkpoint,
+                self._fault_events(widx, state.incarnation),
+            ),
+            daemon=True,
+        )
+        state.proc.start()
+        state.last_reply = time.monotonic()  # repro: allow-wallclock
+        state.pending_ping = None
+        state.force_outstanding = False
+
+    # -- feeding --------------------------------------------------------
+    def feed(self, widx: int, item) -> None:
+        """Log a data message, then put it on the worker's queue.
+
+        Logging *before* the put keeps the replay log a superset of
+        everything the worker might have consumed.  If the worker is
+        respawned while this put is blocked (its queue full, the
+        process dead), the respawn's replay already re-fed the whole
+        log — including this item — so the stale put is simply
+        abandoned.
+        """
+        state = self._workers[widx]
+        if (
+            state.log.is_full
+            and state.can_checkpoint
+            and not state.force_outstanding
+        ):
+            # Bounded replay buffer: ask the worker to checkpoint now.
+            # The ack arrives asynchronously and truncates the log; the
+            # bound is soft in the meantime.
+            self._try_put(widx, ("checkpoint",))
+            state.force_outstanding = True
+            self.report.forced_checkpoint_requests += 1
+        seq = state.next_seq
+        state.next_seq += 1
+        state.log.append(seq, item)
+        self._put_abandonable(widx, ("msg", seq) + tuple(item))
+
+    def _put_abandonable(self, widx: int, wire_item) -> None:
+        state = self._workers[widx]
+        incarnation = state.incarnation
+        while True:
+            try:
+                state.in_q.put(wire_item, timeout=self.poll_timeout)
+                return
+            except queue.Full:
+                self.pump(block=False)
+                if self._workers[widx].incarnation != incarnation:
+                    # The worker was respawned mid-put; replay already
+                    # re-fed the log (this item included).
+                    return
+
+    def _try_put(self, widx: int, wire_item) -> bool:
+        try:
+            self._workers[widx].in_q.put_nowait(wire_item)
+            return True
+        except queue.Full:
+            return False
+
+    # -- reply pumping --------------------------------------------------
+    def pump(self, block: bool) -> None:
+        """Drain replies, then run liveness and failure checks."""
+        deadline_block = block
+        while True:
+            try:
+                reply = self.out_q.get(
+                    timeout=self.poll_timeout if deadline_block else 0.0
+                )
+            except queue.Empty:
+                break
+            self._handle_reply(reply)
+            deadline_block = False  # at most one blocking get per call
+        self._check_workers()
+
+    def _handle_reply(self, reply) -> None:
+        kind = reply[0]
+        widx = reply[1]
+        state = self._workers[widx]
+        state.last_reply = time.monotonic()  # repro: allow-wallclock
+        if kind == "records":
+            self._collect_records(widx, reply[2])
+        elif kind == "migrate":
+            self._collect_migration(reply[2], reply[3])
+        elif kind == "pong":
+            if (
+                state.pending_ping is not None
+                and state.pending_ping[0] == reply[2]
+            ):
+                state.pending_ping = None
+        elif kind == "ckpt":
+            self._collect_checkpoint(widx, reply[2])
+        elif kind == "done":
+            state.done = True
+            state.consecutive_restarts = 0
+        elif kind == "error":
+            # Deterministic operator failure: respawning would replay
+            # straight back into the same exception, so it stays fatal.
+            __, __, label, message, tb = reply
+            from .executor import WorkerCrash
+
+            raise WorkerCrash(widx, label, message, tb)
+
+    def _collect_records(self, widx: int, chunk) -> None:
+        if self._workers[widx].dedup_active:
+            kept = []
+            before_div = self._deduper.divergent
+            for rec in chunk:
+                comp, idx, seq, name, payload = rec[0], rec[1], rec[2], rec[3], rec[4]
+                # The (component, pe_index, seq) tag is the record's
+                # deterministic identity — replay restores the seq
+                # counters, so a replayed record collides exactly.
+                if self._deduper.admit((comp, idx, seq), name, payload):
+                    kept.append(rec)
+                else:
+                    self.report.duplicates_dropped += 1
+            self.report.divergent_records += (
+                self._deduper.divergent - before_div
+            )
+            self.records.extend(kept)
+            if kept and self.on_records is not None:
+                self.on_records(kept)
+        else:
+            self.records.extend(chunk)
+            if self.on_records is not None:
+                self.on_records(chunk)
+
+    def _collect_migration(self, component: str, blob: dict) -> None:
+        key = (blob["epoch"], blob["shard"])
+        if key in self._migrate_seen:
+            # A replayed RepartitionMarker re-exported this shard's
+            # state; the board (or a completed epoch) already has it.
+            self.report.duplicate_migrations += 1
+            return
+        self._migrate_seen.add(key)
+        if self.on_migrate is not None:
+            self.on_migrate(component, blob)
+
+    def _collect_checkpoint(self, widx: int, blob: Optional[dict]) -> None:
+        state = self._workers[widx]
+        state.force_outstanding = False
+        if blob is None:
+            # The worker hosts a non-checkpointable operator: recovery
+            # falls back to full-history replay (the log is kept whole).
+            state.can_checkpoint = False
+            return
+        current = state.checkpoint
+        if current is not None and blob["last_seq"] <= current["last_seq"]:
+            return  # stale (pre-respawn) ack; the newer blob wins
+        state.checkpoint = blob
+        state.log.truncate_through(blob["last_seq"])
+        self.report.checkpoints += 1
+        # A checkpoint is proof of post-restart progress: the failure
+        # streak is over, so the backoff schedule starts fresh.
+        state.consecutive_restarts = 0
+
+    # -- liveness and recovery ------------------------------------------
+    def _check_workers(self) -> None:
+        now = time.monotonic()  # repro: allow-wallclock
+        for widx, state in enumerate(self._workers):
+            if state.done:
+                continue
+            if not state.proc.is_alive():
+                # Collect anything it shipped before dying — if the
+                # death was an operator exception, the queued error
+                # reply raises the fatal WorkerCrash from this drain.
+                self._drain_nonblocking()
+                state = self._workers[widx]
+                if state.done or state.proc.is_alive():
+                    continue
+                self._notify("worker_crash", widx, exitcode=state.proc.exitcode)
+                self.report.crashes += 1
+                self.report._worker(widx)["crashes"] += 1
+                self._recover(widx, reason="crash")
+                continue
+            if now - state.last_reply < self.config.heartbeat_interval:
+                continue
+            if state.pending_ping is None:
+                # Arm the probe even when the worker's input queue is
+                # full and the ping cannot be delivered yet — a hung
+                # worker with a backed-up queue must still trip
+                # liveness.  Undelivered pings are retried below so an
+                # idle-but-healthy worker always gets one to answer.
+                state.ping_token += 1
+                delivered = self._try_put(widx, ("ping", state.ping_token))
+                state.pending_ping = (state.ping_token, now, delivered)
+                continue
+            token, first_attempt, delivered = state.pending_ping
+            if not delivered:
+                delivered = self._try_put(widx, ("ping", token))
+                state.pending_ping = (token, first_attempt, delivered)
+            if (
+                now - state.last_reply >= self.config.liveness_timeout
+                and now - first_attempt >= self.config.liveness_timeout
+            ):
+                # Hung: a probe has been outstanding for a full
+                # liveness window with no reply of any kind.  Kill
+                # and recover — if it was merely slow, recovery is
+                # still exact, just wasteful.
+                self._notify("worker_stall", widx)
+                self.report.stalls += 1
+                self.report._worker(widx)["stalls"] += 1
+                state.proc.kill()
+                state.proc.join(self.poll_timeout * 10)
+                self._recover(widx, reason="stall")
+
+    def _drain_nonblocking(self) -> None:
+        while True:
+            try:
+                reply = self.out_q.get_nowait()
+            except queue.Empty:
+                return
+            self._handle_reply(reply)
+
+    def _recover(self, widx: int, reason: str) -> None:
+        from .executor import WorkerCrash
+
+        state = self._workers[widx]
+        state.consecutive_restarts += 1
+        if state.consecutive_restarts > self.config.max_restarts:
+            self.report.gave_up = (
+                f"worker {widx} failed {state.consecutive_restarts} "
+                f"consecutive times (last: {reason}); "
+                f"max_restarts={self.config.max_restarts}"
+            )
+            raise WorkerCrash(widx, "?", self.report.gave_up)
+        delay = self.config.retry.delay(
+            state.consecutive_restarts,
+            self._backoff_rngs[widx],
+            self.config.default_backoff,
+        )
+        self.report.backoff_total_s += delay
+        time.sleep(delay)
+        # The dead worker's queue may hold undelivered items; a fresh
+        # incarnation must see the log's order, not leftovers, so the
+        # old queue is abandoned (closed at shutdown) and everything
+        # after the checkpoint is re-fed onto a new one.
+        self._dead_qs.append(state.in_q)
+        state.incarnation += 1
+        state.pending_ping = None
+        if not state.dedup_active:
+            # First restart of this worker: from here on its records
+            # may replay.  Seed the deduper with everything already
+            # collected from it so the overlap is dropped exactly.
+            owned = {
+                (comp, idx) for comp, idx, __ in self.assignments[widx]
+            }
+            for rec in self.records:
+                if (rec[0], rec[1]) in owned:
+                    self._deduper.seed((rec[0], rec[1], rec[2]), rec[3], rec[4])
+            state.dedup_active = True
+        self._spawn(widx)
+        replay = state.log.replay_items()
+        self.report.restarts += 1
+        self.report.replayed_items += len(replay)
+        self.report._worker(widx)["restarts"] += 1
+        self._notify(
+            "worker_restart",
+            widx,
+            reason=reason,
+            incarnation=state.incarnation,
+            replayed=len(replay),
+            backoff_s=delay,
+        )
+        incarnation = state.incarnation
+        for seq, item in replay:
+            if state.incarnation != incarnation:
+                # The new incarnation died while this replay was still
+                # feeding; the nested recovery already re-fed the whole
+                # log onto yet another fresh queue.  Continuing here
+                # would feed the remainder a second time — double
+                # processing, not replay — so the nested call owns the
+                # rest.
+                return
+            self._put_abandonable(widx, ("msg", seq) + tuple(item))
+        # If the run was already finishing, re-issue the controls the
+        # dead incarnation had consumed.
+        if state.finish_stage >= 1 and state.incarnation == incarnation:
+            self._put_abandonable(widx, ("flush",))
+        if state.finish_stage >= 2 and state.incarnation == incarnation:
+            self._put_abandonable(widx, ("stop",))
+
+    def _notify(self, kind: str, widx: int, **fields) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, widx, fields)
+
+    # -- finishing ------------------------------------------------------
+    def finish(self, widx: int) -> None:
+        """Send flush then stop to one worker (recorded for respawn)."""
+        state = self._workers[widx]
+        state.finish_stage = 1
+        self._put_abandonable(widx, ("flush",))
+        state = self._workers[widx]
+        state.finish_stage = 2
+        self._put_abandonable(widx, ("stop",))
+
+    def all_done(self) -> bool:
+        return all(state.done for state in self._workers)
+
+    def shutdown(self, join_timeout: float) -> None:
+        """Tear the fleet down without hanging or losing diagnostics.
+
+        Drains the reply queue *before* terminating, so a late
+        ``("error", ...)`` traceback already in flight is surfaced to
+        whoever inspects the queue-drained state rather than vanishing
+        with the pipe; then terminates survivors, joins everyone, and
+        cancels the feeder threads of every queue ever created —
+        including queues abandoned by respawns — so teardown can never
+        block on a full queue's feeder.
+        """
+        try:
+            self._drain_shutdown_replies()
+        finally:
+            # proc.ident is None when start() itself failed (e.g. a
+            # spawn pickling error); terminate/join would assert.
+            started = [
+                state.proc
+                for state in self._workers
+                if state.proc is not None and state.proc.ident is not None
+            ]
+            for proc in started:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in started:
+                proc.join(join_timeout)
+            live_qs = [state.in_q for state in self._workers]
+            for q in [*live_qs, *self._dead_qs, self.out_q]:
+                if q is not None:
+                    q.cancel_join_thread()
+                    q.close()
+
+    def _drain_shutdown_replies(self) -> None:
+        """Best-effort drain of already-queued replies at teardown.
+
+        Swallows everything except the data still worth keeping:
+        records and checkpoints are collected (a crashing run may still
+        want partial results), but errors are *not* re-raised — the
+        caller is already unwinding, and raising here would mask the
+        original exception.
+        """
+        while True:
+            try:
+                reply = self.out_q.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                return
+            kind = reply[0]
+            if kind == "records":
+                self._collect_records(reply[1], reply[2])
+            elif kind == "done":
+                self._workers[reply[1]].done = True

@@ -1,11 +1,11 @@
 """Worker-process side of the shared-nothing executor.
 
 Each worker hosts a fixed set of leaf PEs (operator instances it builds
-itself after the fork), pulls ``("msg", component, pe_index, payload,
-origin_time)`` items off its private FIFO queue, and ships the records
-its operators produce back in chunks.  Leaf PEs may ``record`` and
-``mark`` but never ``emit`` — downstream routing lives in the parent —
-so a worker needs no topology knowledge at all.
+itself after the fork), pulls ``("msg", seq, component, pe_index,
+payload, origin_time)`` items off its private FIFO queue, and ships the
+records its operators produce back in chunks.  Leaf PEs may ``record``
+and ``mark`` but never ``emit`` — downstream routing lives in the parent
+— so a worker needs no topology knowledge at all.
 
 Determinism: records are tagged ``(component, pe_index, seq)`` with a
 per-PE sequence number, so the parent can order them canonically no
@@ -13,13 +13,37 @@ matter how chunk arrivals from different workers interleave.  Worker
 randomness comes from :func:`~repro.parallel.seeds.spawn_seed` — the
 run's root seed spawned with the worker index — never from the wall
 clock or the OS.
+
+Supervision protocol (see :mod:`repro.parallel.supervisor`): every data
+message carries the parent's per-worker feed sequence number, the worker
+answers ``("ping", token)`` probes with ``("pong", ...)`` replies so the
+parent can tell hung from slow, and it ships merge-boundary state
+checkpoints — per-PE ``snapshot_state`` blobs plus the record sequence
+counters — as ``("ckpt", ...)`` replies.  A respawned incarnation is
+handed the last acknowledged checkpoint via ``restore`` and re-fed the
+logged deliveries after it; because the record sequence counters are
+restored too, replayed records carry byte-identical tags and the parent
+can deduplicate them exactly.
+
+Fault injection: ``fault_events`` lists the seeded chaos plan's events
+for this worker *incarnation* (see
+:class:`~repro.dspe.faults.WorkerFaultPlan`).  Injection happens after a
+data message is dequeued but *before* it is processed, so the in-flight
+message is lost with the process and must be replayed — the failure mode
+a real mid-batch crash produces, at a controlled point that cannot tear
+a half-written reply chunk.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import time
 import traceback
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .wire import MergeMarker
 
 __all__ = ["WorkerContext", "worker_main"]
 
@@ -135,17 +159,35 @@ def worker_main(
     out_q,
     root_seed: int,
     record_chunk: int,
+    incarnation: int = 0,
+    restore: Optional[dict] = None,
+    fault_events: Sequence[Tuple[int, str, float]] = (),
 ) -> None:
-    """Entry point of one worker process.
+    """Entry point of one worker process (one incarnation).
 
     ``assignments`` is the list of ``(component, pe_index, factory)``
     leaf PEs this worker hosts; with the ``fork`` start method the
-    factories are inherited through the process image, so they are never
-    pickled.  Protocol: consume ``("msg", component, pe_index, payload,
-    origin_time)`` / ``("flush",)`` / ``("stop",)``; produce
-    ``("records", worker_index, chunk)`` batches followed by one
-    ``("done", worker_index, stats)``, or ``("error", worker_index,
-    pe_label, message, traceback)`` on the first operator failure.
+    factories are inherited through the process image, under ``spawn``
+    they are pickled (so they must be module-level callables).
+
+    Protocol: consume ``("msg", seq, component, pe_index, payload,
+    origin_time)`` / ``("flush",)`` / ``("stop",)`` / ``("ping",
+    token)`` / ``("checkpoint",)``; produce ``("records", worker_index,
+    chunk)`` batches, ``("pong", worker_index, token)`` heartbeat
+    replies, ``("ckpt", worker_index, blob_or_None)`` checkpoint
+    acknowledgements, one final ``("done", worker_index, stats)``, or
+    ``("error", worker_index, pe_label, message, traceback)`` on the
+    first operator failure.
+
+    ``restore`` is the last acknowledged checkpoint blob for a
+    respawned incarnation: per-PE operator snapshots, the per-PE record
+    sequence counters, and the feed sequence it covers.  ``None`` means
+    a cold start (first incarnation, or the worker crashed before any
+    checkpoint) — fresh operators, full replay.
+
+    ``fault_events`` holds this incarnation's injected faults as
+    ``(at_message, kind, stall_seconds)`` tuples; ``at_message`` counts
+    data messages dequeued by *this* process, replayed ones included.
     """
     from .seeds import spawn_seed
 
@@ -154,11 +196,67 @@ def worker_main(
     pending: List[WireRecord] = []
     seqs: Dict[Tuple[str, int], int] = {}
     messages = 0
+    last_seq = -1
+    faults = sorted(fault_events)
+    boundary_checkpoints = 0
 
     def drain_records(final: bool = False) -> None:
         if pending and (final or len(pending) >= record_chunk):
             out_q.put(("records", worker_index, list(pending)))
             pending.clear()
+
+    def inject_faults() -> None:
+        """Fire any fault scheduled at the current message ordinal."""
+        while faults and faults[0][0] == messages:
+            __, kind, stall_seconds = faults.pop(0)
+            if kind == "kill":
+                # Flush every completed record and wait for the queue
+                # feeder thread to push it down the pipe, then die the
+                # hard way: the message just dequeued is lost with the
+                # process, exactly like a real mid-batch crash, but no
+                # reply chunk is ever torn mid-write.
+                drain_records(final=True)
+                out_q.close()
+                out_q.join_thread()
+                os.kill(os.getpid(), signal.SIGKILL)
+            else:  # stall: go silent long enough to trip liveness
+                drain_records(final=True)
+                time.sleep(stall_seconds)
+
+    def take_checkpoint() -> Optional[dict]:
+        """Snapshot every hosted PE, or None if unsupported right now.
+
+        Returns None when any hosted operator is not checkpointable
+        (the parent then keeps its full replay log) and silently skips
+        — by returning the sentinel ``"defer"`` — while an operator's
+        transient protocol state (``checkpoint_ready`` False, e.g. a
+        shard migration in flight) makes a snapshot unsound.
+        """
+        ops = operators.values()
+        if not all(op.checkpointable for op in ops):
+            return None
+        if not all(op.checkpoint_ready() for op in ops):
+            return {"defer": True}
+        return {
+            "last_seq": last_seq,
+            "seqs": dict(seqs),
+            "snapshots": {
+                key: operator.snapshot_state()
+                for key, operator in operators.items()
+            },
+        }
+
+    def ship_checkpoint() -> None:
+        blob = take_checkpoint()
+        if blob is not None and blob.get("defer"):
+            return
+        # Records produced up to last_seq must reach the parent before
+        # the checkpoint that covers them — the ack truncates the replay
+        # log through last_seq, so anything still buffered here would be
+        # unrecoverable.  The reply queue is FIFO per producer, so
+        # flushing first is sufficient.
+        drain_records(final=True)
+        out_q.put(("ckpt", worker_index, blob))
 
     label: Optional[str] = None
     try:
@@ -170,36 +268,57 @@ def worker_main(
             operator.setup(ctx)
             operators[(component, pe_index)] = operator
             seqs[(component, pe_index)] = 0
+        if restore is not None:
+            for key, operator in operators.items():
+                label = f"{key[0]}[{key[1]}]"
+                snapshot = restore["snapshots"].get(key)
+                if snapshot is not None:
+                    operator.restore_state(snapshot)
+            seqs.update(restore["seqs"])
+            last_seq = restore["last_seq"]
         label = None
         while True:
             item = in_q.get()
             kind = item[0]
             if kind == "msg":
-                __, component, pe_index, payload, origin_time = item
+                __, seq, component, pe_index, payload, origin_time = item
+                messages += 1
+                inject_faults()
                 key = (component, pe_index)
                 label = f"{component}[{pe_index}]"
                 operator = operators[key]
                 ctx._begin(component, pe_index, origin_time)
                 operator.process(payload, ctx)
-                messages += 1
+                last_seq = seq
                 if ctx._records:
-                    seq = seqs[key]
+                    rec_seq = seqs[key]
                     for name, rec_payload in ctx._records:
                         pending.append(
                             (
                                 component,
                                 pe_index,
-                                seq,
+                                rec_seq,
                                 name,
                                 rec_payload,
                                 origin_time,
                                 dict(ctx._marks),
                             )
                         )
-                        seq += 1
-                    seqs[key] = seq
+                        rec_seq += 1
+                    seqs[key] = rec_seq
                 label = None
                 drain_records()
+                if isinstance(payload, MergeMarker):
+                    # Merge boundaries are the natural checkpoint cut:
+                    # the shard's mutable window was just drained, so
+                    # the snapshot is at its smallest and the wire
+                    # format matches the migration representation.
+                    ship_checkpoint()
+                    boundary_checkpoints += 1
+            elif kind == "ping":
+                out_q.put(("pong", worker_index, item[1]))
+            elif kind == "checkpoint":
+                ship_checkpoint()
             elif kind == "flush":
                 for (component, pe_index), operator in operators.items():
                     label = f"{component}[{pe_index}]"
@@ -207,21 +326,21 @@ def worker_main(
                     operator.flush(ctx)
                     if ctx._records:
                         key = (component, pe_index)
-                        seq = seqs[key]
+                        rec_seq = seqs[key]
                         for name, rec_payload in ctx._records:
                             pending.append(
                                 (
                                     component,
                                     pe_index,
-                                    seq,
+                                    rec_seq,
                                     name,
                                     rec_payload,
                                     ctx.now,
                                     dict(ctx._marks),
                                 )
                             )
-                            seq += 1
-                        seqs[key] = seq
+                            rec_seq += 1
+                        seqs[key] = rec_seq
                     label = None
                 drain_records()
             elif kind == "stop":
@@ -230,7 +349,17 @@ def worker_main(
             ctx._begin(component, pe_index, ctx.now)
             operator.teardown(ctx)
         drain_records(final=True)
-        out_q.put(("done", worker_index, {"messages": messages}))
+        out_q.put(
+            (
+                "done",
+                worker_index,
+                {
+                    "messages": messages,
+                    "incarnation": incarnation,
+                    "boundary_checkpoints": boundary_checkpoints,
+                },
+            )
+        )
     except BaseException as exc:  # ship the failure, then die quietly
         drain_records(final=True)
         out_q.put(

@@ -34,3 +34,10 @@ def worker_entry(worker_index: int, root_seed: int):
     # run's root seed, so every fork replays identically.
     rng = random.Random(spawn_seed(root_seed, "worker", worker_index))
     return rng.random()
+
+
+def respawn_backoff(worker_index: int, root_seed: int) -> float:
+    # Supervisor respawn jitter: derives from the run's root seed, so
+    # two chaos runs with the same seed back off identically.
+    rng = random.Random(spawn_seed(root_seed, "supervisor", worker_index))
+    return rng.random()

@@ -34,3 +34,11 @@ def worker_entry(worker_index, in_q, out_q):
     h = np.random.default_rng(int(time.time()))  # flagged: wall-clock seed
     i = random.Random(worker_index ^ time.time_ns())  # flagged: wall-clock seed
     return g, h, i
+
+
+def respawn_backoff(worker_index):
+    # Supervisor respawn jitter: interpreter-identity seeds make every
+    # chaos run back off differently, so they are as bad as no seed.
+    j = random.Random(hash(("supervisor", worker_index)))  # flagged: hash-salted seed
+    k = np.random.default_rng(id(object) & 0xFFFF)  # flagged: address-derived seed
+    return j, k

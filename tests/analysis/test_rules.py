@@ -30,7 +30,7 @@ RULE_IDS = [
 #: comment in the fixture should produce a finding.
 EXPECTED_MINIMUM = {
     "REPRO001": 6,
-    "REPRO002": 12,
+    "REPRO002": 14,
     "REPRO003": 6,
     "REPRO004": 3,
     "REPRO005": 6,

@@ -118,3 +118,72 @@ class TestDelayMultiplier:
         plan = FaultPlan([], [(0.0, 0.5, 2.0), (0.1, 0.3, 6.0)], [], 0)
         assert plan.delay_multiplier(0.2) == 6.0
         assert plan.delay_multiplier(0.4) == 2.0
+
+
+class TestWorkerFaultPlan:
+    """Seeded real-process fault plans (worker kills and stalls)."""
+
+    def _import(self):
+        from repro.dspe import (
+            ProcessFaultConfig,
+            WorkerFaultEvent,
+            WorkerFaultPlan,
+            build_process_fault_plan,
+        )
+
+        return (
+            ProcessFaultConfig,
+            WorkerFaultEvent,
+            WorkerFaultPlan,
+            build_process_fault_plan,
+        )
+
+    def test_event_validation(self):
+        _, WorkerFaultEvent, _, _ = self._import()
+        with pytest.raises(ValueError):
+            WorkerFaultEvent(0, 0, 0)  # at_message must be >= 1
+        with pytest.raises(ValueError):
+            WorkerFaultEvent(0, 0, 1, kind="explode")
+        with pytest.raises(ValueError):
+            WorkerFaultEvent(0, 0, 1, kind="stall", stall_seconds=0.0)
+
+    def test_events_slotted_by_worker_and_incarnation(self):
+        _, WorkerFaultEvent, WorkerFaultPlan, _ = self._import()
+        plan = WorkerFaultPlan(
+            [
+                WorkerFaultEvent(1, 0, 9, kind="kill"),
+                WorkerFaultEvent(0, 1, 3, kind="kill"),
+                WorkerFaultEvent(0, 0, 5, kind="stall", stall_seconds=2.0),
+            ],
+            seed=7,
+        )
+        assert [e.at_message for e in plan.events_for(0, 0)] == [5]
+        assert [e.at_message for e in plan.events_for(0, 1)] == [3]
+        assert [e.at_message for e in plan.events_for(1, 0)] == [9]
+        assert plan.events_for(2, 0) == []
+        assert plan.kill_count() == 2
+        assert plan.stall_count() == 1
+
+    def test_build_is_deterministic_in_seed(self):
+        ProcessFaultConfig, _, _, build = self._import()
+        config = ProcessFaultConfig(kill_rate=1.5, stall_rate=0.5)
+        a = build(config, num_workers=3, seed=42)
+        b = build(config, num_workers=3, seed=42)
+        c = build(config, num_workers=3, seed=43)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_explicit_events_bypass_sampling(self):
+        ProcessFaultConfig, WorkerFaultEvent, _, build = self._import()
+        events = [WorkerFaultEvent(0, 0, 4, kind="kill")]
+        plan = build(
+            ProcessFaultConfig(events=events), num_workers=2, seed=1
+        )
+        assert plan.kill_count() == 1
+        assert plan.events_for(0, 0)[0].at_message == 4
+
+    def test_explicit_event_out_of_range_rejected(self):
+        ProcessFaultConfig, WorkerFaultEvent, _, build = self._import()
+        events = [WorkerFaultEvent(5, 0, 4, kind="kill")]
+        with pytest.raises(ValueError):
+            build(ProcessFaultConfig(events=events), num_workers=2, seed=1)

@@ -163,3 +163,63 @@ class TestEngineWiring:
         engine = Engine(self._topo(), loss_seed=1, fault_seed=99)
         assert engine.fault_seed == 99
         assert engine._loss_rng.random() == __import__("random").Random(99).random()
+
+
+class TestReplayDeduper:
+    def _deduper(self):
+        from repro.dspe import ReplayDeduper
+
+        return ReplayDeduper()
+
+    def test_first_occurrence_admitted_second_dropped(self):
+        d = self._deduper()
+        assert d.admit(("joiner", 0, 3), "result", {"tid": 9})
+        assert not d.admit(("joiner", 0, 3), "result", {"tid": 9})
+        assert d.admitted == 1
+        assert d.duplicates == 1
+        assert d.divergent == 0
+
+    def test_payload_mismatch_counts_divergent(self):
+        d = self._deduper()
+        d.admit(("joiner", 0, 3), "result", {"tid": 9, "v": 1})
+        assert not d.admit(("joiner", 0, 3), "result", {"tid": 9, "v": 2})
+        assert d.divergent == 1
+
+    def test_seed_backfills_without_counting(self):
+        d = self._deduper()
+        d.seed(("joiner", 0, 3), "result", {"tid": 9})
+        assert d.admitted == 0
+        assert not d.admit(("joiner", 0, 3), "result", {"tid": 9})
+        assert d.duplicates == 1
+
+
+class TestReplayLog:
+    def _log(self, capacity=4):
+        from repro.dspe import ReplayLog
+
+        return ReplayLog(capacity)
+
+    def test_append_and_replay_order(self):
+        log = self._log()
+        for seq in range(3):
+            log.append(seq, f"item{seq}")
+        assert [seq for seq, _ in log.replay_items()] == [0, 1, 2]
+
+    def test_is_full_at_capacity(self):
+        log = self._log(capacity=2)
+        log.append(0, "a")
+        assert not log.is_full
+        log.append(1, "b")
+        assert log.is_full
+
+    def test_truncate_through_drops_covered_prefix(self):
+        log = self._log()
+        for seq in range(4):
+            log.append(seq, seq)
+        dropped = log.truncate_through(1)
+        assert dropped == 2
+        assert [seq for seq, _ in log.replay_items()] == [2, 3]
+        assert log.truncated_through == 1
+        # Truncating behind the high-water mark is a no-op.
+        assert log.truncate_through(0) == 0
+        assert [seq for seq, _ in log.replay_items()] == [2, 3]

@@ -1,0 +1,325 @@
+"""Worker supervision: chaos parity, stall detection, spawn parity.
+
+The robustness contract under test: with seeded worker kills and stalls
+injected into the process-backed executor, every run still produces a
+result fingerprint bit-identical to the failure-free simulated
+single-process reference — at every worker count and batch size — the
+supervisor reports the recoveries it performed, and no child process
+outlives its run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window import WindowSpec
+from repro.dspe import (
+    ProcessFaultConfig,
+    WorkerFaultEvent,
+    WorkerFaultPlan,
+    build_process_fault_plan,
+)
+from repro.joins import (
+    build_spo_local_topology,
+    build_spo_sharded_topology,
+    run_topology,
+)
+from repro.parallel import (
+    ParallelExecutor,
+    SupervisorConfig,
+    WorkerCrash,
+    reduce_sharded_result,
+)
+from repro.workloads import q3, self_stream, timed
+
+WORKER_COUNTS = (1, 2, 4)
+BATCH_SIZES = (1, 7, 64)
+N = 400
+WINDOW = WindowSpec.count(150, 50)
+NUM_SHARDS = 3
+
+_REFERENCE_CACHE = {}
+
+
+def _source():
+    return timed(self_stream(N, correlation=0.4, seed=7), rate=1000.0)
+
+
+def _reference(batch_size):
+    if batch_size not in _REFERENCE_CACHE:
+        _REFERENCE_CACHE[batch_size] = run_topology(
+            build_spo_local_topology(
+                _source(), q3(), WINDOW, batch_size=batch_size
+            )
+        ).result_fingerprint()
+    return _REFERENCE_CACHE[batch_size]
+
+
+def _run_chaos(num_workers, batch_size, plan, **executor_kwargs):
+    topo = build_spo_sharded_topology(
+        _source(), q3(), WINDOW, NUM_SHARDS, batch_size=batch_size
+    )
+    executor_kwargs.setdefault(
+        "supervisor",
+        SupervisorConfig(
+            heartbeat_interval=0.1, liveness_timeout=1.5, max_restarts=8
+        ),
+    )
+    result = ParallelExecutor(
+        topo,
+        num_workers=num_workers,
+        process_faults=plan,
+        **executor_kwargs,
+    ).run()
+    reduce_sharded_result(result)
+    return result
+
+
+class TestKillRecoveryParity:
+    """Acceptance grid: injected kills at every worker count x batch."""
+
+    @pytest.mark.parametrize("num_workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_killed_run_matches_failure_free_reference(
+        self, num_workers, batch_size
+    ):
+        plan = WorkerFaultPlan(
+            [
+                WorkerFaultEvent(0, 0, 5, kind="kill"),
+                WorkerFaultEvent(
+                    num_workers - 1, 0 if num_workers > 1 else 1, 11, kind="kill"
+                ),
+            ],
+            seed=3,
+        )
+        result = _run_chaos(num_workers, batch_size, plan)
+        assert result.result_fingerprint() == _reference(batch_size), (
+            f"chaos diverged at workers={num_workers}, "
+            f"batch_size={batch_size}"
+        )
+        assert result.supervisor is not None
+        assert result.supervisor.restarts >= 1
+        assert result.supervisor.crashes >= 1
+        assert result.supervisor.gave_up is None
+        assert not multiprocessing.active_children()
+
+    def test_supervision_events_reach_observer(self):
+        from repro.obs import Observer
+
+        obs = Observer()
+        plan = WorkerFaultPlan(
+            [WorkerFaultEvent(0, 0, 9, kind="kill")], seed=1
+        )
+        result = _run_chaos(2, 7, plan, obs=obs)
+        assert result.result_fingerprint() == _reference(7)
+        counts = obs.events.counts()
+        assert counts.get("worker_crash") == 1
+        assert counts.get("worker_restart") == 1
+
+    def test_report_surfaces_on_run_result(self):
+        plan = WorkerFaultPlan([WorkerFaultEvent(0, 0, 9, kind="kill")], seed=1)
+        result = _run_chaos(2, 7, plan)
+        report = result.supervisor.as_dict()
+        assert report["crashes"] == 1
+        assert report["restarts"] >= 1
+        assert report["per_worker"]["0"]["crashes"] == 1
+        assert report["gave_up"] is None
+
+    def test_failure_free_run_reports_clean(self):
+        result = _run_chaos(2, 7, None)
+        assert result.result_fingerprint() == _reference(7)
+        report = result.supervisor
+        assert report.crashes == 0
+        assert report.stalls == 0
+        assert report.restarts == 0
+        assert report.duplicates_dropped == 0
+
+    def test_repeated_kills_of_one_worker_across_incarnations(self):
+        plan = WorkerFaultPlan(
+            [
+                WorkerFaultEvent(0, 0, 4, kind="kill"),
+                WorkerFaultEvent(0, 1, 6, kind="kill"),
+                WorkerFaultEvent(0, 2, 8, kind="kill"),
+            ],
+            seed=5,
+        )
+        result = _run_chaos(2, 7, plan)
+        assert result.result_fingerprint() == _reference(7)
+        assert result.supervisor.crashes == 3
+        assert result.supervisor.restarts == 3
+        assert not multiprocessing.active_children()
+
+    def test_kill_during_replay_does_not_double_feed(self):
+        # The second kill lands on the respawned incarnation's 2nd
+        # message — while the parent is still feeding the first
+        # recovery's replay.  The nested recovery must take over the
+        # replay entirely; feeding the outer loop's remainder on top of
+        # it would process those messages twice and corrupt the window.
+        plan = WorkerFaultPlan(
+            [
+                WorkerFaultEvent(0, 0, 9, kind="kill"),
+                WorkerFaultEvent(0, 1, 2, kind="kill"),
+            ],
+            seed=6,
+        )
+        result = _run_chaos(2, 7, plan)
+        assert result.result_fingerprint() == _reference(7)
+        assert result.supervisor.crashes == 2
+        assert not multiprocessing.active_children()
+
+    def test_no_divergent_records_under_chaos(self):
+        plan = WorkerFaultPlan(
+            [WorkerFaultEvent(0, 0, 15, kind="kill")], seed=2
+        )
+        result = _run_chaos(2, 7, plan)
+        # Replayed records must collide byte-for-byte with the originals;
+        # a divergence would mean the checkpoint/replay path is broken.
+        assert result.supervisor.divergent_records == 0
+
+    def test_give_up_after_max_restarts(self):
+        plan = WorkerFaultPlan(
+            [
+                WorkerFaultEvent(0, inc, 1, kind="kill")
+                for inc in range(4)
+            ],
+            seed=1,
+        )
+        with pytest.raises(WorkerCrash, match="consecutive"):
+            _run_chaos(
+                2,
+                7,
+                plan,
+                supervisor=SupervisorConfig(max_restarts=2),
+            )
+        assert not multiprocessing.active_children()
+
+
+class TestStallDetection:
+    def test_hung_worker_recovered_within_liveness_window(self):
+        # The stall sleeps far longer than the whole run; finishing
+        # quickly proves the supervisor detected the hang via the
+        # missed heartbeat and recovered instead of waiting it out.
+        liveness = 1.0
+        plan = WorkerFaultPlan(
+            [WorkerFaultEvent(0, 0, 8, kind="stall", stall_seconds=60.0)],
+            seed=1,
+        )
+        start = time.monotonic()
+        result = _run_chaos(
+            2,
+            7,
+            plan,
+            supervisor=SupervisorConfig(
+                heartbeat_interval=0.1, liveness_timeout=liveness
+            ),
+        )
+        elapsed = time.monotonic() - start
+        assert result.result_fingerprint() == _reference(7)
+        assert result.supervisor.stalls == 1
+        assert result.supervisor.restarts >= 1
+        assert elapsed < 20.0, f"stall rode out the sleep ({elapsed:.1f}s)"
+        assert not multiprocessing.active_children()
+
+
+class TestSpawnContext:
+    def test_invalid_context_rejected(self):
+        topo = build_spo_sharded_topology(
+            _source(), q3(), WINDOW, NUM_SHARDS, batch_size=7
+        )
+        with pytest.raises(ValueError, match="mp_context"):
+            ParallelExecutor(topo, num_workers=2, mp_context="thread")
+
+    def test_spawn_parity(self):
+        topo = build_spo_sharded_topology(
+            _source(), q3(), WINDOW, NUM_SHARDS, batch_size=7
+        )
+        result = ParallelExecutor(
+            topo, num_workers=2, mp_context="spawn"
+        ).run()
+        reduce_sharded_result(result)
+        assert result.result_fingerprint() == _reference(7)
+        assert not multiprocessing.active_children()
+
+    def test_spawn_recovers_from_kill(self):
+        # Respawn under spawn pickles the checkpoint blob and the leaf
+        # factories; parity here proves both survive the round-trip.
+        plan = WorkerFaultPlan(
+            [WorkerFaultEvent(0, 0, 20, kind="kill")], seed=1
+        )
+        result = _run_chaos(2, 7, plan, mp_context="spawn")
+        assert result.result_fingerprint() == _reference(7)
+        assert result.supervisor.restarts >= 1
+        assert not multiprocessing.active_children()
+
+
+class TestForcedCheckpoints:
+    def test_small_replay_capacity_forces_checkpoints(self):
+        plan = WorkerFaultPlan(
+            [WorkerFaultEvent(0, 0, 30, kind="kill")], seed=4
+        )
+        result = _run_chaos(
+            2,
+            7,
+            plan,
+            supervisor=SupervisorConfig(replay_capacity=8, max_restarts=8),
+        )
+        assert result.result_fingerprint() == _reference(7)
+        report = result.supervisor
+        assert report.forced_checkpoint_requests >= 1
+        assert report.checkpoints >= 1
+
+
+def _event_strategy(num_workers):
+    kills = st.builds(
+        WorkerFaultEvent,
+        worker=st.integers(0, num_workers - 1),
+        incarnation=st.integers(0, 1),
+        at_message=st.integers(1, 40),
+        kind=st.just("kill"),
+    )
+    stalls = st.builds(
+        WorkerFaultEvent,
+        worker=st.integers(0, num_workers - 1),
+        incarnation=st.just(0),
+        at_message=st.integers(1, 40),
+        kind=st.just("stall"),
+        stall_seconds=st.just(60.0),
+    )
+    return st.lists(st.one_of(kills, stalls), min_size=1, max_size=3)
+
+
+class TestChaosProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data())
+    def test_any_seeded_fault_plan_preserves_results(self, data):
+        num_workers = data.draw(
+            st.sampled_from(WORKER_COUNTS), label="workers"
+        )
+        batch_size = data.draw(st.sampled_from(BATCH_SIZES), label="batch")
+        events = data.draw(_event_strategy(num_workers), label="events")
+        plan = WorkerFaultPlan(events, seed=9)
+        result = _run_chaos(num_workers, batch_size, plan)
+        assert result.result_fingerprint() == _reference(batch_size)
+        assert result.supervisor.gave_up is None
+        assert result.supervisor.divergent_records == 0
+        assert not multiprocessing.active_children()
+
+
+class TestPlanConstruction:
+    def test_poisson_plan_runs_and_preserves_results(self):
+        config = ProcessFaultConfig(kill_rate=1.0, horizon_messages=30)
+        plan = build_process_fault_plan(config, num_workers=2, seed=6)
+        assert plan.kill_count() >= 0
+        result = _run_chaos(2, 7, plan if plan.kill_count() else None)
+        assert result.result_fingerprint() == _reference(7)
+
+    def test_same_seed_same_plan(self):
+        config = ProcessFaultConfig(kill_rate=2.0, stall_rate=0.5)
+        a = build_process_fault_plan(config, num_workers=4, seed=11)
+        b = build_process_fault_plan(config, num_workers=4, seed=11)
+        assert a.fingerprint() == b.fingerprint()
